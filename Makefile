@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+.PHONY: all build test bench results quick examples vet fmt
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -l . && test -z "$$(gofmt -l .)"
+
+test:
+	go test ./...
+
+# The paper's full methodology (60 s windows): every table and figure.
+results:
+	go run ./cmd/docephbench -exp all | tee results_full.txt
+
+# Fast shape-preserving runs for CI.
+quick:
+	go run ./cmd/docephbench -quick -exp all
+
+bench:
+	go test -bench=. -benchmem -benchtime=1x ./...
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/cpubreakdown
+	go run ./examples/dmapipeline
+	go run ./examples/failover
+	go run ./examples/blockdevice
+	go run ./examples/dashboard

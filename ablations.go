@@ -1,0 +1,117 @@
+package doceph
+
+import (
+	"fmt"
+
+	"doceph/internal/report"
+)
+
+// AblationResult is one row of the design-choice ablation study: what each
+// of DoCeph's §3.3/§4 mechanisms buys.
+type AblationResult struct {
+	Name         string
+	SizeBytes    int64
+	AvgLatency   Duration
+	IOPS         float64
+	HostUtil     float64
+	Negotiations int64
+	FallbackSegs int64
+	DMAErrors    int64
+}
+
+// RunAblations measures DoCeph with individual mechanisms disabled or
+// stressed: pipelining off, MR cache off, smaller staging buffers, extra
+// DMA channels, and injected DMA failures exercising the fallback/cooldown
+// machinery. Pipeline/MR/staging variants run at 16 MB (where segmentation
+// matters); channel variants at 1 MB (where the single engine is the
+// bottleneck, Figure 10's -30%).
+func RunAblations(opts ExpOptions) ([]AblationResult, error) {
+	opts = opts.withDefaults()
+
+	type variant struct {
+		name   string
+		size   int64
+		mut    func(*ClusterConfig)
+		inject int64 // engine FailEvery
+	}
+	const big, small = int64(16 << 20), int64(1 << 20)
+	variants := []variant{
+		{name: "doceph (full design)", size: big},
+		{name: "no pipelining", size: big, mut: func(c *ClusterConfig) {
+			c.Bridge.Proxy.DisablePipeline = true
+		}},
+		{name: "no MR cache", size: big, mut: func(c *ClusterConfig) {
+			c.Bridge.Proxy.DisableMRCache = true
+		}},
+		{name: "1MB staging buffers", size: big, mut: func(c *ClusterConfig) {
+			c.DPU.StagingBufferBytes = 1 << 20
+		}},
+		{name: "512KB staging buffers", size: big, mut: func(c *ClusterConfig) {
+			c.DPU.StagingBufferBytes = 512 << 10
+		}},
+		{name: "DMA failure every 200 transfers", size: big, inject: 200},
+		{name: "1MB writes, 1 DMA channel", size: small},
+		{name: "1MB writes, 2 DMA channels", size: small, mut: func(c *ClusterConfig) {
+			c.Bridge.Engine.Channels = 2
+		}},
+		{name: "1MB writes, 4 DMA channels", size: small, mut: func(c *ClusterConfig) {
+			c.Bridge.Engine.Channels = 4
+		}},
+		{name: "1MB writes, DPU compression (2:1)", size: small, mut: func(c *ClusterConfig) {
+			c.Bridge.Proxy.EnableCompression = true
+		}},
+	}
+
+	var out []AblationResult
+	for _, v := range variants {
+		cfg := ClusterConfig{Mode: DoCeph, Seed: opts.Seed}
+		if v.mut != nil {
+			v.mut(&cfg)
+		}
+		cl := NewCluster(cfg)
+		if v.inject > 0 {
+			for _, n := range cl.Nodes {
+				n.Bridge.EngUp.FailEvery = v.inject
+			}
+		}
+		bench, err := RunBench(cl, BenchConfig{
+			Threads: opts.Threads, ObjectBytes: v.size,
+			Duration: opts.Duration, Warmup: opts.Warmup,
+		})
+		if err != nil {
+			cl.Shutdown()
+			return nil, fmt.Errorf("ablation %q: %w", v.name, err)
+		}
+		res := AblationResult{
+			Name:       v.name,
+			SizeBytes:  v.size,
+			AvgLatency: bench.AvgLatency,
+			IOPS:       bench.IOPS(),
+			HostUtil:   cl.HostCPUMerged().SingleCoreUtilization(),
+		}
+		for _, n := range cl.Nodes {
+			res.Negotiations += n.Bridge.CC.Negotiations()
+			res.FallbackSegs += n.Bridge.Proxy.Stats().FallbackSegments +
+				n.Bridge.Proxy.Stats().FallbackTxns
+			res.DMAErrors += n.Bridge.EngUp.Stats().Errors
+		}
+		cl.Shutdown()
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AblationTable renders the ablation study.
+func AblationTable(rows []AblationResult) *report.Table {
+	t := &report.Table{
+		Title:  "Ablations: DoCeph design choices",
+		Header: []string{"variant", "size", "avg lat (s)", "IOPS", "host CPU", "negotiations", "fallbacks", "DMA errors"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name, report.MB(r.SizeBytes), report.F3(r.AvgLatency.Seconds()), report.F2(r.IOPS),
+			report.Pct(r.HostUtil), fmt.Sprint(r.Negotiations),
+			fmt.Sprint(r.FallbackSegs), fmt.Sprint(r.DMAErrors))
+	}
+	t.AddNote("pipelining and MR caching are the paper's §3.3 optimizations; fallback rows exercise §4")
+	return t
+}

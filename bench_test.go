@@ -1,0 +1,195 @@
+package doceph
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each regenerates its experiment from a fresh simulated cluster and
+// reports the headline quantities as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. The runs use QuickOptions (8 s measured
+// window instead of the paper's 60 s); cmd/docephbench without -quick runs
+// the full-length methodology.
+
+import (
+	"sync"
+	"testing"
+)
+
+// The size-sweep experiments (Figures 7-10, Table 3) share one sweep per
+// bench binary invocation; recomputing it five times would only re-measure
+// the same deterministic simulation.
+var (
+	sweepOnce sync.Once
+	sweepRows []SizeComparison
+	sweepErr  error
+)
+
+func sweep(b *testing.B) []SizeComparison {
+	b.Helper()
+	sweepOnce.Do(func() {
+		sweepRows, sweepErr = RunSizeSweep(QuickOptions(), nil)
+	})
+	if sweepErr != nil {
+		b.Fatal(sweepErr)
+	}
+	return sweepRows
+}
+
+var (
+	profOnce sync.Once
+	prof     MessengerProfileResult
+	profErr  error
+)
+
+func profile(b *testing.B) MessengerProfileResult {
+	b.Helper()
+	profOnce.Do(func() {
+		prof, profErr = RunMessengerProfile(QuickOptions())
+	})
+	if profErr != nil {
+		b.Fatal(profErr)
+	}
+	return prof
+}
+
+func BenchmarkFig5_CPUBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := profile(b)
+		b.ReportMetric(p.HundredG.MsgrShare*100, "msgr-share-%")
+		b.ReportMetric(p.HundredG.SingleCoreUtil*100, "ceph-cpu-100G-%")
+		b.ReportMetric(p.OneG.SingleCoreUtil*100, "ceph-cpu-1G-%")
+	}
+}
+
+func BenchmarkFig6_ThroughputByLink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := profile(b)
+		b.ReportMetric(p.OneG.ThroughputMBps, "MBps-1G")
+		b.ReportMetric(p.HundredG.ThroughputMBps, "MBps-100G")
+	}
+}
+
+func BenchmarkTable2_ContextSwitches(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := profile(b)
+		ratio := 0.0
+		if p.HundredG.ObjSwitches > 0 {
+			ratio = float64(p.HundredG.MsgrSwitches) / float64(p.HundredG.ObjSwitches)
+		}
+		b.ReportMetric(ratio, "msgr/objstore-switch-ratio")
+	}
+}
+
+func BenchmarkFig7_HostCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := sweep(b)
+		b.ReportMetric(rows[0].BaselineUtil*100, "baseline-1MB-%")
+		b.ReportMetric(rows[0].DoCephUtil*100, "doceph-1MB-%")
+		b.ReportMetric(rows[len(rows)-1].SavingPct, "saving-16MB-%")
+	}
+}
+
+func BenchmarkFig8_Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := sweep(b)
+		b.ReportMetric(rows[0].BaselineLat.Seconds(), "baseline-1MB-s")
+		b.ReportMetric(rows[0].DoCephLat.Seconds(), "doceph-1MB-s")
+		b.ReportMetric(rows[len(rows)-1].DoCephLat.Seconds(), "doceph-16MB-s")
+	}
+}
+
+func BenchmarkTable3_LatencyBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := sweep(b)
+		b.ReportMetric(rows[0].Breakdown.DMAWait.Seconds(), "dmawait-1MB-s")
+		b.ReportMetric(rows[0].Breakdown.HostWrite.Seconds(), "hostwrite-1MB-s")
+		b.ReportMetric(rows[0].Breakdown.DMA.Seconds(), "dma-1MB-s")
+	}
+}
+
+func BenchmarkFig9_NormalizedBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := sweep(b)
+		first, last := rows[0].Breakdown, rows[len(rows)-1].Breakdown
+		b.ReportMetric(first.DMAWait.Seconds()/first.Total.Seconds()*100, "dmawait-share-1MB-%")
+		b.ReportMetric(last.DMAWait.Seconds()/last.Total.Seconds()*100, "dmawait-share-16MB-%")
+	}
+}
+
+func BenchmarkFig10_IOPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := sweep(b)
+		b.ReportMetric(rows[0].BaselineIOPS, "baseline-1MB-iops")
+		b.ReportMetric(rows[0].DoCephIOPS, "doceph-1MB-iops")
+		b.ReportMetric(rows[len(rows)-1].DoCephIOPS, "doceph-16MB-iops")
+	}
+}
+
+func BenchmarkExtension_ReadPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := RunReadSweep(QuickOptions(), []int64{4 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].BaselineIOPS, "baseline-read-iops")
+		b.ReportMetric(rows[0].DoCephIOPS, "doceph-read-iops")
+	}
+}
+
+func BenchmarkAblation_DesignChoices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := RunAblations(QuickOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Name {
+			case "doceph (full design)":
+				b.ReportMetric(r.AvgLatency.Seconds(), "full-lat-s")
+			case "no pipelining":
+				b.ReportMetric(r.AvgLatency.Seconds(), "nopipe-lat-s")
+			case "no MR cache":
+				b.ReportMetric(r.AvgLatency.Seconds(), "nomrcache-lat-s")
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorOpsRate measures the simulator itself: virtual-seconds
+// of DoCeph cluster time simulated per wall second at 4 MB load.
+func BenchmarkSimulatorOpsRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cl := NewCluster(ClusterConfig{Mode: DoCeph})
+		res, err := RunBench(cl, BenchConfig{
+			Threads: 16, ObjectBytes: 4 << 20,
+			Duration: 3 * Second, Warmup: Second,
+		})
+		cl.Shutdown()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Ops), "sim-ops")
+	}
+}
+
+func BenchmarkStability_PerSecondThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := RunStability(QuickOptions(), 4<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Baseline.StddevPct, "baseline-cv-%")
+		b.ReportMetric(r.DoCeph.StddevPct, "doceph-cv-%")
+	}
+}
+
+func BenchmarkExtension_ScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := RunScaleSweep(QuickOptions(), []int{2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].SavingPct, "saving-at-scale-%")
+		b.ReportMetric(rows[len(rows)-1].DoCephMBps, "doceph-MBps-at-scale")
+	}
+}

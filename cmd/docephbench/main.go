@@ -1,0 +1,132 @@
+// Command docephbench regenerates every table and figure of the paper's
+// evaluation section from the simulation.
+//
+// Usage:
+//
+//	docephbench [-exp all|fig5|fig6|table2|fig7|fig8|fig9|fig10|table3|read|ablation]
+//	            [-quick] [-seconds N] [-threads N] [-seed N]
+//
+// With -quick the runs are shortened (8 s measured window instead of the
+// paper's 60 s); shapes are preserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"doceph"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, ablation, stability, scale")
+	quick := flag.Bool("quick", false, "short runs (8s window) instead of the paper's 60s")
+	seconds := flag.Int("seconds", 0, "override the measured window length in seconds")
+	threads := flag.Int("threads", 16, "concurrent bench clients")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	opts := doceph.FullOptions()
+	if *quick {
+		opts = doceph.QuickOptions()
+	}
+	if *seconds > 0 {
+		opts.Duration = doceph.Duration(*seconds) * doceph.Second
+	}
+	opts.Threads = *threads
+	opts.Seed = *seed
+
+	want := func(names ...string) bool {
+		if *exp == "all" {
+			return true
+		}
+		for _, n := range names {
+			if strings.EqualFold(*exp, n) {
+				return true
+			}
+		}
+		return false
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "docephbench:", err)
+		os.Exit(1)
+	}
+
+	if want("fig5", "fig6", "table2") {
+		fmt.Println("running messenger profile (baseline, 1G vs 100G)...")
+		prof, err := doceph.RunMessengerProfile(opts)
+		if err != nil {
+			fail(err)
+		}
+		if want("fig5") {
+			fmt.Println(prof.Fig5Table())
+		}
+		if want("fig6") {
+			fmt.Println(prof.Fig6Table())
+		}
+		if want("table2") {
+			fmt.Println(prof.Table2())
+		}
+	}
+
+	if want("fig7", "fig8", "fig9", "fig10", "table3") {
+		fmt.Println("running size sweep (baseline vs DoCeph, 1-16MB writes)...")
+		rows, err := doceph.RunSizeSweep(opts, nil)
+		if err != nil {
+			fail(err)
+		}
+		if want("fig7") {
+			fmt.Println(doceph.Fig7Table(rows))
+		}
+		if want("fig8") {
+			fmt.Println(doceph.Fig8Table(rows))
+		}
+		if want("table3") {
+			fmt.Println(doceph.Table3(rows))
+		}
+		if want("fig9") {
+			fmt.Println(doceph.Fig9Table(rows))
+		}
+		if want("fig10") {
+			fmt.Println(doceph.Fig10Table(rows))
+		}
+	}
+
+	if want("read") {
+		fmt.Println("running read-path extension sweep...")
+		rows, err := doceph.RunReadSweep(opts, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.ReadTable(rows))
+	}
+
+	if want("stability") {
+		fmt.Println("running stability comparison (per-second throughput)...")
+		r, err := doceph.RunStability(opts, 4<<20)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.StabilityTable(r))
+	}
+
+	if want("scale") {
+		fmt.Println("running scale-out sweep (2/4/8 nodes)...")
+		rows, err := doceph.RunScaleSweep(opts, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.ScaleTable(rows))
+	}
+
+	if want("ablation") {
+		fmt.Println("running ablations...")
+		rows, err := doceph.RunAblations(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.AblationTable(rows))
+	}
+}

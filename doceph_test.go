@@ -1,0 +1,273 @@
+package doceph
+
+import (
+	"testing"
+
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+// tinyOpts keeps the experiment API tests fast while preserving shapes.
+func tinyOpts() ExpOptions {
+	return ExpOptions{Duration: 3 * Second, Warmup: Second, Threads: 8, Seed: 42}
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cl := NewCluster(ClusterConfig{Mode: DoCeph})
+	defer cl.Shutdown()
+	done := false
+	cl.Env.Spawn("t", func(p *sim.Proc) {
+		p.SetThread(sim.NewThread("t", "client"))
+		data := wire.FromBytes(make([]byte, 1<<20))
+		if err := cl.Client.Write(p, "o", data); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		got, err := cl.Client.Read(p, "o", 0, 0)
+		if err != nil || got.Length() != 1<<20 {
+			t.Errorf("read: %v", err)
+			return
+		}
+		done = true
+	})
+	if err := cl.Env.RunUntil(sim.Time(60 * sim.Second)); err != nil || !done {
+		t.Fatalf("err=%v done=%v", err, done)
+	}
+}
+
+func TestRunBenchResetsStatsAtWarmup(t *testing.T) {
+	cl := NewCluster(ClusterConfig{Mode: Baseline})
+	defer cl.Shutdown()
+	res, err := RunBench(cl, BenchConfig{
+		Threads: 4, ObjectBytes: 1 << 20,
+		Duration: 2 * Second, Warmup: Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no ops")
+	}
+	m := cl.HostCPUMerged()
+	// The accounting window must cover only the measured phase.
+	if w := m.Window; w < 2*Second-Millisecond || w > 2*Second+Second {
+		t.Fatalf("window=%v", w)
+	}
+}
+
+func TestSizeSweepPaperShape(t *testing.T) {
+	rows, err := RunSizeSweep(tinyOpts(), []int64{1 << 20, 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, r := range rows {
+		// The headline claim: order-of-magnitude host CPU savings.
+		if r.DoCephUtil > r.BaselineUtil/4 {
+			t.Fatalf("%dMB: DoCeph %.3f vs baseline %.3f", r.SizeBytes>>20,
+				r.DoCephUtil, r.BaselineUtil)
+		}
+		if r.SavingPct < 75 {
+			t.Fatalf("%dMB saving=%.1f%%", r.SizeBytes>>20, r.SavingPct)
+		}
+		if r.BaselineIOPS <= 0 || r.DoCephIOPS <= 0 {
+			t.Fatalf("iops=%v/%v", r.BaselineIOPS, r.DoCephIOPS)
+		}
+		b := r.Breakdown
+		if b.Total <= 0 || b.HostWrite <= 0 || b.DMA <= 0 {
+			t.Fatalf("breakdown=%+v", b)
+		}
+		if b.HostWrite+b.DMA+b.DMAWait > b.Total {
+			t.Fatalf("%dMB phases exceed total: %+v", r.SizeBytes>>20, b)
+		}
+	}
+	// 1 MB pays a larger relative penalty than 8 MB (pipelining).
+	small, large := rows[0], rows[1]
+	smallGap := 1 - small.DoCephIOPS/small.BaselineIOPS
+	largeGap := 1 - large.DoCephIOPS/large.BaselineIOPS
+	if smallGap <= largeGap {
+		t.Fatalf("gap did not shrink with size: 1MB %.2f vs 8MB %.2f", smallGap, largeGap)
+	}
+	// Baseline CPU falls with size; DoCeph stays flat(ish).
+	if small.BaselineUtil <= large.BaselineUtil {
+		t.Fatalf("baseline util should fall with size: %.3f -> %.3f",
+			small.BaselineUtil, large.BaselineUtil)
+	}
+}
+
+func TestMessengerProfilePaperShape(t *testing.T) {
+	p, err := RunMessengerProfile(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lp := range []LinkProfile{p.OneG, p.HundredG} {
+		if lp.MsgrShare < 0.6 {
+			t.Fatalf("%s messenger share=%.2f, must dominate", lp.LinkName, lp.MsgrShare)
+		}
+	}
+	// 100G moves much more data yet the messenger share stays ~constant —
+	// the paper's CPU-bound (not link-bound) argument.
+	if p.HundredG.ThroughputMBps < 3*p.OneG.ThroughputMBps {
+		t.Fatalf("throughputs %v vs %v", p.OneG.ThroughputMBps, p.HundredG.ThroughputMBps)
+	}
+	diff := p.HundredG.MsgrShare - p.OneG.MsgrShare
+	if diff < -0.1 || diff > 0.1 {
+		t.Fatalf("messenger share not link-invariant: %.2f vs %.2f",
+			p.OneG.MsgrShare, p.HundredG.MsgrShare)
+	}
+	if p.HundredG.MsgrSwitches < 4*p.HundredG.ObjSwitches {
+		t.Fatalf("switch ratio too small: %d vs %d",
+			p.HundredG.MsgrSwitches, p.HundredG.ObjSwitches)
+	}
+	// Tables render without panicking and carry the rows.
+	for _, tb := range []interface{ String() string }{
+		p.Fig5Table(), p.Fig6Table(), p.Table2(),
+	} {
+		if len(tb.String()) == 0 {
+			t.Fatal("empty table")
+		}
+	}
+}
+
+func TestReadSweepConverges(t *testing.T) {
+	rows, err := RunReadSweep(tinyOpts(), []int64{1 << 20, 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallGap := 1 - rows[0].DoCephIOPS/rows[0].BaselineIOPS
+	largeGap := 1 - rows[1].DoCephIOPS/rows[1].BaselineIOPS
+	if smallGap <= largeGap {
+		t.Fatalf("read gap did not shrink: %.2f -> %.2f", smallGap, largeGap)
+	}
+	if len(ReadTable(rows).String()) == 0 {
+		t.Fatal("empty read table")
+	}
+}
+
+func TestSweepTablesRender(t *testing.T) {
+	rows, err := RunSizeSweep(tinyOpts(), []int64{1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range []interface{ String() string }{
+		Fig7Table(rows), Fig8Table(rows), Table3(rows), Fig9Table(rows), Fig10Table(rows),
+	} {
+		if len(tb.String()) == 0 {
+			t.Fatal("empty table")
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (float64, float64) {
+		cl := NewCluster(ClusterConfig{Mode: DoCeph, Seed: 7})
+		defer cl.Shutdown()
+		res, err := RunBench(cl, BenchConfig{
+			Threads: 8, ObjectBytes: 4 << 20,
+			Duration: 2 * Second, Warmup: Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IOPS(), cl.HostCPUMerged().SingleCoreUtilization()
+	}
+	i1, u1 := run()
+	i2, u2 := run()
+	if i1 != i2 || u1 != u2 {
+		t.Fatalf("non-deterministic: iops %v vs %v, util %v vs %v", i1, i2, u1, u2)
+	}
+}
+
+func TestStabilityLowVariance(t *testing.T) {
+	r, err := RunStability(ExpOptions{Duration: 5 * Second, Warmup: Second, Threads: 16}, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Baseline.MBps) < 4 || len(r.DoCeph.MBps) < 4 {
+		t.Fatalf("series too short: %d/%d", len(r.Baseline.MBps), len(r.DoCeph.MBps))
+	}
+	// The abstract's claim: stable throughput. Coefficient of variation
+	// under 10% for both deployments.
+	if r.Baseline.StddevPct > 10 || r.DoCeph.StddevPct > 10 {
+		t.Fatalf("unstable: baseline cv=%.1f%% doceph cv=%.1f%%",
+			r.Baseline.StddevPct, r.DoCeph.StddevPct)
+	}
+	if len(StabilityTable(r).String()) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestScaleSweepSavingsPersist(t *testing.T) {
+	rows, err := RunScaleSweep(ExpOptions{Duration: 3 * Second, Warmup: Second, Threads: 8},
+		[]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SavingPct < 75 {
+			t.Fatalf("%d nodes: saving=%.1f%%", r.Nodes, r.SavingPct)
+		}
+	}
+	// Aggregate throughput grows with the cluster.
+	if rows[1].DoCephMBps < rows[0].DoCephMBps*1.3 {
+		t.Fatalf("throughput did not scale: %v -> %v", rows[0].DoCephMBps, rows[1].DoCephMBps)
+	}
+	if len(ScaleTable(rows).String()) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+// TestConclusionRobustToCalibration: the headline result (order-of-magnitude
+// host CPU saving) must not depend on the exact calibration constants.
+// Perturb the dominant messenger costs by +-30% and re-check.
+func TestConclusionRobustToCalibration(t *testing.T) {
+	for _, scale := range []float64{0.7, 1.3} {
+		run := func(mode Mode) float64 {
+			cfg := ClusterConfig{Mode: mode, Seed: 42}
+			cfg.Messenger.TxCopyCyclesPerByte = 1.05 * scale
+			cfg.Messenger.RxCopyCyclesPerByte = 1.05 * scale
+			cfg.Messenger.EncodeCycles = int64(120_000 * scale)
+			cfg.Messenger.DecodeCycles = int64(100_000 * scale)
+			cl := NewCluster(cfg)
+			defer cl.Shutdown()
+			if _, err := RunBench(cl, BenchConfig{
+				Threads: 16, ObjectBytes: 4 << 20,
+				Duration: 3 * Second, Warmup: Second,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return cl.HostCPUMerged().SingleCoreUtilization()
+		}
+		base, dc := run(Baseline), run(DoCeph)
+		saving := (1 - dc/base) * 100
+		if saving < 80 {
+			t.Fatalf("scale %.1f: saving fell to %.1f%%", scale, saving)
+		}
+	}
+}
+
+// TestSeedSensitivity: different seeds must give closely agreeing results
+// (the jittered DMA engine is the only stochastic element).
+func TestSeedSensitivity(t *testing.T) {
+	iops := func(seed int64) float64 {
+		cl := NewCluster(ClusterConfig{Mode: DoCeph, Seed: seed})
+		defer cl.Shutdown()
+		res, err := RunBench(cl, BenchConfig{
+			Threads: 16, ObjectBytes: 4 << 20,
+			Duration: 4 * Second, Warmup: Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IOPS()
+	}
+	a, b, c := iops(1), iops(999), iops(123456)
+	mean := (a + b + c) / 3
+	for _, v := range []float64{a, b, c} {
+		if v < mean*0.95 || v > mean*1.05 {
+			t.Fatalf("seed variance too high: %v %v %v", a, b, c)
+		}
+	}
+}

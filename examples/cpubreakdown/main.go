@@ -1,0 +1,55 @@
+// cpubreakdown: the paper's §5.2 motivation experiment as a capacity-
+// planning scenario. A storage operator wants to know where the host CPU
+// goes under a 4 MB write-heavy tenant: run the identical workload against
+// the Baseline and DoCeph deployments and compare the per-thread-category
+// host CPU bill.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"doceph"
+	"doceph/internal/report"
+)
+
+func main() {
+	opts := doceph.QuickOptions()
+
+	type row struct {
+		mode doceph.Mode
+		name string
+	}
+	for _, r := range []row{{doceph.Baseline, "Baseline (Ceph on host)"},
+		{doceph.DoCeph, "DoCeph (OSD on DPU)"}} {
+		cl := doceph.NewCluster(doceph.ClusterConfig{Mode: r.mode})
+		res, err := doceph.RunBench(cl, doceph.BenchConfig{
+			Threads: opts.Threads, ObjectBytes: 4 << 20,
+			Duration: opts.Duration, Warmup: opts.Warmup,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := cl.HostCPUMerged()
+		fmt.Printf("== %s ==\n", r.name)
+		fmt.Printf("throughput: %.0f MB/s, avg latency %.3fs\n",
+			res.ThroughputBps()/1e6, res.AvgLatency.Seconds())
+		fmt.Printf("host CPU (single-core norm): %s\n", report.Pct(m.SingleCoreUtilization()))
+		cats := m.Categories()
+		sort.Slice(cats, func(i, j int) bool {
+			return m.BusyByCat[cats[i]] > m.BusyByCat[cats[j]]
+		})
+		for _, cat := range cats {
+			fmt.Printf("  %-14s %8s  %s\n", cat, report.Pct(m.ShareOf(cat)),
+				report.Bar(m.BusyByCat[cat].Seconds(), m.TotalBusy.Seconds(), 40))
+		}
+		if r.mode == doceph.DoCeph {
+			d := cl.DPUCPUMerged()
+			fmt.Printf("DPU ARM CPU (single-core norm): %s  <- offloaded messenger lives here\n",
+				report.Pct(d.SingleCoreUtilization()))
+		}
+		fmt.Println()
+		cl.Shutdown()
+	}
+}

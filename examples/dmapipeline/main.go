@@ -1,0 +1,76 @@
+// dmapipeline: a close-up of the paper's §3.3 mechanism. One 16 MiB write
+// is pushed through the DPU->host data plane with pipelining on and off,
+// printing the per-segment DMA timeline so the overlap of staging with
+// in-flight transfers (Figure 4) is visible, plus the effect of the memory
+// region cache on CommChannel negotiations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doceph/internal/bluestore"
+	"doceph/internal/core"
+	"doceph/internal/dpu"
+	"doceph/internal/objstore"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+func runOnce(disablePipeline, disableMRCache bool) {
+	env := sim.NewEnv(7)
+	hostCPU := sim.NewCPU(env, "host", 48, 3.6, 2500)
+	disk := sim.NewDisk(env, "ssd", 520e6, 550e6, 30*sim.Microsecond)
+	store := bluestore.New(env, "bs", hostCPU, disk, bluestore.Config{})
+	dev := dpu.New(env, "bf3", dpu.Config{})
+	cfg := core.BridgeConfig{}
+	cfg.Proxy.DisablePipeline = disablePipeline
+	cfg.Proxy.DisableMRCache = disableMRCache
+	bridge := core.NewBridge(env, dev, hostCPU, store, cfg)
+
+	label := "pipelining ON, MR cache ON"
+	if disablePipeline {
+		label = "pipelining OFF"
+	}
+	if disableMRCache {
+		label = "MR cache OFF (renegotiate per segment)"
+	}
+
+	var elapsed sim.Duration
+	env.Spawn("writer", func(p *sim.Proc) {
+		p.SetThread(sim.NewThread("writer", "tp_osd_tp"))
+		payload := wire.FromBytes(make([]byte, 16<<20))
+		txn := (&objstore.Transaction{}).MkColl("pg.0").Write("pg.0", "big", 0, payload)
+		start := p.Now()
+		res := bridge.Proxy.QueueTransaction(p, txn)
+		res.Done.Wait(p)
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	if err := env.RunUntil(sim.Time(30 * sim.Second)); err != nil {
+		log.Fatal(err)
+	}
+	env.Shutdown()
+
+	st := bridge.EngUp.Stats()
+	b := bridge.Proxy.BreakdownSnapshot()
+	hw, dma, wait := b.Avg()
+	fmt.Printf("== %s ==\n", label)
+	fmt.Printf("  16 MiB write committed in %.2f ms over %d DMA segments\n",
+		elapsed.Seconds()*1e3, st.Transfers)
+	fmt.Printf("  DMA copy %.2f ms | DMA wait %.2f ms | host write %.2f ms\n",
+		dma.Seconds()*1e3, wait.Seconds()*1e3, hw.Seconds()*1e3)
+	fmt.Printf("  CommChannel negotiations: %d\n\n", bridge.CC.Negotiations())
+}
+
+func main() {
+	fmt.Println("One 16 MiB write across the 2 MB DMA segment limit:")
+	fmt.Println()
+	runOnce(false, false)
+	runOnce(true, false)
+	runOnce(false, true)
+	fmt.Println("Pipelining overlaps staging with in-flight segments; the MR cache")
+	fmt.Println("replaces per-segment negotiation round trips with reuse (paper §3.3).")
+}

@@ -1,0 +1,66 @@
+// Quickstart: assemble a DoCeph cluster (OSDs on the DPU, BlueStore on the
+// host), store and read back an object through the full client -> messenger
+// -> DPU-OSD -> DMA -> host-BlueStore path, and print what each layer saw.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doceph"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+func main() {
+	cl := doceph.NewCluster(doceph.ClusterConfig{Mode: doceph.DoCeph})
+	defer cl.Shutdown()
+
+	done := false
+	cl.Env.Spawn("quickstart", func(p *sim.Proc) {
+		p.SetThread(sim.NewThread("quickstart", "client"))
+
+		payload := make([]byte, 3<<20) // 3 MiB: crosses the 2 MB DMA limit
+		for i := range payload {
+			payload[i] = byte(i % 251)
+		}
+		data := wire.FromBytes(payload)
+
+		fmt.Printf("[%.4fs] writing 3 MiB object...\n", p.Now().Seconds())
+		if err := cl.Client.Write(p, "hello-object", data); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		fmt.Printf("[%.4fs] write acknowledged (durable on %d replicas)\n",
+			p.Now().Seconds(), cl.Client.Map().Replicas)
+
+		got, err := cl.Client.Read(p, "hello-object", 0, 0)
+		if err != nil {
+			log.Fatalf("read: %v", err)
+		}
+		fmt.Printf("[%.4fs] read back %d bytes, CRC match: %v\n",
+			p.Now().Seconds(), got.Length(), got.CRC32C() == data.CRC32C())
+
+		size, version, err := cl.Client.Stat(p, "hello-object")
+		if err != nil {
+			log.Fatalf("stat: %v", err)
+		}
+		fmt.Printf("[%.4fs] stat: size=%d version=%d\n", p.Now().Seconds(), size, version)
+		done = true
+	})
+	if err := cl.Env.RunUntil(sim.Time(30 * sim.Second)); err != nil || !done {
+		log.Fatalf("simulation failed: %v (done=%v)", err, done)
+	}
+
+	fmt.Println("\nwhat each layer saw:")
+	for i, n := range cl.Nodes {
+		eng := n.Bridge.EngUp.Stats()
+		fmt.Printf("  node%d: DMA transfers=%d (%.1f MiB), host commits=%d, control RPCs=%d\n",
+			i, eng.Transfers, float64(eng.Bytes)/(1<<20),
+			n.Bridge.Host.Stats().TxnsCommitted, n.Bridge.Host.Stats().ControlRequests)
+	}
+	host := cl.HostCPUMerged()
+	dpuSide := cl.DPUCPUMerged()
+	fmt.Printf("  host CPU busy: %.2f core-ms | DPU ARM busy: %.2f core-ms\n",
+		host.TotalBusy.Seconds()*1e3, dpuSide.TotalBusy.Seconds()*1e3)
+	fmt.Println("  (the messenger cycles live on the DPU, not the host — the paper's point)")
+}

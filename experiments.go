@@ -1,0 +1,405 @@
+package doceph
+
+import (
+	"fmt"
+
+	"doceph/internal/bluestore"
+	"doceph/internal/core"
+	"doceph/internal/messenger"
+	"doceph/internal/osd"
+	"doceph/internal/report"
+	"doceph/internal/sim"
+)
+
+// ExpOptions controls how long each experiment runs. The paper uses 60 s
+// runs; Quick options keep CI fast while preserving the shapes.
+type ExpOptions struct {
+	Duration Duration
+	Warmup   Duration
+	Threads  int
+	Seed     int64
+}
+
+// FullOptions mirrors the paper's methodology (60 s runs, 16 clients).
+func FullOptions() ExpOptions {
+	return ExpOptions{Duration: 60 * Second, Warmup: 5 * Second, Threads: 16, Seed: 42}
+}
+
+// QuickOptions is a fast variant for tests and `go test -bench`.
+func QuickOptions() ExpOptions {
+	return ExpOptions{Duration: 8 * Second, Warmup: 2 * Second, Threads: 16, Seed: 42}
+}
+
+func (o ExpOptions) withDefaults() ExpOptions {
+	d := FullOptions()
+	if o.Duration == 0 {
+		o.Duration = d.Duration
+	}
+	if o.Warmup == 0 {
+		o.Warmup = d.Warmup
+	}
+	if o.Threads == 0 {
+		o.Threads = d.Threads
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	return o
+}
+
+// runResult bundles everything one benchmark run yields.
+type runResult struct {
+	bench     BenchResult
+	hostUtil  float64 // single-core normalization (Fig. 5 right axis)
+	msgrShare float64
+	objShare  float64
+	osdShare  float64
+	msgrSw    int64
+	objSw     int64
+	breakdown core.Breakdown
+}
+
+// runWorkload builds a fresh cluster and executes one benchmark on it.
+func runWorkload(mode Mode, linkBps float64, size int64, op BenchConfig, opts ExpOptions) (runResult, error) {
+	cl := NewCluster(ClusterConfig{Mode: mode, LinkBytesPerSec: linkBps, Seed: opts.Seed})
+	defer cl.Shutdown()
+	op.Threads = opts.Threads
+	op.ObjectBytes = size
+	op.Duration = opts.Duration
+	op.Warmup = opts.Warmup
+	op.OnWarmupEnd = cl.ResetHostStats
+	bench, err := RunBench(cl, op)
+	if err != nil {
+		return runResult{}, err
+	}
+	m := cl.HostCPUMerged()
+	return runResult{
+		bench:     bench,
+		hostUtil:  m.SingleCoreUtilization(),
+		msgrShare: m.ShareOf(messenger.ThreadCat),
+		objShare:  m.ShareOf(bluestore.ThreadCat),
+		osdShare:  m.ShareOf(osd.ThreadCat),
+		msgrSw:    m.SwitchesByCat[messenger.ThreadCat],
+		objSw:     m.SwitchesByCat[bluestore.ThreadCat],
+		breakdown: cl.ProxyBreakdownMerged(),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 + Figure 6 + Table 2: baseline messenger profile at 1G vs 100G.
+
+// LinkProfile is one bar group of Figure 5 plus the matching Figure 6 and
+// Table 2 columns.
+type LinkProfile struct {
+	LinkName       string
+	MsgrShare      float64
+	ObjShare       float64
+	OSDShare       float64
+	SingleCoreUtil float64
+	ThroughputMBps float64
+	MsgrSwitches   int64
+	ObjSwitches    int64
+}
+
+// MessengerProfileResult holds both link configurations.
+type MessengerProfileResult struct {
+	OneG     LinkProfile
+	HundredG LinkProfile
+}
+
+// RunMessengerProfile reproduces the §5.2 methodology: baseline cluster,
+// 4 MB writes, 1 Gbps vs 100 Gbps, measuring per-component CPU shares
+// (Fig. 5), throughput (Fig. 6) and context switches (Table 2).
+func RunMessengerProfile(opts ExpOptions) (MessengerProfileResult, error) {
+	opts = opts.withDefaults()
+	var out MessengerProfileResult
+	for _, link := range []struct {
+		name string
+		bps  float64
+		dst  *LinkProfile
+	}{
+		{"1Gbps", Link1G, &out.OneG},
+		{"100Gbps", Link100G, &out.HundredG},
+	} {
+		r, err := runWorkload(Baseline, link.bps, 4<<20, BenchConfig{}, opts)
+		if err != nil {
+			return out, fmt.Errorf("profile %s: %w", link.name, err)
+		}
+		*link.dst = LinkProfile{
+			LinkName:       link.name,
+			MsgrShare:      r.msgrShare,
+			ObjShare:       r.objShare,
+			OSDShare:       r.osdShare,
+			SingleCoreUtil: r.hostUtil,
+			ThroughputMBps: r.bench.ThroughputBps() / 1e6,
+			MsgrSwitches:   r.msgrSw,
+			ObjSwitches:    r.objSw,
+		}
+	}
+	return out, nil
+}
+
+// Fig5Table renders the CPU-share breakdown (paper: messenger ~81%/82.5%,
+// total 24% -> 70% of one core).
+func (r MessengerProfileResult) Fig5Table() *report.Table {
+	t := &report.Table{
+		Title:  "Figure 5: CPU usage breakdown by component (Baseline, 4MB writes)",
+		Header: []string{"link", "Messenger", "ObjectStore", "OSD threads", "total Ceph CPU (1-core norm)"},
+	}
+	for _, p := range []LinkProfile{r.OneG, r.HundredG} {
+		t.AddRow(p.LinkName, report.Pct(p.MsgrShare), report.Pct(p.ObjShare),
+			report.Pct(p.OSDShare), report.Pct(p.SingleCoreUtil))
+	}
+	t.AddNote("paper: Messenger 81.05%% (1G) / 82.48%% (100G); total 24%% -> 70.08%%")
+	return t
+}
+
+// Fig6Table renders throughput under both links.
+func (r MessengerProfileResult) Fig6Table() *report.Table {
+	t := &report.Table{
+		Title:  "Figure 6: Throughput under 1Gbps vs 100Gbps (Baseline, 4MB writes)",
+		Header: []string{"link", "throughput MB/s"},
+	}
+	for _, p := range []LinkProfile{r.OneG, r.HundredG} {
+		t.AddRow(p.LinkName, report.F2(p.ThroughputMBps))
+	}
+	t.AddNote("paper shape: 1G link-bound (~110 MB/s), 100G disk-bound (~470 MB/s)")
+	return t
+}
+
+// Table2 renders the context-switch comparison (paper: 7475 vs 751, 9.95x).
+func (r MessengerProfileResult) Table2() *report.Table {
+	t := &report.Table{
+		Title:  "Table 2: Context switches, Messenger vs ObjectStore (Baseline, 100Gbps)",
+		Header: []string{"component", "context switches", "ratio"},
+	}
+	p := r.HundredG
+	ratio := 0.0
+	if p.ObjSwitches > 0 {
+		ratio = float64(p.MsgrSwitches) / float64(p.ObjSwitches)
+	}
+	t.AddRow("Messenger", fmt.Sprint(p.MsgrSwitches), report.F2(ratio)+"x")
+	t.AddRow("ObjectStore", fmt.Sprint(p.ObjSwitches), "1x")
+	t.AddNote("paper: 7475 vs 751 (9.95x)")
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figures 7, 8, 10 and Table 3 / Figure 9: baseline vs DoCeph size sweep.
+
+// BreakdownRow is Table 3's per-size phase decomposition.
+type BreakdownRow struct {
+	HostWrite sim.Duration
+	DMA       sim.Duration
+	DMAWait   sim.Duration
+	Others    sim.Duration
+	Total     sim.Duration
+}
+
+// SizeComparison is one request-size column of Figures 7/8/10.
+type SizeComparison struct {
+	SizeBytes    int64
+	BaselineUtil float64
+	DoCephUtil   float64
+	SavingPct    float64
+	BaselineLat  sim.Duration
+	DoCephLat    sim.Duration
+	BaselineIOPS float64
+	DoCephIOPS   float64
+	Breakdown    BreakdownRow
+}
+
+// PaperSizes are the request sizes of §5.1.
+var PaperSizes = []int64{1 << 20, 4 << 20, 8 << 20, 16 << 20}
+
+// RunSizeSweep reproduces the §5.3/§5.4 comparison across request sizes for
+// both deployments.
+func RunSizeSweep(opts ExpOptions, sizes []int64) ([]SizeComparison, error) {
+	opts = opts.withDefaults()
+	if len(sizes) == 0 {
+		sizes = PaperSizes
+	}
+	var out []SizeComparison
+	for _, size := range sizes {
+		base, err := runWorkload(Baseline, Link100G, size, BenchConfig{}, opts)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %dMB: %w", size>>20, err)
+		}
+		dc, err := runWorkload(DoCeph, Link100G, size, BenchConfig{}, opts)
+		if err != nil {
+			return nil, fmt.Errorf("doceph %dMB: %w", size>>20, err)
+		}
+		sc := SizeComparison{
+			SizeBytes:    size,
+			BaselineUtil: base.hostUtil,
+			DoCephUtil:   dc.hostUtil,
+			BaselineLat:  base.bench.AvgLatency,
+			DoCephLat:    dc.bench.AvgLatency,
+			BaselineIOPS: base.bench.IOPS(),
+			DoCephIOPS:   dc.bench.IOPS(),
+		}
+		if sc.BaselineUtil > 0 {
+			sc.SavingPct = (1 - sc.DoCephUtil/sc.BaselineUtil) * 100
+		}
+		hw, dma, wait := dc.breakdown.Avg()
+		total := dc.bench.AvgLatency
+		others := total - hw - dma - wait
+		if others < 0 {
+			others = 0
+		}
+		sc.Breakdown = BreakdownRow{HostWrite: hw, DMA: dma, DMAWait: wait,
+			Others: others, Total: total}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// Fig7Table renders host CPU utilization per size (paper: 94.2/70.1/68.9/
+// 67.2% baseline vs 5.5/5.75/5.53/5.39% DoCeph).
+func Fig7Table(rows []SizeComparison) *report.Table {
+	t := &report.Table{
+		Title:  "Figure 7: Host CPU usage, Baseline vs DoCeph (1-core norm)",
+		Header: []string{"size", "Baseline", "DoCeph", "saving"},
+	}
+	for _, r := range rows {
+		t.AddRow(report.MB(r.SizeBytes), report.Pct(r.BaselineUtil),
+			report.Pct(r.DoCephUtil), fmt.Sprintf("%.1f%%", r.SavingPct))
+	}
+	t.AddNote("paper: baseline 94.2->67.2%%, DoCeph flat 5.4-5.8%%, savings 91.8-94.2%%")
+	return t
+}
+
+// Fig8Table renders average latency per size.
+func Fig8Table(rows []SizeComparison) *report.Table {
+	t := &report.Table{
+		Title:  "Figure 8: Average write latency (s), Baseline vs DoCeph",
+		Header: []string{"size", "Baseline", "DoCeph", "overhead"},
+	}
+	for _, r := range rows {
+		over := 0.0
+		if r.BaselineLat > 0 {
+			over = (r.DoCephLat.Seconds()/r.BaselineLat.Seconds() - 1) * 100
+		}
+		t.AddRow(report.MB(r.SizeBytes), report.F3(r.BaselineLat.Seconds()),
+			report.F3(r.DoCephLat.Seconds()), fmt.Sprintf("+%.0f%%", over))
+	}
+	t.AddNote("paper: 0.03 vs 0.05 s at 1MB (+67%%) narrowing to 0.54 vs 0.57 s at 16MB (+6%%)")
+	return t
+}
+
+// Table3 renders DoCeph's latency decomposition.
+func Table3(rows []SizeComparison) *report.Table {
+	t := &report.Table{
+		Title:  "Table 3: DoCeph average latency breakdown (s)",
+		Header: []string{"phase", "1MB", "4MB", "8MB", "16MB"},
+	}
+	get := func(f func(BreakdownRow) sim.Duration) []string {
+		cells := make([]string, 0, len(rows))
+		for _, r := range rows {
+			cells = append(cells, report.F4(f(r.Breakdown).Seconds()))
+		}
+		return cells
+	}
+	t.AddRow(append([]string{"Host write"}, get(func(b BreakdownRow) sim.Duration { return b.HostWrite })...)...)
+	t.AddRow(append([]string{"DMA"}, get(func(b BreakdownRow) sim.Duration { return b.DMA })...)...)
+	t.AddRow(append([]string{"DMA-wait"}, get(func(b BreakdownRow) sim.Duration { return b.DMAWait })...)...)
+	t.AddRow(append([]string{"Others"}, get(func(b BreakdownRow) sim.Duration { return b.Others })...)...)
+	t.AddRow(append([]string{"Total Avg.Latency"}, get(func(b BreakdownRow) sim.Duration { return b.Total })...)...)
+	t.AddNote("paper totals: 0.05 / 0.14 / 0.30 / 0.57 s; DMA-wait share 44.8%% -> 11.9%%")
+	return t
+}
+
+// Fig9Table renders the normalized breakdown.
+func Fig9Table(rows []SizeComparison) *report.Table {
+	t := &report.Table{
+		Title:  "Figure 9: Normalized latency breakdown (share of total)",
+		Header: []string{"size", "Host write", "DMA", "DMA-wait", "Others"},
+	}
+	for _, r := range rows {
+		b := r.Breakdown
+		tot := b.Total.Seconds()
+		if tot <= 0 {
+			continue
+		}
+		t.AddRow(report.MB(r.SizeBytes),
+			report.Pct(b.HostWrite.Seconds()/tot),
+			report.Pct(b.DMA.Seconds()/tot),
+			report.Pct(b.DMAWait.Seconds()/tot),
+			report.Pct(b.Others.Seconds()/tot))
+	}
+	t.AddNote("paper: DMA-wait falls from 44.8%% at 1MB to 11.9%% at 16MB (pipelining)")
+	return t
+}
+
+// Fig10Table renders IOPS per size.
+func Fig10Table(rows []SizeComparison) *report.Table {
+	t := &report.Table{
+		Title:  "Figure 10: Average throughput (IOPS), Baseline vs DoCeph",
+		Header: []string{"size", "Baseline", "DoCeph", "gap"},
+	}
+	for _, r := range rows {
+		gap := 0.0
+		if r.BaselineIOPS > 0 {
+			gap = (1 - r.DoCephIOPS/r.BaselineIOPS) * 100
+		}
+		t.AddRow(report.MB(r.SizeBytes), report.F2(r.BaselineIOPS),
+			report.F2(r.DoCephIOPS), fmt.Sprintf("-%.0f%%", gap))
+	}
+	t.AddNote("paper: 435/304 at 1MB (-30%%) narrowing to 28/27 at 16MB (-4%%)")
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Extension: read path (§5.5, the paper's future work).
+
+// ReadComparison is one row of the read-path extension experiment.
+type ReadComparison struct {
+	SizeBytes    int64
+	BaselineLat  sim.Duration
+	DoCephLat    sim.Duration
+	BaselineIOPS float64
+	DoCephIOPS   float64
+}
+
+// RunReadSweep measures the symmetric read path against the baseline.
+func RunReadSweep(opts ExpOptions, sizes []int64) ([]ReadComparison, error) {
+	opts = opts.withDefaults()
+	if len(sizes) == 0 {
+		sizes = PaperSizes
+	}
+	var out []ReadComparison
+	for _, size := range sizes {
+		cfg := BenchConfig{Op: ReadWorkload, PrepopulateObjects: opts.Threads * 4}
+		base, err := runWorkload(Baseline, Link100G, size, cfg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("baseline read %dMB: %w", size>>20, err)
+		}
+		dc, err := runWorkload(DoCeph, Link100G, size, cfg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("doceph read %dMB: %w", size>>20, err)
+		}
+		out = append(out, ReadComparison{
+			SizeBytes:    size,
+			BaselineLat:  base.bench.AvgLatency,
+			DoCephLat:    dc.bench.AvgLatency,
+			BaselineIOPS: base.bench.IOPS(),
+			DoCephIOPS:   dc.bench.IOPS(),
+		})
+	}
+	return out, nil
+}
+
+// ReadTable renders the read extension results.
+func ReadTable(rows []ReadComparison) *report.Table {
+	t := &report.Table{
+		Title:  "Extension (paper §5.5): Read path, Baseline vs DoCeph",
+		Header: []string{"size", "Baseline lat (s)", "DoCeph lat (s)", "Baseline IOPS", "DoCeph IOPS"},
+	}
+	for _, r := range rows {
+		t.AddRow(report.MB(r.SizeBytes),
+			report.F3(r.BaselineLat.Seconds()), report.F3(r.DoCephLat.Seconds()),
+			report.F2(r.BaselineIOPS), report.F2(r.DoCephIOPS))
+	}
+	t.AddNote("paper predicts convergence at large sizes; reads avoid replication coordination")
+	return t
+}

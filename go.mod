@@ -1,0 +1,3 @@
+module doceph
+
+go 1.22

@@ -1,0 +1,578 @@
+// Package cephmsg defines the messages exchanged by the mini-RADOS cluster:
+// client ops, replication sub-ops, heartbeats and map updates — the
+// counterparts of Ceph's MOSDOp/MOSDRepOp/MOSDPing/MOSDMap families. Each
+// message encodes to and decodes from a wire.Bufferlist; framing (length
+// prefix + CRC) is owned by the messenger.
+package cephmsg
+
+import (
+	"fmt"
+
+	"doceph/internal/wire"
+)
+
+// Type discriminates message kinds on the wire.
+type Type uint16
+
+// Message type tags.
+const (
+	TOSDOp      Type = 0x0701 // client -> primary OSD
+	TOSDOpReply Type = 0x0702 // primary OSD -> client
+	TRepOp      Type = 0x0703 // primary -> replica
+	TRepOpReply Type = 0x0704 // replica -> primary
+	TPing       Type = 0x0705 // heartbeat
+	TPingReply  Type = 0x0706
+	TOSDMap     Type = 0x0707 // monitor -> daemons
+	TOSDFailure Type = 0x0708 // osd -> monitor failure report
+	TPGPush     Type = 0x0709 // recovery: primary -> backfill target
+	TPGPushAck  Type = 0x070A // recovery: target -> primary
+	TScrub      Type = 0x070B // scrub: primary -> replica digest request
+	TScrubReply Type = 0x070C // scrub: replica -> primary digest
+	TGetStats   Type = 0x070D // mgr -> osd statistics poll
+	TStatsReply Type = 0x070E // osd -> mgr statistics report
+)
+
+func (t Type) String() string {
+	switch t {
+	case TOSDOp:
+		return "osd_op"
+	case TOSDOpReply:
+		return "osd_op_reply"
+	case TRepOp:
+		return "rep_op"
+	case TRepOpReply:
+		return "rep_op_reply"
+	case TPing:
+		return "ping"
+	case TPingReply:
+		return "ping_reply"
+	case TOSDMap:
+		return "osd_map"
+	case TOSDFailure:
+		return "osd_failure"
+	case TPGPush:
+		return "pg_push"
+	case TPGPushAck:
+		return "pg_push_ack"
+	case TScrub:
+		return "scrub"
+	case TScrubReply:
+		return "scrub_reply"
+	case TGetStats:
+		return "get_stats"
+	case TStatsReply:
+		return "stats_reply"
+	}
+	return fmt.Sprintf("type(%#04x)", uint16(t))
+}
+
+// Op is the operation carried by an MOSDOp.
+type Op uint8
+
+// Client operation codes.
+const (
+	OpWrite Op = iota + 1
+	OpRead
+	OpStat
+	OpDelete
+	// Omap client ops (librados' omap family, used by gateway bucket
+	// indexes).
+	OpOmapSet
+	OpOmapGet
+	OpOmapKeys
+	OpOmapRm
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpStat:
+		return "stat"
+	case OpDelete:
+		return "delete"
+	case OpOmapSet:
+		return "omap-set"
+	case OpOmapGet:
+		return "omap-get"
+	case OpOmapKeys:
+		return "omap-keys"
+	case OpOmapRm:
+		return "omap-rm"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Message is a decoded cluster message.
+type Message interface {
+	// MsgType returns the wire discriminator.
+	MsgType() Type
+	// EncodePayload appends the message body (everything after the type
+	// tag) to e.
+	EncodePayload(e *wire.Encoder)
+	// PayloadBytes is the approximate body size used by CPU/network cost
+	// models without encoding.
+	PayloadBytes() int64
+}
+
+// MOSDOp is a client request against one object.
+type MOSDOp struct {
+	Tid    uint64
+	Epoch  uint32
+	Src    string
+	Pool   string
+	Object string
+	Op     Op
+	Offset uint64
+	Length uint64
+	// Key addresses omap operations; Data carries write payloads and omap
+	// values.
+	Key  string
+	Data *wire.Bufferlist
+}
+
+// MsgType implements Message.
+func (m *MOSDOp) MsgType() Type { return TOSDOp }
+
+// EncodePayload implements Message.
+func (m *MOSDOp) EncodePayload(e *wire.Encoder) {
+	e.U64(m.Tid)
+	e.U32(m.Epoch)
+	e.String(m.Src)
+	e.String(m.Pool)
+	e.String(m.Object)
+	e.U8(uint8(m.Op))
+	e.U64(m.Offset)
+	e.U64(m.Length)
+	e.String(m.Key)
+	e.BufferlistField(data(m.Data))
+}
+
+// PayloadBytes implements Message.
+func (m *MOSDOp) PayloadBytes() int64 {
+	return 64 + int64(len(m.Src)+len(m.Pool)+len(m.Object)+len(m.Key)) +
+		int64(data(m.Data).Length())
+}
+
+// Result codes carried in MOSDOpReply.Result.
+const (
+	ResOK         int32 = 0
+	ResNotPrimary int32 = -2  // client must refresh its map and retry
+	ResNotFound   int32 = -61 // object does not exist
+	ResError      int32 = -5  // backend I/O error
+)
+
+// MOSDOpReply answers an MOSDOp.
+type MOSDOpReply struct {
+	Tid     uint64
+	Object  string
+	Op      Op
+	Result  int32
+	Version uint64
+	Size    uint64           // stat result
+	Data    *wire.Bufferlist // read payload
+}
+
+// MsgType implements Message.
+func (m *MOSDOpReply) MsgType() Type { return TOSDOpReply }
+
+// EncodePayload implements Message.
+func (m *MOSDOpReply) EncodePayload(e *wire.Encoder) {
+	e.U64(m.Tid)
+	e.String(m.Object)
+	e.U8(uint8(m.Op))
+	e.U32(uint32(m.Result))
+	e.U64(m.Version)
+	e.U64(m.Size)
+	e.BufferlistField(data(m.Data))
+}
+
+// PayloadBytes implements Message.
+func (m *MOSDOpReply) PayloadBytes() int64 {
+	return 40 + int64(len(m.Object)) + int64(data(m.Data).Length())
+}
+
+// MRepOp carries a replicated write from a primary to a replica OSD.
+type MRepOp struct {
+	Tid    uint64
+	Epoch  uint32
+	PGID   uint32
+	Object string
+	Op     Op
+	Offset uint64
+	Key    string
+	Data   *wire.Bufferlist
+}
+
+// MsgType implements Message.
+func (m *MRepOp) MsgType() Type { return TRepOp }
+
+// EncodePayload implements Message.
+func (m *MRepOp) EncodePayload(e *wire.Encoder) {
+	e.U64(m.Tid)
+	e.U32(m.Epoch)
+	e.U32(m.PGID)
+	e.String(m.Object)
+	e.U8(uint8(m.Op))
+	e.U64(m.Offset)
+	e.String(m.Key)
+	e.BufferlistField(data(m.Data))
+}
+
+// PayloadBytes implements Message.
+func (m *MRepOp) PayloadBytes() int64 {
+	return 48 + int64(len(m.Object)+len(m.Key)) + int64(data(m.Data).Length())
+}
+
+// MRepOpReply acknowledges an MRepOp.
+type MRepOpReply struct {
+	Tid    uint64
+	PGID   uint32
+	Result int32
+}
+
+// MsgType implements Message.
+func (m *MRepOpReply) MsgType() Type { return TRepOpReply }
+
+// EncodePayload implements Message.
+func (m *MRepOpReply) EncodePayload(e *wire.Encoder) {
+	e.U64(m.Tid)
+	e.U32(m.PGID)
+	e.U32(uint32(m.Result))
+}
+
+// PayloadBytes implements Message.
+func (m *MRepOpReply) PayloadBytes() int64 { return 16 }
+
+// MPing is a heartbeat probe; Stamp is the sender's virtual-time nanosecond
+// clock, echoed back in MPingReply for RTT estimation.
+type MPing struct {
+	Src   string
+	Stamp int64
+}
+
+// MsgType implements Message.
+func (m *MPing) MsgType() Type { return TPing }
+
+// EncodePayload implements Message.
+func (m *MPing) EncodePayload(e *wire.Encoder) {
+	e.String(m.Src)
+	e.I64(m.Stamp)
+}
+
+// PayloadBytes implements Message.
+func (m *MPing) PayloadBytes() int64 { return 16 + int64(len(m.Src)) }
+
+// MPingReply echoes an MPing.
+type MPingReply struct {
+	Src   string
+	Stamp int64
+}
+
+// MsgType implements Message.
+func (m *MPingReply) MsgType() Type { return TPingReply }
+
+// EncodePayload implements Message.
+func (m *MPingReply) EncodePayload(e *wire.Encoder) {
+	e.String(m.Src)
+	e.I64(m.Stamp)
+}
+
+// PayloadBytes implements Message.
+func (m *MPingReply) PayloadBytes() int64 { return 16 + int64(len(m.Src)) }
+
+// MOSDMap distributes a new OSDMap epoch: the set of up+in OSD ids.
+type MOSDMap struct {
+	Epoch uint32
+	Up    []int32
+}
+
+// MsgType implements Message.
+func (m *MOSDMap) MsgType() Type { return TOSDMap }
+
+// EncodePayload implements Message.
+func (m *MOSDMap) EncodePayload(e *wire.Encoder) {
+	e.U32(m.Epoch)
+	e.U32(uint32(len(m.Up)))
+	for _, id := range m.Up {
+		e.U32(uint32(id))
+	}
+}
+
+// PayloadBytes implements Message.
+func (m *MOSDMap) PayloadBytes() int64 { return 8 + 4*int64(len(m.Up)) }
+
+// MOSDFailure reports a suspected-dead peer OSD to the monitor.
+type MOSDFailure struct {
+	Reporter string
+	Failed   int32
+	Epoch    uint32
+}
+
+// MsgType implements Message.
+func (m *MOSDFailure) MsgType() Type { return TOSDFailure }
+
+// EncodePayload implements Message.
+func (m *MOSDFailure) EncodePayload(e *wire.Encoder) {
+	e.String(m.Reporter)
+	e.U32(uint32(m.Failed))
+	e.U32(m.Epoch)
+}
+
+// PayloadBytes implements Message.
+func (m *MOSDFailure) PayloadBytes() int64 { return 12 + int64(len(m.Reporter)) }
+
+// MPGPush carries one object from a PG's primary to a backfill target
+// during recovery (the rebalancing traffic the paper's §1 attributes to the
+// messenger layer).
+type MPGPush struct {
+	Tid     uint64
+	Epoch   uint32
+	PGID    uint32
+	Object  string
+	Version uint64
+	// Force overwrites the target's copy even if present (scrub repair).
+	Force bool
+	Data  *wire.Bufferlist
+	// OmapKeys/OmapVals carry the object's key-value map; recovery must
+	// rebuild it along with the data or bucket indexes would be lost.
+	OmapKeys []string
+	OmapVals [][]byte
+}
+
+// MsgType implements Message.
+func (m *MPGPush) MsgType() Type { return TPGPush }
+
+// EncodePayload implements Message.
+func (m *MPGPush) EncodePayload(e *wire.Encoder) {
+	e.U64(m.Tid)
+	e.U32(m.Epoch)
+	e.U32(m.PGID)
+	e.String(m.Object)
+	e.U64(m.Version)
+	e.Bool(m.Force)
+	e.BufferlistField(data(m.Data))
+	e.U32(uint32(len(m.OmapKeys)))
+	for i := range m.OmapKeys {
+		e.String(m.OmapKeys[i])
+		e.Blob(m.OmapVals[i])
+	}
+}
+
+// PayloadBytes implements Message.
+func (m *MPGPush) PayloadBytes() int64 {
+	n := 48 + int64(len(m.Object)) + int64(data(m.Data).Length())
+	for i := range m.OmapKeys {
+		n += int64(len(m.OmapKeys[i])+len(m.OmapVals[i])) + 8
+	}
+	return n
+}
+
+// MPGPushAck confirms a pushed object is durable on the target.
+type MPGPushAck struct {
+	Tid    uint64
+	PGID   uint32
+	Object string
+	Result int32
+}
+
+// MsgType implements Message.
+func (m *MPGPushAck) MsgType() Type { return TPGPushAck }
+
+// EncodePayload implements Message.
+func (m *MPGPushAck) EncodePayload(e *wire.Encoder) {
+	e.U64(m.Tid)
+	e.U32(m.PGID)
+	e.String(m.Object)
+	e.U32(uint32(m.Result))
+}
+
+// PayloadBytes implements Message.
+func (m *MPGPushAck) PayloadBytes() int64 { return 24 + int64(len(m.Object)) }
+
+// MScrub asks a replica for an object's content digest (deep scrub).
+type MScrub struct {
+	Tid    uint64
+	PGID   uint32
+	Object string
+}
+
+// MsgType implements Message.
+func (m *MScrub) MsgType() Type { return TScrub }
+
+// EncodePayload implements Message.
+func (m *MScrub) EncodePayload(e *wire.Encoder) {
+	e.U64(m.Tid)
+	e.U32(m.PGID)
+	e.String(m.Object)
+}
+
+// PayloadBytes implements Message.
+func (m *MScrub) PayloadBytes() int64 { return 16 + int64(len(m.Object)) }
+
+// MScrubReply returns a replica's digest of one object.
+type MScrubReply struct {
+	Tid    uint64
+	PGID   uint32
+	Object string
+	Exists bool
+	CRC    uint32
+	Size   uint64
+}
+
+// MsgType implements Message.
+func (m *MScrubReply) MsgType() Type { return TScrubReply }
+
+// EncodePayload implements Message.
+func (m *MScrubReply) EncodePayload(e *wire.Encoder) {
+	e.U64(m.Tid)
+	e.U32(m.PGID)
+	e.String(m.Object)
+	e.Bool(m.Exists)
+	e.U32(m.CRC)
+	e.U64(m.Size)
+}
+
+// PayloadBytes implements Message.
+func (m *MScrubReply) PayloadBytes() int64 { return 32 + int64(len(m.Object)) }
+
+// MGetStats polls a daemon for its runtime statistics (MGR traffic).
+type MGetStats struct {
+	Tid uint64
+}
+
+// MsgType implements Message.
+func (m *MGetStats) MsgType() Type { return TGetStats }
+
+// EncodePayload implements Message.
+func (m *MGetStats) EncodePayload(e *wire.Encoder) { e.U64(m.Tid) }
+
+// PayloadBytes implements Message.
+func (m *MGetStats) PayloadBytes() int64 { return 8 }
+
+// MStatsReply reports a daemon's counters as ordered key/value pairs; the
+// schema is owned by the sender so the MGR aggregates without coupling to
+// daemon internals.
+type MStatsReply struct {
+	Tid    uint64
+	Source string
+	Keys   []string
+	Values []int64
+}
+
+// MsgType implements Message.
+func (m *MStatsReply) MsgType() Type { return TStatsReply }
+
+// EncodePayload implements Message.
+func (m *MStatsReply) EncodePayload(e *wire.Encoder) {
+	e.U64(m.Tid)
+	e.String(m.Source)
+	e.U32(uint32(len(m.Keys)))
+	for i := range m.Keys {
+		e.String(m.Keys[i])
+		e.I64(m.Values[i])
+	}
+}
+
+// PayloadBytes implements Message.
+func (m *MStatsReply) PayloadBytes() int64 {
+	n := int64(16 + len(m.Source))
+	for _, k := range m.Keys {
+		n += int64(len(k)) + 12
+	}
+	return n
+}
+
+func data(bl *wire.Bufferlist) *wire.Bufferlist {
+	if bl == nil {
+		return &wire.Bufferlist{}
+	}
+	return bl
+}
+
+// Encode serializes m with its type tag into a fresh Bufferlist.
+func Encode(m Message) *wire.Bufferlist {
+	e := wire.NewEncoder(int(m.PayloadBytes()) + 8)
+	e.U16(uint16(m.MsgType()))
+	m.EncodePayload(e)
+	return e.Bufferlist()
+}
+
+// Decode parses a message previously produced by Encode.
+func Decode(bl *wire.Bufferlist) (Message, error) {
+	d := wire.NewDecoderBL(bl)
+	t := Type(d.U16())
+	var m Message
+	switch t {
+	case TOSDOp:
+		m = &MOSDOp{
+			Tid: d.U64(), Epoch: d.U32(), Src: d.String(), Pool: d.String(),
+			Object: d.String(), Op: Op(d.U8()), Offset: d.U64(), Length: d.U64(),
+			Key: d.String(), Data: d.BufferlistField(),
+		}
+	case TOSDOpReply:
+		m = &MOSDOpReply{
+			Tid: d.U64(), Object: d.String(), Op: Op(d.U8()),
+			Result: int32(d.U32()), Version: d.U64(), Size: d.U64(),
+			Data: d.BufferlistField(),
+		}
+	case TRepOp:
+		m = &MRepOp{
+			Tid: d.U64(), Epoch: d.U32(), PGID: d.U32(), Object: d.String(),
+			Op: Op(d.U8()), Offset: d.U64(), Key: d.String(),
+			Data: d.BufferlistField(),
+		}
+	case TRepOpReply:
+		m = &MRepOpReply{Tid: d.U64(), PGID: d.U32(), Result: int32(d.U32())}
+	case TPing:
+		m = &MPing{Src: d.String(), Stamp: d.I64()}
+	case TPingReply:
+		m = &MPingReply{Src: d.String(), Stamp: d.I64()}
+	case TOSDMap:
+		mm := &MOSDMap{Epoch: d.U32()}
+		n := d.U32()
+		for i := uint32(0); i < n && d.Err() == nil; i++ {
+			mm.Up = append(mm.Up, int32(d.U32()))
+		}
+		m = mm
+	case TOSDFailure:
+		m = &MOSDFailure{Reporter: d.String(), Failed: int32(d.U32()), Epoch: d.U32()}
+	case TPGPush:
+		mp := &MPGPush{
+			Tid: d.U64(), Epoch: d.U32(), PGID: d.U32(), Object: d.String(),
+			Version: d.U64(), Force: d.Bool(), Data: d.BufferlistField(),
+		}
+		nk := d.U32()
+		for i := uint32(0); i < nk && d.Err() == nil; i++ {
+			mp.OmapKeys = append(mp.OmapKeys, d.String())
+			mp.OmapVals = append(mp.OmapVals, d.Blob())
+		}
+		m = mp
+	case TPGPushAck:
+		m = &MPGPushAck{Tid: d.U64(), PGID: d.U32(), Object: d.String(),
+			Result: int32(d.U32())}
+	case TScrub:
+		m = &MScrub{Tid: d.U64(), PGID: d.U32(), Object: d.String()}
+	case TScrubReply:
+		m = &MScrubReply{Tid: d.U64(), PGID: d.U32(), Object: d.String(),
+			Exists: d.Bool(), CRC: d.U32(), Size: d.U64()}
+	case TGetStats:
+		m = &MGetStats{Tid: d.U64()}
+	case TStatsReply:
+		sr := &MStatsReply{Tid: d.U64(), Source: d.String()}
+		n := d.U32()
+		for i := uint32(0); i < n && d.Err() == nil; i++ {
+			sr.Keys = append(sr.Keys, d.String())
+			sr.Values = append(sr.Values, d.I64())
+		}
+		m = sr
+	default:
+		return nil, fmt.Errorf("cephmsg: unknown message type %#04x", uint16(t))
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("cephmsg: decoding %v: %w", t, err)
+	}
+	return m, nil
+}

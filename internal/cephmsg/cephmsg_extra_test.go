@@ -1,0 +1,118 @@
+package cephmsg
+
+import (
+	"bytes"
+	"testing"
+
+	"doceph/internal/wire"
+)
+
+func TestMPGPushRoundTrip(t *testing.T) {
+	m := &MPGPush{Tid: 9, Epoch: 4, PGID: 77, Object: "obj", Version: 12,
+		Force: true, Data: wire.FromBytes([]byte("recovery-payload"))}
+	got := roundTrip(t, m).(*MPGPush)
+	if got.Tid != 9 || got.Epoch != 4 || got.PGID != 77 || got.Object != "obj" ||
+		got.Version != 12 || !got.Force {
+		t.Fatalf("got=%+v", got)
+	}
+	if string(got.Data.Bytes()) != "recovery-payload" {
+		t.Fatal("data mismatch")
+	}
+	// Force=false survives too.
+	plain := roundTrip(t, &MPGPush{Tid: 1, Object: "o"}).(*MPGPush)
+	if plain.Force {
+		t.Fatal("force leaked")
+	}
+}
+
+func TestMPGPushAckRoundTrip(t *testing.T) {
+	got := roundTrip(t, &MPGPushAck{Tid: 3, PGID: 8, Object: "o", Result: -5}).(*MPGPushAck)
+	if got.Tid != 3 || got.PGID != 8 || got.Object != "o" || got.Result != -5 {
+		t.Fatalf("got=%+v", got)
+	}
+}
+
+func TestMScrubRoundTrip(t *testing.T) {
+	got := roundTrip(t, &MScrub{Tid: 5, PGID: 2, Object: "victim"}).(*MScrub)
+	if got.Tid != 5 || got.PGID != 2 || got.Object != "victim" {
+		t.Fatalf("got=%+v", got)
+	}
+}
+
+func TestMScrubReplyRoundTrip(t *testing.T) {
+	m := &MScrubReply{Tid: 6, PGID: 3, Object: "v", Exists: true,
+		CRC: 0xDEADBEEF, Size: 4096}
+	got := roundTrip(t, m).(*MScrubReply)
+	if !got.Exists || got.CRC != 0xDEADBEEF || got.Size != 4096 {
+		t.Fatalf("got=%+v", got)
+	}
+	missing := roundTrip(t, &MScrubReply{Tid: 7, Object: "x"}).(*MScrubReply)
+	if missing.Exists || missing.CRC != 0 {
+		t.Fatalf("got=%+v", missing)
+	}
+}
+
+func TestMGetStatsAndReplyRoundTrip(t *testing.T) {
+	g := roundTrip(t, &MGetStats{Tid: 44}).(*MGetStats)
+	if g.Tid != 44 {
+		t.Fatalf("got=%+v", g)
+	}
+	m := &MStatsReply{Tid: 44, Source: "osd.3",
+		Keys:   []string{"a", "b", "c"},
+		Values: []int64{1, -2, 1 << 40}}
+	got := roundTrip(t, m).(*MStatsReply)
+	if got.Source != "osd.3" || len(got.Keys) != 3 {
+		t.Fatalf("got=%+v", got)
+	}
+	for i := range m.Keys {
+		if got.Keys[i] != m.Keys[i] || got.Values[i] != m.Values[i] {
+			t.Fatalf("kv %d: %s=%d", i, got.Keys[i], got.Values[i])
+		}
+	}
+	empty := roundTrip(t, &MStatsReply{Tid: 1, Source: "s"}).(*MStatsReply)
+	if len(empty.Keys) != 0 {
+		t.Fatalf("got=%+v", empty)
+	}
+}
+
+func TestNewTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		TPGPush: "pg_push", TPGPushAck: "pg_push_ack",
+		TScrub: "scrub", TScrubReply: "scrub_reply",
+		TGetStats: "get_stats", TStatsReply: "stats_reply",
+	}
+	for typ, want := range cases {
+		if typ.String() != want {
+			t.Fatalf("%v != %s", typ, want)
+		}
+	}
+}
+
+func TestPayloadBytesNewTypes(t *testing.T) {
+	push := &MPGPush{Object: "o", Data: wire.FromBytes(make([]byte, 1<<20))}
+	if push.PayloadBytes() < 1<<20 {
+		t.Fatal("push payload accounting too small")
+	}
+	sr := &MStatsReply{Source: "s", Keys: []string{"long-counter-name"}, Values: []int64{1}}
+	if sr.PayloadBytes() < int64(len("long-counter-name")) {
+		t.Fatal("stats payload accounting too small")
+	}
+}
+
+func TestTruncatedNewTypes(t *testing.T) {
+	for _, m := range []Message{
+		&MPGPush{Tid: 1, Object: "obj", Data: wire.FromBytes(make([]byte, 64))},
+		&MScrubReply{Tid: 1, Object: "obj", Exists: true, Size: 9},
+		&MStatsReply{Tid: 1, Source: "s", Keys: []string{"k"}, Values: []int64{2}},
+	} {
+		flat := Encode(m).Bytes()
+		for _, cut := range []int{3, len(flat) / 2, len(flat) - 1} {
+			if _, err := Decode(wire.FromBytes(flat[:cut])); err == nil {
+				t.Fatalf("%T cut=%d accepted", m, cut)
+			}
+		}
+		if !bytes.Equal(Encode(m).Bytes(), flat) {
+			t.Fatalf("%T encode not deterministic", m)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package cephmsg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"doceph/internal/wire"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatalf("decode %v: %v", m.MsgType(), err)
+	}
+	if got.MsgType() != m.MsgType() {
+		t.Fatalf("type %v != %v", got.MsgType(), m.MsgType())
+	}
+	return got
+}
+
+func TestMOSDOpRoundTrip(t *testing.T) {
+	payload := wire.NewBufferlist([]byte("some object data"), []byte(" in two segments"))
+	m := &MOSDOp{
+		Tid: 42, Epoch: 3, Src: "client.0", Pool: "rbd", Object: "obj-17",
+		Op: OpWrite, Offset: 4096, Length: uint64(payload.Length()), Data: payload,
+	}
+	got := roundTrip(t, m).(*MOSDOp)
+	if got.Tid != 42 || got.Epoch != 3 || got.Src != "client.0" ||
+		got.Pool != "rbd" || got.Object != "obj-17" || got.Op != OpWrite ||
+		got.Offset != 4096 || got.Length != m.Length {
+		t.Fatalf("got=%+v", got)
+	}
+	if !got.Data.Equal(payload) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestMOSDOpReplyRoundTrip(t *testing.T) {
+	m := &MOSDOpReply{Tid: 7, Object: "o", Op: OpRead, Result: -2,
+		Version: 9, Data: wire.FromBytes([]byte("read-back"))}
+	got := roundTrip(t, m).(*MOSDOpReply)
+	if got.Result != -2 || got.Version != 9 || string(got.Data.Bytes()) != "read-back" {
+		t.Fatalf("got=%+v", got)
+	}
+}
+
+func TestMRepOpRoundTrip(t *testing.T) {
+	m := &MRepOp{Tid: 1, Epoch: 2, PGID: 12, Object: "oo", Op: OpWrite,
+		Offset: 8, Data: wire.FromBytes([]byte("rep"))}
+	got := roundTrip(t, m).(*MRepOp)
+	if got.PGID != 12 || got.Offset != 8 || string(got.Data.Bytes()) != "rep" {
+		t.Fatalf("got=%+v", got)
+	}
+}
+
+func TestMRepOpReplyRoundTrip(t *testing.T) {
+	got := roundTrip(t, &MRepOpReply{Tid: 5, PGID: 3, Result: 0}).(*MRepOpReply)
+	if got.Tid != 5 || got.PGID != 3 || got.Result != 0 {
+		t.Fatalf("got=%+v", got)
+	}
+}
+
+func TestPingRoundTrip(t *testing.T) {
+	p := roundTrip(t, &MPing{Src: "osd.1", Stamp: 123456789}).(*MPing)
+	if p.Src != "osd.1" || p.Stamp != 123456789 {
+		t.Fatalf("got=%+v", p)
+	}
+	r := roundTrip(t, &MPingReply{Src: "osd.2", Stamp: -1}).(*MPingReply)
+	if r.Src != "osd.2" || r.Stamp != -1 {
+		t.Fatalf("got=%+v", r)
+	}
+}
+
+func TestMOSDMapRoundTrip(t *testing.T) {
+	m := roundTrip(t, &MOSDMap{Epoch: 11, Up: []int32{0, 1, 5}}).(*MOSDMap)
+	if m.Epoch != 11 || len(m.Up) != 3 || m.Up[2] != 5 {
+		t.Fatalf("got=%+v", m)
+	}
+	empty := roundTrip(t, &MOSDMap{Epoch: 1}).(*MOSDMap)
+	if len(empty.Up) != 0 {
+		t.Fatalf("got=%+v", empty)
+	}
+}
+
+func TestNilDataEncodesEmpty(t *testing.T) {
+	got := roundTrip(t, &MOSDOp{Op: OpStat, Object: "x"}).(*MOSDOp)
+	if got.Data.Length() != 0 {
+		t.Fatalf("data len=%d", got.Data.Length())
+	}
+}
+
+func TestDecodeUnknownType(t *testing.T) {
+	e := wire.NewEncoder(4)
+	e.U16(0x9999)
+	if _, err := Decode(e.Bufferlist()); err == nil {
+		t.Fatal("want error for unknown type")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := Encode(&MOSDOp{Tid: 1, Object: "obj", Op: OpWrite,
+		Data: wire.FromBytes(make([]byte, 100))})
+	flat := full.Bytes()
+	for _, cut := range []int{1, 3, 10, len(flat) - 1} {
+		if _, err := Decode(wire.FromBytes(flat[:cut])); err == nil {
+			t.Fatalf("cut=%d: want error", cut)
+		}
+	}
+}
+
+func TestPayloadBytesTracksData(t *testing.T) {
+	small := &MOSDOp{Object: "o", Op: OpWrite, Data: wire.FromBytes(make([]byte, 10))}
+	big := &MOSDOp{Object: "o", Op: OpWrite, Data: wire.FromBytes(make([]byte, 1<<20))}
+	if big.PayloadBytes()-small.PayloadBytes() != (1<<20)-10 {
+		t.Fatalf("payload accounting: small=%d big=%d", small.PayloadBytes(), big.PayloadBytes())
+	}
+}
+
+func TestTypeAndOpStrings(t *testing.T) {
+	if TOSDOp.String() != "osd_op" || TRepOp.String() != "rep_op" {
+		t.Fatal("type strings")
+	}
+	if !strings.Contains(Type(0x9999).String(), "9999") {
+		t.Fatal("unknown type string")
+	}
+	if OpWrite.String() != "write" || Op(99).String() != "op(99)" {
+		t.Fatal("op strings")
+	}
+}
+
+func TestQuickMOSDOpRoundTrip(t *testing.T) {
+	f := func(tid uint64, epoch uint32, obj string, off, ln uint64, payload []byte) bool {
+		m := &MOSDOp{Tid: tid, Epoch: epoch, Src: "c", Pool: "p", Object: obj,
+			Op: OpWrite, Offset: off, Length: ln, Data: wire.FromBytes(payload)}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			return false
+		}
+		g := got.(*MOSDOp)
+		return g.Tid == tid && g.Epoch == epoch && g.Object == obj &&
+			g.Offset == off && g.Length == ln && g.Data.Equal(m.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package cluster
+
+import "doceph/internal/sim"
+
+// calibrate fills the per-layer cost models with the constants that map the
+// simulation onto the paper's measured shapes. The anchors (derived in
+// EXPERIMENTS.md from the paper's own numbers) are:
+//
+//   - Baseline 100G/4MB: total Ceph host CPU ~= 0.70 of one core with the
+//     messenger at ~80% of it (Fig. 5/7); aggregate throughput disk-bound
+//     near 476 MB/s on PM893-class SATA SSDs (Fig. 10: 119 IOPS x 4 MB).
+//   - Baseline context switches ~10x higher in the messenger than in the
+//     ObjectStore (Table 2).
+//   - DoCeph host CPU flat at 5-6% of one core across request sizes
+//     (Fig. 7), dominated by BlueStore + the DMA polling thread.
+//   - DoCeph 1 MB latency inflated by DMA-wait (~45% of total), shrinking
+//     to ~12% at 16 MB thanks to segment pipelining (Table 3 / Fig. 9).
+//
+// All values are per-layer defaults already (messenger.DefaultConfig etc.);
+// this function only overrides where the testbed differs from the layer
+// defaults. Keeping every constant in one file makes the calibration
+// auditable.
+func calibrate(cfg Config) Config {
+	// Messenger: kernel TCP path costs. ~1.4 cycles/byte per direction
+	// (copy + checksum) at 3.6 GHz reproduces the ~0.7-core total at
+	// 476 MB/s with 2x replication.
+	// (messenger.DefaultConfig already encodes these; nothing to override.)
+
+	// BlueStore: PM893 sequential writes plus ~0.35 cycles/byte of
+	// checksumming keep the ObjectStore share of CPU near the paper's
+	// ~10-15%.
+	// (bluestore.DefaultConfig already encodes these.)
+
+	// DoCeph host side: the polling thread's idle burn dominates the small
+	// flat host usage. 1200 cycles per 50 us poll ~= 0.7% of one 3.6 GHz
+	// core per node.
+	if cfg.Bridge.Host.PollIdleCycles == 0 {
+		cfg.Bridge.Host.PollIdleCycles = 900
+	}
+
+	// DMA engine: ~4 GB/s sustained with 25 us setup per <=2 MB segment
+	// matches the per-size DMA times of Table 3 to within the shapes the
+	// paper reports.
+	// (doca.DefaultEngineConfig already encodes these.)
+
+	// Heartbeats (the paper's coordination traffic) are on by default.
+	if cfg.OSD.HeartbeatInterval == 0 {
+		cfg.OSD.HeartbeatInterval = sim.Second
+	}
+
+	cfg.Messenger.WireEncode = cfg.WireEncode
+	return cfg
+}

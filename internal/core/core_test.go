@@ -1,0 +1,477 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"doceph/internal/bluestore"
+	"doceph/internal/dpu"
+	"doceph/internal/objstore"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+type coreRig struct {
+	env     *sim.Env
+	hostCPU *sim.CPU
+	dev     *dpu.DPU
+	store   *bluestore.Store
+	bridge  *Bridge
+}
+
+func newCoreRig(cfg BridgeConfig) *coreRig {
+	env := sim.NewEnv(11)
+	r := &coreRig{env: env}
+	r.hostCPU = sim.NewCPU(env, "host", 48, 3.7, 2000)
+	disk := sim.NewDisk(env, "ssd", 530e6, 560e6, 30*sim.Microsecond)
+	r.store = bluestore.New(env, "bs", r.hostCPU, disk, bluestore.Config{})
+	r.dev = dpu.New(env, "bf3", dpu.Config{})
+	r.bridge = NewBridge(env, r.dev, r.hostCPU, r.store, cfg)
+	return r
+}
+
+func (r *coreRig) run(t *testing.T, body func(p *sim.Proc)) {
+	t.Helper()
+	done := false
+	r.env.Spawn("body", func(p *sim.Proc) {
+		p.SetThread(sim.NewThread("dpu-osd-worker", "tp_osd_tp"))
+		body(p)
+		done = true
+	})
+	err := r.env.RunUntil(sim.Time(5 * 60 * sim.Second))
+	if !done {
+		t.Fatalf("body did not finish: %v", err)
+	}
+	r.env.Shutdown()
+}
+
+func seeded(n int, seed byte) *wire.Bufferlist {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int(seed) + i*17)
+	}
+	return wire.FromBytes(b)
+}
+
+func commitP(t *testing.T, p *sim.Proc, px *Proxy, txn *objstore.Transaction) error {
+	t.Helper()
+	res := px.QueueTransaction(p, txn)
+	res.Done.Wait(p)
+	return res.Err
+}
+
+func TestProxyWriteThroughDMA(t *testing.T) {
+	r := newCoreRig(BridgeConfig{})
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		data := seeded(300_000, 1)
+		txn := (&objstore.Transaction{}).MkColl("pg.0").Write("pg.0", "obj", 0, data)
+		if err := commitP(t, p, px, txn); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		// Verify the data really landed in the host BlueStore.
+		got, err := r.store.Read(p, "pg.0", "obj", 0, 0)
+		if err != nil || got.CRC32C() != data.CRC32C() {
+			t.Fatalf("host content mismatch err=%v", err)
+		}
+		if px.Stats().DataPlaneTxns != 1 || px.Stats().FallbackTxns != 0 {
+			t.Fatalf("stats=%+v", px.Stats())
+		}
+	})
+}
+
+func TestProxyLargeWriteSegmentedAt2MB(t *testing.T) {
+	r := newCoreRig(BridgeConfig{})
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		const size = 5 << 20 // 5 MiB -> 3 segments
+		data := seeded(size, 2)
+		txn := (&objstore.Transaction{}).MkColl("pg.1").Write("pg.1", "big", 0, data)
+		if err := commitP(t, p, px, txn); err != nil {
+			t.Fatal(err)
+		}
+		if n := r.bridge.EngUp.Stats().Transfers; n != 3 {
+			t.Fatalf("transfers=%d want 3 (2MB segmentation)", n)
+		}
+		if n := r.bridge.Host.Stats().SegmentsViaDMA; n != 3 {
+			t.Fatalf("host segments=%d", n)
+		}
+		got, err := r.store.Read(p, "pg.1", "big", 0, 0)
+		if err != nil || got.Length() != size || got.CRC32C() != data.CRC32C() {
+			t.Fatalf("content mismatch err=%v len=%d", err, got.Length())
+		}
+	})
+}
+
+func TestWriteThroughSemantics(t *testing.T) {
+	r := newCoreRig(BridgeConfig{})
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		txn := (&objstore.Transaction{}).MkColl("pg.2").Write("pg.2", "o", 0, seeded(100_000, 3))
+		res := px.QueueTransaction(p, txn)
+		res.Done.Wait(p)
+		// At Done time the host BlueStore must already be durable.
+		if _, err := r.store.Stat(p, "pg.2", "o"); err != nil {
+			t.Fatalf("not durable at ack: %v", err)
+		}
+		if r.bridge.Host.Stats().TxnsCommitted != 1 {
+			t.Fatal("host commit not counted")
+		}
+	})
+}
+
+func TestControlPlaneStatExistsList(t *testing.T) {
+	r := newCoreRig(BridgeConfig{})
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		txn := (&objstore.Transaction{}).MkColl("pg.3").
+			Write("pg.3", "a", 0, seeded(12_000, 4)).
+			Touch("pg.3", "b")
+		if err := commitP(t, p, px, txn); err != nil {
+			t.Fatal(err)
+		}
+		st, err := px.Stat(p, "pg.3", "a")
+		if err != nil || st.Size != 12_000 {
+			t.Fatalf("stat=%+v err=%v", st, err)
+		}
+		if !px.Exists(p, "pg.3", "b") || px.Exists(p, "pg.3", "ghost") {
+			t.Fatal("exists wrong")
+		}
+		names, err := px.List(p, "pg.3")
+		if err != nil || len(names) != 2 || names[0] != "a" || names[1] != "b" {
+			t.Fatalf("list=%v err=%v", names, err)
+		}
+		if _, err := px.Stat(p, "pg.3", "ghost"); !errors.Is(err, objstore.ErrNotFound) {
+			t.Fatalf("err=%v", err)
+		}
+		if _, err := px.List(p, "nocoll"); !errors.Is(err, objstore.ErrNoCollection) {
+			t.Fatalf("err=%v", err)
+		}
+		if px.Stats().ControlCalls < 5 {
+			t.Fatalf("control calls=%d", px.Stats().ControlCalls)
+		}
+		// Control traffic must not touch the DMA engine.
+		if r.bridge.EngUp.Stats().Transfers != 1 { // just the txn's 1 segment
+			t.Fatalf("unexpected DMA transfers: %d", r.bridge.EngUp.Stats().Transfers)
+		}
+	})
+}
+
+func TestReadPathViaDMA(t *testing.T) {
+	r := newCoreRig(BridgeConfig{})
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		const size = 5 << 20
+		data := seeded(size, 5)
+		if err := commitP(t, p, px,
+			(&objstore.Transaction{}).MkColl("pg.4").Write("pg.4", "r", 0, data)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := px.Read(p, "pg.4", "r", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Length() != size || got.CRC32C() != data.CRC32C() {
+			t.Fatalf("read mismatch len=%d", got.Length())
+		}
+		// Read request descriptor went up; 3 data segments came down.
+		if n := r.bridge.EngDown.Stats().Transfers; n != 3 {
+			t.Fatalf("down transfers=%d want 3", n)
+		}
+		// Ranged read.
+		part, err := px.Read(p, "pg.4", "r", 100, 500)
+		if err != nil || !part.Equal(data.SubList(100, 500)) {
+			t.Fatalf("ranged read err=%v", err)
+		}
+		if _, err := px.Read(p, "pg.4", "ghost", 0, 0); !errors.Is(err, objstore.ErrNotFound) {
+			t.Fatalf("err=%v", err)
+		}
+	})
+}
+
+func TestDMAFailureFallsBackAndPreservesSegments(t *testing.T) {
+	r := newCoreRig(BridgeConfig{})
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		// Seed the collection first over a healthy path.
+		if err := commitP(t, p, px, (&objstore.Transaction{}).MkColl("pg.5")); err != nil {
+			t.Fatal(err)
+		}
+		const size = 6 << 20 // 3 segments
+		data := seeded(size, 6)
+		// Fail exactly one of the three data segments.
+		r.bridge.EngUp.FailNext(1)
+		err := commitP(t, p, px, (&objstore.Transaction{}).Write("pg.5", "f", 0, data))
+		if err != nil {
+			t.Fatalf("write should succeed via fallback: %v", err)
+		}
+		got, rerr := r.store.Read(p, "pg.5", "f", 0, 0)
+		if rerr != nil || got.CRC32C() != data.CRC32C() {
+			t.Fatalf("data corrupted after fallback: %v", rerr)
+		}
+		st := px.Stats()
+		if st.FallbackSegments == 0 {
+			t.Fatal("no segments fell back to RPC")
+		}
+		if st.FallbackSegments >= 3 {
+			t.Fatalf("completed segments were resent: %d", st.FallbackSegments)
+		}
+		if st.CooldownEntries != 1 || px.DMAHealthy() {
+			t.Fatalf("cooldown not entered: %+v healthy=%v", st, px.DMAHealthy())
+		}
+	})
+}
+
+func TestCooldownRoutesToRPCAndProbeRecovers(t *testing.T) {
+	cfg := BridgeConfig{}
+	cfg.Proxy.CooldownPeriod = 2 * sim.Second
+	r := newCoreRig(cfg)
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		if err := commitP(t, p, px, (&objstore.Transaction{}).MkColl("pg.6")); err != nil {
+			t.Fatal(err)
+		}
+		r.bridge.EngUp.FailNext(1)
+		if err := commitP(t, p, px,
+			(&objstore.Transaction{}).Write("pg.6", "a", 0, seeded(100_000, 7))); err != nil {
+			t.Fatal(err)
+		}
+		if px.DMAHealthy() {
+			t.Fatal("expected cooldown")
+		}
+		// During cooldown all data-plane traffic uses RPC.
+		before := r.bridge.EngUp.Stats().Transfers
+		if err := commitP(t, p, px,
+			(&objstore.Transaction{}).Write("pg.6", "b", 0, seeded(100_000, 8))); err != nil {
+			t.Fatal(err)
+		}
+		if r.bridge.EngUp.Stats().Transfers != before {
+			t.Fatal("DMA used during cooldown")
+		}
+		if px.Stats().FallbackTxns == 0 {
+			t.Fatal("fallback txn not counted")
+		}
+		// After the cooldown expires a probe re-enables DMA.
+		p.Wait(3 * sim.Second)
+		if err := commitP(t, p, px,
+			(&objstore.Transaction{}).Write("pg.6", "c", 0, seeded(100_000, 9))); err != nil {
+			t.Fatal(err)
+		}
+		if !px.DMAHealthy() || px.Stats().Probes != 1 {
+			t.Fatalf("probe recovery failed: %+v healthy=%v", px.Stats(), px.DMAHealthy())
+		}
+		// All three objects intact.
+		for _, obj := range []string{"a", "b", "c"} {
+			if _, err := r.store.Stat(p, "pg.6", obj); err != nil {
+				t.Fatalf("%s: %v", obj, err)
+			}
+		}
+	})
+}
+
+func TestFailedProbeExtendsCooldown(t *testing.T) {
+	cfg := BridgeConfig{}
+	cfg.Proxy.CooldownPeriod = sim.Second
+	r := newCoreRig(cfg)
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		if err := commitP(t, p, px, (&objstore.Transaction{}).MkColl("pg.7")); err != nil {
+			t.Fatal(err)
+		}
+		r.bridge.EngUp.FailNext(1)
+		if err := commitP(t, p, px,
+			(&objstore.Transaction{}).Write("pg.7", "a", 0, seeded(50_000, 1))); err != nil {
+			t.Fatal(err)
+		}
+		p.Wait(2 * sim.Second)
+		r.bridge.EngUp.FailNext(1) // the probe itself fails
+		if err := commitP(t, p, px,
+			(&objstore.Transaction{}).Write("pg.7", "b", 0, seeded(50_000, 2))); err != nil {
+			t.Fatal(err)
+		}
+		if px.DMAHealthy() {
+			t.Fatal("probe failure should keep DMA disabled")
+		}
+		if px.Stats().ProbeFailures != 1 {
+			t.Fatalf("stats=%+v", px.Stats())
+		}
+	})
+}
+
+func TestMRCacheAvoidsRenegotiation(t *testing.T) {
+	r := newCoreRig(BridgeConfig{})
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		txn := (&objstore.Transaction{}).MkColl("pg.8").Write("pg.8", "o", 0, seeded(5<<20, 3))
+		if err := commitP(t, p, px, txn); err != nil {
+			t.Fatal(err)
+		}
+		if err := commitP(t, p, px,
+			(&objstore.Transaction{}).Write("pg.8", "o2", 0, seeded(5<<20, 4))); err != nil {
+			t.Fatal(err)
+		}
+		// With the MR cache, both regions negotiate exactly once.
+		if n := r.bridge.CC.Negotiations(); n != 2 {
+			t.Fatalf("negotiations=%d want 2", n)
+		}
+	})
+}
+
+func TestNoMRCacheRenegotiatesPerSegment(t *testing.T) {
+	cfg := BridgeConfig{}
+	cfg.Proxy.DisableMRCache = true
+	r := newCoreRig(cfg)
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		txn := (&objstore.Transaction{}).MkColl("pg.9").Write("pg.9", "o", 0, seeded(5<<20, 5))
+		if err := commitP(t, p, px, txn); err != nil {
+			t.Fatal(err)
+		}
+		// 3 segments, each renegotiating, plus the initial pair.
+		if n := r.bridge.CC.Negotiations(); n < 5 {
+			t.Fatalf("negotiations=%d, want per-segment renegotiation", n)
+		}
+	})
+}
+
+func TestPipeliningOverlapsStagingAndTransfer(t *testing.T) {
+	elapsed := func(pipeline bool) sim.Duration {
+		cfg := BridgeConfig{}
+		cfg.Proxy.DisablePipeline = !pipeline
+		// Slow the DMA so overlap matters.
+		cfg.Engine.BytesPerSec = 1e9
+		r := newCoreRig(cfg)
+		var d sim.Duration
+		r.run(t, func(p *sim.Proc) {
+			px := r.bridge.Proxy
+			start := p.Now()
+			res := px.QueueTransaction(p,
+				(&objstore.Transaction{}).MkColl("pg").Write("pg", "o", 0, seeded(16<<20, 6)))
+			res.Done.Wait(p)
+			d = p.Now().Sub(start)
+		})
+		return d
+	}
+	with, without := elapsed(true), elapsed(false)
+	if with >= without {
+		t.Fatalf("pipelining did not help: with=%v without=%v", with, without)
+	}
+}
+
+func TestBreakdownAccumulates(t *testing.T) {
+	r := newCoreRig(BridgeConfig{})
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		if err := commitP(t, p, px,
+			(&objstore.Transaction{}).MkColl("pg").Write("pg", "o", 0, seeded(4<<20, 7))); err != nil {
+			t.Fatal(err)
+		}
+		b := px.BreakdownSnapshot()
+		if b.Requests != 1 || b.HostWrite <= 0 || b.DMA <= 0 {
+			t.Fatalf("breakdown=%+v", b)
+		}
+		hw, dma, _ := b.Avg()
+		if hw <= 0 || dma <= 0 {
+			t.Fatalf("avg=%v %v", hw, dma)
+		}
+		px.ResetBreakdown()
+		if px.BreakdownSnapshot().Requests != 0 {
+			t.Fatal("reset failed")
+		}
+	})
+}
+
+func TestConcurrentProxyWrites(t *testing.T) {
+	r := newCoreRig(BridgeConfig{})
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		if err := commitP(t, p, px, (&objstore.Transaction{}).MkColl("pg")); err != nil {
+			t.Fatal(err)
+		}
+		var results []*objstore.Result
+		for i := 0; i < 16; i++ {
+			obj := string(rune('a' + i))
+			results = append(results, px.QueueTransaction(p,
+				(&objstore.Transaction{}).Write("pg", obj, 0, seeded(3<<20, byte(i)))))
+		}
+		for _, res := range results {
+			res.Done.Wait(p)
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+		names, err := r.store.List(p, "pg")
+		if err != nil || len(names) != 16 {
+			t.Fatalf("names=%d err=%v", len(names), err)
+		}
+	})
+}
+
+func TestTransportCompressionShrinksDMABytes(t *testing.T) {
+	cfg := BridgeConfig{}
+	cfg.Proxy.EnableCompression = true
+	r := newCoreRig(cfg)
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		const size = 4 << 20
+		data := seeded(size, 11)
+		if err := commitP(t, p, px,
+			(&objstore.Transaction{}).MkColl("pg.c").Write("pg.c", "o", 0, data)); err != nil {
+			t.Fatal(err)
+		}
+		// The engine moved roughly half the original bytes (2:1 model).
+		moved := r.bridge.EngUp.Stats().Bytes
+		if moved > size*3/4 || moved < size/4 {
+			t.Fatalf("engine moved %d of %d original bytes", moved, size)
+		}
+		ce := px.Compression()
+		if ce == nil || ce.Ops() == 0 || ce.BytesIn() < size {
+			t.Fatalf("accelerator unused: %+v", ce)
+		}
+		// Content still intact on the host (the simulation ships original
+		// bytes; only timing is transformed).
+		got, err := r.store.Read(p, "pg.c", "o", 0, 0)
+		if err != nil || got.CRC32C() != data.CRC32C() {
+			t.Fatalf("content mismatch err=%v", err)
+		}
+	})
+}
+
+func TestCompressionDisabledByDefault(t *testing.T) {
+	r := newCoreRig(BridgeConfig{})
+	r.run(t, func(p *sim.Proc) {
+		if r.bridge.Proxy.Compression() != nil {
+			t.Fatal("compression engine present without opt-in")
+		}
+	})
+}
+
+func TestProxyOmapOverControlPlane(t *testing.T) {
+	r := newCoreRig(BridgeConfig{})
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		txn := (&objstore.Transaction{}).MkColl("pg.m").
+			Touch("pg.m", "o").
+			OmapSet("pg.m", "o", "bucket-index", []byte("entry1"))
+		if err := commitP(t, p, px, txn); err != nil {
+			t.Fatal(err)
+		}
+		v, err := px.OmapGet(p, "pg.m", "o", "bucket-index")
+		if err != nil || string(v) != "entry1" {
+			t.Fatalf("get=%q err=%v", v, err)
+		}
+		keys, err := px.OmapKeys(p, "pg.m", "o")
+		if err != nil || len(keys) != 1 || keys[0] != "bucket-index" {
+			t.Fatalf("keys=%v err=%v", keys, err)
+		}
+		if _, err := px.OmapGet(p, "pg.m", "o", "ghost"); !errors.Is(err, objstore.ErrNotFound) {
+			t.Fatalf("err=%v", err)
+		}
+		// Omap reads ride the control plane, not DMA.
+		before := r.bridge.EngUp.Stats().Transfers
+		_, _ = px.OmapKeys(p, "pg.m", "o")
+		if r.bridge.EngUp.Stats().Transfers != before {
+			t.Fatal("omap used the DMA path")
+		}
+	})
+}

@@ -1,0 +1,472 @@
+package core
+
+import (
+	"fmt"
+
+	"doceph/internal/doca"
+	"doceph/internal/dpu"
+	"doceph/internal/objstore"
+	"doceph/internal/rpcchan"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+// Host-side accounting categories (the only Ceph work left on the host in
+// DoCeph, §3.1: "the host runs only a BlueStore server").
+const (
+	// RPCServerThreadCat tags the control-plane socket listener.
+	RPCServerThreadCat = "rpc-server"
+	// DMAPollThreadCat tags the background DMA polling thread (§4: "a
+	// background thread on the host continuously polls the DOCA DMA
+	// engine").
+	DMAPollThreadCat = "dma-poll"
+)
+
+// HostConfig tunes the host-side server.
+type HostConfig struct {
+	// PollInterval is the DMA completion polling period.
+	PollInterval sim.Duration
+	// PollIdleCycles is burned per empty poll iteration (the cost of
+	// polling mode).
+	PollIdleCycles int64
+	// CompletionCycles is charged per harvested DMA completion.
+	CompletionCycles int64
+	// AssembleCyclesPerByte is charged when decoding an assembled
+	// transaction payload before the BlueStore commit.
+	AssembleCyclesPerByte float64
+	// StageCyclesPerByte is charged per byte staged into a host read
+	// buffer before the return DMA.
+	StageCyclesPerByte float64
+	// DecompressCyclesPerByte is charged (per original byte) when a
+	// segment arrives transport-compressed; LZ4-class decompression.
+	DecompressCyclesPerByte float64
+	// ReadStagingBuffers / ReadStagingBufferBytes size the host-side
+	// staging pool used by the read path (§3.3: "during reads, staging
+	// buffers are positioned on the host side").
+	ReadStagingBuffers     int
+	ReadStagingBufferBytes int64
+}
+
+// DefaultHostConfig returns the host-server defaults.
+func DefaultHostConfig() HostConfig {
+	return HostConfig{
+		PollInterval:            50 * sim.Microsecond,
+		PollIdleCycles:          2_500,
+		CompletionCycles:        3_000,
+		AssembleCyclesPerByte:   0.02,
+		StageCyclesPerByte:      0.5,
+		DecompressCyclesPerByte: 0.3,
+		ReadStagingBuffers:      64,
+		ReadStagingBufferBytes:  2 << 20,
+	}
+}
+
+func (c HostConfig) withDefaults() HostConfig {
+	d := DefaultHostConfig()
+	if c.PollInterval == 0 {
+		c.PollInterval = d.PollInterval
+	}
+	if c.PollIdleCycles == 0 {
+		c.PollIdleCycles = d.PollIdleCycles
+	}
+	if c.CompletionCycles == 0 {
+		c.CompletionCycles = d.CompletionCycles
+	}
+	if c.AssembleCyclesPerByte == 0 {
+		c.AssembleCyclesPerByte = d.AssembleCyclesPerByte
+	}
+	if c.StageCyclesPerByte == 0 {
+		c.StageCyclesPerByte = d.StageCyclesPerByte
+	}
+	if c.DecompressCyclesPerByte == 0 {
+		c.DecompressCyclesPerByte = d.DecompressCyclesPerByte
+	}
+	if c.ReadStagingBuffers == 0 {
+		c.ReadStagingBuffers = d.ReadStagingBuffers
+	}
+	if c.ReadStagingBufferBytes == 0 {
+		c.ReadStagingBufferBytes = d.ReadStagingBufferBytes
+	}
+	return c
+}
+
+// HostStats counts host-server activity.
+type HostStats struct {
+	TxnsCommitted   int64
+	SegmentsViaDMA  int64
+	SegmentsViaRPC  int64
+	ReadsServed     int64
+	ControlRequests int64
+	PollIterations  int64
+}
+
+// HostServer is the lightweight host-resident service: an event-driven RPC
+// listener for the control plane and a polling thread for the DMA data
+// plane, both feeding the local BlueStore.
+type HostServer struct {
+	env   *sim.Env
+	cpu   *sim.CPU
+	store objstore.Store
+	cfg   HostConfig
+
+	rpc     *rpcchan.Endpoint
+	engUp   *doca.Engine
+	engDown *doca.Engine
+	dpuMR   *doca.MemRegion
+	hostMR  *doca.MemRegion
+	readBuf *dpu.BufferPool
+
+	thPoll *sim.Thread
+
+	asm map[uint64]*assembly
+	// Commit ordering: assembled transactions apply to BlueStore strictly
+	// in the proxy's submission order (txnSeq), restoring the per-PG
+	// ordering a local ObjectStore gives the baseline for free even when
+	// DMA and RPC-fallback deliveries race.
+	nextCommit uint64
+	readyTxns  map[uint64]*readyTxn
+	stats      HostStats
+}
+
+type readyTxn struct {
+	reqID uint64
+	txn   *objstore.Transaction
+	// silent suppresses the commit notification (the error was already
+	// reported; the entry only keeps the sequence moving).
+	silent bool
+}
+
+type assembly struct {
+	segs    map[int]*wire.Bufferlist
+	total   int
+	started sim.Time
+}
+
+// orderKey: transactions commit in txnSeq order starting at 1.
+
+// NewHostServer builds the host side. rpcEnd is the host endpoint of the
+// control channel; store is the local BlueStore.
+func NewHostServer(env *sim.Env, hostCPU *sim.CPU, store objstore.Store,
+	rpcEnd *rpcchan.Endpoint, engUp, engDown *doca.Engine,
+	dpuMR, hostMR *doca.MemRegion, cfg HostConfig) *HostServer {
+	hs := &HostServer{
+		env: env, cpu: hostCPU, store: store, cfg: cfg.withDefaults(),
+		rpc: rpcEnd, engUp: engUp, engDown: engDown,
+		dpuMR: dpuMR, hostMR: hostMR,
+		thPoll:     sim.NewThread("host-dma-poll", DMAPollThreadCat),
+		asm:        make(map[uint64]*assembly),
+		nextCommit: 1,
+		readyTxns:  make(map[uint64]*readyTxn),
+	}
+	hs.readBuf = dpu.NewBufferPool(env, "host-read-staging",
+		hs.cfg.ReadStagingBuffers, hs.cfg.ReadStagingBufferBytes)
+	rpcEnd.Handle(opStat, hs.onStat)
+	rpcEnd.Handle(opExists, hs.onExists)
+	rpcEnd.Handle(opList, hs.onList)
+	rpcEnd.Handle(opSegFallback, hs.onSegFallback)
+	rpcEnd.Handle(opReadFallback, hs.onReadFallback)
+	rpcEnd.Handle(opOmapGet, hs.onOmapGet)
+	rpcEnd.Handle(opOmapKeys, hs.onOmapKeys)
+	// The polling thread's idle burn (PollIdleCycles every PollInterval) is
+	// accounted analytically as a constant background load on one core.
+	idleCores := float64(hs.cfg.PollIdleCycles) /
+		(hs.cfg.PollInterval.Seconds() * hostCPU.FreqGHz * 1e9)
+	hostCPU.SetBackgroundLoad(DMAPollThreadCat, idleCores)
+	env.SpawnDaemon("host-dma-poll", func(p *sim.Proc) { hs.pollLoop(p) })
+	return hs
+}
+
+// Stats returns a copy of the host counters.
+func (hs *HostServer) Stats() HostStats { return hs.stats }
+
+// pollLoop is the background polling thread of §4: it harvests DMA
+// completions and triggers the corresponding BlueStore handler, burning a
+// small amount of CPU even when idle (the price of polling mode).
+func (hs *HostServer) pollLoop(p *sim.Proc) {
+	p.SetThread(hs.thPoll)
+	for {
+		t := hs.engUp.Completions().Pop(p)
+		hs.stats.PollIterations++
+		hs.cpu.Exec(p, hs.thPoll, hs.cfg.CompletionCycles)
+		hdr, isSeg := t.Tag.(segHeader)
+		if !isSeg || t.Err != nil {
+			continue // probe traffic or failed transfer (DPU handles retry)
+		}
+		switch hdr.kind {
+		case segTxn:
+			hs.stats.SegmentsViaDMA++
+			if t.Data != nil && t.Bytes < int64(t.Data.Length()) {
+				// Transport-compressed segment: pay host-CPU decompression
+				// over the original bytes.
+				hs.cpu.Exec(p, hs.thPoll,
+					int64(float64(t.Data.Length())*hs.cfg.DecompressCyclesPerByte))
+			}
+			hs.addSegment(p, hdr.reqID, hdr.txnSeq, hdr.seg, hdr.total, t.Data)
+		case segReadReq:
+			req, err := decodeReadReq(t.Data)
+			if err != nil {
+				panic("core: corrupt read request over DMA")
+			}
+			hs.serveRead(req)
+		case segProbe:
+			// Health probe: nothing to do.
+		}
+	}
+}
+
+// addSegment files one transaction segment (from either plane); once the
+// request is complete its transaction joins the ordered commit queue.
+func (hs *HostServer) addSegment(p *sim.Proc, reqID, txnSeq uint64, seg, total int, data *wire.Bufferlist) {
+	a, ok := hs.asm[reqID]
+	if !ok {
+		a = &assembly{segs: make(map[int]*wire.Bufferlist), started: p.Now()}
+		hs.asm[reqID] = a
+	}
+	a.segs[seg] = data
+	a.total = total
+	if len(a.segs) < total {
+		return
+	}
+	delete(hs.asm, reqID)
+	payload := &wire.Bufferlist{}
+	for i := 0; i < total; i++ {
+		payload.AppendBufferlist(a.segs[i])
+	}
+	hs.cpu.ExecSelf(p, int64(float64(payload.Length())*hs.cfg.AssembleCyclesPerByte))
+	txn, err := objstore.DecodeTransactionBL(payload)
+	if err != nil {
+		// Report the failure but keep the commit sequence moving with an
+		// empty transaction in this slot.
+		hs.notifyTxnDone(reqID, rcIO, 0)
+		hs.readyTxns[txnSeq] = &readyTxn{reqID: reqID, txn: &objstore.Transaction{}, silent: true}
+	} else {
+		hs.readyTxns[txnSeq] = &readyTxn{reqID: reqID, txn: txn}
+	}
+	for {
+		rt, ok := hs.readyTxns[hs.nextCommit]
+		if !ok {
+			return
+		}
+		delete(hs.readyTxns, hs.nextCommit)
+		hs.nextCommit++
+		hs.commit(p, rt)
+	}
+}
+
+func (hs *HostServer) commit(p *sim.Proc, rt *readyTxn) {
+	start := p.Now()
+	res := hs.store.QueueTransaction(p, rt.txn)
+	reqID := rt.reqID
+	silent := rt.silent
+	hs.env.Spawn(fmt.Sprintf("host-commit:%d", reqID), func(cp *sim.Proc) {
+		cp.SetThread(hs.thPoll)
+		res.Done.Wait(cp)
+		if silent {
+			return
+		}
+		hs.stats.TxnsCommitted++
+		// Report the backend's pure commit service time when available
+		// (Table 3's "Host write"); fall back to the wall duration.
+		hostWrite := res.ServiceTime
+		if hostWrite <= 0 {
+			hostWrite = cp.Now().Sub(start)
+		}
+		hs.notifyTxnDone(reqID, errToCode(unwrap(res.Err)), int64(hostWrite))
+	})
+}
+
+func (hs *HostServer) notifyTxnDone(reqID uint64, code uint16, hostWriteNanos int64) {
+	hs.env.Spawn(fmt.Sprintf("host-notify:%d", reqID), func(p *sim.Proc) {
+		p.SetThread(hs.thPoll)
+		hs.rpc.Notify(p, opTxnDone, encodeTxnDone(reqID, code, hostWriteNanos))
+	})
+}
+
+// serveRead executes a read and DMAs the data back to the DPU in <=2 MB
+// segments through host-side staging buffers.
+func (hs *HostServer) serveRead(req *readReq) {
+	hs.env.Spawn(fmt.Sprintf("host-read:%d", req.ReqID), func(p *sim.Proc) {
+		p.SetThread(hs.thPoll)
+		bl, err := hs.store.Read(p, req.Coll, req.Object, req.Off, req.Length)
+		if err != nil || bl.Length() == 0 {
+			total := 0
+			hs.rpc.Notify(p, opReadDone, encodeReadDone(req.ReqID, errToCode(unwrap(err)), total))
+			return
+		}
+		hs.stats.ReadsServed++
+		segBytes := hs.readBuf.BufferBytes()
+		if max := hs.engDown.Config().MaxTransferBytes; segBytes > max {
+			segBytes = max
+		}
+		total := int((int64(bl.Length()) + segBytes - 1) / segBytes)
+		for i := 0; i < total; i++ {
+			off := int64(i) * segBytes
+			n := int64(bl.Length()) - off
+			if n > segBytes {
+				n = segBytes
+			}
+			hs.readBuf.Acquire(p)
+			hs.cpu.Exec(p, hs.thPoll, int64(float64(n)*hs.cfg.StageCyclesPerByte))
+			t := &doca.Transfer{
+				ReqID: req.ReqID, Seg: i, TotalSegs: total, Bytes: n,
+				Data: bl.SubList(int(off), int(n)),
+				Src:  hs.hostMR, Dst: hs.dpuMR,
+				Tag: segHeader{kind: segReadData, reqID: req.ReqID, seg: i, total: total},
+			}
+			if err := hs.engDown.Submit(p, hs.cpu, t); err != nil {
+				hs.readBuf.Release()
+				hs.rpc.Notify(p, opReadDone, encodeReadDone(req.ReqID, rcIO, 0))
+				return
+			}
+			buf := hs.readBuf
+			hs.env.Spawn(fmt.Sprintf("host-read-seg:%d/%d", req.ReqID, i), func(sp *sim.Proc) {
+				t.Done.Wait(sp)
+				buf.Release()
+			})
+		}
+	})
+}
+
+// Control-plane handlers: quick metadata services on the event-driven RPC
+// loop (§3.2).
+
+func (hs *HostServer) onStat(p *sim.Proc, req *rpcchan.Request,
+	respond func(*wire.Bufferlist, uint16)) {
+	hs.stats.ControlRequests++
+	coll, obj, err := decodeObjRef(req.Payload)
+	if err != nil {
+		respond(nil, rcIO)
+		return
+	}
+	st, serr := hs.store.Stat(p, coll, obj)
+	if serr != nil {
+		respond(nil, errToCode(unwrap(serr)))
+		return
+	}
+	respond(encodeStatResp(st), rcOK)
+}
+
+func (hs *HostServer) onExists(p *sim.Proc, req *rpcchan.Request,
+	respond func(*wire.Bufferlist, uint16)) {
+	hs.stats.ControlRequests++
+	coll, obj, err := decodeObjRef(req.Payload)
+	if err != nil {
+		respond(nil, rcIO)
+		return
+	}
+	v := byte(0)
+	if hs.store.Exists(p, coll, obj) {
+		v = 1
+	}
+	respond(wire.FromBytes([]byte{v}), rcOK)
+}
+
+func (hs *HostServer) onList(p *sim.Proc, req *rpcchan.Request,
+	respond func(*wire.Bufferlist, uint16)) {
+	hs.stats.ControlRequests++
+	coll, _, err := decodeObjRef(req.Payload)
+	if err != nil {
+		respond(nil, rcIO)
+		return
+	}
+	names, lerr := hs.store.List(p, coll)
+	if lerr != nil {
+		respond(nil, errToCode(unwrap(lerr)))
+		return
+	}
+	respond(encodeList(names), rcOK)
+}
+
+func (hs *HostServer) onOmapGet(p *sim.Proc, req *rpcchan.Request,
+	respond func(*wire.Bufferlist, uint16)) {
+	hs.stats.ControlRequests++
+	coll, obj, key, err := decodeOmapRef(req.Payload)
+	if err != nil {
+		respond(nil, rcIO)
+		return
+	}
+	v, gerr := hs.store.OmapGet(p, coll, obj, key)
+	if gerr != nil {
+		respond(nil, errToCode(unwrap(gerr)))
+		return
+	}
+	respond(wire.FromBytes(v), rcOK)
+}
+
+func (hs *HostServer) onOmapKeys(p *sim.Proc, req *rpcchan.Request,
+	respond func(*wire.Bufferlist, uint16)) {
+	hs.stats.ControlRequests++
+	coll, obj, err := decodeObjRef(req.Payload)
+	if err != nil {
+		respond(nil, rcIO)
+		return
+	}
+	keys, kerr := hs.store.OmapKeys(p, coll, obj)
+	if kerr != nil {
+		respond(nil, errToCode(unwrap(kerr)))
+		return
+	}
+	respond(encodeList(keys), rcOK)
+}
+
+// onSegFallback files a transaction segment arriving over the RPC path
+// (cooldown or post-error fallback).
+func (hs *HostServer) onSegFallback(p *sim.Proc, req *rpcchan.Request,
+	respond func(*wire.Bufferlist, uint16)) {
+	reqID, txnSeq, seg, total, payload, err := decodeSegFallback(req.Payload)
+	if err != nil {
+		respond(nil, rcIO)
+		return
+	}
+	hs.stats.SegmentsViaRPC++
+	respond(nil, rcOK) // receipt ack; durability is signalled via opTxnDone
+	hs.addSegment(p, reqID, txnSeq, seg, total, payload)
+}
+
+// onReadFallback serves a whole read over RPC (cooldown path).
+func (hs *HostServer) onReadFallback(p *sim.Proc, req *rpcchan.Request,
+	respond func(*wire.Bufferlist, uint16)) {
+	rr, err := decodeReadReq(req.Payload)
+	if err != nil {
+		respond(nil, rcIO)
+		return
+	}
+	hs.env.Spawn(fmt.Sprintf("host-read-rpc:%d", rr.ReqID), func(rp *sim.Proc) {
+		rp.SetThread(hs.thPoll)
+		bl, rerr := hs.store.Read(rp, rr.Coll, rr.Object, rr.Off, rr.Length)
+		if rerr != nil {
+			respond(nil, errToCode(unwrap(rerr)))
+			return
+		}
+		hs.stats.ReadsServed++
+		respond(bl, rcOK)
+	})
+}
+
+// unwrap maps wrapped backend errors onto the protocol's canonical set.
+func unwrap(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case contains(err, objstore.ErrNotFound):
+		return objstore.ErrNotFound
+	case contains(err, objstore.ErrNoCollection):
+		return objstore.ErrNoCollection
+	default:
+		return err
+	}
+}
+
+func contains(err, target error) bool {
+	for e := err; e != nil; {
+		if e == target {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}

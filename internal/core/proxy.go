@@ -1,0 +1,612 @@
+package core
+
+import (
+	"fmt"
+
+	"doceph/internal/doca"
+	"doceph/internal/dpu"
+	"doceph/internal/objstore"
+	"doceph/internal/rpcchan"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+// ProxyThreadCat is the accounting category for the DPU-side proxy threads.
+const ProxyThreadCat = "proxy"
+
+// ProxyConfig tunes the DPU-side proxy. Zero values take defaults.
+type ProxyConfig struct {
+	// SerializeCyclesPerByte is charged on the DPU per transaction payload
+	// byte when building the data-plane message.
+	SerializeCyclesPerByte float64
+	// StageCyclesPerByte is charged on the DPU per byte memcpy'd into a
+	// DMA staging buffer.
+	StageCyclesPerByte float64
+	// DisableMRCache renegotiates memory regions per segment instead of
+	// reusing established ones (the paper's motivating waste, §3.3); the
+	// zero value keeps the cache on.
+	DisableMRCache bool
+	// DisablePipeline serializes stage->transfer->stage instead of
+	// overlapping staging of segment k+1 with the transfer of segment k
+	// (ablation); the zero value keeps pipelining on.
+	DisablePipeline bool
+	// CooldownPeriod is how long DMA stays disabled after a failure.
+	CooldownPeriod sim.Duration
+	// ProbeBytes is the size of the post-cooldown health-check transfer.
+	ProbeBytes int64
+	// ControlCallCycles is the DPU-side cost of issuing a control RPC.
+	ControlCallCycles int64
+	// EnableCompression routes each DMA segment through the DPU's hardware
+	// compression engine before transfer: fewer bytes cross PCIe (less
+	// engine time and DMA-wait) in exchange for accelerator time on the
+	// DPU and decompression CPU on the host (extension; see ablations).
+	EnableCompression bool
+}
+
+// DefaultProxyConfig returns the proxy defaults used in the experiments.
+func DefaultProxyConfig() ProxyConfig {
+	return ProxyConfig{
+		SerializeCyclesPerByte: 0.25,
+		StageCyclesPerByte:     0.5,
+		CooldownPeriod:         5 * sim.Second,
+		ProbeBytes:             64 << 10,
+		ControlCallCycles:      10_000,
+	}
+}
+
+func (c ProxyConfig) withDefaults() ProxyConfig {
+	d := DefaultProxyConfig()
+	if c.SerializeCyclesPerByte == 0 {
+		c.SerializeCyclesPerByte = d.SerializeCyclesPerByte
+	}
+	if c.StageCyclesPerByte == 0 {
+		c.StageCyclesPerByte = d.StageCyclesPerByte
+	}
+	if c.CooldownPeriod == 0 {
+		c.CooldownPeriod = d.CooldownPeriod
+	}
+	if c.ProbeBytes == 0 {
+		c.ProbeBytes = d.ProbeBytes
+	}
+	if c.ControlCallCycles == 0 {
+		c.ControlCallCycles = d.ControlCallCycles
+	}
+	return c
+}
+
+// Breakdown is the per-phase latency accounting behind the paper's Table 3
+// and Figure 9, accumulated over all completed write requests.
+type Breakdown struct {
+	Requests  int64
+	HostWrite sim.Duration // host BlueStore submit -> commit
+	DMA       sim.Duration // engine copy time across all segments
+	DMAWait   sim.Duration // staging-buffer wait + engine queue wait
+}
+
+// Avg returns the average per-request phase durations.
+func (b Breakdown) Avg() (hostWrite, dma, dmaWait sim.Duration) {
+	if b.Requests == 0 {
+		return 0, 0, 0
+	}
+	n := sim.Duration(b.Requests)
+	return b.HostWrite / n, b.DMA / n, b.DMAWait / n
+}
+
+// ProxyStats counts proxy activity.
+type ProxyStats struct {
+	DataPlaneTxns    int64
+	FallbackTxns     int64 // whole transactions routed over RPC (cooldown)
+	FallbackSegments int64 // segments resent over RPC after DMA errors
+	ControlCalls     int64
+	Reads            int64
+	ReadFallbacks    int64
+	Probes           int64
+	ProbeFailures    int64
+	CooldownEntries  int64
+}
+
+// Proxy is the DPU-side ProxyObjectStore. It implements objstore.Store, so
+// the unmodified OSD uses it exactly like a local BlueStore (paper §3.1:
+// "DoCeph leverages this modularity by overriding the ObjectStore
+// interface").
+type Proxy struct {
+	env *sim.Env
+	dev *dpu.DPU
+	cfg ProxyConfig
+
+	rpc     *rpcchan.Endpoint // DPU end of the control channel
+	engUp   *doca.Engine      // DPU -> host
+	engDown *doca.Engine      // host -> DPU
+	comp    *doca.CompressionEngine
+	cc      *doca.CommChannel
+	dpuMR   *doca.MemRegion
+	hostMR  *doca.MemRegion
+
+	thProxy *sim.Thread
+
+	nextReq      uint64
+	nextTxnSeq   uint64
+	pendingTxns  map[uint64]*pendingTxn
+	pendingReads map[uint64]*pendingRead
+
+	// cooldown state (paper §4): dmaHealthy gates the data plane; after
+	// cooldownUntil passes, the next request probes before re-enabling.
+	dmaHealthy    bool
+	cooldownUntil sim.Time
+
+	breakdown Breakdown
+	stats     ProxyStats
+}
+
+type pendingTxn struct {
+	done          *sim.Event
+	code          uint16
+	hostWriteNano int64
+}
+
+type pendingRead struct {
+	done  *sim.Event
+	segs  map[int]*wire.Bufferlist
+	total int
+	code  uint16
+}
+
+// NewProxy builds the DPU-side proxy. rpcEnd is the DPU endpoint of the
+// control channel; engUp/engDown are the DMA engines for the two
+// directions; dpuMR/hostMR are the staging regions (negotiated lazily via
+// cc, or per-segment when the MR cache is disabled).
+func NewProxy(env *sim.Env, dev *dpu.DPU, rpcEnd *rpcchan.Endpoint,
+	cc *doca.CommChannel, engUp, engDown *doca.Engine,
+	dpuMR, hostMR *doca.MemRegion, cfg ProxyConfig) *Proxy {
+	px := &Proxy{
+		env: env, dev: dev, cfg: cfg.withDefaults(),
+		rpc: rpcEnd, engUp: engUp, engDown: engDown, cc: cc,
+		dpuMR: dpuMR, hostMR: hostMR,
+		thProxy:      sim.NewThread("proxy@"+dev.Name, ProxyThreadCat),
+		pendingTxns:  make(map[uint64]*pendingTxn),
+		pendingReads: make(map[uint64]*pendingRead),
+		dmaHealthy:   true,
+	}
+	if px.cfg.EnableCompression {
+		px.comp = doca.NewCompressionEngine(env, doca.CompressionEngineConfig{})
+	}
+	rpcEnd.Handle(opTxnDone, px.onTxnDone)
+	rpcEnd.Handle(opReadDone, px.onReadDone)
+	env.SpawnDaemon("dpu-dma-poll@"+dev.Name, func(p *sim.Proc) { px.downPollLoop(p) })
+	return px
+}
+
+// Stats returns a copy of the proxy counters.
+func (px *Proxy) Stats() ProxyStats { return px.stats }
+
+// BreakdownSnapshot returns the accumulated latency breakdown.
+func (px *Proxy) BreakdownSnapshot() Breakdown { return px.breakdown }
+
+// ResetBreakdown clears the latency accounting (benchmark warmup).
+func (px *Proxy) ResetBreakdown() { px.breakdown = Breakdown{} }
+
+// DMAHealthy reports whether the data plane currently uses DMA.
+func (px *Proxy) DMAHealthy() bool { return px.dmaHealthy }
+
+// Compression returns the DPU compression accelerator, or nil when
+// transport compression is disabled.
+func (px *Proxy) Compression() *doca.CompressionEngine { return px.comp }
+
+// ensureRegions makes both regions usable for DMA: once per lifetime with
+// the MR cache, per call without it.
+func (px *Proxy) ensureRegions(p *sim.Proc) {
+	if !px.cfg.DisableMRCache && px.dpuMR.Exported() && px.hostMR.Exported() {
+		return
+	}
+	px.cc.Negotiate(p, px.dpuMR)
+	px.cc.Negotiate(p, px.hostMR)
+}
+
+// dmaAllowed implements the cooldown gate: healthy -> yes; in cooldown ->
+// no; cooldown expired -> run a probe transfer and decide.
+func (px *Proxy) dmaAllowed(p *sim.Proc) bool {
+	if px.dmaHealthy {
+		return true
+	}
+	if p.Now() < px.cooldownUntil {
+		return false
+	}
+	// Probe (paper §4: "a small test DMA transfer to determine whether the
+	// DMA path can be safely reactivated").
+	px.stats.Probes++
+	px.ensureRegions(p)
+	t := &doca.Transfer{Bytes: px.cfg.ProbeBytes, Src: px.dpuMR, Dst: px.hostMR,
+		Tag: segHeader{kind: segProbe}}
+	if err := px.engUp.Submit(p, px.dev.CPU, t); err != nil {
+		px.enterCooldown(p)
+		return false
+	}
+	t.Done.Wait(p)
+	if t.Err != nil {
+		px.stats.ProbeFailures++
+		px.enterCooldown(p)
+		return false
+	}
+	px.dmaHealthy = true
+	return true
+}
+
+func (px *Proxy) enterCooldown(p *sim.Proc) {
+	if px.dmaHealthy {
+		px.stats.CooldownEntries++
+	}
+	px.dmaHealthy = false
+	px.cooldownUntil = p.Now().Add(px.cfg.CooldownPeriod)
+}
+
+// QueueTransaction implements objstore.Store: the write data plane. The
+// payload is serialized on the DPU, cut into <=2 MB segments, staged into
+// DMA buffers and shipped to the host, where the BlueStore server commits
+// it; Done fires only after the host acknowledges durability (preserving
+// write-through semantics).
+func (px *Proxy) QueueTransaction(p *sim.Proc, txn *objstore.Transaction) *objstore.Result {
+	res := &objstore.Result{Done: sim.NewEvent(px.env)}
+	// Serialize on the submitting DPU thread (tp_osd_tp on the DPU). The
+	// frame references payload segments zero-copy; the CPU cost of the
+	// memcpy a real implementation would do is still charged below.
+	payload := txn.EncodeBL()
+	px.dev.CPU.ExecSelf(p, int64(float64(payload.Length())*px.cfg.SerializeCyclesPerByte))
+
+	px.nextReq++
+	reqID := px.nextReq
+	px.nextTxnSeq++
+	txnSeq := px.nextTxnSeq
+	pt := &pendingTxn{done: sim.NewEvent(px.env)}
+	px.pendingTxns[reqID] = pt
+
+	useDMA := px.dmaAllowed(p)
+	if useDMA {
+		px.stats.DataPlaneTxns++
+	} else {
+		px.stats.FallbackTxns++
+	}
+	px.env.Spawn(fmt.Sprintf("proxy-tx:%d", reqID), func(tp *sim.Proc) {
+		tp.SetThread(px.thProxy)
+		if useDMA {
+			px.shipViaDMA(tp, reqID, txnSeq, payload)
+		} else {
+			px.shipViaRPC(tp, reqID, txnSeq, payload, 0)
+		}
+		// Wait for the host commit notification.
+		pt.done.Wait(tp)
+		res.Err = codeToErr(pt.code)
+		px.breakdown.Requests++
+		px.breakdown.HostWrite += sim.Duration(pt.hostWriteNano)
+		delete(px.pendingTxns, reqID)
+		res.Done.Fire()
+	})
+	return res
+}
+
+// shipViaDMA cuts payload into segments and pipelines stage+transfer. On a
+// segment error the completed segments are preserved and the rest falls
+// back to RPC (paper §4).
+func (px *Proxy) shipViaDMA(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Bufferlist) {
+	segBytes := px.dev.Buffers.BufferBytes()
+	if max := px.engUp.Config().MaxTransferBytes; segBytes > max {
+		segBytes = max
+	}
+	total := int((int64(payload.Length()) + segBytes - 1) / segBytes)
+	if total == 0 {
+		total = 1
+	}
+	px.ensureRegions(p)
+
+	type segState struct {
+		idx int
+		t   *doca.Transfer
+	}
+	inflight := make([]*segState, 0, total)
+	failedFrom := -1
+	// dmaStart..dmaEnd bounds the request's DMA phase on the wall clock;
+	// DMA-wait is that span minus the actual copy time (Table 3's "waiting
+	// time that occurs due to serial DMA transfers", including staging-
+	// buffer waits).
+	dmaStart := p.Now()
+	var dmaEnd sim.Time
+	var copySum sim.Duration
+	for i := 0; i < total; i++ {
+		off := int64(i) * segBytes
+		n := int64(payload.Length()) - off
+		if n > segBytes {
+			n = segBytes
+		}
+		// Staging: wait for a free DMA-capable buffer, then memcpy.
+		px.dev.Buffers.Acquire(p)
+		px.dev.CPU.Exec(p, px.thProxy, int64(float64(n)*px.cfg.StageCyclesPerByte))
+		if px.cfg.DisableMRCache {
+			px.cc.Negotiate(p, px.hostMR)
+		}
+		var data *wire.Bufferlist
+		if payload.Length() > 0 {
+			data = payload.SubList(int(off), int(n))
+		} else {
+			data = &wire.Bufferlist{}
+		}
+		wireBytes := n
+		if px.comp != nil {
+			wireBytes = px.comp.Compress(p, px.dev.CPU, n)
+		}
+		t := &doca.Transfer{
+			ReqID: reqID, Seg: i, TotalSegs: total, Bytes: wireBytes, Data: data,
+			Src: px.dpuMR, Dst: px.hostMR,
+			Tag: segHeader{kind: segTxn, reqID: reqID, seg: i, total: total, txnSeq: txnSeq},
+		}
+		if err := px.engUp.Submit(p, px.dev.CPU, t); err != nil {
+			px.dev.Buffers.Release()
+			failedFrom = i
+			break
+		}
+		st := &segState{idx: i, t: t}
+		inflight = append(inflight, st)
+		if !px.cfg.DisablePipeline {
+			// Release the buffer when the engine finishes with it; keep
+			// staging the next segment meanwhile.
+			px.env.Spawn(fmt.Sprintf("proxy-seg:%d/%d", reqID, i), func(sp *sim.Proc) {
+				st.t.Done.Wait(sp)
+				px.dev.Buffers.Release()
+			})
+		} else {
+			t.Done.Wait(p)
+			px.dev.Buffers.Release()
+		}
+	}
+	// Collect completions and account DMA time.
+	delivered := make([]bool, total)
+	anyErr := failedFrom >= 0
+	for _, st := range inflight {
+		st.t.Done.Wait(p)
+		copySum += st.t.CopyTime()
+		if st.t.CompletedAt > dmaEnd {
+			dmaEnd = st.t.CompletedAt
+		}
+		if st.t.Err != nil {
+			anyErr = true
+		} else {
+			delivered[st.idx] = true
+		}
+	}
+	px.breakdown.DMA += copySum
+	if wait := dmaEnd.Sub(dmaStart) - copySum; wait > 0 {
+		px.breakdown.DMAWait += wait
+	}
+	if anyErr {
+		// Preserve completed segments ("previously completed segments are
+		// preserved to avoid redundant transmission", §4); resend only the
+		// failed and never-attempted ones over RPC, then cool down.
+		px.enterCooldown(p)
+		for i := 0; i < total; i++ {
+			if delivered[i] {
+				continue
+			}
+			off := int64(i) * segBytes
+			n := int64(payload.Length()) - off
+			if n > segBytes {
+				n = segBytes
+			}
+			px.stats.FallbackSegments++
+			sub := payload.SubList(int(off), int(n))
+			if _, err := px.rpc.Call(p, opSegFallback,
+				encodeSegFallback(reqID, txnSeq, i, total, sub)); err != nil {
+				// The control channel is the last resort; surface loudly.
+				panic(fmt.Sprintf("core: RPC fallback failed for req %d: %v", reqID, err))
+			}
+		}
+	}
+}
+
+// shipViaRPC sends payload segments over the control channel starting at
+// segment fromSeg (0 = whole request, the cooldown path).
+func (px *Proxy) shipViaRPC(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Bufferlist, fromSeg int) {
+	segBytes := px.dev.Buffers.BufferBytes()
+	total := int((int64(payload.Length()) + segBytes - 1) / segBytes)
+	if total == 0 {
+		total = 1
+	}
+	for i := fromSeg; i < total; i++ {
+		off := int64(i) * segBytes
+		n := int64(payload.Length()) - off
+		if n > segBytes {
+			n = segBytes
+		}
+		var sub *wire.Bufferlist
+		if payload.Length() > 0 {
+			sub = payload.SubList(int(off), int(n))
+		} else {
+			sub = &wire.Bufferlist{}
+		}
+		if _, err := px.rpc.Call(p, opSegFallback,
+			encodeSegFallback(reqID, txnSeq, i, total, sub)); err != nil {
+			panic(fmt.Sprintf("core: RPC ship failed for req %d: %v", reqID, err))
+		}
+	}
+}
+
+// onTxnDone handles the host's commit notification.
+func (px *Proxy) onTxnDone(p *sim.Proc, req *rpcchan.Request,
+	respond func(*wire.Bufferlist, uint16)) {
+	respond(nil, 0) // notify: no-op
+	reqID, code, hostNanos, err := decodeTxnDone(req.Payload)
+	if err != nil {
+		panic("core: corrupt txn-done notification")
+	}
+	if pt, ok := px.pendingTxns[reqID]; ok {
+		pt.code = code
+		pt.hostWriteNano = hostNanos
+		pt.done.Fire()
+	}
+}
+
+// Read implements objstore.Store: the symmetric read data plane (§5.5).
+// The request descriptor travels to the host via DMA; the host stages the
+// object data and DMAs it back in <=2 MB segments which the DPU-side
+// poller reassembles.
+func (px *Proxy) Read(p *sim.Proc, coll, obj string, off, length uint64) (*wire.Bufferlist, error) {
+	px.nextReq++
+	reqID := px.nextReq
+	pr := &pendingRead{done: sim.NewEvent(px.env), segs: make(map[int]*wire.Bufferlist), total: -1}
+	px.pendingReads[reqID] = pr
+	defer delete(px.pendingReads, reqID)
+
+	desc := (&readReq{ReqID: reqID, Coll: coll, Object: obj, Off: off, Length: length}).encode()
+	if px.dmaAllowed(p) {
+		px.stats.Reads++
+		px.ensureRegions(p)
+		t := &doca.Transfer{
+			ReqID: reqID, TotalSegs: 1, Bytes: int64(desc.Length()), Data: desc,
+			Src: px.dpuMR, Dst: px.hostMR,
+			Tag: segHeader{kind: segReadReq, reqID: reqID, total: 1},
+		}
+		if err := px.engUp.Submit(p, px.dev.CPU, t); err != nil {
+			return nil, err
+		}
+		t.Done.Wait(p)
+		if t.Err != nil {
+			px.enterCooldown(p)
+			return px.readViaRPC(p, desc)
+		}
+		pr.done.Wait(p)
+		if err := codeToErr(pr.code); err != nil {
+			return nil, err
+		}
+		out := &wire.Bufferlist{}
+		for i := 0; i < pr.total; i++ {
+			out.AppendBufferlist(pr.segs[i])
+		}
+		return out, nil
+	}
+	return px.readViaRPC(p, desc)
+}
+
+func (px *Proxy) readViaRPC(p *sim.Proc, desc *wire.Bufferlist) (*wire.Bufferlist, error) {
+	px.stats.ReadFallbacks++
+	resp, err := px.rpc.Call(p, opReadFallback, desc)
+	if err != nil {
+		if ce, ok := err.(rpcchan.CallError); ok {
+			return nil, codeToErr(ce.Code)
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// downPollLoop is the DPU-side poller consuming host->DPU DMA completions
+// (read data segments).
+func (px *Proxy) downPollLoop(p *sim.Proc) {
+	th := sim.NewThread("dpu-dma-poll", ProxyThreadCat)
+	p.SetThread(th)
+	for {
+		t := px.engDown.Completions().Pop(p)
+		hdr, ok := t.Tag.(segHeader)
+		if !ok || hdr.kind != segReadData {
+			continue
+		}
+		px.dev.CPU.Exec(p, th, 4_000)
+		pr, ok := px.pendingReads[hdr.reqID]
+		if !ok {
+			continue
+		}
+		if t.Err != nil {
+			pr.code = rcIO
+			pr.done.Fire()
+			continue
+		}
+		pr.segs[hdr.seg] = t.Data
+		pr.total = hdr.total
+		if len(pr.segs) == pr.total {
+			pr.done.Fire()
+		}
+	}
+}
+
+// onReadDone handles the host's read-completion notification (errors and
+// zero-length reads, which produce no data segments).
+func (px *Proxy) onReadDone(p *sim.Proc, req *rpcchan.Request,
+	respond func(*wire.Bufferlist, uint16)) {
+	respond(nil, 0)
+	reqID, code, total, err := decodeReadDone(req.Payload)
+	if err != nil {
+		panic("core: corrupt read-done notification")
+	}
+	pr, ok := px.pendingReads[reqID]
+	if !ok {
+		return
+	}
+	if code != rcOK || total == 0 {
+		pr.code = code
+		pr.total = 0
+		pr.done.Fire()
+	}
+}
+
+// Stat implements objstore.Store over the control plane.
+func (px *Proxy) Stat(p *sim.Proc, coll, obj string) (objstore.StatInfo, error) {
+	px.stats.ControlCalls++
+	px.dev.CPU.ExecSelf(p, px.cfg.ControlCallCycles)
+	resp, err := px.rpc.Call(p, opStat, encodeObjRef(coll, obj))
+	if err != nil {
+		if ce, ok := err.(rpcchan.CallError); ok {
+			return objstore.StatInfo{}, codeToErr(ce.Code)
+		}
+		return objstore.StatInfo{}, err
+	}
+	return decodeStatResp(resp)
+}
+
+// Exists implements objstore.Store over the control plane.
+func (px *Proxy) Exists(p *sim.Proc, coll, obj string) bool {
+	px.stats.ControlCalls++
+	px.dev.CPU.ExecSelf(p, px.cfg.ControlCallCycles)
+	resp, err := px.rpc.Call(p, opExists, encodeObjRef(coll, obj))
+	if err != nil {
+		return false
+	}
+	return resp.Length() == 1 && resp.Bytes()[0] == 1
+}
+
+// OmapGet implements objstore.Store over the control plane.
+func (px *Proxy) OmapGet(p *sim.Proc, coll, obj, key string) ([]byte, error) {
+	px.stats.ControlCalls++
+	px.dev.CPU.ExecSelf(p, px.cfg.ControlCallCycles)
+	resp, err := px.rpc.Call(p, opOmapGet, encodeOmapRef(coll, obj, key))
+	if err != nil {
+		if ce, ok := err.(rpcchan.CallError); ok {
+			return nil, codeToErr(ce.Code)
+		}
+		return nil, err
+	}
+	return resp.Bytes(), nil
+}
+
+// OmapKeys implements objstore.Store over the control plane.
+func (px *Proxy) OmapKeys(p *sim.Proc, coll, obj string) ([]string, error) {
+	px.stats.ControlCalls++
+	px.dev.CPU.ExecSelf(p, px.cfg.ControlCallCycles)
+	resp, err := px.rpc.Call(p, opOmapKeys, encodeObjRef(coll, obj))
+	if err != nil {
+		if ce, ok := err.(rpcchan.CallError); ok {
+			return nil, codeToErr(ce.Code)
+		}
+		return nil, err
+	}
+	return decodeList(resp)
+}
+
+// List implements objstore.Store over the control plane.
+func (px *Proxy) List(p *sim.Proc, coll string) ([]string, error) {
+	px.stats.ControlCalls++
+	px.dev.CPU.ExecSelf(p, px.cfg.ControlCallCycles)
+	resp, err := px.rpc.Call(p, opList, encodeObjRef(coll, ""))
+	if err != nil {
+		if ce, ok := err.(rpcchan.CallError); ok {
+			return nil, codeToErr(ce.Code)
+		}
+		return nil, err
+	}
+	return decodeList(resp)
+}

@@ -1,0 +1,19 @@
+package crush
+
+import "testing"
+
+func BenchmarkSelectReplica3(b *testing.B) {
+	m := BuildUniform(16, 8, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Select(uint32(i), 3)
+	}
+}
+
+func BenchmarkSelectLargeCluster(b *testing.B) {
+	m := BuildUniform(64, 16, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Select(uint32(i), 3)
+	}
+}

@@ -1,0 +1,354 @@
+package crush
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectDeterministic(t *testing.T) {
+	m := BuildUniform(3, 2, 1.0)
+	for x := uint32(0); x < 50; x++ {
+		a := m.Select(x, 2)
+		b := m.Select(x, 2)
+		if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("x=%d a=%v b=%v", x, a, b)
+		}
+	}
+}
+
+func hostOf(osd ItemID, osdsPerHost int) int { return int(osd) / osdsPerHost }
+
+func TestSelectDistinctHosts(t *testing.T) {
+	m := BuildUniform(4, 3, 1.0)
+	for x := uint32(0); x < 500; x++ {
+		got := m.Select(x, 3)
+		if len(got) != 3 {
+			t.Fatalf("x=%d got=%v", x, got)
+		}
+		hosts := map[int]bool{}
+		for _, o := range got {
+			hosts[hostOf(o, 3)] = true
+		}
+		if len(hosts) != 3 {
+			t.Fatalf("x=%d replicas share a host: %v", x, got)
+		}
+	}
+}
+
+func TestSelectDistinctOSDs(t *testing.T) {
+	m := BuildUniform(5, 1, 1.0)
+	for x := uint32(0); x < 500; x++ {
+		got := m.Select(x, 3)
+		seen := map[ItemID]bool{}
+		for _, o := range got {
+			if seen[o] {
+				t.Fatalf("x=%d duplicate osd in %v", x, got)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+func TestDistributionRoughlyUniform(t *testing.T) {
+	m := BuildUniform(4, 2, 1.0)
+	counts := map[ItemID]int{}
+	const trials = 8000
+	for x := uint32(0); x < trials; x++ {
+		for _, o := range m.Select(x, 2) {
+			counts[o]++
+		}
+	}
+	expect := float64(trials*2) / 8
+	for osd, c := range counts {
+		if math.Abs(float64(c)-expect)/expect > 0.15 {
+			t.Fatalf("osd %d count %d, expected ~%.0f (+-15%%)", osd, c, expect)
+		}
+	}
+}
+
+func TestDistributionFollowsWeights(t *testing.T) {
+	m := NewMap()
+	root := &Bucket{ID: -1, Name: "root", Type: "root"}
+	_ = m.AddBucket(root)
+	h := &Bucket{ID: -2, Name: "h", Type: "host"}
+	_ = m.AddBucket(h)
+	root.Items = append(root.Items, h.ID)
+	_ = m.AddDevice(&Device{ID: 0, Weight: 1.0})
+	_ = m.AddDevice(&Device{ID: 1, Weight: 3.0})
+	h.Items = append(h.Items, 0, 1)
+	counts := map[ItemID]int{}
+	const trials = 20000
+	for x := uint32(0); x < trials; x++ {
+		counts[m.Select(x, 1)[0]]++
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("weight-3 device got %.2fx the weight-1 device, want ~3x", ratio)
+	}
+}
+
+func TestMarkOutExcludesDevice(t *testing.T) {
+	m := BuildUniform(3, 1, 1.0)
+	if err := m.MarkOut(1); err != nil {
+		t.Fatal(err)
+	}
+	for x := uint32(0); x < 300; x++ {
+		for _, o := range m.Select(x, 2) {
+			if o == 1 {
+				t.Fatalf("x=%d placed on out device", x)
+			}
+		}
+	}
+	if err := m.MarkIn(1); err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for x := uint32(0); x < 300 && !seen; x++ {
+		for _, o := range m.Select(x, 2) {
+			seen = seen || o == 1
+		}
+	}
+	if !seen {
+		t.Fatal("marked-in device never selected")
+	}
+}
+
+func TestZeroWeightExcluded(t *testing.T) {
+	m := BuildUniform(3, 1, 1.0)
+	if err := m.SetDeviceWeight(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for x := uint32(0); x < 300; x++ {
+		for _, o := range m.Select(x, 2) {
+			if o == 0 {
+				t.Fatal("zero-weight device selected")
+			}
+		}
+	}
+}
+
+// Minimal movement: marking one device out only moves (a) replicas that
+// lived on it, (b) a share of its host's sibling data (the host bucket's
+// weight shrank), and (c) rare knock-on moves from the distinct-host
+// constraint. Data on unrelated hosts must stay put almost entirely.
+func TestStabilityOnDeviceOut(t *testing.T) {
+	const osdsPerHost = 2
+	m := BuildUniform(5, osdsPerHost, 1.0)
+	const pgs = 400
+	before := make([][]ItemID, pgs)
+	for x := 0; x < pgs; x++ {
+		before[x] = m.Select(uint32(x), 2)
+	}
+	const failed = ItemID(3)
+	failedHost := hostOf(failed, osdsPerHost)
+	if err := m.MarkOut(failed); err != nil {
+		t.Fatal(err)
+	}
+	movedOther, totalOther := 0, 0
+	for x := 0; x < pgs; x++ {
+		after := m.Select(uint32(x), 2)
+		afterSet := map[ItemID]bool{}
+		for _, o := range after {
+			afterSet[o] = true
+			if o == failed {
+				t.Fatalf("x=%d still placed on out device", x)
+			}
+		}
+		for _, o := range before[x] {
+			if o == failed || hostOf(o, osdsPerHost) == failedHost {
+				continue
+			}
+			totalOther++
+			if !afterSet[o] {
+				movedOther++
+			}
+		}
+	}
+	// straw2 independence: replicas on unaffected hosts move only via
+	// distinct-host knock-on, which should be a few percent at most.
+	if float64(movedOther) > 0.08*float64(totalOther) {
+		t.Fatalf("%d of %d replicas on unaffected hosts moved", movedOther, totalOther)
+	}
+}
+
+func TestSelectUnsatisfiable(t *testing.T) {
+	m := BuildUniform(2, 2, 1.0) // only 2 hosts
+	got := m.Select(7, 3)
+	if len(got) != 2 {
+		t.Fatalf("want 2 placements on 2 hosts, got %v", got)
+	}
+}
+
+func TestEmptyMap(t *testing.T) {
+	m := NewMap()
+	if got := m.Select(1, 2); got != nil {
+		t.Fatalf("got=%v", got)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	m := NewMap()
+	if err := m.AddBucket(&Bucket{ID: 5}); err == nil {
+		t.Fatal("positive bucket id accepted")
+	}
+	if err := m.AddDevice(&Device{ID: -1}); err == nil {
+		t.Fatal("negative device id accepted")
+	}
+	if err := m.AddBucket(&Bucket{ID: -1, Type: "root"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddBucket(&Bucket{ID: -1}); err == nil {
+		t.Fatal("duplicate bucket accepted")
+	}
+	if err := m.AddDevice(&Device{ID: 0, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddDevice(&Device{ID: 0, Weight: 1}); err == nil {
+		t.Fatal("duplicate device accepted")
+	}
+	if err := m.SetDeviceWeight(99, 1); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if err := m.MarkOut(99); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestDevicesSorted(t *testing.T) {
+	m := BuildUniform(2, 3, 1.0)
+	ids := m.Devices()
+	if len(ids) != 6 {
+		t.Fatalf("ids=%v", ids)
+	}
+	for i, id := range ids {
+		if id != ItemID(i) {
+			t.Fatalf("ids=%v", ids)
+		}
+	}
+}
+
+func TestHash3Avalanche(t *testing.T) {
+	// Flipping one input bit should flip ~half the output bits on average.
+	totalFlips := 0
+	const samples = 200
+	for i := 0; i < samples; i++ {
+		a := uint32(i * 2654435761)
+		h1 := hash3(a, 1, 2)
+		h2 := hash3(a^1, 1, 2)
+		x := h1 ^ h2
+		for x != 0 {
+			totalFlips += int(x & 1)
+			x >>= 1
+		}
+	}
+	avg := float64(totalFlips) / samples
+	if avg < 10 || avg > 22 {
+		t.Fatalf("avalanche avg bit flips = %.1f, want ~16", avg)
+	}
+}
+
+func TestQuickSelectAlwaysValidDevices(t *testing.T) {
+	m := BuildUniform(4, 4, 1.0)
+	f := func(x uint32, n uint8) bool {
+		k := int(n%4) + 1
+		got := m.Select(x, k)
+		if len(got) != k {
+			return false
+		}
+		for _, o := range got {
+			if m.Device(o) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildWithAlg(alg BucketAlg, weights []float64) *Map {
+	m := NewMap()
+	root := &Bucket{ID: -1, Name: "root", Type: "root"}
+	_ = m.AddBucket(root)
+	h := &Bucket{ID: -2, Name: "h", Type: "host", Alg: alg}
+	_ = m.AddBucket(h)
+	root.Items = append(root.Items, h.ID)
+	for i, w := range weights {
+		_ = m.AddDevice(&Device{ID: ItemID(i), Weight: w})
+		h.Items = append(h.Items, ItemID(i))
+	}
+	return m
+}
+
+func TestUniformBucketDistribution(t *testing.T) {
+	m := buildWithAlg(AlgUniform, []float64{1, 1, 1, 1})
+	counts := map[ItemID]int{}
+	const trials = 8000
+	for x := uint32(0); x < trials; x++ {
+		got := m.Select(x, 1)
+		if len(got) != 1 {
+			t.Fatalf("x=%d got=%v", x, got)
+		}
+		counts[got[0]]++
+	}
+	for id, c := range counts {
+		if c < trials/4-trials/20 || c > trials/4+trials/20 {
+			t.Fatalf("uniform skew: item %d count %d", id, c)
+		}
+	}
+}
+
+func TestUniformBucketRejectsZeroWeight(t *testing.T) {
+	m := buildWithAlg(AlgUniform, []float64{1, 0, 1, 1})
+	for x := uint32(0); x < 500; x++ {
+		for _, id := range m.Select(x, 1) {
+			if id == 1 {
+				t.Fatal("zero-weight item selected from uniform bucket")
+			}
+		}
+	}
+}
+
+func TestListBucketFollowsWeights(t *testing.T) {
+	m := buildWithAlg(AlgList, []float64{1, 3})
+	counts := map[ItemID]int{}
+	const trials = 20000
+	for x := uint32(0); x < trials; x++ {
+		counts[m.Select(x, 1)[0]]++
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("list bucket ratio=%.2f want ~3", ratio)
+	}
+}
+
+func TestListBucketAppendStability(t *testing.T) {
+	// Appending an item to a list bucket must only move data TO the new
+	// item, never between the existing ones.
+	m := buildWithAlg(AlgList, []float64{1, 1, 1})
+	const trials = 4000
+	before := make([]ItemID, trials)
+	for x := 0; x < trials; x++ {
+		before[x] = m.Select(uint32(x), 1)[0]
+	}
+	_ = m.AddDevice(&Device{ID: 3, Weight: 1})
+	m.buckets[-2].Items = append(m.buckets[-2].Items, 3)
+	movedBetween := 0
+	for x := 0; x < trials; x++ {
+		after := m.Select(uint32(x), 1)[0]
+		if after != before[x] && after != 3 {
+			movedBetween++
+		}
+	}
+	if movedBetween > 0 {
+		t.Fatalf("%d placements moved between existing items", movedBetween)
+	}
+}
+
+func TestBucketAlgStrings(t *testing.T) {
+	if AlgStraw2.String() != "straw2" || AlgUniform.String() != "uniform" || AlgList.String() != "list" {
+		t.Fatal("alg strings")
+	}
+}

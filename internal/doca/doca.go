@@ -1,0 +1,349 @@
+// Package doca emulates the two NVIDIA DOCA facilities DoCeph builds on
+// (paper §3.2):
+//
+//   - CommChannel: the negotiation API that exports host memory regions to
+//     the DPU before DMA can target them. Negotiations cost a PCIe round
+//     trip plus CPU on both sides, which is why DoCeph caches established
+//     regions instead of renegotiating per transfer.
+//   - Engine: the DMA engine moving data between DPU and host memory with
+//     the documented ~2 MB per-transfer limit, a per-transfer setup cost,
+//     completion by polling, and hooks for error injection (exercised by
+//     DoCeph's fallback/cooldown machinery).
+//
+// Transfers carry real wire.Bufferlist payloads, so data integrity across
+// the PCIe path is checked end-to-end by the tests.
+package doca
+
+import (
+	"errors"
+	"fmt"
+
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+// Errors returned by the engine.
+var (
+	// ErrTooLarge rejects transfers above the hardware segment limit.
+	ErrTooLarge = errors.New("doca: transfer exceeds max DMA size")
+	// ErrTransferFailed marks an injected or simulated DMA failure.
+	ErrTransferFailed = errors.New("doca: DMA transfer failed")
+	// ErrNotExported rejects DMA against a region that was never
+	// negotiated over the CommChannel.
+	ErrNotExported = errors.New("doca: memory region not exported")
+)
+
+// MemRegion is a host- or DPU-side memory region that must be exported via
+// CommChannel negotiation before the engine may target it.
+type MemRegion struct {
+	Name     string
+	Bytes    int64
+	exported bool
+}
+
+// NewMemRegion returns an unexported region.
+func NewMemRegion(name string, bytes int64) *MemRegion {
+	return &MemRegion{Name: name, Bytes: bytes}
+}
+
+// Exported reports whether the region has been negotiated.
+func (r *MemRegion) Exported() bool { return r.exported }
+
+// CommChannelConfig models the negotiation cost.
+type CommChannelConfig struct {
+	// RTT is the PCIe/driver round-trip of one negotiation.
+	RTT sim.Duration
+	// LocalCycles is charged on the negotiating (DPU) thread.
+	LocalCycles int64
+	// HostCycles is charged on the host thread that services the export.
+	HostCycles int64
+}
+
+// DefaultCommChannelConfig returns negotiation defaults (~40 us RTT).
+func DefaultCommChannelConfig() CommChannelConfig {
+	return CommChannelConfig{RTT: 40 * sim.Microsecond, LocalCycles: 20_000, HostCycles: 20_000}
+}
+
+// CommChannel is the control channel used to export memory regions.
+type CommChannel struct {
+	env     *sim.Env
+	cfg     CommChannelConfig
+	dpuCPU  *sim.CPU
+	hostCPU *sim.CPU
+	hostTh  *sim.Thread
+
+	negotiations int64
+}
+
+// NewCommChannel binds a channel between the DPU CPU and a host CPU; host
+// negotiation work is charged to hostTh.
+func NewCommChannel(env *sim.Env, dpuCPU, hostCPU *sim.CPU, hostTh *sim.Thread,
+	cfg CommChannelConfig) *CommChannel {
+	if cfg.RTT == 0 {
+		cfg = DefaultCommChannelConfig()
+	}
+	return &CommChannel{env: env, cfg: cfg, dpuCPU: dpuCPU, hostCPU: hostCPU, hostTh: hostTh}
+}
+
+// Negotiate exports region, blocking p (a DPU thread) for the negotiation
+// round trip. Re-negotiating an exported region is permitted (and counted:
+// the MR-cache ablation measures exactly this waste).
+func (cc *CommChannel) Negotiate(p *sim.Proc, region *MemRegion) {
+	cc.negotiations++
+	cc.dpuCPU.ExecSelf(p, cc.cfg.LocalCycles)
+	cc.hostCPU.Exec(p, cc.hostTh, cc.cfg.HostCycles)
+	p.Wait(cc.cfg.RTT)
+	region.exported = true
+}
+
+// Negotiations returns how many exports have been performed.
+func (cc *CommChannel) Negotiations() int64 { return cc.negotiations }
+
+// EngineConfig models the DMA hardware.
+type EngineConfig struct {
+	// MaxTransferBytes is the hardware per-transfer limit (~2 MB on
+	// BlueField-3, [10] in the paper).
+	MaxTransferBytes int64
+	// BytesPerSec is the sustained DMA copy rate across PCIe.
+	BytesPerSec float64
+	// SetupTime is the engine-side overhead of the FIRST segment of a
+	// request: CommChannel synchronization, descriptor setup and doorbell.
+	// The paper's Table 3 implies this is on the order of milliseconds
+	// (1 MB "DMA" time 2.8 ms at ~GB/s copy rates).
+	SetupTime sim.Duration
+	// ReuseSetupTime is the amortized per-segment overhead when the engine
+	// executes consecutive segments of the same request against an already
+	// established memory region (§3.3: "reusing pre-established memory
+	// regions instead of performing CommChannel negotiation for each
+	// transfer").
+	ReuseSetupTime sim.Duration
+	// SubmitCycles is charged on the submitting (DPU) thread per transfer.
+	SubmitCycles int64
+	// JitterPct randomizes each transfer's execution time uniformly within
+	// +-JitterPct/100 (seeded, deterministic per run). Real engines show
+	// substantial service-time variance (PCIe arbitration, cache effects);
+	// without it the two near-equal bottlenecks of the DoCeph write path
+	// (engine and disk) lock into artificial lockstep. Negative disables
+	// jitter entirely (exact-timing tests).
+	JitterPct float64
+	// Channels is the number of parallel DMA queue pairs. BlueField-3
+	// exposes several; the paper's deployment behaves like one (its
+	// serial-transfer analysis in §5.4), so 1 is the default. Requests are
+	// pinned to channels by id, preserving per-request ordering and the
+	// ReuseSetupTime amortization.
+	Channels int
+}
+
+// DefaultEngineConfig returns BlueField-3-like DMA parameters.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		MaxTransferBytes: 2 << 20,
+		BytesPerSec:      635e6,
+		SetupTime:        1600 * sim.Microsecond,
+		ReuseSetupTime:   400 * sim.Microsecond,
+		SubmitCycles:     6_000,
+		JitterPct:        25,
+	}
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	d := DefaultEngineConfig()
+	if c.MaxTransferBytes == 0 {
+		c.MaxTransferBytes = d.MaxTransferBytes
+	}
+	if c.BytesPerSec == 0 {
+		c.BytesPerSec = d.BytesPerSec
+	}
+	if c.SetupTime == 0 {
+		c.SetupTime = d.SetupTime
+	}
+	if c.ReuseSetupTime == 0 {
+		c.ReuseSetupTime = d.ReuseSetupTime
+	}
+	if c.SubmitCycles == 0 {
+		c.SubmitCycles = d.SubmitCycles
+	}
+	if c.JitterPct == 0 {
+		c.JitterPct = d.JitterPct
+	}
+	if c.Channels == 0 {
+		c.Channels = 1
+	}
+	return c
+}
+
+// Transfer is one DMA work request. Timing fields let callers decompose
+// latency exactly as the paper's Table 3 does: queue wait (StartedAt -
+// SubmittedAt) versus copy time (CompletedAt - StartedAt).
+type Transfer struct {
+	ReqID     uint64
+	Seg       int
+	TotalSegs int
+	Bytes     int64
+	Data      *wire.Bufferlist
+	Src, Dst  *MemRegion
+	// Tag carries caller context to the completion poller.
+	Tag interface{}
+
+	SubmittedAt sim.Time
+	StartedAt   sim.Time
+	CompletedAt sim.Time
+	Err         error
+	forceFail   bool
+
+	// Done fires on completion (success or failure); the submitter waits
+	// on it while the host side consumes the completion queue.
+	Done *sim.Event
+}
+
+// Wait returns the queueing delay the transfer experienced.
+func (t *Transfer) Wait() sim.Duration { return t.StartedAt.Sub(t.SubmittedAt) }
+
+// CopyTime returns the pure engine execution time.
+func (t *Transfer) CopyTime() sim.Duration { return t.CompletedAt.Sub(t.StartedAt) }
+
+// EngineStats counts engine activity.
+type EngineStats struct {
+	Transfers int64
+	Bytes     int64
+	Errors    int64
+	TotalWait sim.Duration
+	TotalCopy sim.Duration
+}
+
+// Engine is one DMA engine: a serial executor with per-request affinity —
+// pending segments of the request the engine just served are executed first
+// (hardware WQE batching per queue pair), which is what lets the
+// ReuseSetupTime amortization take effect under concurrency — plus a
+// completion queue consumed by the host's polling thread.
+type Engine struct {
+	env *sim.Env
+	cfg EngineConfig
+
+	channels    []*dmaChannel
+	completions *sim.Queue[*Transfer]
+
+	// failNext makes the next n submitted transfers fail (error-injection
+	// hook).
+	failNext int
+	// FailEvery injects a failure every n-th submission when > 0.
+	FailEvery int64
+	submitted int64
+
+	stats EngineStats
+}
+
+type dmaChannel struct {
+	pending []*Transfer
+	cond    *sim.Cond
+}
+
+// NewEngine creates an engine and spawns its execution process.
+func NewEngine(env *sim.Env, name string, cfg EngineConfig) *Engine {
+	e := &Engine{
+		env:         env,
+		cfg:         cfg.withDefaults(),
+		completions: sim.NewQueue[*Transfer](env),
+	}
+	for i := 0; i < e.cfg.Channels; i++ {
+		ch := &dmaChannel{cond: sim.NewCond(env)}
+		e.channels = append(e.channels, ch)
+		env.SpawnDaemon(fmt.Sprintf("dma-engine:%s/ch%d", name, i),
+			func(p *sim.Proc) { e.run(p, ch) })
+	}
+	return e
+}
+
+// Config returns the engine configuration (post-defaulting).
+func (e *Engine) Config() EngineConfig { return e.cfg }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// FailNext makes the next n submitted transfers fail (test/fallback hook).
+func (e *Engine) FailNext(n int) { e.failNext += n }
+
+// Submit validates and enqueues t, charging the submit cost to p's thread
+// on cpu. It returns immediately; wait on t.Done or consume Completions.
+func (e *Engine) Submit(p *sim.Proc, cpu *sim.CPU, t *Transfer) error {
+	if t.Bytes > e.cfg.MaxTransferBytes {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, t.Bytes, e.cfg.MaxTransferBytes)
+	}
+	if t.Src == nil || t.Dst == nil || !t.Src.Exported() || !t.Dst.Exported() {
+		return ErrNotExported
+	}
+	cpu.ExecSelf(p, e.cfg.SubmitCycles)
+	t.SubmittedAt = p.Now()
+	t.Done = sim.NewEvent(e.env)
+	e.submitted++
+	if e.failNext > 0 {
+		e.failNext--
+		t.forceFail = true
+	} else if e.FailEvery > 0 && e.submitted%e.FailEvery == 0 {
+		t.forceFail = true
+	}
+	ch := e.channels[int(t.ReqID)%len(e.channels)]
+	ch.pending = append(ch.pending, t)
+	ch.cond.Broadcast()
+	return nil
+}
+
+// next pops the channel's next transfer, preferring a pending segment of
+// the request the channel last executed (queue-pair affinity).
+func (ch *dmaChannel) next(p *sim.Proc, lastReq uint64, haveLast bool) *Transfer {
+	for len(ch.pending) == 0 {
+		ch.cond.Wait(p)
+	}
+	idx := 0
+	if haveLast {
+		for i, t := range ch.pending {
+			if t.ReqID == lastReq {
+				idx = i
+				break
+			}
+		}
+	}
+	t := ch.pending[idx]
+	ch.pending = append(ch.pending[:idx], ch.pending[idx+1:]...)
+	return t
+}
+
+// Completions is the queue the host-side polling thread consumes.
+func (e *Engine) Completions() *sim.Queue[*Transfer] { return e.completions }
+
+func (e *Engine) run(p *sim.Proc, ch *dmaChannel) {
+	var lastReq uint64
+	var haveLast bool
+	for {
+		t := ch.next(p, lastReq, haveLast)
+		t.StartedAt = p.Now()
+		fail := t.forceFail
+		setup := e.cfg.SetupTime
+		if haveLast && t.ReqID == lastReq && t.Seg > 0 {
+			setup = e.cfg.ReuseSetupTime
+		}
+		lastReq, haveLast = t.ReqID, true
+		copyTime := setup +
+			sim.Duration(float64(t.Bytes)/e.cfg.BytesPerSec*float64(sim.Second))
+		if e.cfg.JitterPct > 0 {
+			f := 1 + e.cfg.JitterPct/100*(2*e.env.Rand().Float64()-1)
+			copyTime = sim.Duration(float64(copyTime) * f)
+		}
+		if fail {
+			// A failed transfer burns part of its slot before the engine
+			// reports the error.
+			p.Wait(copyTime / 2)
+			t.Err = ErrTransferFailed
+			e.stats.Errors++
+		} else {
+			p.Wait(copyTime)
+			e.stats.Transfers++
+			e.stats.Bytes += t.Bytes
+		}
+		t.CompletedAt = p.Now()
+		e.stats.TotalWait += t.Wait()
+		e.stats.TotalCopy += t.CopyTime()
+		e.completions.Push(t)
+		t.Done.Fire()
+	}
+}

@@ -1,0 +1,338 @@
+// Package messenger models Ceph's AsyncMessenger: per-entity messengers
+// whose msgr-worker threads run epoll-style event loops, encode/decode and
+// checksum messages, and pay the TCP/IP kernel-stack costs (per-segment
+// syscalls, user/kernel copies, context switches) that the paper measures
+// as >80% of Ceph's CPU time (§2.3, Figure 5). Wire occupancy is modelled by
+// a sim.Fabric; per-connection FIFO ordering is preserved by a dedicated
+// wire process per direction.
+package messenger
+
+import (
+	"fmt"
+
+	"doceph/internal/cephmsg"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+// ThreadCat is the accounting category for messenger worker threads,
+// matching the paper's "msgr-worker-" perf pattern.
+const ThreadCat = "msgr-worker"
+
+// EnvelopeBytes approximates the msgr2 frame header + footer size.
+const EnvelopeBytes = 64
+
+// Config carries the messenger tunables and CPU cost model. Zero values are
+// replaced by defaults in New.
+type Config struct {
+	// Workers is the number of msgr-worker event-loop threads.
+	Workers int
+	// TCPSegmentBytes is the data moved per send/recv syscall.
+	TCPSegmentBytes int64
+	// SendSyscallCycles / RecvSyscallCycles are charged per syscall.
+	SendSyscallCycles int64
+	RecvSyscallCycles int64
+	// TxCopyCyclesPerByte / RxCopyCyclesPerByte model user/kernel buffer
+	// copies and TCP/IP stack traversal per byte.
+	TxCopyCyclesPerByte float64
+	RxCopyCyclesPerByte float64
+	// CRCCyclesPerByte models message checksumming (charged on both ends).
+	CRCCyclesPerByte float64
+	// EncodeCycles / DecodeCycles / DispatchCycles are per-message costs.
+	EncodeCycles   int64
+	DecodeCycles   int64
+	DispatchCycles int64
+	// SwitchesPerSend / SwitchesPerRecv record voluntary context switches
+	// per message (blocking socket wakeups).
+	SwitchesPerSend int64
+	SwitchesPerRecv int64
+	// BytesPerSwitch adds one voluntary switch per this many message bytes
+	// (socket-buffer-full blocking on large sends/recvs).
+	BytesPerSwitch int64
+	// WireEncode really serializes and re-parses every message (integrity
+	// at the cost of wall-clock speed); benchmarks leave it off and pass
+	// message pointers with size accounting only.
+	WireEncode bool
+}
+
+// DefaultConfig returns the cost model used by the experiments (calibration
+// rationale in EXPERIMENTS.md).
+func DefaultConfig() Config {
+	return Config{
+		Workers:             3,
+		TCPSegmentBytes:     64 << 10,
+		SendSyscallCycles:   9_000,
+		RecvSyscallCycles:   9_000,
+		TxCopyCyclesPerByte: 1.05,
+		RxCopyCyclesPerByte: 1.05,
+		CRCCyclesPerByte:    0.25,
+		EncodeCycles:        120_000,
+		DecodeCycles:        100_000,
+		DispatchCycles:      30_000,
+		SwitchesPerSend:     2,
+		SwitchesPerRecv:     2,
+		BytesPerSwitch:      288 << 10,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Workers == 0 {
+		c.Workers = d.Workers
+	}
+	if c.TCPSegmentBytes == 0 {
+		c.TCPSegmentBytes = d.TCPSegmentBytes
+	}
+	if c.SendSyscallCycles == 0 {
+		c.SendSyscallCycles = d.SendSyscallCycles
+	}
+	if c.RecvSyscallCycles == 0 {
+		c.RecvSyscallCycles = d.RecvSyscallCycles
+	}
+	if c.TxCopyCyclesPerByte == 0 {
+		c.TxCopyCyclesPerByte = d.TxCopyCyclesPerByte
+	}
+	if c.RxCopyCyclesPerByte == 0 {
+		c.RxCopyCyclesPerByte = d.RxCopyCyclesPerByte
+	}
+	if c.CRCCyclesPerByte == 0 {
+		c.CRCCyclesPerByte = d.CRCCyclesPerByte
+	}
+	if c.EncodeCycles == 0 {
+		c.EncodeCycles = d.EncodeCycles
+	}
+	if c.DecodeCycles == 0 {
+		c.DecodeCycles = d.DecodeCycles
+	}
+	if c.DispatchCycles == 0 {
+		c.DispatchCycles = d.DispatchCycles
+	}
+	if c.SwitchesPerSend == 0 {
+		c.SwitchesPerSend = d.SwitchesPerSend
+	}
+	if c.SwitchesPerRecv == 0 {
+		c.SwitchesPerRecv = d.SwitchesPerRecv
+	}
+	if c.BytesPerSwitch == 0 {
+		c.BytesPerSwitch = d.BytesPerSwitch
+	}
+	return c
+}
+
+// Stats counts a messenger's traffic.
+type Stats struct {
+	Sent      int64
+	Received  int64
+	BytesSent int64
+	BytesRecv int64
+}
+
+// Dispatcher receives decoded messages on a msgr-worker thread; it must not
+// block on slow operations (queue to a worker pool instead), mirroring
+// Ceph's fast-dispatch contract. p is the worker process, for CPU charging
+// by the handler if needed.
+type Dispatcher func(p *sim.Proc, src string, m cephmsg.Message)
+
+// Registry resolves entity names ("osd.0", "client.3", "mon.0") to their
+// messengers, standing in for address resolution + TCP connect.
+type Registry struct {
+	entities map[string]*Messenger
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{entities: make(map[string]*Messenger)} }
+
+// Lookup returns the messenger registered under name, or nil.
+func (r *Registry) Lookup(name string) *Messenger { return r.entities[name] }
+
+// Messenger is one entity's messaging endpoint: a set of worker event loops
+// on the entity's CPU plus per-peer wire processes on the fabric.
+type Messenger struct {
+	env      *sim.Env
+	cpu      *sim.CPU
+	fabric   *sim.Fabric
+	registry *Registry
+	cfg      Config
+
+	// name is the entity name; node is the fabric node the entity runs on.
+	name string
+	node string
+
+	workers    []*worker
+	nextWorker int
+	// conns maps peer entity -> owning worker and outbound wire queue.
+	conns    map[string]*conn
+	dispatch Dispatcher
+
+	stats Stats
+}
+
+type worker struct {
+	th *sim.Thread
+	q  *sim.Queue[workItem]
+}
+
+type conn struct {
+	worker *worker
+	wireq  *sim.Queue[frame]
+	// sendSeq stamps outbound frames; recvSeq verifies inbound order. A
+	// violated sequence means the per-connection FIFO invariant broke —
+	// that is a bug in the transport, so it panics loudly (Ceph would
+	// reset the session; the simulation has no packet loss to recover
+	// from).
+	sendSeq uint64
+	recvSeq uint64
+}
+
+type workItem struct {
+	recv  bool
+	peer  string
+	frame frame
+}
+
+type frame struct {
+	src   string
+	seq   uint64
+	msg   cephmsg.Message
+	bytes int64
+	wire  []byte // only when WireEncode
+}
+
+// New creates a messenger for entity name running on fabric node node,
+// charging CPU work to cpu, and registers it in registry. The node must
+// already be attached to the fabric.
+func New(env *sim.Env, registry *Registry, fabric *sim.Fabric, cpu *sim.CPU,
+	name, node string, cfg Config) *Messenger {
+	if !fabric.HasNode(node) {
+		panic(fmt.Sprintf("messenger: node %q not on fabric", node))
+	}
+	m := &Messenger{
+		env: env, cpu: cpu, fabric: fabric, registry: registry,
+		cfg: cfg.withDefaults(), name: name, node: node,
+		conns: make(map[string]*conn),
+	}
+	for i := 0; i < m.cfg.Workers; i++ {
+		w := &worker{
+			th: sim.NewThread(fmt.Sprintf("msgr-worker-%d@%s", i, name), ThreadCat),
+			q:  sim.NewQueue[workItem](env),
+		}
+		m.workers = append(m.workers, w)
+		env.SpawnDaemon(w.th.Name, func(p *sim.Proc) { m.workerLoop(p, w) })
+	}
+	registry.entities[name] = m
+	return m
+}
+
+// Name returns the entity name.
+func (m *Messenger) Name() string { return m.name }
+
+// Node returns the fabric node the entity runs on.
+func (m *Messenger) Node() string { return m.node }
+
+// Stats returns a copy of the traffic counters.
+func (m *Messenger) Stats() Stats { return m.stats }
+
+// SetDispatcher installs the message handler. It must be set before any
+// peer sends to this messenger.
+func (m *Messenger) SetDispatcher(d Dispatcher) { m.dispatch = d }
+
+// Send queues msg for delivery to entity dst. It never blocks the caller
+// (the connection queue is unbounded, as Ceph's is in practice for the
+// workloads modelled here). Unknown destinations panic: entity wiring is
+// static in this simulation, so that is a configuration bug.
+func (m *Messenger) Send(dst string, msg cephmsg.Message) {
+	c := m.connTo(dst)
+	f := m.makeFrame(msg)
+	c.sendSeq++
+	f.seq = c.sendSeq
+	c.worker.q.Push(workItem{peer: dst, frame: f})
+}
+
+func (m *Messenger) makeFrame(msg cephmsg.Message) frame {
+	f := frame{src: m.name, msg: msg, bytes: EnvelopeBytes + msg.PayloadBytes()}
+	if m.cfg.WireEncode {
+		f.wire = cephmsg.Encode(msg).Bytes()
+		f.bytes = EnvelopeBytes + int64(len(f.wire))
+	}
+	return f
+}
+
+// connTo lazily creates the connection state (owning worker + wire process)
+// for peer dst.
+func (m *Messenger) connTo(dst string) *conn {
+	if c, ok := m.conns[dst]; ok {
+		return c
+	}
+	peer := m.registry.Lookup(dst)
+	if peer == nil {
+		panic(fmt.Sprintf("messenger %s: unknown destination %q", m.name, dst))
+	}
+	c := &conn{
+		worker: m.workers[m.nextWorker],
+		wireq:  sim.NewQueue[frame](m.env),
+	}
+	m.nextWorker = (m.nextWorker + 1) % len(m.workers)
+	m.conns[dst] = c
+	m.env.SpawnDaemon(fmt.Sprintf("wire:%s->%s", m.name, dst), func(p *sim.Proc) {
+		for {
+			f := c.wireq.Pop(p)
+			m.fabric.Transfer(p, m.node, peer.node, f.bytes)
+			peer.deliver(f)
+		}
+	})
+	return c
+}
+
+// deliver hands an arrived frame to the owning worker of the reverse
+// connection, enforcing the per-connection sequence invariant.
+func (m *Messenger) deliver(f frame) {
+	c := m.connTo(f.src)
+	if f.seq != c.recvSeq+1 {
+		panic(fmt.Sprintf("messenger %s: frame from %s out of order: seq %d after %d",
+			m.name, f.src, f.seq, c.recvSeq))
+	}
+	c.recvSeq = f.seq
+	c.worker.q.Push(workItem{recv: true, peer: f.src, frame: f})
+}
+
+// workerLoop is one msgr-worker event loop: it pays the send-side encode +
+// TCP costs before handing frames to the wire, and the receive-side TCP +
+// decode + dispatch costs after frames arrive.
+func (m *Messenger) workerLoop(p *sim.Proc, w *worker) {
+	p.SetThread(w.th)
+	for {
+		it := w.q.Pop(p)
+		f := it.frame
+		segments := (f.bytes + m.cfg.TCPSegmentBytes - 1) / m.cfg.TCPSegmentBytes
+		if it.recv {
+			cycles := m.cfg.RecvSyscallCycles*segments +
+				int64(float64(f.bytes)*(m.cfg.RxCopyCyclesPerByte+m.cfg.CRCCyclesPerByte)) +
+				m.cfg.DecodeCycles + m.cfg.DispatchCycles
+			m.cpu.Exec(p, w.th, cycles)
+			m.cpu.NoteSwitches(w.th, m.cfg.SwitchesPerRecv+f.bytes/m.cfg.BytesPerSwitch)
+			m.stats.Received++
+			m.stats.BytesRecv += f.bytes
+			msg := f.msg
+			if f.wire != nil {
+				decoded, err := cephmsg.Decode(wire.FromBytes(f.wire))
+				if err != nil {
+					panic(fmt.Sprintf("messenger %s: corrupt frame from %s: %v", m.name, it.peer, err))
+				}
+				msg = decoded
+			}
+			if m.dispatch == nil {
+				panic(fmt.Sprintf("messenger %s: message from %s with no dispatcher", m.name, it.peer))
+			}
+			m.dispatch(p, it.peer, msg)
+			continue
+		}
+		cycles := m.cfg.EncodeCycles +
+			int64(float64(f.bytes)*(m.cfg.TxCopyCyclesPerByte+m.cfg.CRCCyclesPerByte)) +
+			m.cfg.SendSyscallCycles*segments
+		m.cpu.Exec(p, w.th, cycles)
+		m.cpu.NoteSwitches(w.th, m.cfg.SwitchesPerSend+f.bytes/m.cfg.BytesPerSwitch)
+		m.stats.Sent++
+		m.stats.BytesSent += f.bytes
+		m.conns[it.peer].wireq.Push(f)
+	}
+}

@@ -1,0 +1,278 @@
+package messenger
+
+import (
+	"testing"
+
+	"doceph/internal/cephmsg"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+type rig struct {
+	env    *sim.Env
+	fabric *sim.Fabric
+	reg    *Registry
+	cpuA   *sim.CPU
+	cpuB   *sim.CPU
+	a, b   *Messenger
+}
+
+func newRig(cfg Config) *rig {
+	env := sim.NewEnv(1)
+	fabric := sim.NewFabric(env, "eth", 5*sim.Microsecond)
+	fabric.AddNode("nodeA", 12.5e9) // 100 Gbps
+	fabric.AddNode("nodeB", 12.5e9)
+	reg := NewRegistry()
+	cpuA := sim.NewCPU(env, "cpuA", 8, 3.0, 2000)
+	cpuB := sim.NewCPU(env, "cpuB", 8, 3.0, 2000)
+	return &rig{
+		env: env, fabric: fabric, reg: reg, cpuA: cpuA, cpuB: cpuB,
+		a: New(env, reg, fabric, cpuA, "ent.a", "nodeA", cfg),
+		b: New(env, reg, fabric, cpuB, "ent.b", "nodeB", cfg),
+	}
+}
+
+func (r *rig) run(t *testing.T, until sim.Duration) {
+	t.Helper()
+	if err := r.env.RunUntil(sim.Time(until)); err != nil {
+		t.Fatal(err)
+	}
+	r.env.Shutdown()
+}
+
+func TestPingPongDelivery(t *testing.T) {
+	r := newRig(Config{WireEncode: true})
+	var gotPing, gotReply bool
+	r.b.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) {
+		ping, ok := m.(*cephmsg.MPing)
+		if !ok || src != "ent.a" {
+			t.Errorf("unexpected %T from %s", m, src)
+			return
+		}
+		gotPing = true
+		r.b.Send("ent.a", &cephmsg.MPingReply{Src: "ent.b", Stamp: ping.Stamp})
+	})
+	r.a.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) {
+		rep, ok := m.(*cephmsg.MPingReply)
+		if ok && rep.Stamp == 777 {
+			gotReply = true
+		}
+	})
+	r.env.Spawn("starter", func(p *sim.Proc) {
+		r.a.Send("ent.b", &cephmsg.MPing{Src: "ent.a", Stamp: 777})
+	})
+	r.run(t, sim.Second)
+	if !gotPing || !gotReply {
+		t.Fatalf("gotPing=%v gotReply=%v", gotPing, gotReply)
+	}
+}
+
+func TestDataPayloadIntegrity(t *testing.T) {
+	r := newRig(Config{WireEncode: true})
+	payload := make([]byte, 300_000)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	wantCRC := wire.FromBytes(payload).CRC32C()
+	var gotCRC uint32
+	r.b.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) {
+		op := m.(*cephmsg.MOSDOp)
+		gotCRC = op.Data.CRC32C()
+	})
+	r.env.Spawn("starter", func(p *sim.Proc) {
+		r.a.Send("ent.b", &cephmsg.MOSDOp{
+			Tid: 1, Object: "o", Op: cephmsg.OpWrite,
+			Length: uint64(len(payload)), Data: wire.FromBytes(payload),
+		})
+	})
+	r.run(t, sim.Second)
+	if gotCRC != wantCRC {
+		t.Fatalf("crc=%08x want %08x", gotCRC, wantCRC)
+	}
+}
+
+func TestPerConnectionFIFO(t *testing.T) {
+	r := newRig(Config{})
+	var tids []uint64
+	r.b.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) {
+		tids = append(tids, m.(*cephmsg.MOSDOp).Tid)
+	})
+	r.env.Spawn("starter", func(p *sim.Proc) {
+		for i := uint64(1); i <= 20; i++ {
+			r.a.Send("ent.b", &cephmsg.MOSDOp{Tid: i, Object: "o", Op: cephmsg.OpWrite,
+				Data: wire.FromBytes(make([]byte, 1000*i))})
+		}
+	})
+	r.run(t, sim.Second)
+	if len(tids) != 20 {
+		t.Fatalf("delivered %d of 20", len(tids))
+	}
+	for i, tid := range tids {
+		if tid != uint64(i+1) {
+			t.Fatalf("order broken: %v", tids)
+		}
+	}
+}
+
+func TestCPUChargedToMsgrWorkerCat(t *testing.T) {
+	r := newRig(Config{})
+	r.b.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) {})
+	r.env.Spawn("starter", func(p *sim.Proc) {
+		r.a.Send("ent.b", &cephmsg.MOSDOp{Object: "o", Op: cephmsg.OpWrite,
+			Data: wire.FromBytes(make([]byte, 1<<20))})
+	})
+	r.run(t, sim.Second)
+	if r.cpuA.Stats().BusyByCat[ThreadCat] <= 0 {
+		t.Fatal("sender CPU not charged to msgr-worker")
+	}
+	if r.cpuB.Stats().BusyByCat[ThreadCat] <= 0 {
+		t.Fatal("receiver CPU not charged to msgr-worker")
+	}
+}
+
+func TestPerByteCostScales(t *testing.T) {
+	cost := func(bytes int) sim.Duration {
+		r := newRig(Config{})
+		r.b.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) {})
+		r.env.Spawn("starter", func(p *sim.Proc) {
+			r.a.Send("ent.b", &cephmsg.MOSDOp{Object: "o", Op: cephmsg.OpWrite,
+				Data: wire.FromBytes(make([]byte, bytes))})
+		})
+		r.run(t, sim.Second)
+		return r.cpuA.Stats().BusyByCat[ThreadCat]
+	}
+	small, big := cost(64<<10), cost(4<<20)
+	if float64(big) < 10*float64(small) {
+		t.Fatalf("4MB send cost (%v) should dwarf 64KB cost (%v)", big, small)
+	}
+}
+
+func TestContextSwitchesCounted(t *testing.T) {
+	r := newRig(Config{})
+	r.b.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) {})
+	r.env.Spawn("starter", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			r.a.Send("ent.b", &cephmsg.MPing{Src: "ent.a", Stamp: int64(i)})
+		}
+	})
+	r.run(t, sim.Second)
+	// 10 sends x SwitchesPerSend(2) voluntary + involuntary core switches.
+	if r.cpuA.Stats().SwitchesByCat[ThreadCat] < 20 {
+		t.Fatalf("sender switches=%d", r.cpuA.Stats().SwitchesByCat[ThreadCat])
+	}
+	if r.cpuB.Stats().SwitchesByCat[ThreadCat] < 20 {
+		t.Fatalf("receiver switches=%d", r.cpuB.Stats().SwitchesByCat[ThreadCat])
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	r := newRig(Config{})
+	r.b.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) {})
+	r.env.Spawn("starter", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			r.a.Send("ent.b", &cephmsg.MPing{Src: "ent.a"})
+		}
+	})
+	r.run(t, sim.Second)
+	if r.a.Stats().Sent != 5 || r.b.Stats().Received != 5 {
+		t.Fatalf("sent=%d recv=%d", r.a.Stats().Sent, r.b.Stats().Received)
+	}
+	if r.a.Stats().BytesSent == 0 || r.a.Stats().BytesSent != r.b.Stats().BytesRecv {
+		t.Fatalf("bytes sent=%d recv=%d", r.a.Stats().BytesSent, r.b.Stats().BytesRecv)
+	}
+}
+
+func TestThroughputBoundedByFabric(t *testing.T) {
+	env := sim.NewEnv(1)
+	fabric := sim.NewFabric(env, "eth", 5*sim.Microsecond)
+	fabric.AddNode("nodeA", 125e6) // 1 Gbps
+	fabric.AddNode("nodeB", 125e6)
+	reg := NewRegistry()
+	cpu := sim.NewCPU(env, "cpu", 16, 3.0, 2000)
+	a := New(env, reg, fabric, cpu, "ent.a", "nodeA", Config{})
+	b := New(env, reg, fabric, cpu, "ent.b", "nodeB", Config{})
+	delivered := 0
+	b.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) { delivered++ })
+	env.Spawn("starter", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			a.Send("ent.b", &cephmsg.MOSDOp{Object: "o", Op: cephmsg.OpWrite,
+				Data: wire.FromBytes(make([]byte, 1<<20))})
+		}
+	})
+	if err := env.RunUntil(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	// 1 Gbps moves at most ~119 MiB in 1 s => ~119 deliverable; must be
+	// well under 100 only if CPU were infinite... it is bounded by the wire:
+	// expect ~110-119 max; with 100 x 1 MiB queued all could fit if the
+	// wire were faster. Assert the wire actually throttled pacing:
+	if delivered > 119 {
+		t.Fatalf("delivered=%d exceeds 1Gbps capacity", delivered)
+	}
+	if delivered < 50 {
+		t.Fatalf("delivered=%d, pipeline stalled", delivered)
+	}
+}
+
+func TestUnknownDestinationPanics(t *testing.T) {
+	r := newRig(Config{})
+	r.env.Spawn("starter", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		r.a.Send("ghost.9", &cephmsg.MPing{})
+	})
+	r.run(t, sim.Second)
+}
+
+func TestWorkersRoundRobinAcrossPeers(t *testing.T) {
+	env := sim.NewEnv(1)
+	fabric := sim.NewFabric(env, "eth", sim.Microsecond)
+	fabric.AddNode("n0", 12.5e9)
+	reg := NewRegistry()
+	cpu := sim.NewCPU(env, "cpu", 8, 3.0, 0)
+	hub := New(env, reg, fabric, cpu, "hub", "n0", Config{Workers: 2})
+	for i := 0; i < 4; i++ {
+		name := []string{"p.0", "p.1", "p.2", "p.3"}[i]
+		peer := New(env, reg, fabric, cpu, name, "n0", Config{Workers: 1})
+		peer.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) {})
+	}
+	env.Spawn("starter", func(p *sim.Proc) {
+		for _, dst := range []string{"p.0", "p.1", "p.2", "p.3"} {
+			hub.Send(dst, &cephmsg.MPing{Src: "hub"})
+		}
+	})
+	if err := env.RunUntil(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	workers := map[*worker]bool{}
+	for _, c := range hub.conns {
+		workers[c.worker] = true
+	}
+	if len(workers) != 2 {
+		t.Fatalf("connections used %d workers, want 2", len(workers))
+	}
+}
+
+func TestVoluntarySwitchesScaleWithBytes(t *testing.T) {
+	switches := func(bytes int) int64 {
+		r := newRig(Config{})
+		r.b.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) {})
+		r.env.Spawn("starter", func(p *sim.Proc) {
+			r.a.Send("ent.b", &cephmsg.MOSDOp{Object: "o", Op: cephmsg.OpWrite,
+				Data: wire.FromBytes(make([]byte, bytes))})
+		})
+		r.run(t, sim.Second)
+		return r.cpuA.Stats().SwitchesByCat[ThreadCat]
+	}
+	small, big := switches(4<<10), switches(4<<20)
+	// A 4 MiB send blocks on the socket buffer many times (BytesPerSwitch
+	// model); a 4 KiB send only pays the fixed wakeups.
+	if big < small+10 {
+		t.Fatalf("switches did not scale with size: %d vs %d", small, big)
+	}
+}

@@ -1,0 +1,150 @@
+package mgr
+
+import (
+	"strings"
+	"testing"
+
+	"doceph/internal/cephmsg"
+	"doceph/internal/crush"
+	"doceph/internal/messenger"
+	"doceph/internal/osdmap"
+	"doceph/internal/sim"
+)
+
+// fakeDaemon answers stats polls with a scripted, advancing counter.
+type fakeDaemon struct {
+	msgr   *messenger.Messenger
+	name   string
+	writes int64
+}
+
+func (f *fakeDaemon) dispatch(p *sim.Proc, src string, m cephmsg.Message) {
+	gs, ok := m.(*cephmsg.MGetStats)
+	if !ok {
+		return
+	}
+	f.writes += 10
+	f.msgr.Send(src, &cephmsg.MStatsReply{
+		Tid: gs.Tid, Source: f.name,
+		Keys:   []string{"client_writes", "map_epoch"},
+		Values: []int64{f.writes, 3},
+	})
+}
+
+func newMgrRig(t *testing.T) (*sim.Env, *Manager, []*fakeDaemon) {
+	t.Helper()
+	env := sim.NewEnv(2)
+	fabric := sim.NewFabric(env, "eth", sim.Microsecond)
+	fabric.AddNode("n", 12.5e9)
+	reg := messenger.NewRegistry()
+	cpu := sim.NewCPU(env, "cpu", 8, 3.0, 2000)
+	var daemons []*fakeDaemon
+	var names []string
+	for _, n := range []string{"osd.0", "osd.1"} {
+		f := &fakeDaemon{name: n}
+		f.msgr = messenger.New(env, reg, fabric, cpu, n, "n", messenger.Config{})
+		f.msgr.SetDispatcher(f.dispatch)
+		daemons = append(daemons, f)
+		names = append(names, n)
+	}
+	gmsgr := messenger.New(env, reg, fabric, cpu, "mgr.0", "n", messenger.Config{})
+	m := New(env, cpu, gmsgr, names, Config{PollInterval: sim.Second, HistoryDepth: 4})
+	return env, m, daemons
+}
+
+func TestManagerPollsAndAggregates(t *testing.T) {
+	env, m, _ := newMgrRig(t)
+	if err := env.RunUntil(sim.Time(6 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	if m.Polls() < 5 || m.Replies() < 10 {
+		t.Fatalf("polls=%d replies=%d", m.Polls(), m.Replies())
+	}
+	s := m.Latest("osd.0")
+	if s == nil || s.Values["client_writes"] == 0 || s.Values["map_epoch"] != 3 {
+		t.Fatalf("snapshot=%+v", s)
+	}
+	// Two daemons, each advancing by 10 per poll.
+	if total := m.ClusterTotal("client_writes"); total < 100 {
+		t.Fatalf("total=%d", total)
+	}
+}
+
+func TestManagerRateAndHistory(t *testing.T) {
+	env, m, _ := newMgrRig(t)
+	if err := env.RunUntil(sim.Time(10 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	// 10 writes per 1 s poll round.
+	rate := m.Rate("osd.1", "client_writes")
+	if rate < 9 || rate > 11 {
+		t.Fatalf("rate=%v", rate)
+	}
+	h := m.History("osd.1")
+	if len(h) != 4 {
+		t.Fatalf("history depth=%d want 4 (bounded)", len(h))
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].Values["client_writes"] <= h[i-1].Values["client_writes"] {
+			t.Fatal("history not advancing")
+		}
+	}
+}
+
+func TestManagerReportRenders(t *testing.T) {
+	env, m, _ := newMgrRig(t)
+	if err := env.RunUntil(sim.Time(3 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	rep := m.Report()
+	if !strings.Contains(rep, "osd.0") || !strings.Contains(rep, "osd.1") ||
+		!strings.Contains(rep, "totals:") {
+		t.Fatalf("report:\n%s", rep)
+	}
+}
+
+func TestManagerUnknownSourceRate(t *testing.T) {
+	env, m, _ := newMgrRig(t)
+	if err := env.RunUntil(sim.Time(sim.Second / 2)); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	if m.Rate("ghost", "x") != 0 || m.Latest("ghost") != nil {
+		t.Fatal("unknown source should be zero-valued")
+	}
+}
+
+func TestAssessHealth(t *testing.T) {
+	env, m, _ := newMgrRig(t)
+	if err := env.RunUntil(sim.Time(2 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+
+	full := osdmap.New(crush.BuildUniform(2, 1, 1.0), 32, 2)
+	h := m.AssessHealth(full)
+	if h.Grade != "HEALTH_OK" || h.DegradedPGs != 0 {
+		t.Fatalf("health=%v", h)
+	}
+
+	// With 2 hosts and 2 replicas, losing one host degrades every PG.
+	degraded := full.Next()
+	degraded.MarkDown(1)
+	h = m.AssessHealth(degraded)
+	if h.Grade != "HEALTH_WARN" || h.DegradedPGs != int(degraded.PGCount) || h.DownOSDs != 1 {
+		t.Fatalf("health=%v", h)
+	}
+
+	dead := degraded.Next()
+	dead.MarkDown(0)
+	h = m.AssessHealth(dead)
+	if h.Grade != "HEALTH_ERR" || h.UnservedPGs != int(dead.PGCount) {
+		t.Fatalf("health=%v", h)
+	}
+	if h.String() == "" {
+		t.Fatal("empty health string")
+	}
+}

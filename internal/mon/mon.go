@@ -1,0 +1,113 @@
+// Package mon implements the cluster monitor: the authority over the
+// OSDMap. It collects failure reports from OSDs, marks failed OSDs down in
+// a new map epoch, and broadcasts map updates to all subscribed entities
+// (OSDs and clients), providing the coordination backbone the paper's
+// heartbeat traffic feeds.
+package mon
+
+import (
+	"doceph/internal/cephmsg"
+	"doceph/internal/messenger"
+	"doceph/internal/osdmap"
+	"doceph/internal/sim"
+)
+
+// ThreadCat is the accounting category for monitor work.
+const ThreadCat = "mon"
+
+// Config carries monitor tunables.
+type Config struct {
+	// MinReporters is the number of distinct OSDs that must report a peer
+	// before it is marked down (Ceph's mon_osd_min_down_reporters).
+	MinReporters int
+}
+
+// Monitor is a single-instance cluster monitor (quorum protocols are out of
+// scope for the paper's experiments, which run one MON).
+type Monitor struct {
+	env  *sim.Env
+	cpu  *sim.CPU
+	msgr *messenger.Messenger
+	cfg  Config
+	th   *sim.Thread
+
+	curMap      *osdmap.Map
+	subscribers []string
+	reports     map[int32]map[string]bool
+
+	epochBumps int
+}
+
+// New creates a monitor owning the initial map m and installs its
+// dispatcher on msgr.
+func New(env *sim.Env, cpu *sim.CPU, msgr *messenger.Messenger,
+	m *osdmap.Map, cfg Config) *Monitor {
+	if cfg.MinReporters == 0 {
+		cfg.MinReporters = 1
+	}
+	mon := &Monitor{
+		env: env, cpu: cpu, msgr: msgr, cfg: cfg,
+		th:      sim.NewThread("mon", ThreadCat),
+		curMap:  m,
+		reports: make(map[int32]map[string]bool),
+	}
+	msgr.SetDispatcher(mon.dispatch)
+	return mon
+}
+
+// Map returns the current map epoch.
+func (m *Monitor) Map() *osdmap.Map { return m.curMap }
+
+// EpochBumps returns how many new epochs the monitor has published.
+func (m *Monitor) EpochBumps() int { return m.epochBumps }
+
+// Subscribe registers an entity to receive MOSDMap broadcasts.
+func (m *Monitor) Subscribe(entity string) {
+	m.subscribers = append(m.subscribers, entity)
+}
+
+func (m *Monitor) dispatch(p *sim.Proc, src string, msg cephmsg.Message) {
+	switch mm := msg.(type) {
+	case *cephmsg.MOSDFailure:
+		m.cpu.Exec(p, m.th, 20_000)
+		m.handleFailure(mm)
+	case *cephmsg.MPing:
+		m.msgr.Send(src, &cephmsg.MPingReply{Src: m.msgr.Name(), Stamp: mm.Stamp})
+	}
+}
+
+func (m *Monitor) handleFailure(f *cephmsg.MOSDFailure) {
+	if !m.curMap.IsUp(f.Failed) {
+		return
+	}
+	if m.reports[f.Failed] == nil {
+		m.reports[f.Failed] = make(map[string]bool)
+	}
+	m.reports[f.Failed][f.Reporter] = true
+	if len(m.reports[f.Failed]) < m.cfg.MinReporters {
+		return
+	}
+	next := m.curMap.Next()
+	next.MarkDown(f.Failed)
+	m.curMap = next
+	m.epochBumps++
+	delete(m.reports, f.Failed)
+	m.broadcast()
+}
+
+// MarkUp administratively restores an OSD and publishes a new epoch (used
+// by recovery scenarios and tests).
+func (m *Monitor) MarkUp(id int32) {
+	next := m.curMap.Next()
+	next.MarkUp(id)
+	m.curMap = next
+	m.epochBumps++
+	m.broadcast()
+}
+
+func (m *Monitor) broadcast() {
+	up := m.curMap.UpOSDs()
+	for _, sub := range m.subscribers {
+		m.msgr.Send(sub, &cephmsg.MOSDMap{Epoch: m.curMap.Epoch, Up: up})
+	}
+}

@@ -1,0 +1,165 @@
+package mon
+
+import (
+	"testing"
+
+	"doceph/internal/cephmsg"
+	"doceph/internal/crush"
+	"doceph/internal/messenger"
+	"doceph/internal/osdmap"
+	"doceph/internal/sim"
+)
+
+type monRig struct {
+	env *sim.Env
+	mon *Monitor
+	reg *messenger.Registry
+	cpu *sim.CPU
+	// subscriber collects every map the monitor broadcasts to "sub.0".
+	maps []*cephmsg.MOSDMap
+}
+
+func newMonRig(t *testing.T, minReporters int) *monRig {
+	t.Helper()
+	env := sim.NewEnv(3)
+	fabric := sim.NewFabric(env, "eth", sim.Microsecond)
+	fabric.AddNode("n0", 12.5e9)
+	reg := messenger.NewRegistry()
+	cpu := sim.NewCPU(env, "cpu", 8, 3.0, 2000)
+	r := &monRig{env: env, reg: reg, cpu: cpu}
+
+	mmsgr := messenger.New(env, reg, fabric, cpu, "mon.0", "n0", messenger.Config{})
+	m := osdmap.New(crush.BuildUniform(3, 1, 1.0), 32, 2)
+	r.mon = New(env, cpu, mmsgr, m, Config{MinReporters: minReporters})
+
+	sub := messenger.New(env, reg, fabric, cpu, "sub.0", "n0", messenger.Config{})
+	sub.SetDispatcher(func(p *sim.Proc, src string, msg cephmsg.Message) {
+		if mm, ok := msg.(*cephmsg.MOSDMap); ok {
+			r.maps = append(r.maps, mm)
+		}
+	})
+	r.mon.Subscribe("sub.0")
+
+	// A reporter entity to send failure reports from.
+	rep := messenger.New(env, reg, fabric, cpu, "osd.9", "n0", messenger.Config{})
+	rep.SetDispatcher(func(p *sim.Proc, src string, msg cephmsg.Message) {})
+	rep2 := messenger.New(env, reg, fabric, cpu, "osd.8", "n0", messenger.Config{})
+	rep2.SetDispatcher(func(p *sim.Proc, src string, msg cephmsg.Message) {})
+	return r
+}
+
+func (r *monRig) report(from string, failed int32) {
+	r.env.Spawn("reporter", func(p *sim.Proc) {
+		r.reg.Lookup(from).Send("mon.0", &cephmsg.MOSDFailure{
+			Reporter: from, Failed: failed, Epoch: r.mon.Map().Epoch,
+		})
+	})
+}
+
+func (r *monRig) run(t *testing.T) {
+	t.Helper()
+	if err := r.env.RunUntil(sim.Time(10 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	r.env.Shutdown()
+}
+
+func TestFailureReportBumpsEpochAndBroadcasts(t *testing.T) {
+	r := newMonRig(t, 1)
+	before := r.mon.Map().Epoch
+	r.report("osd.9", 1)
+	r.run(t)
+	if r.mon.Map().Epoch != before+1 || r.mon.EpochBumps() != 1 {
+		t.Fatalf("epoch=%d bumps=%d", r.mon.Map().Epoch, r.mon.EpochBumps())
+	}
+	if r.mon.Map().IsUp(1) {
+		t.Fatal("failed OSD still up")
+	}
+	if len(r.maps) != 1 || r.maps[0].Epoch != before+1 {
+		t.Fatalf("broadcasts=%v", r.maps)
+	}
+	up := map[int32]bool{}
+	for _, id := range r.maps[0].Up {
+		up[id] = true
+	}
+	if up[1] || !up[0] || !up[2] {
+		t.Fatalf("broadcast up set=%v", r.maps[0].Up)
+	}
+}
+
+func TestMinReportersRequiresQuorum(t *testing.T) {
+	r := newMonRig(t, 2)
+	r.report("osd.9", 1)
+	r.run(t)
+	if r.mon.EpochBumps() != 0 {
+		t.Fatal("single reporter should not mark down with MinReporters=2")
+	}
+
+	r2 := newMonRig(t, 2)
+	r2.report("osd.9", 1)
+	r2.report("osd.8", 1)
+	r2.run(t)
+	if r2.mon.EpochBumps() != 1 || r2.mon.Map().IsUp(1) {
+		t.Fatalf("bumps=%d up=%v", r2.mon.EpochBumps(), r2.mon.Map().IsUp(1))
+	}
+}
+
+func TestDuplicateReporterDoesNotCount(t *testing.T) {
+	r := newMonRig(t, 2)
+	r.report("osd.9", 1)
+	r.report("osd.9", 1)
+	r.run(t)
+	if r.mon.EpochBumps() != 0 {
+		t.Fatal("duplicate reporter satisfied the quorum")
+	}
+}
+
+func TestReportForAlreadyDownOSDIgnored(t *testing.T) {
+	r := newMonRig(t, 1)
+	r.report("osd.9", 1)
+	r.report("osd.8", 1)
+	r.run(t)
+	if r.mon.EpochBumps() != 1 {
+		t.Fatalf("bumps=%d, second report of a down OSD must be ignored", r.mon.EpochBumps())
+	}
+}
+
+func TestMarkUpPublishesNewEpoch(t *testing.T) {
+	r := newMonRig(t, 1)
+	r.report("osd.9", 2)
+	r.run(t)
+	if r.mon.Map().IsUp(2) {
+		t.Fatal("osd.2 should be down")
+	}
+	// MarkUp happens outside the sim; drive another round.
+	r2 := newMonRig(t, 1)
+	r2.report("osd.9", 2)
+	r2.env.Spawn("admin", func(p *sim.Proc) {
+		p.Wait(sim.Second)
+		r2.mon.MarkUp(2)
+	})
+	r2.run(t)
+	if !r2.mon.Map().IsUp(2) || r2.mon.EpochBumps() != 2 {
+		t.Fatalf("up=%v bumps=%d", r2.mon.Map().IsUp(2), r2.mon.EpochBumps())
+	}
+	if len(r2.maps) != 2 {
+		t.Fatalf("broadcasts=%d", len(r2.maps))
+	}
+}
+
+func TestMonRepliesToPing(t *testing.T) {
+	r := newMonRig(t, 1)
+	got := false
+	r.reg.Lookup("osd.9").SetDispatcher(func(p *sim.Proc, src string, msg cephmsg.Message) {
+		if _, ok := msg.(*cephmsg.MPingReply); ok && src == "mon.0" {
+			got = true
+		}
+	})
+	r.env.Spawn("pinger", func(p *sim.Proc) {
+		r.reg.Lookup("osd.9").Send("mon.0", &cephmsg.MPing{Src: "osd.9", Stamp: 5})
+	})
+	r.run(t)
+	if !got {
+		t.Fatal("no ping reply from monitor")
+	}
+}

@@ -1,0 +1,329 @@
+// Package objstore defines the pluggable storage-backend interface of the
+// mini-Ceph OSD — the counterpart of Ceph's ObjectStore — together with the
+// Transaction type submitted through it. DoCeph's key architectural trick
+// (paper §3.1) is that this interface can be implemented either by a local
+// BlueStore-like engine or by a proxy that forwards every call across the
+// DPU/host boundary; both implementations live in sibling packages.
+package objstore
+
+import (
+	"errors"
+	"fmt"
+
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+// Errors returned by Store implementations.
+var (
+	ErrNotFound     = errors.New("objstore: object not found")
+	ErrNoCollection = errors.New("objstore: collection not found")
+	// ErrProxyIO is surfaced by proxy backends when the remote side failed
+	// for a reason other than the ones above.
+	ErrProxyIO = errors.New("objstore: proxy I/O error")
+)
+
+// OpCode identifies one mutation inside a Transaction.
+type OpCode uint8
+
+// Transaction op codes.
+const (
+	OpTouch OpCode = iota + 1
+	OpWrite
+	OpZero
+	OpTruncate
+	OpRemove
+	OpSetAttr
+	OpMkColl
+	OpRmColl
+	// OpOmapSet / OpOmapRm mutate an object's key-value map (the omap
+	// facility RGW bucket indexes and RBD metadata are built on).
+	OpOmapSet
+	OpOmapRm
+)
+
+func (c OpCode) String() string {
+	switch c {
+	case OpTouch:
+		return "touch"
+	case OpWrite:
+		return "write"
+	case OpZero:
+		return "zero"
+	case OpTruncate:
+		return "truncate"
+	case OpRemove:
+		return "remove"
+	case OpSetAttr:
+		return "setattr"
+	case OpMkColl:
+		return "mkcoll"
+	case OpRmColl:
+		return "rmcoll"
+	case OpOmapSet:
+		return "omapset"
+	case OpOmapRm:
+		return "omaprm"
+	}
+	return fmt.Sprintf("opcode(%d)", uint8(c))
+}
+
+// Op is a single mutation within a transaction.
+type Op struct {
+	Code       OpCode
+	Collection string
+	Object     string
+	Offset     uint64
+	Length     uint64
+	Data       *wire.Bufferlist
+	AttrName   string
+	AttrValue  []byte
+}
+
+// Transaction is an ordered batch of mutations applied atomically by a
+// Store, mirroring ObjectStore::Transaction. Build one with the fluent
+// helpers and submit it via Store.QueueTransaction.
+type Transaction struct {
+	Ops []Op
+}
+
+// Touch ensures obj exists in coll.
+func (t *Transaction) Touch(coll, obj string) *Transaction {
+	t.Ops = append(t.Ops, Op{Code: OpTouch, Collection: coll, Object: obj})
+	return t
+}
+
+// Write writes data at offset off of obj in coll.
+func (t *Transaction) Write(coll, obj string, off uint64, data *wire.Bufferlist) *Transaction {
+	t.Ops = append(t.Ops, Op{Code: OpWrite, Collection: coll, Object: obj,
+		Offset: off, Length: uint64(data.Length()), Data: data})
+	return t
+}
+
+// Zero zeroes length bytes at offset off of obj.
+func (t *Transaction) Zero(coll, obj string, off, length uint64) *Transaction {
+	t.Ops = append(t.Ops, Op{Code: OpZero, Collection: coll, Object: obj,
+		Offset: off, Length: length})
+	return t
+}
+
+// Truncate sets obj's size.
+func (t *Transaction) Truncate(coll, obj string, size uint64) *Transaction {
+	t.Ops = append(t.Ops, Op{Code: OpTruncate, Collection: coll, Object: obj, Offset: size})
+	return t
+}
+
+// Remove deletes obj from coll.
+func (t *Transaction) Remove(coll, obj string) *Transaction {
+	t.Ops = append(t.Ops, Op{Code: OpRemove, Collection: coll, Object: obj})
+	return t
+}
+
+// SetAttr sets a named attribute on obj.
+func (t *Transaction) SetAttr(coll, obj, name string, value []byte) *Transaction {
+	t.Ops = append(t.Ops, Op{Code: OpSetAttr, Collection: coll, Object: obj,
+		AttrName: name, AttrValue: value})
+	return t
+}
+
+// MkColl creates a collection.
+func (t *Transaction) MkColl(coll string) *Transaction {
+	t.Ops = append(t.Ops, Op{Code: OpMkColl, Collection: coll})
+	return t
+}
+
+// RmColl removes an (empty) collection.
+func (t *Transaction) RmColl(coll string) *Transaction {
+	t.Ops = append(t.Ops, Op{Code: OpRmColl, Collection: coll})
+	return t
+}
+
+// OmapSet sets one key of obj's object map.
+func (t *Transaction) OmapSet(coll, obj, key string, value []byte) *Transaction {
+	t.Ops = append(t.Ops, Op{Code: OpOmapSet, Collection: coll, Object: obj,
+		AttrName: key, AttrValue: value})
+	return t
+}
+
+// OmapRm removes one key of obj's object map.
+func (t *Transaction) OmapRm(coll, obj, key string) *Transaction {
+	t.Ops = append(t.Ops, Op{Code: OpOmapRm, Collection: coll, Object: obj,
+		AttrName: key})
+	return t
+}
+
+// DataBytes returns the total payload carried by write ops — the quantity
+// the proxy's plane classifier and the DMA segmenter care about.
+func (t *Transaction) DataBytes() int64 {
+	var n int64
+	for _, op := range t.Ops {
+		if op.Data != nil {
+			n += int64(op.Data.Length())
+		}
+	}
+	return n
+}
+
+// Encode serializes the transaction (used by the proxy RPC/DMA data plane).
+func (t *Transaction) Encode(e *wire.Encoder) {
+	e.U32(uint32(len(t.Ops)))
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		e.U8(uint8(op.Code))
+		e.String(op.Collection)
+		e.String(op.Object)
+		e.U64(op.Offset)
+		e.U64(op.Length)
+		if op.Data != nil {
+			e.BufferlistField(op.Data)
+		} else {
+			e.BufferlistField(&wire.Bufferlist{})
+		}
+		e.String(op.AttrName)
+		e.Blob(op.AttrValue)
+	}
+}
+
+// DecodeTransaction parses a transaction produced by Encode.
+func DecodeTransaction(d *wire.Decoder) (*Transaction, error) {
+	n := d.U32()
+	t := &Transaction{}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		op := Op{
+			Code:       OpCode(d.U8()),
+			Collection: d.String(),
+			Object:     d.String(),
+			Offset:     d.U64(),
+			Length:     d.U64(),
+		}
+		bl := d.BufferlistField()
+		if bl.Length() > 0 {
+			op.Data = bl
+		}
+		op.AttrName = d.String()
+		op.AttrValue = d.Blob()
+		t.Ops = append(t.Ops, op)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("objstore: decoding transaction: %w", err)
+	}
+	return t, nil
+}
+
+// EncodeBL serializes the transaction as [u32 metaLen][meta][data...] where
+// the data bytes of every write op are appended as zero-copy bufferlist
+// segments rather than copied into the frame. This is the wire format the
+// DoCeph data plane uses: a multi-megabyte write costs no payload memcpy to
+// frame or parse.
+func (t *Transaction) EncodeBL() *wire.Bufferlist {
+	meta := wire.NewEncoder(64 + 64*len(t.Ops))
+	meta.U32(uint32(len(t.Ops)))
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		meta.U8(uint8(op.Code))
+		meta.String(op.Collection)
+		meta.String(op.Object)
+		meta.U64(op.Offset)
+		meta.U64(op.Length)
+		var dataLen int
+		if op.Data != nil {
+			dataLen = op.Data.Length()
+		}
+		meta.U32(uint32(dataLen))
+		meta.String(op.AttrName)
+		meta.Blob(op.AttrValue)
+	}
+	hdr := wire.NewEncoder(4 + meta.Len())
+	hdr.U32(uint32(meta.Len()))
+	bl := hdr.Bufferlist()
+	bl.Append(meta.Bytes())
+	for i := range t.Ops {
+		if t.Ops[i].Data != nil {
+			bl.AppendBufferlist(t.Ops[i].Data)
+		}
+	}
+	return bl
+}
+
+// DecodeTransactionBL parses a frame produced by EncodeBL. Data payloads
+// are zero-copy views into bl.
+func DecodeTransactionBL(bl *wire.Bufferlist) (*Transaction, error) {
+	if bl.Length() < 4 {
+		return nil, fmt.Errorf("objstore: frame too short (%d bytes)", bl.Length())
+	}
+	metaLen := int(binaryLEU32(bl.SubList(0, 4).Bytes()))
+	if 4+metaLen > bl.Length() {
+		return nil, fmt.Errorf("objstore: meta length %d exceeds frame %d", metaLen, bl.Length())
+	}
+	d := wire.NewDecoder(bl.SubList(4, metaLen).Bytes())
+	n := d.U32()
+	t := &Transaction{}
+	dataOff := 4 + metaLen
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		op := Op{
+			Code:       OpCode(d.U8()),
+			Collection: d.String(),
+			Object:     d.String(),
+			Offset:     d.U64(),
+			Length:     d.U64(),
+		}
+		dataLen := int(d.U32())
+		op.AttrName = d.String()
+		op.AttrValue = d.Blob()
+		if dataLen > 0 {
+			if dataOff+dataLen > bl.Length() {
+				return nil, fmt.Errorf("objstore: data overruns frame")
+			}
+			op.Data = bl.SubList(dataOff, dataLen)
+			dataOff += dataLen
+		}
+		t.Ops = append(t.Ops, op)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("objstore: decoding transaction frame: %w", err)
+	}
+	return t, nil
+}
+
+func binaryLEU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// StatInfo is object metadata returned by Stat.
+type StatInfo struct {
+	Size    uint64
+	Version uint64
+	Mtime   sim.Time
+}
+
+// Result tracks an asynchronously queued transaction. Done fires when the
+// transaction is durably committed; Err is valid once Done has fired.
+// ServiceTime, when the backend fills it, is the pure commit service time
+// (checksum CPU + device streaming + KV share) excluding queueing — the
+// paper's Table 3 "Host write" metric.
+type Result struct {
+	Done        *sim.Event
+	Err         error
+	ServiceTime sim.Duration
+}
+
+// Store is the pluggable object-store backend interface. Every method takes
+// the calling simulation process because each consumes virtual time. Method
+// names follow the Ceph originals (queue_transactions, stat, exists, ...).
+type Store interface {
+	// QueueTransaction submits txn for asynchronous, atomic, durable
+	// application. The returned Result's Done event fires at commit time.
+	QueueTransaction(p *sim.Proc, txn *Transaction) *Result
+	// Read returns length bytes at offset off of obj (length 0 = to EOF).
+	Read(p *sim.Proc, coll, obj string, off, length uint64) (*wire.Bufferlist, error)
+	// Stat returns object metadata.
+	Stat(p *sim.Proc, coll, obj string) (StatInfo, error)
+	// Exists reports whether obj exists in coll.
+	Exists(p *sim.Proc, coll, obj string) bool
+	// List returns the sorted object names in coll.
+	List(p *sim.Proc, coll string) ([]string, error)
+	// OmapGet returns the value of one omap key of obj.
+	OmapGet(p *sim.Proc, coll, obj, key string) ([]byte, error)
+	// OmapKeys returns obj's omap keys in sorted order.
+	OmapKeys(p *sim.Proc, coll, obj string) ([]string, error)
+}

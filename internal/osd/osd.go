@@ -1,0 +1,716 @@
+// Package osd implements the Object Storage Daemon: the request pipeline of
+// Figure 2 in the paper. Client ops arrive via the messenger (steps 1-2),
+// are queued to the op work queue (3), picked up by tp_osd_tp worker threads
+// (4), applied to the backing ObjectStore (5), replicated to secondary OSDs
+// through the messenger (6-8), and acknowledged to the client once the local
+// commit and every replica ack have landed (9), preserving Ceph's
+// write-through semantics.
+//
+// The same OSD code runs in both deployments the paper compares: on the
+// host CPU with a local BlueStore (Baseline) and on the DPU's ARM cores with
+// a ProxyObjectStore backend (DoCeph) — the store is just the pluggable
+// objstore.Store interface.
+package osd
+
+import (
+	"fmt"
+
+	"doceph/internal/cephmsg"
+	"doceph/internal/messenger"
+	"doceph/internal/objstore"
+	"doceph/internal/osdmap"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+// ThreadCat is the accounting category for OSD worker threads, matching the
+// paper's "tp_osd_tp" perf pattern.
+const ThreadCat = "tp_osd_tp"
+
+// Config carries OSD tunables and the op-path CPU cost model.
+type Config struct {
+	// OpWorkers is the tp_osd_tp worker-pool size.
+	OpWorkers int
+	// OpPrepCycles is charged per client op (decode context, PG mapping,
+	// op tracking).
+	OpPrepCycles int64
+	// RepPrepCycles is charged per generated replication sub-op.
+	RepPrepCycles int64
+	// FinishCycles is charged per completed op (commit callbacks, reply
+	// construction).
+	FinishCycles int64
+	// HeartbeatInterval spaces peer pings; zero disables heartbeats.
+	HeartbeatInterval sim.Duration
+	// HeartbeatGrace is the silence threshold after which a peer is
+	// reported to the monitor.
+	HeartbeatGrace sim.Duration
+	// Monitor is the entity name failures are reported to ("" disables
+	// reporting).
+	Monitor string
+	// DisableRecovery turns off backfill on map changes.
+	DisableRecovery bool
+	// RecoveryDelay throttles backfill between objects so recovery does
+	// not starve client I/O.
+	RecoveryDelay sim.Duration
+	// ScrubInterval spaces periodic deep scrubs; zero disables scrubbing.
+	ScrubInterval sim.Duration
+}
+
+// DefaultConfig returns the OSD defaults used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		OpWorkers:         8,
+		OpPrepCycles:      300_000,
+		RepPrepCycles:     150_000,
+		FinishCycles:      200_000,
+		HeartbeatInterval: sim.Second,
+		HeartbeatGrace:    5 * sim.Second,
+		RecoveryDelay:     2 * sim.Millisecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.OpWorkers == 0 {
+		c.OpWorkers = d.OpWorkers
+	}
+	if c.OpPrepCycles == 0 {
+		c.OpPrepCycles = d.OpPrepCycles
+	}
+	if c.RepPrepCycles == 0 {
+		c.RepPrepCycles = d.RepPrepCycles
+	}
+	if c.FinishCycles == 0 {
+		c.FinishCycles = d.FinishCycles
+	}
+	if c.HeartbeatGrace == 0 {
+		c.HeartbeatGrace = d.HeartbeatGrace
+	}
+	if c.RecoveryDelay == 0 {
+		c.RecoveryDelay = d.RecoveryDelay
+	}
+	return c
+}
+
+// Stats counts per-OSD activity.
+type Stats struct {
+	ClientWrites     int64
+	ClientReads      int64
+	ClientStats      int64
+	ClientDeletes    int64
+	RepOpsServed     int64
+	WrongPrimary     int64
+	ObjectsRecovered int64
+	PushesServed     int64
+	ObjectsScrubbed  int64
+	ScrubsServed     int64
+	ScrubErrors      int64
+	ScrubRepairs     int64
+	BytesWritten     int64
+	BytesRead        int64
+	FailureReports   int64
+}
+
+// OSD is one object storage daemon instance.
+type OSD struct {
+	env   *sim.Env
+	cpu   *sim.CPU
+	cfg   Config
+	id    int32
+	name  string
+	msgr  *messenger.Messenger
+	store objstore.Store
+
+	curMap  *osdmap.Map
+	opq     *sim.Queue[opItem]
+	pgLocks map[uint32]*sim.Semaphore
+	created map[uint32]bool
+
+	nextTid uint64
+	pending map[uint64]*pendingRep
+	// pendingTarget records which replica each outstanding rep-op waits
+	// on, so a map change that removes that replica can complete the wait
+	// (Ceph re-peers; we continue degraded rather than hang the client).
+	pendingTarget map[uint64]int32
+	nextPushTid   uint64
+	pushPending   map[uint64]*sim.Event
+	scrubPending  map[uint64]*scrubCall
+	thFin         *sim.Thread
+	lastSeen      map[int32]sim.Time
+	reported      map[int32]bool
+
+	// ready gates op processing until PG collections are instantiated.
+	ready  *sim.Event
+	failed bool
+	stats  Stats
+}
+
+type opItem struct {
+	src string
+	msg cephmsg.Message
+}
+
+type pendingRep struct {
+	needed int
+	ev     *sim.Event
+}
+
+// Name returns the OSD's entity name, "osd.<id>".
+func Name(id int32) string { return fmt.Sprintf("osd.%d", id) }
+
+// New creates an OSD with the given identity, messenger and backing store,
+// spawns its tp_osd_tp workers and heartbeat loop, and installs its
+// dispatcher on msgr.
+func New(env *sim.Env, cpu *sim.CPU, id int32, msgr *messenger.Messenger,
+	store objstore.Store, m *osdmap.Map, cfg Config) *OSD {
+	o := &OSD{
+		env: env, cpu: cpu, cfg: cfg.withDefaults(), id: id, name: Name(id),
+		msgr: msgr, store: store, curMap: m,
+		opq:           sim.NewQueue[opItem](env),
+		pgLocks:       make(map[uint32]*sim.Semaphore),
+		created:       make(map[uint32]bool),
+		pending:       make(map[uint64]*pendingRep),
+		pendingTarget: make(map[uint64]int32),
+		pushPending:   make(map[uint64]*sim.Event),
+		scrubPending:  make(map[uint64]*scrubCall),
+		thFin:         sim.NewThread(fmt.Sprintf("fn_osd-%d", id), ThreadCat),
+		lastSeen:      make(map[int32]sim.Time),
+		reported:      make(map[int32]bool),
+	}
+	o.ready = sim.NewEvent(env)
+	msgr.SetDispatcher(o.dispatch)
+	for i := 0; i < o.cfg.OpWorkers; i++ {
+		th := sim.NewThread(fmt.Sprintf("tp_osd_tp-%d@%s", i, o.name), ThreadCat)
+		env.SpawnDaemon(th.Name, func(p *sim.Proc) {
+			p.SetThread(th)
+			o.workerLoop(p)
+		})
+	}
+	if o.cfg.HeartbeatInterval > 0 {
+		env.SpawnDaemon("hb@"+o.name, func(p *sim.Proc) { o.heartbeatLoop(p) })
+	}
+	if o.cfg.ScrubInterval > 0 {
+		env.SpawnDaemon("scrub@"+o.name, func(p *sim.Proc) { o.scrubLoop(p) })
+	}
+	env.Spawn("pg-init@"+o.name, func(p *sim.Proc) { o.createPGs(p) })
+	return o
+}
+
+// createPGs instantiates the collections of every PG this OSD serves, as
+// Ceph does during PG creation/peering before accepting I/O. ensureColl
+// remains as the lazy path for PGs acquired later through map changes.
+func (o *OSD) createPGs(p *sim.Proc) {
+	p.SetThread(o.thFin)
+	txn := &objstore.Transaction{}
+	for pg := uint32(0); pg < o.curMap.PGCount; pg++ {
+		for _, id := range o.curMap.ActingSet(pg) {
+			if id == o.id {
+				txn.MkColl(pgColl(pg))
+				o.created[pg] = true
+				break
+			}
+		}
+	}
+	if len(txn.Ops) == 0 {
+		o.ready.Fire()
+		return
+	}
+	res := o.store.QueueTransaction(p, txn)
+	res.Done.Wait(p)
+	if res.Err != nil {
+		panic(fmt.Sprintf("osd %s: PG collection init failed: %v", o.name, res.Err))
+	}
+	o.ready.Fire()
+}
+
+// ID returns the OSD id.
+func (o *OSD) ID() int32 { return o.id }
+
+// Fail simulates a daemon crash: all subsequent inbound traffic is dropped
+// and heartbeats stop, so peers detect the silence and report it.
+func (o *OSD) Fail() { o.failed = true }
+
+// Recover restarts a failed daemon (its store content is intact, as after a
+// process restart); peers re-integrate it once the monitor marks it up and
+// backfill refreshes anything it missed. The heartbeat ledger is reset: a
+// freshly started daemon has no grounds to report peers it has not heard
+// from yet.
+func (o *OSD) Recover() {
+	o.failed = false
+	o.lastSeen = make(map[int32]sim.Time)
+	o.reported = make(map[int32]bool)
+}
+
+// Failed reports whether Fail was called.
+func (o *OSD) Failed() bool { return o.failed }
+
+// Stats returns a copy of the activity counters.
+func (o *OSD) Stats() Stats { return o.stats }
+
+// Map returns the OSD's current cluster map.
+func (o *OSD) Map() *osdmap.Map { return o.curMap }
+
+// dispatch runs on msgr-worker threads: heavy ops go to the op queue, light
+// control traffic is handled inline (Ceph's fast dispatch).
+func (o *OSD) dispatch(p *sim.Proc, src string, m cephmsg.Message) {
+	if o.failed {
+		return // a crashed daemon: frames arrive at a dead socket
+	}
+	switch msg := m.(type) {
+	case *cephmsg.MOSDOp, *cephmsg.MRepOp, *cephmsg.MPGPush, *cephmsg.MScrub:
+		o.opq.Push(opItem{src: src, msg: m})
+	case *cephmsg.MPGPushAck:
+		o.handlePGPushAck(msg)
+	case *cephmsg.MScrubReply:
+		o.handleScrubReply(msg)
+	case *cephmsg.MRepOpReply:
+		o.completeRep(msg.Tid)
+	case *cephmsg.MPing:
+		o.msgr.Send(src, &cephmsg.MPingReply{Src: o.name, Stamp: msg.Stamp})
+	case *cephmsg.MGetStats:
+		o.msgr.Send(src, o.statsReply(msg.Tid))
+	case *cephmsg.MPingReply:
+		if id, ok := parseOSD(src); ok {
+			o.lastSeen[id] = p.Now()
+		}
+	case *cephmsg.MOSDMap:
+		o.applyMap(p.Now(), msg)
+	}
+}
+
+// workerLoop is one tp_osd_tp thread. Workers start serving once the PG
+// collections exist (Ceph: a PG serves I/O only after creation/peering).
+func (o *OSD) workerLoop(p *sim.Proc) {
+	o.ready.Wait(p)
+	for {
+		it := o.opq.Pop(p)
+		switch m := it.msg.(type) {
+		case *cephmsg.MOSDOp:
+			o.handleClientOp(p, it.src, m)
+		case *cephmsg.MRepOp:
+			o.handleRepOp(p, it.src, m)
+		case *cephmsg.MPGPush:
+			o.handlePGPush(p, it.src, m)
+		case *cephmsg.MScrub:
+			o.handleScrub(p, it.src, m)
+		}
+	}
+}
+
+// completeRep counts one replica acknowledgment (or abandonment). The tid
+// is retired immediately so a late reply from a falsely-reported replica
+// cannot be counted twice.
+func (o *OSD) completeRep(tid uint64) {
+	pend, ok := o.pending[tid]
+	if !ok {
+		return
+	}
+	delete(o.pending, tid)
+	delete(o.pendingTarget, tid)
+	pend.needed--
+	if pend.needed <= 0 {
+		pend.ev.Fire()
+	}
+}
+
+func (o *OSD) pgLock(pg uint32) *sim.Semaphore {
+	l, ok := o.pgLocks[pg]
+	if !ok {
+		l = sim.NewSemaphore(o.env, 1)
+		o.pgLocks[pg] = l
+	}
+	return l
+}
+
+func pgColl(pg uint32) string { return fmt.Sprintf("pg.%d", pg) }
+
+// ensureColl lazily creates a PG's collection in the backing store within
+// the caller's transaction.
+func (o *OSD) ensureColl(pg uint32, txn *objstore.Transaction) {
+	if !o.created[pg] {
+		// Prepend so the collection exists before the first write applies.
+		withColl := (&objstore.Transaction{}).MkColl(pgColl(pg))
+		withColl.Ops = append(withColl.Ops, txn.Ops...)
+		txn.Ops = withColl.Ops
+		o.created[pg] = true
+	}
+}
+
+func (o *OSD) handleClientOp(p *sim.Proc, src string, m *cephmsg.MOSDOp) {
+	o.cpu.ExecSelf(p, o.cfg.OpPrepCycles)
+	pg := o.curMap.PGForObject(m.Object)
+	acting := o.curMap.ActingSet(pg)
+	if len(acting) == 0 || acting[0] != o.id {
+		o.stats.WrongPrimary++
+		o.reply(&wrongPrimaryReply{src: src, m: m})
+		return
+	}
+	switch m.Op {
+	case cephmsg.OpWrite:
+		o.handleWrite(p, src, m, pg, acting)
+	case cephmsg.OpDelete:
+		o.handleDelete(p, src, m, pg, acting)
+	case cephmsg.OpRead:
+		o.handleRead(p, src, m, pg)
+	case cephmsg.OpStat:
+		o.handleStat(p, src, m, pg)
+	case cephmsg.OpOmapSet, cephmsg.OpOmapRm:
+		o.handleOmapWrite(p, src, m, pg, acting)
+	case cephmsg.OpOmapGet, cephmsg.OpOmapKeys:
+		o.handleOmapRead(p, src, m, pg)
+	}
+}
+
+// omapTxn builds the replicated mutation for a client omap op. Touch makes
+// the op self-sufficient: setting an index entry implicitly creates the
+// index object, as librados' omap ops do.
+func omapTxn(pg uint32, m *cephmsg.MOSDOp) *objstore.Transaction {
+	txn := (&objstore.Transaction{}).Touch(pgColl(pg), m.Object)
+	if m.Op == cephmsg.OpOmapRm {
+		return txn.OmapRm(pgColl(pg), m.Object, m.Key)
+	}
+	var val []byte
+	if m.Data != nil {
+		val = m.Data.Bytes()
+	}
+	return txn.OmapSet(pgColl(pg), m.Object, m.Key, val)
+}
+
+// handleOmapWrite applies and replicates an omap mutation with the same
+// durability contract as object writes.
+func (o *OSD) handleOmapWrite(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32, acting []int32) {
+	lock := o.pgLock(pg)
+	lock.Acquire(p, 1)
+	txn := omapTxn(pg, m)
+	o.ensureColl(pg, txn)
+	res := o.store.QueueTransaction(p, txn)
+	pend := &pendingRep{needed: len(acting) - 1, ev: sim.NewEvent(o.env)}
+	if pend.needed <= 0 {
+		pend.ev.Fire()
+	}
+	for _, sec := range acting[1:] {
+		o.cpu.ExecSelf(p, o.cfg.RepPrepCycles)
+		o.nextTid++
+		tid := o.nextTid
+		o.pending[tid] = pend
+		o.pendingTarget[tid] = sec
+		o.msgr.Send(Name(sec), &cephmsg.MRepOp{
+			Tid: tid, Epoch: o.curMap.Epoch, PGID: pg, Object: m.Object,
+			Op: m.Op, Key: m.Key, Data: m.Data,
+		})
+	}
+	lock.Release(1)
+	o.stats.ClientWrites++
+	o.env.Spawn(fmt.Sprintf("completer:%s/%d", o.name, m.Tid), func(cp *sim.Proc) {
+		cp.SetThread(o.thFin)
+		res.Done.Wait(cp)
+		pend.ev.Wait(cp)
+		o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles)
+		result := cephmsg.ResOK
+		if res.Err != nil {
+			result = cephmsg.ResError
+		}
+		o.msgr.Send(src, &cephmsg.MOSDOpReply{
+			Tid: m.Tid, Object: m.Object, Op: m.Op, Result: result,
+		})
+	})
+}
+
+// handleOmapRead serves omap get/keys from the local (primary) store.
+func (o *OSD) handleOmapRead(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32) {
+	reply := &cephmsg.MOSDOpReply{Tid: m.Tid, Object: m.Object, Op: m.Op}
+	lock := o.pgLock(pg)
+	lock.Acquire(p, 1)
+	switch m.Op {
+	case cephmsg.OpOmapGet:
+		v, err := o.store.OmapGet(p, pgColl(pg), m.Object, m.Key)
+		if err != nil {
+			reply.Result = cephmsg.ResNotFound
+		} else {
+			reply.Data = wire.FromBytes(v)
+		}
+	case cephmsg.OpOmapKeys:
+		keys, err := o.store.OmapKeys(p, pgColl(pg), m.Object)
+		if err != nil {
+			reply.Result = cephmsg.ResNotFound
+		} else {
+			e := wire.NewEncoder(64)
+			e.U32(uint32(len(keys)))
+			for _, k := range keys {
+				e.String(k)
+			}
+			reply.Data = e.Bufferlist()
+		}
+	}
+	lock.Release(1)
+	o.stats.ClientReads++
+	o.msgr.Send(src, reply)
+}
+
+type wrongPrimaryReply struct {
+	src string
+	m   *cephmsg.MOSDOp
+}
+
+func (o *OSD) reply(w *wrongPrimaryReply) {
+	o.msgr.Send(w.src, &cephmsg.MOSDOpReply{
+		Tid: w.m.Tid, Object: w.m.Object, Op: w.m.Op,
+		Result: cephmsg.ResNotPrimary,
+	})
+}
+
+// handleWrite implements the replicated write path: local commit via the
+// ObjectStore plus one MRepOp per secondary; the client ack is withheld
+// until every part is durable.
+func (o *OSD) handleWrite(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32, acting []int32) {
+	lock := o.pgLock(pg)
+	lock.Acquire(p, 1)
+	txn := (&objstore.Transaction{}).Write(pgColl(pg), m.Object, m.Offset, m.Data)
+	o.ensureColl(pg, txn)
+	res := o.store.QueueTransaction(p, txn)
+	pend := &pendingRep{needed: len(acting) - 1, ev: sim.NewEvent(o.env)}
+	if pend.needed <= 0 {
+		pend.ev.Fire()
+	}
+	for _, sec := range acting[1:] {
+		o.cpu.ExecSelf(p, o.cfg.RepPrepCycles)
+		o.nextTid++
+		tid := o.nextTid
+		o.pending[tid] = pend
+		o.pendingTarget[tid] = sec
+		o.msgr.Send(Name(sec), &cephmsg.MRepOp{
+			Tid: tid, Epoch: o.curMap.Epoch, PGID: pg, Object: m.Object,
+			Op: cephmsg.OpWrite, Offset: m.Offset, Data: m.Data,
+		})
+	}
+	lock.Release(1)
+	o.stats.ClientWrites++
+	o.stats.BytesWritten += int64(m.Data.Length())
+	o.env.Spawn(fmt.Sprintf("completer:%s/%d", o.name, m.Tid), func(cp *sim.Proc) {
+		cp.SetThread(o.thFin)
+		res.Done.Wait(cp)
+		pend.ev.Wait(cp)
+		o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles)
+		result := cephmsg.ResOK
+		if res.Err != nil {
+			result = cephmsg.ResError
+		}
+		o.msgr.Send(src, &cephmsg.MOSDOpReply{
+			Tid: m.Tid, Object: m.Object, Op: m.Op, Result: result,
+			Version: uint64(cp.Now()),
+		})
+	})
+}
+
+func (o *OSD) handleDelete(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32, acting []int32) {
+	lock := o.pgLock(pg)
+	lock.Acquire(p, 1)
+	txn := (&objstore.Transaction{}).Remove(pgColl(pg), m.Object)
+	res := o.store.QueueTransaction(p, txn)
+	pend := &pendingRep{needed: len(acting) - 1, ev: sim.NewEvent(o.env)}
+	if pend.needed <= 0 {
+		pend.ev.Fire()
+	}
+	for _, sec := range acting[1:] {
+		o.cpu.ExecSelf(p, o.cfg.RepPrepCycles)
+		o.nextTid++
+		tid := o.nextTid
+		o.pending[tid] = pend
+		o.pendingTarget[tid] = sec
+		o.msgr.Send(Name(sec), &cephmsg.MRepOp{
+			Tid: tid, Epoch: o.curMap.Epoch, PGID: pg, Object: m.Object,
+			Op: cephmsg.OpDelete,
+		})
+	}
+	lock.Release(1)
+	o.stats.ClientDeletes++
+	o.env.Spawn(fmt.Sprintf("completer:%s/%d", o.name, m.Tid), func(cp *sim.Proc) {
+		cp.SetThread(o.thFin)
+		res.Done.Wait(cp)
+		pend.ev.Wait(cp)
+		o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles)
+		result := cephmsg.ResOK
+		if res.Err != nil {
+			result = cephmsg.ResNotFound
+		}
+		o.msgr.Send(src, &cephmsg.MOSDOpReply{
+			Tid: m.Tid, Object: m.Object, Op: m.Op, Result: result,
+		})
+	})
+}
+
+func (o *OSD) handleRead(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32) {
+	lock := o.pgLock(pg)
+	lock.Acquire(p, 1)
+	bl, err := o.store.Read(p, pgColl(pg), m.Object, m.Offset, m.Length)
+	lock.Release(1)
+	reply := &cephmsg.MOSDOpReply{Tid: m.Tid, Object: m.Object, Op: m.Op}
+	if err != nil {
+		reply.Result = cephmsg.ResNotFound
+	} else {
+		reply.Data = bl
+		o.stats.BytesRead += int64(bl.Length())
+	}
+	o.stats.ClientReads++
+	o.cpu.ExecSelf(p, o.cfg.FinishCycles)
+	o.msgr.Send(src, reply)
+}
+
+func (o *OSD) handleStat(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32) {
+	st, err := o.store.Stat(p, pgColl(pg), m.Object)
+	reply := &cephmsg.MOSDOpReply{Tid: m.Tid, Object: m.Object, Op: m.Op}
+	if err != nil {
+		reply.Result = cephmsg.ResNotFound
+	} else {
+		reply.Size = st.Size
+		reply.Version = st.Version
+	}
+	o.stats.ClientStats++
+	o.msgr.Send(src, reply)
+}
+
+// handleRepOp applies a replicated sub-op on a secondary and acks once
+// durable.
+func (o *OSD) handleRepOp(p *sim.Proc, src string, m *cephmsg.MRepOp) {
+	o.cpu.ExecSelf(p, o.cfg.OpPrepCycles)
+	lock := o.pgLock(m.PGID)
+	lock.Acquire(p, 1)
+	var txn *objstore.Transaction
+	switch m.Op {
+	case cephmsg.OpDelete:
+		txn = (&objstore.Transaction{}).Remove(pgColl(m.PGID), m.Object)
+	case cephmsg.OpOmapSet:
+		var val []byte
+		if m.Data != nil {
+			val = m.Data.Bytes()
+		}
+		txn = (&objstore.Transaction{}).Touch(pgColl(m.PGID), m.Object).
+			OmapSet(pgColl(m.PGID), m.Object, m.Key, val)
+	case cephmsg.OpOmapRm:
+		txn = (&objstore.Transaction{}).Touch(pgColl(m.PGID), m.Object).
+			OmapRm(pgColl(m.PGID), m.Object, m.Key)
+	default:
+		txn = (&objstore.Transaction{}).Write(pgColl(m.PGID), m.Object, m.Offset, m.Data)
+	}
+	o.ensureColl(m.PGID, txn)
+	res := o.store.QueueTransaction(p, txn)
+	lock.Release(1)
+	o.stats.RepOpsServed++
+	if m.Data != nil {
+		o.stats.BytesWritten += int64(m.Data.Length())
+	}
+	o.env.Spawn(fmt.Sprintf("rep-completer:%s/%d", o.name, m.Tid), func(cp *sim.Proc) {
+		cp.SetThread(o.thFin)
+		res.Done.Wait(cp)
+		o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles)
+		o.msgr.Send(src, &cephmsg.MRepOpReply{Tid: m.Tid, PGID: m.PGID})
+	})
+}
+
+// heartbeatLoop pings peer OSDs and reports prolonged silence to the
+// monitor.
+func (o *OSD) heartbeatLoop(p *sim.Proc) {
+	th := sim.NewThread("osd_hb@"+o.name, ThreadCat)
+	p.SetThread(th)
+	for {
+		p.Wait(o.cfg.HeartbeatInterval)
+		if o.failed {
+			continue
+		}
+		o.cpu.Exec(p, th, 5_000)
+		now := p.Now()
+		for _, peer := range o.curMap.UpOSDs() {
+			if peer == o.id {
+				continue
+			}
+			if _, seen := o.lastSeen[peer]; !seen {
+				o.lastSeen[peer] = now
+			}
+			o.msgr.Send(Name(peer), &cephmsg.MPing{Src: o.name, Stamp: int64(now)})
+			if o.cfg.Monitor != "" && !o.reported[peer] &&
+				now.Sub(o.lastSeen[peer]) > o.cfg.HeartbeatGrace {
+				o.reported[peer] = true
+				o.stats.FailureReports++
+				o.msgr.Send(o.cfg.Monitor, &cephmsg.MOSDFailure{
+					Reporter: o.name, Failed: peer, Epoch: o.curMap.Epoch,
+				})
+			}
+		}
+	}
+}
+
+// applyMap installs a newer cluster map.
+func (o *OSD) applyMap(now sim.Time, m *cephmsg.MOSDMap) {
+	if m.Epoch <= o.curMap.Epoch {
+		return
+	}
+	next := o.curMap.Next()
+	next.Epoch = m.Epoch
+	up := make(map[int32]bool, len(m.Up))
+	for _, id := range m.Up {
+		up[id] = true
+	}
+	for _, dev := range next.Crush.Devices() {
+		id := int32(dev)
+		if up[id] {
+			next.MarkUp(id)
+		} else {
+			next.MarkDown(id)
+		}
+	}
+	old := o.curMap
+	o.curMap = next
+	for id := range o.reported {
+		if up[id] {
+			delete(o.reported, id)
+		}
+	}
+	// A peer transitioning down->up gets a fresh heartbeat grace window;
+	// its lastSeen timestamp predates its crash and would otherwise
+	// trigger an instant (false) re-report.
+	for id := range up {
+		if !old.IsUp(id) {
+			o.lastSeen[id] = now
+		}
+	}
+	// Abandon rep-op waits on replicas the new map removed: the write
+	// continues degraded on the surviving acting set instead of hanging
+	// the client until its timeout.
+	for tid, target := range o.pendingTarget {
+		if !next.IsUp(target) {
+			o.completeRep(tid)
+		}
+	}
+	o.startRecovery(old, next)
+}
+
+// statsReply snapshots the OSD's counters for the manager.
+func (o *OSD) statsReply(tid uint64) *cephmsg.MStatsReply {
+	s := o.stats
+	return &cephmsg.MStatsReply{
+		Tid:    tid,
+		Source: o.name,
+		Keys: []string{
+			"client_writes", "client_reads", "client_stats", "client_deletes",
+			"rep_ops", "wrong_primary", "bytes_written", "bytes_read",
+			"failure_reports", "objects_recovered", "pushes_served",
+			"objects_scrubbed", "scrubs_served", "scrub_errors", "scrub_repairs",
+			"map_epoch",
+		},
+		Values: []int64{
+			s.ClientWrites, s.ClientReads, s.ClientStats, s.ClientDeletes,
+			s.RepOpsServed, s.WrongPrimary, s.BytesWritten, s.BytesRead,
+			s.FailureReports, s.ObjectsRecovered, s.PushesServed,
+			s.ObjectsScrubbed, s.ScrubsServed, s.ScrubErrors, s.ScrubRepairs,
+			int64(o.curMap.Epoch),
+		},
+	}
+}
+
+func parseOSD(entity string) (int32, bool) {
+	var id int32
+	if n, err := fmt.Sscanf(entity, "osd.%d", &id); err == nil && n == 1 {
+		return id, true
+	}
+	return 0, false
+}

@@ -1,0 +1,164 @@
+package osd
+
+import (
+	"fmt"
+
+	"doceph/internal/cephmsg"
+	"doceph/internal/objstore"
+	"doceph/internal/osdmap"
+	"doceph/internal/sim"
+)
+
+// Recovery/backfill: when a map change brings a new OSD into a PG's acting
+// set (a rejoined daemon or a rebalance), the surviving replica with the
+// data pushes every object of that PG to the newcomers. This is the
+// "recovery and rebalancing" coordination traffic the paper's introduction
+// attributes to the messenger layer — and in DoCeph mode it exercises the
+// full proxy data path in both directions (List/Read on the source, write
+// transactions on the target).
+//
+// Ordering safety: a backfill target only applies a pushed object it does
+// not already hold. New writes during recovery land on the target through
+// the normal replication path, so an existing object is always at least as
+// new as the pushed copy.
+
+// startRecovery is invoked from applyMap with both epochs; it diffs the
+// acting sets and spawns backfill work for every PG where this OSD is the
+// designated pusher: the first member of the old acting set that survives
+// into the new one.
+func (o *OSD) startRecovery(oldMap, newMap *osdmap.Map) {
+	if o.cfg.DisableRecovery {
+		return
+	}
+	for pg := uint32(0); pg < newMap.PGCount; pg++ {
+		oldSet := oldMap.ActingSet(pg)
+		newSet := newMap.ActingSet(pg)
+		pusher := int32(-1)
+		inNew := make(map[int32]bool, len(newSet))
+		for _, id := range newSet {
+			inNew[id] = true
+		}
+		for _, id := range oldSet {
+			if inNew[id] {
+				pusher = id
+				break
+			}
+		}
+		if pusher != o.id {
+			continue
+		}
+		inOld := make(map[int32]bool, len(oldSet))
+		for _, id := range oldSet {
+			inOld[id] = true
+		}
+		var targets []int32
+		for _, id := range newSet {
+			if !inOld[id] && id != o.id {
+				targets = append(targets, id)
+			}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		pgID := pg
+		o.env.Spawn(fmt.Sprintf("recovery:%s/pg%d", o.name, pgID), func(p *sim.Proc) {
+			o.backfillPG(p, pgID, targets)
+		})
+	}
+}
+
+// backfillPG streams every object of pg to the targets, throttled so
+// recovery does not starve client I/O (Ceph's recovery throttling).
+func (o *OSD) backfillPG(p *sim.Proc, pg uint32, targets []int32) {
+	th := sim.NewThread(fmt.Sprintf("recovery@%s", o.name), ThreadCat)
+	p.SetThread(th)
+	names, err := o.store.List(p, pgColl(pg))
+	if err != nil {
+		return // nothing local for this PG
+	}
+	for _, obj := range names {
+		if o.failed {
+			return
+		}
+		lock := o.pgLock(pg)
+		lock.Acquire(p, 1)
+		bl, rerr := o.store.Read(p, pgColl(pg), obj, 0, 0)
+		st, serr := o.store.Stat(p, pgColl(pg), obj)
+		// Recovery must carry the object map too (bucket indexes live
+		// there); a data-only push would silently lose it.
+		omapKeys, _ := o.store.OmapKeys(p, pgColl(pg), obj)
+		omapVals := make([][]byte, 0, len(omapKeys))
+		for _, k := range omapKeys {
+			v, gerr := o.store.OmapGet(p, pgColl(pg), obj, k)
+			if gerr != nil {
+				v = nil
+			}
+			omapVals = append(omapVals, v)
+		}
+		lock.Release(1)
+		if rerr != nil || serr != nil {
+			continue // deleted while we were backfilling
+		}
+		for _, target := range targets {
+			o.cpu.Exec(p, th, o.cfg.RepPrepCycles)
+			o.nextPushTid++
+			tid := o.nextPushTid
+			ack := sim.NewEvent(o.env)
+			o.pushPending[tid] = ack
+			o.msgr.Send(Name(target), &cephmsg.MPGPush{
+				Tid: tid, Epoch: o.curMap.Epoch, PGID: pg, Object: obj,
+				Version: st.Version, Data: bl,
+				OmapKeys: omapKeys, OmapVals: omapVals,
+			})
+			if !ack.WaitTimeout(p, 30*sim.Second) {
+				// Target died mid-backfill; a future map change restarts it.
+				delete(o.pushPending, tid)
+				return
+			}
+			o.stats.ObjectsRecovered++
+		}
+		p.Wait(o.cfg.RecoveryDelay)
+	}
+}
+
+// handlePGPush applies a pushed object on the backfill target (tp_osd_tp
+// worker context).
+func (o *OSD) handlePGPush(p *sim.Proc, src string, m *cephmsg.MPGPush) {
+	o.cpu.ExecSelf(p, o.cfg.OpPrepCycles)
+	lock := o.pgLock(m.PGID)
+	lock.Acquire(p, 1)
+	if !m.Force && o.store.Exists(p, pgColl(m.PGID), m.Object) {
+		// A newer copy arrived through the client replication path.
+		lock.Release(1)
+		o.msgr.Send(src, &cephmsg.MPGPushAck{Tid: m.Tid, PGID: m.PGID, Object: m.Object})
+		return
+	}
+	txn := (&objstore.Transaction{}).Write(pgColl(m.PGID), m.Object, 0, m.Data)
+	for i := range m.OmapKeys {
+		txn.OmapSet(pgColl(m.PGID), m.Object, m.OmapKeys[i], m.OmapVals[i])
+	}
+	o.ensureColl(m.PGID, txn)
+	res := o.store.QueueTransaction(p, txn)
+	lock.Release(1)
+	o.stats.PushesServed++
+	o.env.Spawn(fmt.Sprintf("push-completer:%s/%d", o.name, m.Tid), func(cp *sim.Proc) {
+		cp.SetThread(o.thFin)
+		res.Done.Wait(cp)
+		o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles)
+		result := cephmsg.ResOK
+		if res.Err != nil {
+			result = cephmsg.ResError
+		}
+		o.msgr.Send(src, &cephmsg.MPGPushAck{
+			Tid: m.Tid, PGID: m.PGID, Object: m.Object, Result: result,
+		})
+	})
+}
+
+// handlePGPushAck completes one in-flight push (msgr-worker context).
+func (o *OSD) handlePGPushAck(m *cephmsg.MPGPushAck) {
+	if ev, ok := o.pushPending[m.Tid]; ok {
+		ev.Fire()
+		delete(o.pushPending, m.Tid)
+	}
+}

@@ -1,0 +1,115 @@
+// Package osdmap implements the cluster map shared by monitors, OSDs and
+// clients: an epoch, the set of up OSDs, the CRUSH hierarchy, and the
+// object -> placement-group -> acting-set resolution path (RADOS §2).
+package osdmap
+
+import (
+	"hash/fnv"
+
+	"doceph/internal/crush"
+)
+
+// Map is one epoch of cluster state. Maps are treated as immutable once
+// published; Next derives a successor epoch.
+type Map struct {
+	Epoch uint32
+	// PGCount is the number of placement groups in the (single) pool.
+	PGCount uint32
+	// Replicas is the pool replication factor.
+	Replicas int
+	// Crush is the placement hierarchy; each epoch owns an independent
+	// copy so down-marks cannot leak between epochs.
+	Crush *crush.Map
+	// Down marks OSDs excluded from placement in this epoch.
+	Down map[int32]bool
+}
+
+// New returns an epoch-1 map over the given hierarchy.
+func New(crushMap *crush.Map, pgCount uint32, replicas int) *Map {
+	return &Map{
+		Epoch:    1,
+		PGCount:  pgCount,
+		Replicas: replicas,
+		Crush:    crushMap,
+		Down:     make(map[int32]bool),
+	}
+}
+
+// Next returns a successor map with the epoch advanced and an independent
+// Down set.
+func (m *Map) Next() *Map {
+	down := make(map[int32]bool, len(m.Down))
+	for k, v := range m.Down {
+		down[k] = v
+	}
+	return &Map{
+		Epoch:    m.Epoch + 1,
+		PGCount:  m.PGCount,
+		Replicas: m.Replicas,
+		Crush:    m.Crush.Clone(),
+		Down:     down,
+	}
+}
+
+// MarkDown excludes an OSD from this map's placement (and from CRUSH
+// selection).
+func (m *Map) MarkDown(osd int32) {
+	m.Down[osd] = true
+	_ = m.Crush.MarkOut(crush.ItemID(osd))
+}
+
+// MarkUp restores an OSD.
+func (m *Map) MarkUp(osd int32) {
+	delete(m.Down, osd)
+	_ = m.Crush.MarkIn(crush.ItemID(osd))
+}
+
+// IsUp reports whether osd participates in this epoch.
+func (m *Map) IsUp(osd int32) bool { return !m.Down[osd] }
+
+// UpOSDs returns the ids of all up devices in ascending order.
+func (m *Map) UpOSDs() []int32 {
+	var out []int32
+	for _, id := range m.Crush.Devices() {
+		if !m.Down[int32(id)] {
+			out = append(out, int32(id))
+		}
+	}
+	return out
+}
+
+// PGForObject hashes an object name to its placement group, mirroring
+// Ceph's stable ceph_str_hash + pg mask.
+func (m *Map) PGForObject(object string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(object))
+	return h.Sum32() % m.PGCount
+}
+
+// pgSeed decorrelates PG ids before they enter CRUSH.
+func pgSeed(pg uint32) uint32 {
+	x := pg*2654435761 + 0x9e3779b9
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	return x
+}
+
+// ActingSet returns the OSDs serving pg, primary first.
+func (m *Map) ActingSet(pg uint32) []int32 {
+	ids := m.Crush.Select(pgSeed(pg), m.Replicas)
+	out := make([]int32, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, int32(id))
+	}
+	return out
+}
+
+// Primary returns the primary OSD for pg, or -1 if the PG is unservable.
+func (m *Map) Primary(pg uint32) int32 {
+	acting := m.ActingSet(pg)
+	if len(acting) == 0 {
+		return -1
+	}
+	return acting[0]
+}

@@ -1,0 +1,129 @@
+package osdmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"doceph/internal/crush"
+)
+
+func newMap(hosts int, replicas int) *Map {
+	return New(crush.BuildUniform(hosts, 1, 1.0), 64, replicas)
+}
+
+func TestPGForObjectDeterministicAndInRange(t *testing.T) {
+	m := newMap(3, 2)
+	f := func(obj string) bool {
+		pg := m.PGForObject(obj)
+		return pg == m.PGForObject(obj) && pg < m.PGCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPGsSpreadAcrossRange(t *testing.T) {
+	m := newMap(3, 2)
+	seen := map[uint32]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[m.PGForObject(string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune(i)))] = true
+	}
+	if len(seen) < int(m.PGCount)*3/4 {
+		t.Fatalf("only %d of %d PGs used", len(seen), m.PGCount)
+	}
+}
+
+func TestActingSetDistinctAndStable(t *testing.T) {
+	m := newMap(4, 3)
+	for pg := uint32(0); pg < m.PGCount; pg++ {
+		a := m.ActingSet(pg)
+		b := m.ActingSet(pg)
+		if len(a) != 3 {
+			t.Fatalf("pg %d acting=%v", pg, a)
+		}
+		seen := map[int32]bool{}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("pg %d unstable acting set", pg)
+			}
+			if seen[a[i]] {
+				t.Fatalf("pg %d duplicate osd: %v", pg, a)
+			}
+			seen[a[i]] = true
+		}
+		if m.Primary(pg) != a[0] {
+			t.Fatalf("pg %d primary mismatch", pg)
+		}
+	}
+}
+
+func TestNextAdvancesEpochIndependently(t *testing.T) {
+	m1 := newMap(3, 2)
+	m2 := m1.Next()
+	if m2.Epoch != m1.Epoch+1 {
+		t.Fatalf("epochs %d -> %d", m1.Epoch, m2.Epoch)
+	}
+	m2.MarkDown(1)
+	if !m1.IsUp(1) {
+		t.Fatal("down-mark leaked into the previous epoch")
+	}
+	if m2.IsUp(1) {
+		t.Fatal("down-mark did not apply")
+	}
+	// CRUSH copies are independent too: m1 still places on osd 1.
+	found := false
+	for pg := uint32(0); pg < m1.PGCount && !found; pg++ {
+		for _, id := range m1.ActingSet(pg) {
+			found = found || id == 1
+		}
+	}
+	if !found {
+		t.Fatal("previous epoch's CRUSH lost the device")
+	}
+	for pg := uint32(0); pg < m2.PGCount; pg++ {
+		for _, id := range m2.ActingSet(pg) {
+			if id == 1 {
+				t.Fatal("new epoch still places on the down OSD")
+			}
+		}
+	}
+}
+
+func TestUpOSDsAndMarkUp(t *testing.T) {
+	m := newMap(3, 2)
+	if got := m.UpOSDs(); len(got) != 3 {
+		t.Fatalf("up=%v", got)
+	}
+	m.MarkDown(0)
+	if got := m.UpOSDs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("up=%v", got)
+	}
+	m.MarkUp(0)
+	if got := m.UpOSDs(); len(got) != 3 {
+		t.Fatalf("up=%v", got)
+	}
+}
+
+func TestPrimaryUnservable(t *testing.T) {
+	m := newMap(2, 2)
+	m.MarkDown(0)
+	m.MarkDown(1)
+	if p := m.Primary(5); p != -1 {
+		t.Fatalf("primary=%d on empty cluster", p)
+	}
+}
+
+func TestPGSeedDecorrelates(t *testing.T) {
+	// Adjacent PG ids must not map to correlated acting sets; check that
+	// consecutive PGs do not all share a primary.
+	m := newMap(4, 2)
+	same := 0
+	for pg := uint32(0); pg+1 < m.PGCount; pg++ {
+		if m.Primary(pg) == m.Primary(pg+1) {
+			same++
+		}
+	}
+	if same > int(m.PGCount)*3/4 {
+		t.Fatalf("%d of %d consecutive PG pairs share a primary", same, m.PGCount-1)
+	}
+}

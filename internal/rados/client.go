@@ -1,0 +1,325 @@
+// Package rados implements the client library of the mini-RADOS cluster:
+// synchronous object write/read/stat/delete calls that resolve placement via
+// the client's OSDMap, talk to the primary OSD through the messenger, and
+// transparently refresh + retry when the map changes under them.
+package rados
+
+import (
+	"errors"
+	"fmt"
+
+	"doceph/internal/cephmsg"
+	"doceph/internal/messenger"
+	"doceph/internal/osdmap"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+// ThreadCat is the accounting category for client threads (on the client
+// node's CPU, which the paper does not measure).
+const ThreadCat = "client"
+
+// Errors returned by client calls.
+var (
+	ErrNotFound = errors.New("rados: object not found")
+	ErrIO       = errors.New("rados: backend I/O error")
+	ErrTimeout  = errors.New("rados: request timed out")
+	ErrNoOSD    = errors.New("rados: no primary OSD for object")
+)
+
+// Config carries client tunables.
+type Config struct {
+	// OpTimeout bounds one attempt before the client retries (possibly
+	// against a fresher map).
+	OpTimeout sim.Duration
+	// MaxRetries bounds retries on timeout or wrong-primary redirects.
+	MaxRetries int
+	// PrepCycles is the client-side cost per op (librados encode, CRC).
+	PrepCycles int64
+}
+
+// DefaultConfig returns client defaults.
+func DefaultConfig() Config {
+	return Config{OpTimeout: 30 * sim.Second, MaxRetries: 5, PrepCycles: 15_000}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.OpTimeout == 0 {
+		c.OpTimeout = d.OpTimeout
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	if c.PrepCycles == 0 {
+		c.PrepCycles = d.PrepCycles
+	}
+	return c
+}
+
+// Client is one RADOS client instance bound to a messenger entity.
+type Client struct {
+	env  *sim.Env
+	cpu  *sim.CPU
+	msgr *messenger.Messenger
+	cfg  Config
+	th   *sim.Thread
+
+	curMap   *osdmap.Map
+	nextTid  uint64
+	inflight map[uint64]*call
+}
+
+type call struct {
+	done  *sim.Event
+	reply *cephmsg.MOSDOpReply
+}
+
+// New creates a client using msgr, charging client-side CPU to cpu, with an
+// initial cluster map m (kept fresh via MOSDMap broadcasts).
+func New(env *sim.Env, cpu *sim.CPU, msgr *messenger.Messenger,
+	m *osdmap.Map, cfg Config) *Client {
+	c := &Client{
+		env: env, cpu: cpu, msgr: msgr, cfg: cfg.withDefaults(),
+		th:       sim.NewThread(msgr.Name(), ThreadCat),
+		curMap:   m,
+		inflight: make(map[uint64]*call),
+	}
+	msgr.SetDispatcher(c.dispatch)
+	return c
+}
+
+// Map returns the client's current cluster map.
+func (c *Client) Map() *osdmap.Map { return c.curMap }
+
+func (c *Client) dispatch(p *sim.Proc, src string, m cephmsg.Message) {
+	switch msg := m.(type) {
+	case *cephmsg.MOSDOpReply:
+		if call, ok := c.inflight[msg.Tid]; ok {
+			call.reply = msg
+			call.done.Fire()
+			delete(c.inflight, msg.Tid)
+		}
+	case *cephmsg.MOSDMap:
+		c.applyMap(msg)
+	}
+}
+
+func (c *Client) applyMap(m *cephmsg.MOSDMap) {
+	if m.Epoch <= c.curMap.Epoch {
+		return
+	}
+	next := c.curMap.Next()
+	next.Epoch = m.Epoch
+	up := make(map[int32]bool, len(m.Up))
+	for _, id := range m.Up {
+		up[id] = true
+	}
+	for _, dev := range next.Crush.Devices() {
+		id := int32(dev)
+		if up[id] {
+			next.MarkUp(id)
+		} else {
+			next.MarkDown(id)
+		}
+	}
+	c.curMap = next
+}
+
+// do sends one op to the current primary and waits for the reply, retrying
+// on redirects and timeouts.
+func (c *Client) do(p *sim.Proc, op *cephmsg.MOSDOp) (*cephmsg.MOSDOpReply, error) {
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		pg := c.curMap.PGForObject(op.Object)
+		primary := c.curMap.Primary(pg)
+		if primary < 0 {
+			return nil, ErrNoOSD
+		}
+		c.cpu.Exec(p, c.th, c.cfg.PrepCycles)
+		c.nextTid++
+		op.Tid = c.nextTid
+		op.Epoch = c.curMap.Epoch
+		op.Src = c.msgr.Name()
+		call := &call{done: sim.NewEvent(c.env)}
+		c.inflight[op.Tid] = call
+		c.msgr.Send(fmt.Sprintf("osd.%d", primary), op)
+		if !call.done.WaitTimeout(p, c.cfg.OpTimeout) {
+			delete(c.inflight, op.Tid)
+			// Give a failover a chance to publish a new map, then retry.
+			p.Wait(sim.Second)
+			continue
+		}
+		if call.reply.Result == cephmsg.ResNotPrimary {
+			p.Wait(100 * sim.Millisecond)
+			continue
+		}
+		return call.reply, nil
+	}
+	return nil, ErrTimeout
+}
+
+func resultErr(r int32) error {
+	switch r {
+	case cephmsg.ResOK:
+		return nil
+	case cephmsg.ResNotFound:
+		return ErrNotFound
+	default:
+		return ErrIO
+	}
+}
+
+// Write stores data as the full content of object at offset 0.
+func (c *Client) Write(p *sim.Proc, object string, data *wire.Bufferlist) error {
+	return c.WriteAt(p, object, 0, data)
+}
+
+// WriteAt stores data at the given object offset.
+func (c *Client) WriteAt(p *sim.Proc, object string, off uint64, data *wire.Bufferlist) error {
+	reply, err := c.do(p, &cephmsg.MOSDOp{
+		Pool: "rbd", Object: object, Op: cephmsg.OpWrite,
+		Offset: off, Length: uint64(data.Length()), Data: data,
+	})
+	if err != nil {
+		return err
+	}
+	return resultErr(reply.Result)
+}
+
+// Read returns length bytes at offset off of object (length 0 = to EOF).
+func (c *Client) Read(p *sim.Proc, object string, off, length uint64) (*wire.Bufferlist, error) {
+	reply, err := c.do(p, &cephmsg.MOSDOp{
+		Pool: "rbd", Object: object, Op: cephmsg.OpRead, Offset: off, Length: length,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := resultErr(reply.Result); err != nil {
+		return nil, err
+	}
+	return reply.Data, nil
+}
+
+// Stat returns object size and version.
+func (c *Client) Stat(p *sim.Proc, object string) (size, version uint64, err error) {
+	reply, err := c.do(p, &cephmsg.MOSDOp{Pool: "rbd", Object: object, Op: cephmsg.OpStat})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := resultErr(reply.Result); err != nil {
+		return 0, 0, err
+	}
+	return reply.Size, reply.Version, nil
+}
+
+// Delete removes object.
+func (c *Client) Delete(p *sim.Proc, object string) error {
+	reply, err := c.do(p, &cephmsg.MOSDOp{Pool: "rbd", Object: object, Op: cephmsg.OpDelete})
+	if err != nil {
+		return err
+	}
+	return resultErr(reply.Result)
+}
+
+// Completion tracks an asynchronous operation (librados' aio_* family).
+// Wait blocks until the operation finishes and returns its error; Data
+// holds the payload of a completed read.
+type Completion struct {
+	done *sim.Event
+	err  error
+	data *wire.Bufferlist
+}
+
+// Wait blocks p until the operation completes.
+func (c *Completion) Wait(p *sim.Proc) error {
+	c.done.Wait(p)
+	return c.err
+}
+
+// Done reports completion without blocking.
+func (c *Completion) Done() bool { return c.done.Fired() }
+
+// Data returns a completed read's payload (nil for writes or errors).
+func (c *Completion) Data() *wire.Bufferlist { return c.data }
+
+// aio runs op in its own simulated thread and fires the completion.
+func (c *Client) aio(name string, op func(p *sim.Proc) (*wire.Bufferlist, error)) *Completion {
+	comp := &Completion{done: sim.NewEvent(c.env)}
+	c.env.Spawn(name, func(p *sim.Proc) {
+		p.SetThread(sim.NewThread(name, ThreadCat))
+		comp.data, comp.err = op(p)
+		comp.done.Fire()
+	})
+	return comp
+}
+
+// AioWrite starts an asynchronous full-object write. The caller must not
+// mutate data until the completion fires.
+func (c *Client) AioWrite(object string, data *wire.Bufferlist) *Completion {
+	return c.aio("aio-write:"+object, func(p *sim.Proc) (*wire.Bufferlist, error) {
+		return nil, c.Write(p, object, data)
+	})
+}
+
+// AioRead starts an asynchronous read (length 0 = whole object).
+func (c *Client) AioRead(object string, off, length uint64) *Completion {
+	return c.aio("aio-read:"+object, func(p *sim.Proc) (*wire.Bufferlist, error) {
+		return c.Read(p, object, off, length)
+	})
+}
+
+// OmapSet sets one key of object's omap, replicated with write-through
+// durability (librados rados_omap_set).
+func (c *Client) OmapSet(p *sim.Proc, object, key string, value []byte) error {
+	reply, err := c.do(p, &cephmsg.MOSDOp{Pool: "rbd", Object: object,
+		Op: cephmsg.OpOmapSet, Key: key, Data: wire.FromBytes(value)})
+	if err != nil {
+		return err
+	}
+	return resultErr(reply.Result)
+}
+
+// OmapRm removes one key of object's omap.
+func (c *Client) OmapRm(p *sim.Proc, object, key string) error {
+	reply, err := c.do(p, &cephmsg.MOSDOp{Pool: "rbd", Object: object,
+		Op: cephmsg.OpOmapRm, Key: key})
+	if err != nil {
+		return err
+	}
+	return resultErr(reply.Result)
+}
+
+// OmapGet returns the value of one omap key of object.
+func (c *Client) OmapGet(p *sim.Proc, object, key string) ([]byte, error) {
+	reply, err := c.do(p, &cephmsg.MOSDOp{Pool: "rbd", Object: object,
+		Op: cephmsg.OpOmapGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if err := resultErr(reply.Result); err != nil {
+		return nil, err
+	}
+	return reply.Data.Bytes(), nil
+}
+
+// OmapKeys returns object's omap keys in sorted order.
+func (c *Client) OmapKeys(p *sim.Proc, object string) ([]string, error) {
+	reply, err := c.do(p, &cephmsg.MOSDOp{Pool: "rbd", Object: object,
+		Op: cephmsg.OpOmapKeys})
+	if err != nil {
+		return nil, err
+	}
+	if err := resultErr(reply.Result); err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoderBL(reply.Data)
+	n := d.U32()
+	keys := make([]string, 0, n)
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		keys = append(keys, d.String())
+	}
+	if d.Err() != nil {
+		return nil, ErrIO
+	}
+	return keys, nil
+}

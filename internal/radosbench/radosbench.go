@@ -1,0 +1,269 @@
+// Package radosbench reimplements the RADOS bench workload generator the
+// paper evaluates with (§5.1): a closed-loop benchmark in which a fixed
+// number of concurrent client threads issue fixed-size object operations
+// for a fixed duration, reporting average latency, IOPS and throughput plus
+// per-second samples (rados bench's built-in instrumentation).
+package radosbench
+
+import (
+	"fmt"
+	"sort"
+
+	"doceph/internal/rados"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+// Op selects the workload pattern.
+type Op int
+
+// Workload patterns.
+const (
+	Write Op = iota
+	Read
+	// Mixed interleaves reads and writes per ReadPercent.
+	Mixed
+)
+
+// Config describes one benchmark run.
+type Config struct {
+	// Threads is the number of concurrent client workers (-t; paper: 16).
+	Threads int
+	// ObjectBytes is the request size (paper: 1/4/8/16 MB).
+	ObjectBytes int64
+	// Duration is the measured interval after warmup.
+	Duration sim.Duration
+	// Warmup is discarded from all statistics; stats windows on the
+	// cluster should be reset at its end via OnWarmupEnd.
+	Warmup sim.Duration
+	// Op is the workload pattern. Read and Mixed prepopulate first.
+	Op Op
+	// ReadPercent is the read share of a Mixed workload (default 70).
+	ReadPercent int
+	// PrepopulateObjects writes this many objects before the measured
+	// phase (read and mixed workloads).
+	PrepopulateObjects int
+	// Prefix names the benchmark objects.
+	Prefix string
+	// OnWarmupEnd is invoked at the warmup/measurement boundary (reset
+	// cluster CPU windows here).
+	OnWarmupEnd func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads == 0 {
+		c.Threads = 16
+	}
+	if c.ObjectBytes == 0 {
+		c.ObjectBytes = 4 << 20
+	}
+	if c.Duration == 0 {
+		c.Duration = 60 * sim.Second
+	}
+	if c.Prefix == "" {
+		c.Prefix = "benchmark_data"
+	}
+	if c.Op == Mixed && c.ReadPercent == 0 {
+		c.ReadPercent = 70
+	}
+	return c
+}
+
+// SecondSample is one per-second instrumentation row.
+type SecondSample struct {
+	Second int
+	Ops    int64
+	Bytes  int64
+	AvgLat sim.Duration
+}
+
+// Result carries the run's metrics over the measured window.
+type Result struct {
+	Op          Op
+	ObjectBytes int64
+	Threads     int
+	Window      sim.Duration
+
+	Ops        int64
+	Bytes      int64
+	AvgLatency sim.Duration
+	MinLatency sim.Duration
+	MaxLatency sim.Duration
+	P50        sim.Duration
+	P99        sim.Duration
+
+	PerSecond []SecondSample
+}
+
+// IOPS returns completed operations per second.
+func (r Result) IOPS() float64 {
+	if r.Window <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Window.Seconds()
+}
+
+// ThroughputBps returns bytes per second.
+func (r Result) ThroughputBps() float64 {
+	if r.Window <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Window.Seconds()
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d threads x %d B: %d ops in %v -> %.1f IOPS, %.1f MB/s, avg lat %.4fs",
+		r.Threads, r.ObjectBytes, r.Ops, r.Window, r.IOPS(),
+		r.ThroughputBps()/1e6, r.AvgLatency.Seconds())
+}
+
+// Run executes the benchmark against client inside env. It must be called
+// before env is driven; it spawns the workers and a controller, drives the
+// environment itself until the measured window ends, and returns the
+// result. The environment can be reused (Shutdown is left to the caller).
+func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{Op: cfg.Op, ObjectBytes: cfg.ObjectBytes, Threads: cfg.Threads}
+
+	// One shared payload: segments are shared zero-copy by every write, so
+	// memory stays O(ObjectBytes), not O(total data written).
+	payload := make([]byte, cfg.ObjectBytes)
+	for i := range payload {
+		payload[i] = byte(i * 2654435761)
+	}
+
+	var (
+		measuring    bool
+		stopped      bool
+		measureStart sim.Time
+		lats         []sim.Duration
+		perSecOps    []int64
+		perSecBy     []int64
+		perSecLat    []sim.Duration
+		benchErr     error
+	)
+	record := func(start, end sim.Time, bytes int64) {
+		if !measuring || stopped {
+			return
+		}
+		lat := end.Sub(start)
+		lats = append(lats, lat)
+		res.Ops++
+		res.Bytes += bytes
+		sec := int(end.Sub(measureStart) / sim.Duration(sim.Second))
+		for len(perSecOps) <= sec {
+			perSecOps = append(perSecOps, 0)
+			perSecBy = append(perSecBy, 0)
+			perSecLat = append(perSecLat, 0)
+		}
+		perSecOps[sec]++
+		perSecBy[sec] += bytes
+		perSecLat[sec] += lat
+	}
+
+	prepopDone := sim.NewEvent(env)
+	if cfg.Op == Read || cfg.Op == Mixed {
+		env.Spawn("bench-prepop", func(p *sim.Proc) {
+			p.SetThread(sim.NewThread("bench-prepop", rados.ThreadCat))
+			n := cfg.PrepopulateObjects
+			if n == 0 {
+				n = cfg.Threads * 4
+			}
+			for i := 0; i < n; i++ {
+				obj := fmt.Sprintf("%s_prepop_%d", cfg.Prefix, i)
+				if err := client.Write(p, obj, wire.FromBytes(payload)); err != nil {
+					benchErr = fmt.Errorf("radosbench: prepopulate %s: %w", obj, err)
+					break
+				}
+			}
+			prepopDone.Fire()
+		})
+	} else {
+		prepopDone.Fire()
+	}
+
+	for w := 0; w < cfg.Threads; w++ {
+		worker := w
+		env.Spawn(fmt.Sprintf("bench-worker-%d", w), func(p *sim.Proc) {
+			p.SetThread(sim.NewThread(fmt.Sprintf("bench-%d", worker), rados.ThreadCat))
+			prepopDone.Wait(p)
+			nPrepop := cfg.PrepopulateObjects
+			if nPrepop == 0 {
+				nPrepop = cfg.Threads * 4
+			}
+			for i := 0; !stopped && benchErr == nil; i++ {
+				start := p.Now()
+				var err error
+				var bytes int64
+				doRead := cfg.Op == Read
+				if cfg.Op == Mixed {
+					doRead = env.Rand().Intn(100) < cfg.ReadPercent
+				}
+				if !doRead {
+					obj := fmt.Sprintf("%s_w%d_%d", cfg.Prefix, worker, i)
+					err = client.Write(p, obj, wire.FromBytes(payload))
+					bytes = cfg.ObjectBytes
+				} else {
+					obj := fmt.Sprintf("%s_prepop_%d", cfg.Prefix,
+						(worker*7919+i)%nPrepop)
+					var bl *wire.Bufferlist
+					bl, err = client.Read(p, obj, 0, 0)
+					if err == nil {
+						bytes = int64(bl.Length())
+					}
+				}
+				if err != nil {
+					benchErr = fmt.Errorf("radosbench: worker %d: %w", worker, err)
+					return
+				}
+				record(start, p.Now(), bytes)
+			}
+		})
+	}
+
+	// Controller: flips the measurement window.
+	env.Spawn("bench-controller", func(p *sim.Proc) {
+		prepopDone.Wait(p)
+		p.Wait(cfg.Warmup)
+		measuring = true
+		measureStart = p.Now()
+		if cfg.OnWarmupEnd != nil {
+			cfg.OnWarmupEnd()
+		}
+		p.Wait(cfg.Duration)
+		stopped = true
+	})
+
+	// Drive in chunks until the controller stops the run (prepopulation
+	// shifts the end instant, so poll rather than precompute).
+	for !stopped && benchErr == nil {
+		if err := env.RunUntil(env.Now().Add(sim.Second)); err != nil {
+			return res, err
+		}
+	}
+	if benchErr != nil {
+		return res, benchErr
+	}
+
+	res.Window = cfg.Duration
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum sim.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		res.AvgLatency = sum / sim.Duration(len(lats))
+		res.MinLatency = lats[0]
+		res.MaxLatency = lats[len(lats)-1]
+		res.P50 = lats[len(lats)/2]
+		res.P99 = lats[len(lats)*99/100]
+	}
+	for s := range perSecOps {
+		smp := SecondSample{Second: s, Ops: perSecOps[s], Bytes: perSecBy[s]}
+		if perSecOps[s] > 0 {
+			smp.AvgLat = perSecLat[s] / sim.Duration(perSecOps[s])
+		}
+		res.PerSecond = append(res.PerSecond, smp)
+	}
+	return res, nil
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendersAligned(t *testing.T) {
+	tb := &Table{
+		Title:  "Demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "23456")
+	tb.AddNote("footnote %d", 7)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, header, separator, 2 rows, note
+	if len(lines) != 6 {
+		t.Fatalf("lines=%d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Fatalf("separator missing: %q", lines[2])
+	}
+	// Columns align: "value" column starts at the same offset in both rows.
+	if strings.Index(lines[3], "1") < len("a-much-longer-name") {
+		t.Fatalf("misaligned row: %q", lines[3])
+	}
+	if !strings.Contains(lines[5], "note: footnote 7") {
+		t.Fatalf("note: %q", lines[5])
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Fatalf("bar=%q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Fatal("bar should clamp at width")
+	}
+	if Bar(1, 0, 10) != "" || Bar(-1, 10, 10) != "" {
+		t.Fatal("degenerate bars should be empty")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Fatalf("pct=%q", Pct(0.123))
+	}
+	if F2(1.005) != "1.00" && F2(1.005) != "1.01" {
+		t.Fatalf("f2=%q", F2(1.005))
+	}
+	if F3(0.1234) != "0.123" {
+		t.Fatalf("f3=%q", F3(0.1234))
+	}
+	if F4(0.12345) != "0.1234" && F4(0.12345) != "0.1235" {
+		t.Fatalf("f4=%q", F4(0.12345))
+	}
+	if MB(4<<20) != "4MB" {
+		t.Fatalf("mb=%q", MB(4<<20))
+	}
+}

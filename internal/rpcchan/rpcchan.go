@@ -1,0 +1,279 @@
+// Package rpcchan implements the lightweight control-plane RPC channel of
+// DoCeph (paper §3.2): a persistent socket between the DPU and the host
+// carrying small serialized requests — each framed as a header with the
+// operation type, a unique request id and the payload length — dispatched
+// by an event-driven server loop on the receiving side. It is deliberately
+// cheap but not free: every message pays syscall, copy and wakeup costs on
+// both CPUs, which is why bulk data does NOT belong on this path.
+package rpcchan
+
+import (
+	"fmt"
+
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+// HeaderBytes is the frame header size (op + request id + length).
+const HeaderBytes = 16
+
+// Config models one endpoint's CPU costs and the link between the two.
+type Config struct {
+	// Latency is the one-way socket latency (kernel path over PCIe/host
+	// interface).
+	Latency sim.Duration
+	// BytesPerSec is the socket throughput (this is a control channel; the
+	// default is deliberately modest).
+	BytesPerSec float64
+	// FixedCycles is charged per message on the processing endpoint.
+	FixedCycles int64
+	// PerByteCycles is charged per payload byte (serialize + copy).
+	PerByteCycles float64
+	// SwitchesPerMsg records voluntary context switches per message.
+	SwitchesPerMsg int64
+}
+
+// DefaultConfig returns control-channel defaults (~25 us latency, 2 GB/s).
+func DefaultConfig() Config {
+	return Config{
+		Latency:        25 * sim.Microsecond,
+		BytesPerSec:    2e9,
+		FixedCycles:    10_000,
+		PerByteCycles:  0.8,
+		SwitchesPerMsg: 2,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Latency == 0 {
+		c.Latency = d.Latency
+	}
+	if c.BytesPerSec == 0 {
+		c.BytesPerSec = d.BytesPerSec
+	}
+	if c.FixedCycles == 0 {
+		c.FixedCycles = d.FixedCycles
+	}
+	if c.PerByteCycles == 0 {
+		c.PerByteCycles = d.PerByteCycles
+	}
+	if c.SwitchesPerMsg == 0 {
+		c.SwitchesPerMsg = d.SwitchesPerMsg
+	}
+	return c
+}
+
+// Request is a decoded inbound RPC.
+type Request struct {
+	Op      uint16
+	ReqID   uint64
+	Payload *wire.Bufferlist
+}
+
+// Handler services one request on the endpoint's server loop. Respond may
+// be called inline or later from a spawned process (for handlers that block
+// on storage); it must be called exactly once per request.
+type Handler func(p *sim.Proc, req *Request, respond func(payload *wire.Bufferlist, errCode uint16))
+
+// Stats counts endpoint traffic.
+type Stats struct {
+	CallsSent   int64
+	CallsServed int64
+	Notifies    int64
+	BytesSent   int64
+	BytesRecv   int64
+}
+
+// Endpoint is one side of the channel.
+type Endpoint struct {
+	env  *sim.Env
+	name string
+	cpu  *sim.CPU
+	th   *sim.Thread
+	cfg  Config
+
+	peer     *Endpoint
+	inq      *sim.Queue[envelope]
+	handlers map[uint16]Handler
+	pending  map[uint64]*pendingCall
+	nextID   uint64
+	// sendFree is the busy-until time of this endpoint's outbound socket
+	// direction.
+	sendFree sim.Time
+
+	stats Stats
+}
+
+type envelope struct {
+	req     bool
+	notify  bool
+	op      uint16
+	reqID   uint64
+	errCode uint16
+	payload *wire.Bufferlist
+	bytes   int64
+}
+
+type pendingCall struct {
+	done    *sim.Event
+	payload *wire.Bufferlist
+	errCode uint16
+}
+
+// Response error codes: 0 is success; anything else is surfaced to the
+// caller as a CallError.
+type CallError struct{ Code uint16 }
+
+func (e CallError) Error() string { return fmt.Sprintf("rpcchan: remote error code %d", e.Code) }
+
+// New wires two endpoints together. Each endpoint charges its work to its
+// own CPU under the given thread (the paper's taxonomy: the proxy thread on
+// the DPU, the RPC-server thread on the host).
+func New(env *sim.Env, nameA string, cpuA *sim.CPU, thA *sim.Thread,
+	nameB string, cpuB *sim.CPU, thB *sim.Thread, cfg Config) (*Endpoint, *Endpoint) {
+	cfg = cfg.withDefaults()
+	a := newEndpoint(env, nameA, cpuA, thA, cfg)
+	b := newEndpoint(env, nameB, cpuB, thB, cfg)
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func newEndpoint(env *sim.Env, name string, cpu *sim.CPU, th *sim.Thread, cfg Config) *Endpoint {
+	e := &Endpoint{
+		env: env, name: name, cpu: cpu, th: th, cfg: cfg,
+		inq:      sim.NewQueue[envelope](env),
+		handlers: make(map[uint16]Handler),
+		pending:  make(map[uint64]*pendingCall),
+	}
+	env.SpawnDaemon("rpc-server:"+name, func(p *sim.Proc) { e.serve(p) })
+	return e
+}
+
+// Stats returns a copy of the endpoint counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// Handle registers a handler for op.
+func (e *Endpoint) Handle(op uint16, h Handler) { e.handlers[op] = h }
+
+// Call sends a request and blocks p until the response arrives, returning
+// the response payload.
+func (e *Endpoint) Call(p *sim.Proc, op uint16, payload *wire.Bufferlist) (*wire.Bufferlist, error) {
+	e.nextID++
+	id := e.nextID
+	pc := &pendingCall{done: sim.NewEvent(e.env)}
+	e.pending[id] = pc
+	e.send(p, envelope{req: true, op: op, reqID: id, payload: payload})
+	e.stats.CallsSent++
+	pc.done.Wait(p)
+	if pc.errCode != 0 {
+		return nil, CallError{Code: pc.errCode}
+	}
+	return pc.payload, nil
+}
+
+// Notify sends a one-way message (no response) processed by the peer's
+// handler for op; the handler's respond function becomes a no-op.
+func (e *Endpoint) Notify(p *sim.Proc, op uint16, payload *wire.Bufferlist) {
+	e.nextID++
+	e.send(p, envelope{req: true, notify: true, op: op, reqID: e.nextID, payload: payload})
+	e.stats.Notifies++
+}
+
+// send pays the sender-side CPU cost and models socket serialization +
+// latency with a busy-until outbound direction, then delivers into the
+// peer's input queue via a courier process (non-blocking for the caller
+// beyond the CPU cost, like a buffered socket write).
+func (e *Endpoint) send(p *sim.Proc, env envelope) {
+	env.bytes = HeaderBytes
+	if env.payload != nil {
+		env.bytes += int64(env.payload.Length())
+	}
+	e.cpu.Exec(p, e.th, e.cfg.FixedCycles+int64(float64(env.bytes)*e.cfg.PerByteCycles))
+	e.cpu.NoteSwitches(e.th, e.cfg.SwitchesPerMsg)
+	e.stats.BytesSent += env.bytes
+
+	ser := sim.Duration(float64(env.bytes) / e.cfg.BytesPerSec * float64(sim.Second))
+	start := e.env.Now()
+	if e.sendFree > start {
+		start = e.sendFree
+	}
+	arrive := start.Add(ser + e.cfg.Latency)
+	e.sendFree = start.Add(ser)
+	peer := e.peer
+	e.env.Spawn(fmt.Sprintf("rpc-wire:%s", e.name), func(cp *sim.Proc) {
+		cp.WaitUntil(arrive)
+		peer.inq.Push(env)
+	})
+}
+
+// serve is the endpoint's event-driven receive loop.
+func (e *Endpoint) serve(p *sim.Proc) {
+	p.SetThread(e.th)
+	for {
+		env := e.inq.Pop(p)
+		e.cpu.Exec(p, e.th, e.cfg.FixedCycles+int64(float64(env.bytes)*e.cfg.PerByteCycles))
+		e.cpu.NoteSwitches(e.th, e.cfg.SwitchesPerMsg)
+		e.stats.BytesRecv += env.bytes
+		if env.req {
+			e.stats.CallsServed++
+			h, ok := e.handlers[env.op]
+			if !ok {
+				if !env.notify {
+					e.send(p, envelope{reqID: env.reqID, errCode: 0xFFFF})
+				}
+				continue
+			}
+			id := env.reqID
+			isNotify := env.notify
+			responded := false
+			h(p, &Request{Op: env.op, ReqID: id, Payload: env.payload},
+				func(payload *wire.Bufferlist, errCode uint16) {
+					if responded {
+						panic("rpcchan: respond called twice for req " + fmt.Sprint(id))
+					}
+					responded = true
+					if isNotify {
+						return
+					}
+					// The responder may be a spawned completion process;
+					// charge the response send to the server thread via the
+					// current proc.
+					e.sendFromAny(payload, errCode, id)
+				})
+			continue
+		}
+		// Response path.
+		if pc, ok := e.pending[env.reqID]; ok {
+			pc.payload = env.payload
+			pc.errCode = env.errCode
+			pc.done.Fire()
+			delete(e.pending, env.reqID)
+		}
+	}
+}
+
+// sendFromAny sends a response envelope on behalf of whatever process is
+// running; CPU cost is charged by a courier on the endpoint's thread.
+func (e *Endpoint) sendFromAny(payload *wire.Bufferlist, errCode uint16, reqID uint64) {
+	env := envelope{reqID: reqID, errCode: errCode, payload: payload}
+	env.bytes = HeaderBytes
+	if payload != nil {
+		env.bytes += int64(payload.Length())
+	}
+	e.stats.BytesSent += env.bytes
+	peer := e.peer
+	e.env.Spawn(fmt.Sprintf("rpc-resp:%s/%d", e.name, reqID), func(cp *sim.Proc) {
+		e.cpu.Exec(cp, e.th, e.cfg.FixedCycles+int64(float64(env.bytes)*e.cfg.PerByteCycles))
+		e.cpu.NoteSwitches(e.th, e.cfg.SwitchesPerMsg)
+		ser := sim.Duration(float64(env.bytes) / e.cfg.BytesPerSec * float64(sim.Second))
+		start := cp.Now()
+		if e.sendFree > start {
+			start = e.sendFree
+		}
+		arrive := start.Add(ser + e.cfg.Latency)
+		e.sendFree = start.Add(ser)
+		cp.WaitUntil(arrive)
+		peer.inq.Push(env)
+	})
+}

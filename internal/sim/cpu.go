@@ -1,0 +1,247 @@
+package sim
+
+// Thread identifies a simulated OS thread executing on a CPU. Cat groups
+// threads into the accounting categories the paper's perf methodology uses
+// ("msgr-worker", "bstore", "tp_osd_tp", ...).
+type Thread struct {
+	Name string
+	Cat  string
+}
+
+// NewThread returns a thread with the given name and accounting category.
+func NewThread(name, cat string) *Thread { return &Thread{Name: name, Cat: cat} }
+
+// CPUStats is a snapshot of a CPU's accounting counters since the last
+// ResetStats.
+type CPUStats struct {
+	WindowStart Time
+	WindowEnd   Time
+	// BusyByCat is accumulated execution time (including context-switch
+	// overhead) per thread category.
+	BusyByCat map[string]Duration
+	// SwitchesByCat counts voluntary context switches recorded via
+	// NoteSwitches (blocking syscalls, futex waits) — the quantity the
+	// paper's Table 2 compares.
+	SwitchesByCat map[string]int64
+	// CoreSwitchesByCat counts involuntary thread changes observed on the
+	// cores themselves.
+	CoreSwitchesByCat map[string]int64
+	TotalBusy         Duration
+	Cores             int
+}
+
+// Utilization returns total busy time over total core time, in [0,1]
+// (assuming no oversubscription beyond the core count).
+func (s CPUStats) Utilization() float64 {
+	window := s.WindowEnd.Sub(s.WindowStart)
+	if window <= 0 || s.Cores == 0 {
+		return 0
+	}
+	return s.TotalBusy.Seconds() / (window.Seconds() * float64(s.Cores))
+}
+
+// UtilizationOfCat returns the busy share of one category over total core
+// time in [0,1].
+func (s CPUStats) UtilizationOfCat(cat string) float64 {
+	window := s.WindowEnd.Sub(s.WindowStart)
+	if window <= 0 || s.Cores == 0 {
+		return 0
+	}
+	return s.BusyByCat[cat].Seconds() / (window.Seconds() * float64(s.Cores))
+}
+
+// ShareOfCat returns cat's fraction of total busy time in [0,1].
+func (s CPUStats) ShareOfCat(cat string) float64 {
+	if s.TotalBusy <= 0 {
+		return 0
+	}
+	return s.BusyByCat[cat].Seconds() / s.TotalBusy.Seconds()
+}
+
+// CPU is a multi-core, FCFS, non-preemptive processor model. Exec acquires a
+// core, charges cycles (translated to virtual time by the clock frequency),
+// and releases the core. When a core picks up a thread different from the one
+// it last ran, a context-switch cost is charged and counted.
+type CPU struct {
+	env  *Env
+	name string
+
+	// FreqGHz is the core clock: cycles per nanosecond.
+	FreqGHz float64
+	// CtxSwitchCycles is charged whenever a core changes threads.
+	CtxSwitchCycles int64
+
+	cores     []coreState
+	freeCores []int
+	waiters   []cpuWaiter
+
+	windowStart  Time
+	busyByCat    map[string]Duration
+	switches     map[string]int64
+	coreSwitches map[string]int64
+	totalBusy    Duration
+	// bgLoad is a constant background occupancy per category, in cores
+	// (e.g. 0.05 = 5% of one core). It models busy-polling threads without
+	// generating millions of idle-tick events; Stats folds it in as
+	// coresWorth * window of busy time.
+	bgLoad map[string]float64
+}
+
+type coreState struct {
+	last *Thread
+}
+
+type cpuWaiter struct {
+	tok  *wakeToken
+	core *int
+}
+
+// NewCPU returns a CPU with the given core count and clock frequency.
+func NewCPU(env *Env, name string, cores int, freqGHz float64, ctxSwitchCycles int64) *CPU {
+	c := &CPU{
+		env:             env,
+		name:            name,
+		FreqGHz:         freqGHz,
+		CtxSwitchCycles: ctxSwitchCycles,
+		cores:           make([]coreState, cores),
+		busyByCat:       make(map[string]Duration),
+		switches:        make(map[string]int64),
+		coreSwitches:    make(map[string]int64),
+		bgLoad:          make(map[string]float64),
+	}
+	for i := cores - 1; i >= 0; i-- {
+		c.freeCores = append(c.freeCores, i)
+	}
+	return c
+}
+
+// Name returns the CPU's name.
+func (c *CPU) Name() string { return c.name }
+
+// Cores returns the core count.
+func (c *CPU) Cores() int { return len(c.cores) }
+
+// CyclesToDuration converts a cycle count to virtual time at this clock.
+func (c *CPU) CyclesToDuration(cycles int64) Duration {
+	return Duration(float64(cycles) / c.FreqGHz)
+}
+
+// Exec runs th on this CPU for the given number of cycles, blocking p for
+// queueing (if all cores are busy) plus execution time.
+func (c *CPU) Exec(p *Proc, th *Thread, cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	core := c.acquire(p)
+	total := cycles
+	if c.cores[core].last != th {
+		if c.cores[core].last != nil {
+			total += c.CtxSwitchCycles
+			c.coreSwitches[th.Cat]++
+		}
+		c.cores[core].last = th
+	}
+	d := c.CyclesToDuration(total)
+	c.busyByCat[th.Cat] += d
+	c.totalBusy += d
+	p.Wait(d)
+	c.release(core)
+}
+
+// ExecSelf charges cycles to the thread identity attached to p (see
+// Proc.SetThread). It panics if p has no thread — that is a wiring bug.
+func (c *CPU) ExecSelf(p *Proc, cycles int64) {
+	th := p.Thread()
+	if th == nil {
+		panic("sim: ExecSelf on proc " + p.Name() + " with no thread identity")
+	}
+	c.Exec(p, th, cycles)
+}
+
+// ExecDuration is Exec with the work expressed directly as time at this
+// clock (cycles = d * FreqGHz).
+func (c *CPU) ExecDuration(p *Proc, th *Thread, d Duration) {
+	c.Exec(p, th, int64(float64(d)*c.FreqGHz))
+}
+
+// NoteSwitches records n voluntary context switches (e.g. blocking syscall
+// boundaries) for th's category without consuming core time.
+func (c *CPU) NoteSwitches(th *Thread, n int64) {
+	c.switches[th.Cat] += n
+}
+
+func (c *CPU) acquire(p *Proc) int {
+	if n := len(c.freeCores); n > 0 {
+		core := c.freeCores[n-1]
+		c.freeCores = c.freeCores[:n-1]
+		return core
+	}
+	tok := p.newToken()
+	core := -1
+	c.waiters = append(c.waiters, cpuWaiter{tok: tok, core: &core})
+	p.park()
+	return core
+}
+
+func (c *CPU) release(core int) {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.tok.spent {
+			continue
+		}
+		*w.core = core
+		c.env.schedule(w.tok, c.env.now)
+		return
+	}
+	c.freeCores = append(c.freeCores, core)
+}
+
+// SetBackgroundLoad registers a constant polling-style occupancy for cat,
+// expressed in cores (0.05 = 5% of one core). Accounted analytically in
+// Stats rather than via idle-tick events.
+func (c *CPU) SetBackgroundLoad(cat string, coresWorth float64) {
+	c.bgLoad[cat] = coresWorth
+}
+
+// ResetStats starts a fresh accounting window at the current instant
+// (used to discard benchmark warmup).
+func (c *CPU) ResetStats() {
+	c.windowStart = c.env.now
+	c.busyByCat = make(map[string]Duration)
+	c.switches = make(map[string]int64)
+	c.coreSwitches = make(map[string]int64)
+	c.totalBusy = 0
+}
+
+// Stats returns a copy of the accounting counters for the current window.
+func (c *CPU) Stats() CPUStats {
+	busy := make(map[string]Duration, len(c.busyByCat))
+	for k, v := range c.busyByCat {
+		busy[k] = v
+	}
+	total := c.totalBusy
+	window := c.env.now.Sub(c.windowStart)
+	for cat, cores := range c.bgLoad {
+		d := Duration(cores * float64(window))
+		busy[cat] += d
+		total += d
+	}
+	sw := make(map[string]int64, len(c.switches))
+	for k, v := range c.switches {
+		sw[k] = v
+	}
+	csw := make(map[string]int64, len(c.coreSwitches))
+	for k, v := range c.coreSwitches {
+		csw[k] = v
+	}
+	return CPUStats{
+		WindowStart:       c.windowStart,
+		WindowEnd:         c.env.now,
+		BusyByCat:         busy,
+		SwitchesByCat:     sw,
+		CoreSwitchesByCat: csw,
+		TotalBusy:         total,
+		Cores:             len(c.cores),
+	}
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCPUExecChargesTime(t *testing.T) {
+	env := NewEnv(1)
+	cpu := NewCPU(env, "host", 1, 2.0, 0) // 2 GHz
+	th := NewThread("w0", "work")
+	env.Spawn("p", func(p *Proc) {
+		cpu.Exec(p, th, 2000) // 2000 cycles at 2 GHz = 1000 ns
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Now() != Time(1000) {
+		t.Fatalf("now=%v want 1000ns", env.Now())
+	}
+	st := cpu.Stats()
+	if st.BusyByCat["work"] != 1000 {
+		t.Fatalf("busy=%v", st.BusyByCat["work"])
+	}
+}
+
+func TestCPUCoresContended(t *testing.T) {
+	env := NewEnv(1)
+	cpu := NewCPU(env, "host", 2, 1.0, 0)
+	for i := 0; i < 4; i++ {
+		th := NewThread("w", "work")
+		env.Spawn("p", func(p *Proc) {
+			cpu.Exec(p, th, 1000)
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 jobs of 1000ns on 2 cores = 2000ns makespan.
+	if env.Now() != Time(2000) {
+		t.Fatalf("now=%v want 2000ns", env.Now())
+	}
+}
+
+func TestCPUContextSwitchCostAndCount(t *testing.T) {
+	env := NewEnv(1)
+	cpu := NewCPU(env, "host", 1, 1.0, 100)
+	a := NewThread("a", "catA")
+	b := NewThread("b", "catB")
+	env.Spawn("p", func(p *Proc) {
+		cpu.Exec(p, a, 1000) // first-run on a cold core: no switch charged
+		cpu.Exec(p, b, 1000) // switch a->b
+		cpu.Exec(p, b, 1000) // same thread: no switch
+		cpu.Exec(p, a, 1000) // switch b->a
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := cpu.Stats()
+	if st.CoreSwitchesByCat["catA"] != 1 || st.CoreSwitchesByCat["catB"] != 1 {
+		t.Fatalf("core switches=%v", st.CoreSwitchesByCat)
+	}
+	// 4000 work + 200 switch cost at 1 GHz.
+	if env.Now() != Time(4200) {
+		t.Fatalf("now=%v", env.Now())
+	}
+}
+
+func TestCPUNoteSwitches(t *testing.T) {
+	env := NewEnv(1)
+	cpu := NewCPU(env, "host", 1, 1.0, 0)
+	th := NewThread("m", "msgr")
+	cpu.NoteSwitches(th, 5)
+	if cpu.Stats().SwitchesByCat["msgr"] != 5 {
+		t.Fatalf("switches=%v", cpu.Stats().SwitchesByCat)
+	}
+}
+
+func TestCPUUtilization(t *testing.T) {
+	env := NewEnv(1)
+	cpu := NewCPU(env, "host", 2, 1.0, 0)
+	th := NewThread("w", "work")
+	env.Spawn("p", func(p *Proc) {
+		cpu.Exec(p, th, 1000)
+		p.Wait(1000) // idle
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := cpu.Stats()
+	// busy 1000ns of 2 cores * 2000ns elapsed = 25%.
+	if math.Abs(st.Utilization()-0.25) > 1e-9 {
+		t.Fatalf("util=%v", st.Utilization())
+	}
+	if math.Abs(st.ShareOfCat("work")-1.0) > 1e-9 {
+		t.Fatalf("share=%v", st.ShareOfCat("work"))
+	}
+	if math.Abs(st.UtilizationOfCat("work")-0.25) > 1e-9 {
+		t.Fatalf("utilOfCat=%v", st.UtilizationOfCat("work"))
+	}
+}
+
+func TestCPUResetStats(t *testing.T) {
+	env := NewEnv(1)
+	cpu := NewCPU(env, "host", 1, 1.0, 0)
+	th := NewThread("w", "work")
+	env.Spawn("p", func(p *Proc) {
+		cpu.Exec(p, th, 5000)
+		cpu.ResetStats()
+		cpu.Exec(p, th, 1000)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := cpu.Stats()
+	if st.TotalBusy != 1000 {
+		t.Fatalf("busy=%v want 1000ns after reset", st.TotalBusy)
+	}
+	if st.WindowStart != Time(5000) {
+		t.Fatalf("windowStart=%v", st.WindowStart)
+	}
+}
+
+func TestCPUExecDuration(t *testing.T) {
+	env := NewEnv(1)
+	cpu := NewCPU(env, "host", 1, 4.0, 0)
+	th := NewThread("w", "work")
+	env.Spawn("p", func(p *Proc) {
+		cpu.ExecDuration(p, th, 250) // 250ns at 4GHz = 1000 cycles
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Now() != Time(250) {
+		t.Fatalf("now=%v", env.Now())
+	}
+}
+
+func TestCPUZeroCyclesNoop(t *testing.T) {
+	env := NewEnv(1)
+	cpu := NewCPU(env, "host", 1, 1.0, 50)
+	th := NewThread("w", "work")
+	env.Spawn("p", func(p *Proc) {
+		cpu.Exec(p, th, 0)
+		cpu.Exec(p, th, -5)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Now() != 0 || cpu.Stats().TotalBusy != 0 {
+		t.Fatalf("now=%v busy=%v", env.Now(), cpu.Stats().TotalBusy)
+	}
+}
+
+func TestCPUFCFSOrder(t *testing.T) {
+	env := NewEnv(1)
+	cpu := NewCPU(env, "host", 1, 1.0, 0)
+	var order []int
+	for i := 0; i < 3; i++ {
+		id := i
+		th := NewThread("w", "work")
+		env.Spawn("p", func(p *Proc) {
+			p.Wait(Duration(id)) // arrival order 0,1,2
+			cpu.Exec(p, th, 1000)
+			order = append(order, id)
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("order=%v", order)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// used as the substrate for the DoCeph reproduction.
+//
+// The kernel is process-oriented: every simulated thread of control (a Ceph
+// messenger worker, an OSD op thread, a DMA polling loop, a benchmark client)
+// is a goroutine wrapped in a Proc. Exactly one Proc executes at any moment;
+// control is handed between the kernel and processes through per-process
+// channels, and pending wakeups are ordered by (virtual time, sequence
+// number). Runs are therefore bit-deterministic for a given seed regardless
+// of GOMAXPROCS, and safe under the race detector.
+//
+// On top of the kernel the package provides the contended resource models the
+// experiments are measured against:
+//
+//   - CPU: a multi-core, FCFS, non-preemptive processor with per-thread cycle
+//     accounting and context-switch costs/counters (the basis of the paper's
+//     Figure 5, Figure 7 and Table 2).
+//   - Pipe: a serialized bandwidth+latency channel used for Ethernet links
+//     and PCIe DMA paths (Figures 6, 8, 10).
+//   - Disk: a bandwidth+per-IO-latency block device (the PM893 SSD model).
+//
+// Virtual time is measured in integer nanoseconds (Time/Duration) and never
+// depends on the wall clock.
+package sim

@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// wakeToken is a single-use wakeup permit for a parked Proc. A Proc about to
+// block creates one token and registers it with every path that may resume it
+// (a timer, a queue push, an event fire). The first path to reach the kernel
+// wins; the rest find the token spent and are ignored. This is what makes
+// timeouts composable with every blocking primitive.
+type wakeToken struct {
+	p     *Proc
+	spent bool
+}
+
+type event struct {
+	t   Time
+	seq uint64
+	tok *wakeToken
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+type yieldKind int
+
+const (
+	yieldBlocked yieldKind = iota
+	yieldDone
+)
+
+type resumeMsg struct {
+	kill bool
+}
+
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// errKilled is the panic sentinel used by Shutdown to unwind parked procs.
+type killSignal struct{}
+
+// Proc is a simulated thread of control. All blocking operations on the
+// simulation (Wait, queue pops, CPU execution, transfers) take the Proc as
+// the identity of the caller; a Proc must only be used from its own body.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan resumeMsg
+	state  procState
+	thread *Thread
+	daemon bool
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Thread returns the OS-thread identity attached to this process (may be
+// nil for pure coordination processes).
+func (p *Proc) Thread() *Thread { return p.thread }
+
+// SetThread attaches an OS-thread identity used by CPU cost accounting when
+// callees charge work to "the calling thread".
+func (p *Proc) SetThread(th *Thread) { p.thread = th }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Env is a discrete-event simulation environment: a virtual clock, an event
+// queue and the set of live processes. Create one with NewEnv, spawn
+// processes, then call Run or RunUntil from the host goroutine. Env is not
+// safe for concurrent use from multiple host goroutines.
+type Env struct {
+	now   Time
+	seq   uint64
+	heap  eventHeap
+	yield chan yieldKind
+	rng   *rand.Rand
+	live  int
+	procs []*Proc
+}
+
+// NewEnv returns an environment whose random stream is seeded with seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		yield: make(chan yieldKind),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random stream. It must only
+// be used from simulation processes (or before Run), never concurrently.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// schedule enqueues tok to fire at time at (>= now).
+func (e *Env) schedule(tok *wakeToken, at Time) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.heap, event{t: at, seq: e.seq, tok: tok})
+}
+
+// SpawnDaemon creates a service-loop process that is expected to block
+// forever once the system goes idle (messenger workers, storage threads,
+// pollers). Daemons are excluded from deadlock detection: a run whose only
+// remaining blocked processes are daemons terminates cleanly.
+func (e *Env) SpawnDaemon(name string, fn func(*Proc)) *Proc {
+	p := e.Spawn(name, fn)
+	p.daemon = true
+	return p
+}
+
+// Spawn creates a new process running fn and schedules it to start at the
+// current virtual time. It may be called before Run or from inside a running
+// process.
+func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan resumeMsg)}
+	e.live++
+	e.procs = append(e.procs, p)
+	go func() {
+		msg := <-p.resume
+		if msg.kill {
+			p.state = stateDone
+			e.yield <- yieldDone
+			return
+		}
+		p.state = stateRunning
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSignal); !ok {
+					panic(r)
+				}
+			}
+			p.state = stateDone
+			e.yield <- yieldDone
+		}()
+		fn(p)
+	}()
+	tok := &wakeToken{p: p}
+	e.schedule(tok, e.now)
+	return p
+}
+
+// park yields control to the kernel until one of the proc's registered wake
+// tokens fires.
+func (p *Proc) park() {
+	p.state = stateBlocked
+	p.env.yield <- yieldBlocked
+	msg := <-p.resume
+	if msg.kill {
+		panic(killSignal{})
+	}
+	p.state = stateRunning
+}
+
+// newToken creates a fresh single-use wake token for this proc.
+func (p *Proc) newToken() *wakeToken { return &wakeToken{p: p} }
+
+// Wait blocks the process for duration d of virtual time.
+func (p *Proc) Wait(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	tok := p.newToken()
+	p.env.schedule(tok, p.env.now.Add(d))
+	p.park()
+}
+
+// WaitUntil blocks the process until the virtual instant t (no-op if t has
+// passed).
+func (p *Proc) WaitUntil(t Time) {
+	if t <= p.env.now {
+		return
+	}
+	p.Wait(t.Sub(p.env.now))
+}
+
+// Yield reschedules the process at the current instant, letting every other
+// process that is ready at the same time run first.
+func (p *Proc) Yield() { p.Wait(0) }
+
+// DeadlockError reports that live processes remain but no event can ever
+// wake them.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string
+}
+
+func (e DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d proc(s) blocked forever: %s",
+		e.Time, len(e.Blocked), strings.Join(e.Blocked, ", "))
+}
+
+// Run executes events until no process remains. It returns a DeadlockError
+// if live processes are blocked with an empty event queue.
+func (e *Env) Run() error { return e.RunUntil(MaxTime) }
+
+// RunUntil executes events with timestamps <= limit. On return the clock is
+// at limit (or at the completion instant if everything finished earlier).
+// Processes still blocked at the limit are left parked; use Shutdown to
+// reclaim them. A DeadlockError is returned if, before the limit, live
+// processes remain with an empty event queue.
+func (e *Env) RunUntil(limit Time) error {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(event)
+		if ev.tok.spent {
+			continue
+		}
+		if ev.t > limit {
+			heap.Push(&e.heap, ev)
+			e.now = limit
+			return nil
+		}
+		e.now = ev.t
+		ev.tok.spent = true
+		p := ev.tok.p
+		p.resume <- resumeMsg{}
+		if k := <-e.yield; k == yieldDone {
+			e.live--
+		}
+	}
+	var blocked []string
+	for _, p := range e.procs {
+		if p.daemon {
+			continue
+		}
+		if p.state == stateBlocked || p.state == stateNew {
+			blocked = append(blocked, p.name)
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return DeadlockError{Time: e.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// Shutdown force-terminates every process that is still parked or never
+// started, releasing their goroutines. The environment must not be used
+// afterwards.
+func (e *Env) Shutdown() {
+	for _, p := range e.procs {
+		if p.state == stateBlocked || p.state == stateNew {
+			p.resume <- resumeMsg{kill: true}
+			if k := <-e.yield; k == yieldDone {
+				e.live--
+			}
+		}
+	}
+}
+
+// LiveProcs returns the number of processes that have not finished.
+func (e *Env) LiveProcs() int { return e.live }

@@ -1,0 +1,82 @@
+package sim
+
+import "fmt"
+
+// Fabric models an Ethernet switch fabric connecting named nodes. Each node
+// owns one full-duplex NIC (independent tx and rx directions). A transfer
+// occupies the sender's tx path and the receiver's rx path simultaneously
+// (cut-through), serialized at the slower of the two NICs, then experiences
+// the fabric's propagation latency. Contention therefore appears both when
+// one node fans out to many peers (tx-bound) and when many peers converge on
+// one node (rx-bound), which is what shapes the paper's incast-style
+// replication traffic.
+type Fabric struct {
+	env     *Env
+	name    string
+	Latency Duration
+	nodes   map[string]*nic
+}
+
+type nic struct {
+	bytesPerSec float64
+	txFree      Time
+	rxFree      Time
+	txBytes     int64
+	rxBytes     int64
+}
+
+// NewFabric returns an empty fabric with the given propagation latency.
+func NewFabric(env *Env, name string, latency Duration) *Fabric {
+	return &Fabric{env: env, name: name, Latency: latency, nodes: make(map[string]*nic)}
+}
+
+// AddNode attaches a node with a NIC of the given line rate (bytes/second).
+// Adding the same node twice replaces its NIC.
+func (f *Fabric) AddNode(node string, bytesPerSec float64) {
+	f.nodes[node] = &nic{bytesPerSec: bytesPerSec}
+}
+
+// HasNode reports whether node is attached.
+func (f *Fabric) HasNode(node string) bool { _, ok := f.nodes[node]; return ok }
+
+// Transfer blocks p while bytes move from src to dst and returns the arrival
+// instant. It panics if either endpoint is unknown (wiring bug).
+func (f *Fabric) Transfer(p *Proc, src, dst string, bytes int64) Time {
+	s, ok := f.nodes[src]
+	if !ok {
+		panic(fmt.Sprintf("sim: fabric %q: unknown src node %q", f.name, src))
+	}
+	d, ok := f.nodes[dst]
+	if !ok {
+		panic(fmt.Sprintf("sim: fabric %q: unknown dst node %q", f.name, dst))
+	}
+	bw := s.bytesPerSec
+	if d.bytesPerSec < bw {
+		bw = d.bytesPerSec
+	}
+	ser := Duration(float64(bytes) / bw * float64(Second))
+	start := maxTime(f.env.now, maxTime(s.txFree, d.rxFree))
+	end := start.Add(ser)
+	s.txFree, d.rxFree = end, end
+	s.txBytes += bytes
+	d.rxBytes += bytes
+	arrive := end.Add(f.Latency)
+	p.WaitUntil(arrive)
+	return arrive
+}
+
+// TxBytes returns total bytes node has transmitted.
+func (f *Fabric) TxBytes(node string) int64 {
+	if n := f.nodes[node]; n != nil {
+		return n.txBytes
+	}
+	return 0
+}
+
+// RxBytes returns total bytes node has received.
+func (f *Fabric) RxBytes(node string) int64 {
+	if n := f.nodes[node]; n != nil {
+		return n.rxBytes
+	}
+	return 0
+}

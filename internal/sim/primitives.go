@@ -1,0 +1,230 @@
+package sim
+
+// Queue is an unbounded FIFO channel between simulation processes. Push
+// never blocks; Pop blocks until a value is available. The zero Queue is not
+// ready for use; create one with NewQueue.
+type Queue[T any] struct {
+	env     *Env
+	buf     []T
+	waiters []queueWaiter[T]
+}
+
+type queueWaiter[T any] struct {
+	tok  *wakeToken
+	slot *T
+	got  *bool
+}
+
+// NewQueue returns an empty queue bound to env.
+func NewQueue[T any](env *Env) *Queue[T] {
+	return &Queue[T]{env: env}
+}
+
+// Len returns the number of buffered values.
+func (q *Queue[T]) Len() int { return len(q.buf) }
+
+// Push enqueues v, waking the oldest waiting Pop if there is one. It may be
+// called from any running process (or before Run).
+func (q *Queue[T]) Push(v T) {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.tok.spent {
+			continue
+		}
+		*w.slot = v
+		*w.got = true
+		q.env.schedule(w.tok, q.env.now)
+		return
+	}
+	q.buf = append(q.buf, v)
+}
+
+// Pop blocks p until a value is available and returns it.
+func (q *Queue[T]) Pop(p *Proc) T {
+	v, _ := q.pop(p, -1)
+	return v
+}
+
+// PopTimeout blocks p until a value is available or d elapses. ok reports
+// whether a value was received.
+func (q *Queue[T]) PopTimeout(p *Proc, d Duration) (v T, ok bool) {
+	return q.pop(p, d)
+}
+
+// TryPop returns a buffered value without blocking.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if len(q.buf) == 0 {
+		return v, false
+	}
+	v = q.buf[0]
+	q.buf = q.buf[1:]
+	return v, true
+}
+
+func (q *Queue[T]) pop(p *Proc, timeout Duration) (v T, ok bool) {
+	if len(q.buf) > 0 {
+		v = q.buf[0]
+		q.buf = q.buf[1:]
+		return v, true
+	}
+	tok := p.newToken()
+	got := false
+	q.waiters = append(q.waiters, queueWaiter[T]{tok: tok, slot: &v, got: &got})
+	if timeout >= 0 {
+		q.env.schedule(tok, q.env.now.Add(timeout))
+	}
+	p.park()
+	return v, got
+}
+
+// Semaphore is a counted, FIFO-fair semaphore.
+type Semaphore struct {
+	env     *Env
+	avail   int
+	waiters []semWaiter
+}
+
+type semWaiter struct {
+	tok *wakeToken
+	n   int
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(env *Env, n int) *Semaphore {
+	return &Semaphore{env: env, avail: n}
+}
+
+// Available returns the current number of free permits.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Acquire blocks p until n permits are available and takes them. Waiters are
+// served strictly in arrival order (no barging past a blocked head-of-line).
+func (s *Semaphore) Acquire(p *Proc, n int) {
+	if s.avail >= n && len(s.waiters) == 0 {
+		s.avail -= n
+		return
+	}
+	tok := p.newToken()
+	s.waiters = append(s.waiters, semWaiter{tok: tok, n: n})
+	p.park()
+}
+
+// TryAcquire takes n permits if immediately available.
+func (s *Semaphore) TryAcquire(n int) bool {
+	if s.avail >= n && len(s.waiters) == 0 {
+		s.avail -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n permits and grants as many head-of-line waiters as fit.
+func (s *Semaphore) Release(n int) {
+	s.avail += n
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if w.tok.spent {
+			s.waiters = s.waiters[1:]
+			continue
+		}
+		if s.avail < w.n {
+			return
+		}
+		s.waiters = s.waiters[1:]
+		s.avail -= w.n
+		s.env.schedule(w.tok, s.env.now)
+	}
+}
+
+// Event is a one-shot broadcast: processes Wait until Fire is called, after
+// which Wait returns immediately forever.
+type Event struct {
+	env     *Env
+	fired   bool
+	waiters []eventWaiter
+}
+
+type eventWaiter struct {
+	tok   *wakeToken
+	fired *bool
+}
+
+// NewEvent returns an unfired event bound to env.
+func NewEvent(env *Env) *Event { return &Event{env: env} }
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire wakes all current and future waiters. Firing twice is a no-op.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		if w.tok.spent {
+			continue
+		}
+		*w.fired = true
+		ev.env.schedule(w.tok, ev.env.now)
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event fires.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	tok := p.newToken()
+	fired := false
+	ev.waiters = append(ev.waiters, eventWaiter{tok: tok, fired: &fired})
+	p.park()
+}
+
+// WaitTimeout blocks p until the event fires or d elapses; it reports
+// whether the event fired (before or at the wakeup instant).
+func (ev *Event) WaitTimeout(p *Proc, d Duration) bool {
+	if ev.fired {
+		return true
+	}
+	tok := p.newToken()
+	fired := false
+	ev.waiters = append(ev.waiters, eventWaiter{tok: tok, fired: &fired})
+	ev.env.schedule(tok, ev.env.now.Add(d))
+	p.park()
+	return fired
+}
+
+// Cond is a broadcast-only condition variable for re-check loops:
+//
+//	for !pred() { cond.Wait(p) }
+//
+// Broadcast wakes everyone currently waiting; there is no Signal because
+// deterministic fairness is easier to reason about with broadcast + re-check.
+type Cond struct {
+	env     *Env
+	waiters []*wakeToken
+}
+
+// NewCond returns a condition variable bound to env.
+func NewCond(env *Env) *Cond { return &Cond{env: env} }
+
+// Wait parks p until the next Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	tok := p.newToken()
+	c.waiters = append(c.waiters, tok)
+	p.park()
+}
+
+// Broadcast wakes every process currently in Wait.
+func (c *Cond) Broadcast() {
+	for _, tok := range c.waiters {
+		if tok.spent {
+			continue
+		}
+		c.env.schedule(tok, c.env.now)
+	}
+	c.waiters = nil
+}

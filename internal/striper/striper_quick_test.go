@@ -1,0 +1,50 @@
+package striper
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"doceph/internal/cluster"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+// Property: a random sequence of WriteAt calls against the striped image
+// matches a flat shadow buffer, including reads that span object boundaries
+// and sparse holes.
+func TestQuickStriperMatchesShadowBuffer(t *testing.T) {
+	runOnCluster(t, cluster.Baseline, func(p *sim.Proc, cl *cluster.Cluster) {
+		const volSize = 4 << 20
+		const objSize = 512 << 10 // 8 stripe objects
+		img, err := Create(p, cl.Client, "shadow", volSize, objSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := make([]byte, volSize)
+		r := rand.New(rand.NewSource(17))
+		for i := 0; i < 40; i++ {
+			n := 1 + r.Intn(3*objSize/2) // up to 1.5 objects
+			off := r.Intn(volSize - n)
+			data := make([]byte, n)
+			for j := range data {
+				data[j] = byte(r.Intn(256))
+			}
+			if err := img.WriteAt(p, wire.FromBytes(data), int64(off)); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			copy(shadow[off:], data)
+
+			// Random ranged readback.
+			rn := 1 + r.Intn(volSize/2)
+			roff := r.Intn(volSize - rn)
+			got, err := img.ReadAt(p, int64(roff), int64(rn))
+			if err != nil {
+				t.Fatalf("read %d: %v", i, err)
+			}
+			if !bytes.Equal(got.Bytes(), shadow[roff:roff+rn]) {
+				t.Fatalf("iteration %d: image diverged from shadow at [%d,%d)", i, roff, roff+rn)
+			}
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package striper
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"doceph/internal/cluster"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+func runOnCluster(t *testing.T, mode cluster.Mode, body func(p *sim.Proc, cl *cluster.Cluster)) {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Mode: mode})
+	done := false
+	cl.Env.Spawn("striper-test", func(p *sim.Proc) {
+		p.SetThread(sim.NewThread("striper-test", "client"))
+		body(p, cl)
+		done = true
+	})
+	err := cl.Env.RunUntil(sim.Time(10 * 60 * sim.Second))
+	if !done {
+		t.Fatalf("body did not finish: %v", err)
+	}
+	cl.Shutdown()
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int(seed) + i*37)
+	}
+	return b
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	runOnCluster(t, cluster.Baseline, func(p *sim.Proc, cl *cluster.Cluster) {
+		img, err := Create(p, cl.Client, "vol1", 16<<20, 4<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if img.Size() != 16<<20 || img.ObjectBytes() != 4<<20 || img.Objects() != 4 {
+			t.Fatalf("geometry: %d/%d/%d", img.Size(), img.ObjectBytes(), img.Objects())
+		}
+		re, err := Open(p, cl.Client, "vol1")
+		if err != nil || re.Size() != img.Size() || re.ObjectBytes() != img.ObjectBytes() {
+			t.Fatalf("reopen: %+v err=%v", re, err)
+		}
+		if _, err := Create(p, cl.Client, "vol1", 1<<20, 0); !errors.Is(err, ErrExists) {
+			t.Fatalf("duplicate create: %v", err)
+		}
+		if _, err := Open(p, cl.Client, "ghost"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("open ghost: %v", err)
+		}
+	})
+}
+
+func TestWriteReadAcrossObjectBoundaries(t *testing.T) {
+	runOnCluster(t, cluster.DoCeph, func(p *sim.Proc, cl *cluster.Cluster) {
+		img, err := Create(p, cl.Client, "vol", 8<<20, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A write spanning three stripe objects, starting mid-object.
+		data := pattern(2<<20+512<<10, 5)
+		off := int64(1<<20 - 256<<10)
+		if err := img.WriteAt(p, wire.FromBytes(data), off); err != nil {
+			t.Fatal(err)
+		}
+		got, err := img.ReadAt(p, off, int64(len(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), data) {
+			t.Fatal("cross-boundary content mismatch")
+		}
+	})
+}
+
+func TestSparseReadsZeroFilled(t *testing.T) {
+	runOnCluster(t, cluster.Baseline, func(p *sim.Proc, cl *cluster.Cluster) {
+		img, err := Create(p, cl.Client, "sparse", 4<<20, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Write only the third object's middle.
+		if err := img.WriteAt(p, wire.FromBytes(pattern(1000, 9)), 2<<20+100); err != nil {
+			t.Fatal(err)
+		}
+		got, err := img.ReadAt(p, 0, 4<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := got.Bytes()
+		if len(flat) != 4<<20 {
+			t.Fatalf("len=%d", len(flat))
+		}
+		for i := 0; i < 2<<20+100; i++ {
+			if flat[i] != 0 {
+				t.Fatalf("non-zero at %d before written range", i)
+			}
+		}
+		if !bytes.Equal(flat[2<<20+100:2<<20+1100], pattern(1000, 9)) {
+			t.Fatal("written range mismatch")
+		}
+		for i := 2<<20 + 1100; i < 4<<20; i++ {
+			if flat[i] != 0 {
+				t.Fatalf("non-zero at %d after written range", i)
+			}
+		}
+	})
+}
+
+func TestOverwriteWithinImage(t *testing.T) {
+	runOnCluster(t, cluster.Baseline, func(p *sim.Proc, cl *cluster.Cluster) {
+		img, err := Create(p, cl.Client, "ow", 2<<20, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := img.WriteAt(p, wire.FromBytes(pattern(2<<20, 1)), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := img.WriteAt(p, wire.FromBytes(pattern(4096, 7)), 1<<20-2048); err != nil {
+			t.Fatal(err)
+		}
+		got, err := img.ReadAt(p, 1<<20-2048, 4096)
+		if err != nil || !bytes.Equal(got.Bytes(), pattern(4096, 7)) {
+			t.Fatalf("overwrite mismatch err=%v", err)
+		}
+	})
+}
+
+func TestBoundsChecking(t *testing.T) {
+	runOnCluster(t, cluster.Baseline, func(p *sim.Proc, cl *cluster.Cluster) {
+		img, err := Create(p, cl.Client, "b", 1<<20, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := img.WriteAt(p, wire.FromBytes(make([]byte, 100)), 1<<20-50); !errors.Is(err, ErrOutOfBounds) {
+			t.Fatalf("write past end: %v", err)
+		}
+		if _, err := img.ReadAt(p, -1, 10); !errors.Is(err, ErrOutOfBounds) {
+			t.Fatalf("negative read: %v", err)
+		}
+		if _, err := img.ReadAt(p, 0, 2<<20); !errors.Is(err, ErrOutOfBounds) {
+			t.Fatalf("oversized read: %v", err)
+		}
+	})
+}
+
+func TestRemoveDeletesEverything(t *testing.T) {
+	runOnCluster(t, cluster.Baseline, func(p *sim.Proc, cl *cluster.Cluster) {
+		img, err := Create(p, cl.Client, "rm", 2<<20, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := img.WriteAt(p, wire.FromBytes(pattern(2<<20, 2)), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := Remove(p, cl.Client, "rm"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(p, cl.Client, "rm"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("open after remove: %v", err)
+		}
+		if _, _, err := cl.Client.Stat(p, img.ObjectName(0)); err == nil {
+			t.Fatal("data object survived remove")
+		}
+	})
+}
+
+func TestStripesSpreadAcrossPGs(t *testing.T) {
+	runOnCluster(t, cluster.Baseline, func(p *sim.Proc, cl *cluster.Cluster) {
+		img, err := Create(p, cl.Client, "spread", 64<<20, 4<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pgs := map[uint32]bool{}
+		for i := int64(0); i < img.Objects(); i++ {
+			pgs[cl.Client.Map().PGForObject(img.ObjectName(i))] = true
+		}
+		if len(pgs) < int(img.Objects())/2 {
+			t.Fatalf("stripes landed on only %d PGs for %d objects", len(pgs), img.Objects())
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package wire
+
+import "testing"
+
+func BenchmarkBufferlistCRC32C(b *testing.B) {
+	bl := FromBytes(make([]byte, 4<<20))
+	b.SetBytes(4 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bl.CRC32C()
+	}
+}
+
+func BenchmarkSubListZeroCopy(b *testing.B) {
+	bl := &Bufferlist{}
+	for i := 0; i < 64; i++ {
+		bl.Append(make([]byte, 64<<10))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bl.SubList((i%32)<<10, 2<<20)
+	}
+}
+
+func BenchmarkEncoderSmallMessage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(64)
+		e.U64(uint64(i))
+		e.U32(7)
+		e.String("pg.17/object-name")
+		e.Bool(true)
+	}
+}

@@ -1,0 +1,217 @@
+// Package wire implements Ceph-style buffer management and binary
+// encoding: a segmented, zero-copy Bufferlist (the moral equivalent of
+// ceph::bufferlist) plus little-endian Encoder/Decoder helpers used by
+// messages, the proxy RPC protocol and the BlueStore key-value layer.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// castagnoli is the CRC-32C table Ceph uses for data checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrShortBuffer is returned when a decode runs past the end of the data.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// Bufferlist is an ordered list of byte segments treated as one logical
+// byte string. Appends share the underlying arrays (no copy); use
+// AppendCopy when the caller may mutate its slice afterwards. The zero
+// value is an empty list ready for use.
+type Bufferlist struct {
+	segs   [][]byte
+	length int
+}
+
+// NewBufferlist returns a list over the given segments without copying.
+func NewBufferlist(segs ...[]byte) *Bufferlist {
+	bl := &Bufferlist{}
+	for _, s := range segs {
+		bl.Append(s)
+	}
+	return bl
+}
+
+// FromBytes returns a single-segment list sharing b.
+func FromBytes(b []byte) *Bufferlist { return NewBufferlist(b) }
+
+// Length returns the logical length in bytes.
+func (bl *Bufferlist) Length() int { return bl.length }
+
+// Segments returns the number of underlying segments.
+func (bl *Bufferlist) Segments() int { return len(bl.segs) }
+
+// Append adds b as a new segment, sharing its storage. Empty slices are
+// ignored.
+func (bl *Bufferlist) Append(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	bl.segs = append(bl.segs, b)
+	bl.length += len(b)
+}
+
+// AppendCopy adds a private copy of b.
+func (bl *Bufferlist) AppendCopy(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	c := make([]byte, len(b))
+	copy(c, b)
+	bl.Append(c)
+}
+
+// AppendBufferlist appends all of other's segments (shared storage).
+func (bl *Bufferlist) AppendBufferlist(other *Bufferlist) {
+	for _, s := range other.segs {
+		bl.Append(s)
+	}
+}
+
+// Bytes flattens the list into a single freshly allocated slice.
+func (bl *Bufferlist) Bytes() []byte {
+	out := make([]byte, 0, bl.length)
+	for _, s := range bl.segs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// SubList returns a zero-copy view of n bytes starting at off. It panics if
+// the range is out of bounds (programmer error, mirroring slice semantics).
+func (bl *Bufferlist) SubList(off, n int) *Bufferlist {
+	if off < 0 || n < 0 || off+n > bl.length {
+		panic(fmt.Sprintf("wire: SubList(%d,%d) out of range (len %d)", off, n, bl.length))
+	}
+	out := &Bufferlist{}
+	if n == 0 {
+		return out
+	}
+	pos := 0
+	for _, s := range bl.segs {
+		if n == 0 {
+			break
+		}
+		end := pos + len(s)
+		if end <= off {
+			pos = end
+			continue
+		}
+		start := 0
+		if off > pos {
+			start = off - pos
+		}
+		take := len(s) - start
+		if take > n {
+			take = n
+		}
+		out.Append(s[start : start+take])
+		n -= take
+		off += take
+		pos = end
+	}
+	return out
+}
+
+// CRC32C computes the Castagnoli CRC over the logical content without
+// flattening.
+func (bl *Bufferlist) CRC32C() uint32 {
+	var crc uint32
+	for _, s := range bl.segs {
+		crc = crc32.Update(crc, castagnoli, s)
+	}
+	return crc
+}
+
+// Equal reports whether two lists have identical logical content.
+func (bl *Bufferlist) Equal(other *Bufferlist) bool {
+	if bl.length != other.length {
+		return false
+	}
+	ai, bi := bl.iter(), other.iter()
+	for {
+		a, aok := ai.next()
+		if !aok {
+			return true
+		}
+		for len(a) > 0 {
+			b, _ := bi.nextN(len(a))
+			if !bytesEqual(a[:len(b)], b) {
+				return false
+			}
+			a = a[len(b):]
+		}
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type blIter struct {
+	segs [][]byte
+	seg  int
+	off  int
+}
+
+func (bl *Bufferlist) iter() blIter { return blIter{segs: bl.segs} }
+
+func (it *blIter) next() ([]byte, bool) {
+	for it.seg < len(it.segs) {
+		s := it.segs[it.seg][it.off:]
+		it.seg++
+		it.off = 0
+		if len(s) > 0 {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// nextN returns up to n contiguous bytes.
+func (it *blIter) nextN(n int) ([]byte, bool) {
+	for it.seg < len(it.segs) {
+		s := it.segs[it.seg][it.off:]
+		if len(s) == 0 {
+			it.seg++
+			it.off = 0
+			continue
+		}
+		if len(s) > n {
+			it.off += n
+			return s[:n], true
+		}
+		it.seg++
+		it.off = 0
+		return s, true
+	}
+	return nil, false
+}
+
+// CopyTo copies the logical content into dst and returns the number of
+// bytes copied (min of lengths).
+func (bl *Bufferlist) CopyTo(dst []byte) int {
+	n := 0
+	for _, s := range bl.segs {
+		if n >= len(dst) {
+			break
+		}
+		n += copy(dst[n:], s)
+	}
+	return n
+}
+
+// Clone returns a deep copy with a single private segment.
+func (bl *Bufferlist) Clone() *Bufferlist {
+	return FromBytes(bl.Bytes())
+}

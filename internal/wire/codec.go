@@ -1,0 +1,181 @@
+package wire
+
+import "encoding/binary"
+
+// Encoder builds a little-endian binary payload in the style of Ceph's
+// encode() helpers. The zero value is ready for use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder preallocating capacity hint bytes.
+func NewEncoder(hint int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, hint)}
+}
+
+// Bytes returns the encoded payload (shared with the encoder).
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Bufferlist wraps the encoded payload in a single-segment list.
+func (e *Encoder) Bufferlist() *Bufferlist { return FromBytes(e.buf) }
+
+// Len returns the encoded length so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (e *Encoder) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends a little-endian int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Bool appends a bool as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// String appends a u32 length prefix followed by the bytes of s.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Blob appends a u32 length prefix followed by b.
+func (e *Encoder) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// BufferlistField appends a u32 length prefix followed by bl's content.
+func (e *Encoder) BufferlistField(bl *Bufferlist) {
+	e.U32(uint32(bl.Length()))
+	for _, s := range bl.segs {
+		e.buf = append(e.buf, s...)
+	}
+}
+
+// Decoder reads little-endian values from a byte slice. Errors are sticky:
+// after the first short read every subsequent call returns zero values and
+// Err() reports ErrShortBuffer.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over b (shared, not copied).
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// NewDecoderBL flattens bl and returns a decoder over the result.
+func NewDecoderBL(bl *Bufferlist) *Decoder {
+	if bl.Segments() == 1 {
+		return NewDecoder(bl.segs[0])
+	}
+	return NewDecoder(bl.Bytes())
+}
+
+// Err returns the sticky decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = ErrShortBuffer
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a little-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Bool reads one byte as a bool.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// String reads a u32-length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.U32()
+	b := d.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Blob reads a u32-length-prefixed byte slice (copied).
+func (d *Decoder) Blob() []byte {
+	n := d.U32()
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	c := make([]byte, len(b))
+	copy(c, b)
+	return c
+}
+
+// BufferlistField reads a u32-length-prefixed field as a zero-copy
+// Bufferlist view of the decoder's backing slice.
+func (d *Decoder) BufferlistField() *Bufferlist {
+	n := d.U32()
+	b := d.take(int(n))
+	if b == nil {
+		return &Bufferlist{}
+	}
+	return FromBytes(b)
+}

@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferlistAppendAndBytes(t *testing.T) {
+	bl := NewBufferlist([]byte("hello, "), []byte("world"))
+	if bl.Length() != 12 || bl.Segments() != 2 {
+		t.Fatalf("len=%d segs=%d", bl.Length(), bl.Segments())
+	}
+	if string(bl.Bytes()) != "hello, world" {
+		t.Fatalf("bytes=%q", bl.Bytes())
+	}
+}
+
+func TestBufferlistEmptyAppendIgnored(t *testing.T) {
+	bl := &Bufferlist{}
+	bl.Append(nil)
+	bl.Append([]byte{})
+	bl.AppendCopy(nil)
+	if bl.Length() != 0 || bl.Segments() != 0 {
+		t.Fatalf("len=%d segs=%d", bl.Length(), bl.Segments())
+	}
+}
+
+func TestBufferlistAppendShares(t *testing.T) {
+	src := []byte("abc")
+	bl := &Bufferlist{}
+	bl.Append(src)
+	src[0] = 'x'
+	if string(bl.Bytes()) != "xbc" {
+		t.Fatal("Append must share storage")
+	}
+	bl2 := &Bufferlist{}
+	src2 := []byte("abc")
+	bl2.AppendCopy(src2)
+	src2[0] = 'x'
+	if string(bl2.Bytes()) != "abc" {
+		t.Fatal("AppendCopy must copy")
+	}
+}
+
+func TestSubListSpansSegments(t *testing.T) {
+	bl := NewBufferlist([]byte("abcd"), []byte("efgh"), []byte("ijkl"))
+	sub := bl.SubList(2, 8)
+	if string(sub.Bytes()) != "cdefghij" {
+		t.Fatalf("sub=%q", sub.Bytes())
+	}
+	if got := bl.SubList(0, 0); got.Length() != 0 {
+		t.Fatalf("empty sublist len=%d", got.Length())
+	}
+	if got := bl.SubList(12, 0); got.Length() != 0 {
+		t.Fatalf("tail sublist len=%d", got.Length())
+	}
+}
+
+func TestSubListOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBufferlist([]byte("ab")).SubList(1, 5)
+}
+
+func TestCRC32CMatchesFlat(t *testing.T) {
+	table := crc32.MakeTable(crc32.Castagnoli)
+	bl := NewBufferlist([]byte("seg1-"), []byte("seg2-"), []byte("seg3"))
+	want := crc32.Checksum(bl.Bytes(), table)
+	if bl.CRC32C() != want {
+		t.Fatalf("crc=%08x want %08x", bl.CRC32C(), want)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := NewBufferlist([]byte("abc"), []byte("def"))
+	b := NewBufferlist([]byte("a"), []byte("bcde"), []byte("f"))
+	c := NewBufferlist([]byte("abcdeX"))
+	if !a.Equal(b) {
+		t.Fatal("a should equal b")
+	}
+	if a.Equal(c) {
+		t.Fatal("a should not equal c")
+	}
+	if !(&Bufferlist{}).Equal(&Bufferlist{}) {
+		t.Fatal("empty lists should be equal")
+	}
+}
+
+func TestCopyToAndClone(t *testing.T) {
+	bl := NewBufferlist([]byte("ab"), []byte("cd"))
+	dst := make([]byte, 3)
+	if n := bl.CopyTo(dst); n != 3 || string(dst) != "abc" {
+		t.Fatalf("n=%d dst=%q", n, dst)
+	}
+	cl := bl.Clone()
+	if !cl.Equal(bl) || cl.Segments() != 1 {
+		t.Fatalf("clone segs=%d", cl.Segments())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := NewEncoder(64)
+	e.U8(0xAB)
+	e.U16(0xBEEF)
+	e.U32(0xDEADBEEF)
+	e.U64(0x0123456789ABCDEF)
+	e.I64(-42)
+	e.Bool(true)
+	e.Bool(false)
+	e.String("object-7")
+	e.Blob([]byte{1, 2, 3})
+	inner := NewBufferlist([]byte("xx"), []byte("yy"))
+	e.BufferlistField(inner)
+
+	d := NewDecoder(e.Bytes())
+	if d.U8() != 0xAB || d.U16() != 0xBEEF || d.U32() != 0xDEADBEEF {
+		t.Fatal("int mismatch")
+	}
+	if d.U64() != 0x0123456789ABCDEF || d.I64() != -42 {
+		t.Fatal("64-bit mismatch")
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bool mismatch")
+	}
+	if d.String() != "object-7" {
+		t.Fatal("string mismatch")
+	}
+	if !bytes.Equal(d.Blob(), []byte{1, 2, 3}) {
+		t.Fatal("blob mismatch")
+	}
+	if got := d.BufferlistField(); string(got.Bytes()) != "xxyy" {
+		t.Fatalf("bl field=%q", got.Bytes())
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestDecoderShortBufferSticky(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	_ = d.U32()
+	if d.Err() != ErrShortBuffer {
+		t.Fatalf("err=%v", d.Err())
+	}
+	// Sticky: further reads stay zero without panicking.
+	if d.U64() != 0 || d.String() != "" || d.Blob() != nil {
+		t.Fatal("sticky error should zero subsequent reads")
+	}
+}
+
+func TestDecoderTruncatedString(t *testing.T) {
+	e := NewEncoder(16)
+	e.String("hello")
+	b := e.Bytes()[:6] // cut mid-string
+	d := NewDecoder(b)
+	if d.String() != "" || d.Err() != ErrShortBuffer {
+		t.Fatal("want short-buffer error")
+	}
+}
+
+func TestDecoderBLMultiSegment(t *testing.T) {
+	e := NewEncoder(16)
+	e.U32(77)
+	e.String("abc")
+	flat := e.Bytes()
+	bl := NewBufferlist(flat[:3], flat[3:])
+	d := NewDecoderBL(bl)
+	if d.U32() != 77 || d.String() != "abc" || d.Err() != nil {
+		t.Fatal("multi-segment decode failed")
+	}
+}
+
+func TestQuickSubListMatchesFlatSlice(t *testing.T) {
+	f := func(data []byte, cut uint8, off, n uint16) bool {
+		// Split data into segments at pseudo-random points.
+		bl := &Bufferlist{}
+		rest := data
+		r := rand.New(rand.NewSource(int64(cut)))
+		for len(rest) > 0 {
+			k := 1 + r.Intn(len(rest))
+			bl.Append(rest[:k])
+			rest = rest[k:]
+		}
+		o := int(off) % (len(data) + 1)
+		m := int(n) % (len(data) - o + 1)
+		return bytes.Equal(bl.SubList(o, m).Bytes(), data[o:o+m])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEncodeDecodeBlob(t *testing.T) {
+	f := func(b []byte, s string) bool {
+		e := NewEncoder(len(b) + len(s) + 8)
+		e.Blob(b)
+		e.String(s)
+		d := NewDecoder(e.Bytes())
+		got := d.Blob()
+		if len(b) == 0 {
+			if len(got) != 0 {
+				return false
+			}
+		} else if !bytes.Equal(got, b) {
+			return false
+		}
+		return d.String() == s && d.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCRCSegmentationInvariant(t *testing.T) {
+	f := func(data []byte, seed int64) bool {
+		table := crc32.MakeTable(crc32.Castagnoli)
+		want := crc32.Checksum(data, table)
+		bl := &Bufferlist{}
+		rest := data
+		r := rand.New(rand.NewSource(seed))
+		for len(rest) > 0 {
+			k := 1 + r.Intn(len(rest))
+			bl.Append(rest[:k])
+			rest = rest[k:]
+		}
+		return bl.CRC32C() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

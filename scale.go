@@ -1,0 +1,76 @@
+package doceph
+
+import (
+	"fmt"
+
+	"doceph/internal/report"
+)
+
+// ScaleRow is one cluster size of the scale-out extension experiment.
+type ScaleRow struct {
+	Nodes         int
+	BaselineUtil  float64 // per-node host CPU, single-core norm
+	DoCephUtil    float64
+	SavingPct     float64
+	BaselineMBps  float64
+	DoCephMBps    float64
+	DoCephDPUUtil float64 // per-node DPU ARM, single-core norm
+}
+
+// RunScaleSweep grows the cluster beyond the paper's two storage nodes and
+// measures whether the host-CPU savings and throughput scaling persist.
+// Utilization is reported per node so cluster sizes are comparable.
+func RunScaleSweep(opts ExpOptions, nodeCounts []int) ([]ScaleRow, error) {
+	opts = opts.withDefaults()
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{2, 4, 8}
+	}
+	var out []ScaleRow
+	for _, n := range nodeCounts {
+		row := ScaleRow{Nodes: n}
+		for _, m := range []Mode{Baseline, DoCeph} {
+			cl := NewCluster(ClusterConfig{Mode: m, StorageNodes: n, Seed: opts.Seed})
+			res, err := RunBench(cl, BenchConfig{
+				Threads:     opts.Threads * n / 2, // scale offered load with capacity
+				ObjectBytes: 4 << 20,
+				Duration:    opts.Duration, Warmup: opts.Warmup,
+			})
+			if err != nil {
+				cl.Shutdown()
+				return nil, fmt.Errorf("scale %d nodes %v: %w", n, m, err)
+			}
+			util := cl.HostCPUMerged().SingleCoreUtilization() / float64(n)
+			if m == Baseline {
+				row.BaselineUtil = util
+				row.BaselineMBps = res.ThroughputBps() / 1e6
+			} else {
+				row.DoCephUtil = util
+				row.DoCephMBps = res.ThroughputBps() / 1e6
+				row.DoCephDPUUtil = cl.DPUCPUMerged().SingleCoreUtilization() / float64(n)
+			}
+			cl.Shutdown()
+		}
+		if row.BaselineUtil > 0 {
+			row.SavingPct = (1 - row.DoCephUtil/row.BaselineUtil) * 100
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ScaleTable renders the scale-out sweep.
+func ScaleTable(rows []ScaleRow) *report.Table {
+	t := &report.Table{
+		Title: "Extension: scale-out, 4MB writes (per-node CPU, 1-core norm)",
+		Header: []string{"nodes", "Baseline host", "DoCeph host", "saving",
+			"Baseline MB/s", "DoCeph MB/s", "DoCeph DPU"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.Nodes), report.Pct(r.BaselineUtil),
+			report.Pct(r.DoCephUtil), fmt.Sprintf("%.1f%%", r.SavingPct),
+			report.F2(r.BaselineMBps), report.F2(r.DoCephMBps),
+			report.Pct(r.DoCephDPUUtil))
+	}
+	t.AddNote("offered load scales with node count (threads = 16*n/2); savings must persist")
+	return t
+}
