@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test bench results quick examples vet fmt
+.PHONY: all build test race chaos-smoke bench results quick examples vet fmt
 
-all: build vet test
+all: build vet test race chaos-smoke
 
 build:
 	go build ./...
@@ -15,6 +15,16 @@ fmt:
 
 test:
 	go test ./...
+
+# The simulation is single-goroutine per cluster by design; the race run
+# guards the few places real goroutines meet (env driver, queues).
+race:
+	go test -race ./...
+
+# A short chaos run: full default fault plan against both deployments,
+# integrity-checked. Exercises the fault-injection path end to end.
+chaos-smoke:
+	go run ./cmd/docephbench -exp chaos -seconds 20 -threads 4
 
 # The paper's full methodology (60 s windows): every table and figure.
 results:
@@ -34,3 +44,4 @@ examples:
 	go run ./examples/failover
 	go run ./examples/blockdevice
 	go run ./examples/dashboard
+	go run ./examples/chaos -seconds 20 -threads 4

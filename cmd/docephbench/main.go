@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	docephbench [-exp all|fig5|fig6|table2|fig7|fig8|fig9|fig10|table3|read|ablation]
+//	docephbench [-exp all|fig5|fig6|table2|fig7|fig8|fig9|fig10|table3|read|ablation|chaos]
 //	            [-quick] [-seconds N] [-threads N] [-seed N]
 //
 // With -quick the runs are shortened (8 s measured window instead of the
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, ablation, stability, scale")
+	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, ablation, stability, scale, chaos")
 	quick := flag.Bool("quick", false, "short runs (8s window) instead of the paper's 60s")
 	seconds := flag.Int("seconds", 0, "override the measured window length in seconds")
 	threads := flag.Int("threads", 16, "concurrent bench clients")
@@ -119,6 +119,22 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(doceph.ScaleTable(rows))
+	}
+
+	// Chaos is opt-in (not part of "all"): it is a robustness experiment,
+	// not a paper figure.
+	if strings.EqualFold(*exp, "chaos") {
+		fmt.Println("running chaos experiment (fault plan, baseline vs DoCeph)...")
+		copts := doceph.ChaosOptions{
+			Duration: opts.Duration,
+			Threads:  opts.Threads,
+			Seed:     opts.Seed,
+		}
+		r, err := doceph.RunChaos(copts, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.ChaosTable(r))
 	}
 
 	if want("ablation") {

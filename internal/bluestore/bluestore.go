@@ -11,6 +11,7 @@
 package bluestore
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -18,6 +19,11 @@ import (
 	"doceph/internal/sim"
 	"doceph/internal/wire"
 )
+
+// ErrInjectedWrite is the transient I/O error surfaced by the write-error
+// fault hook; the OSD reports it to the client as a backend error, and a
+// later retry of the op (new transaction) rolls the dice again.
+var ErrInjectedWrite = errors.New("bluestore: injected transient write error")
 
 // Config carries the engine's tunables and CPU cost model. Zero values are
 // replaced by defaults in New.
@@ -127,6 +133,7 @@ type Stats struct {
 	BytesWritten   int64
 	BytesRead      int64
 	AllocatedBytes int64
+	InjectedErrors int64
 }
 
 // Store is a BlueStore-like engine bound to one host CPU and one disk.
@@ -146,6 +153,10 @@ type Store struct {
 
 	aioq *sim.Queue[*txc]
 	kvq  *sim.Queue[*txc]
+
+	// Fault-injection state (see SetSlowIO / SetWriteErrorProb).
+	slowIO       sim.Duration
+	writeErrProb float64
 
 	stats Stats
 }
@@ -207,6 +218,14 @@ func New(env *sim.Env, name string, cpu *sim.CPU, disk *sim.Disk, cfg Config) *S
 // Stats returns a copy of the engine counters.
 func (s *Store) Stats() Stats { return s.stats }
 
+// SetSlowIO injects extra per-transaction service latency on the aio path
+// (a degraded device); zero clears the fault.
+func (s *Store) SetSlowIO(extra sim.Duration) { s.slowIO = extra }
+
+// SetWriteErrorProb makes each transaction fail with ErrInjectedWrite with
+// probability prob (a transient medium error); zero clears the fault.
+func (s *Store) SetWriteErrorProb(prob float64) { s.writeErrProb = prob }
+
 // FreeBytes returns unallocated device capacity.
 func (s *Store) FreeBytes() int64 { return s.alloc.free() }
 
@@ -230,6 +249,10 @@ func (s *Store) aioLoop(p *sim.Proc) {
 	p.SetThread(s.thAIO)
 	for {
 		t := s.aioq.Pop(p)
+		if s.slowIO > 0 {
+			p.Wait(s.slowIO)
+			t.result.ServiceTime += s.slowIO
+		}
 		var directBytes int64
 		for i := range t.txn.Ops {
 			op := &t.txn.Ops[i]
@@ -285,6 +308,11 @@ func (s *Store) kvLoop(p *sim.Proc) {
 		kvCycles := s.cfg.KVCommitCycles + s.cfg.KVApplyCyclesPerOp*ops
 		s.cpu.Exec(p, s.thKV, kvCycles)
 		for _, t := range batch {
+			if s.writeErrProb > 0 && s.env.Rand().Float64() < s.writeErrProb {
+				s.stats.InjectedErrors++
+				t.result.Err = ErrInjectedWrite
+				continue
+			}
 			t.result.Err = s.apply(t.txn)
 		}
 		walSvc := s.disk.Write(p, walBytes)
@@ -609,6 +637,34 @@ func (s *Store) OmapKeys(p *sim.Proc, coll, obj string) ([]string, error) {
 	}
 	sort.Strings(keys)
 	return keys, nil
+}
+
+// DataObject names one stored object that holds byte extents.
+type DataObject struct {
+	Collection string
+	Object     string
+}
+
+// DataObjects returns every object that currently has data, sorted by
+// collection then object — the deterministic candidate set bit-rot
+// injection picks from. It is an instantaneous inspection hook (no
+// simulated CPU or disk time), like CorruptObject.
+func (s *Store) DataObjects() []DataObject {
+	var out []DataObject
+	for cname, c := range s.colls {
+		for oname, o := range c.objects {
+			if len(o.extents) > 0 {
+				out = append(out, DataObject{Collection: cname, Object: oname})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Collection != out[j].Collection {
+			return out[i].Collection < out[j].Collection
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
 }
 
 // CorruptObject flips one byte of obj's first extent — a bit-rot injection

@@ -30,6 +30,8 @@ const (
 	TScrubReply Type = 0x070C // scrub: replica -> primary digest
 	TGetStats   Type = 0x070D // mgr -> osd statistics poll
 	TStatsReply Type = 0x070E // osd -> mgr statistics report
+	TGetMap     Type = 0x070F // client/osd -> monitor map refresh request
+	TOSDBoot    Type = 0x0710 // osd -> monitor "I am alive" announcement
 )
 
 func (t Type) String() string {
@@ -62,6 +64,10 @@ func (t Type) String() string {
 		return "get_stats"
 	case TStatsReply:
 		return "stats_reply"
+	case TGetMap:
+		return "get_map"
+	case TOSDBoot:
+		return "osd_boot"
 	}
 	return fmt.Sprintf("type(%#04x)", uint16(t))
 }
@@ -485,6 +491,45 @@ func (m *MStatsReply) PayloadBytes() int64 {
 	return n
 }
 
+// MGetMap asks the monitor to send the requester its current map epoch
+// directly (an on-demand refresh: after an op timeout a client cannot rely
+// on having seen the broadcast that may have been lost with the fault).
+type MGetMap struct {
+	// Epoch is the requester's current epoch; the monitor may skip the
+	// reply if it has nothing newer.
+	Epoch uint32
+}
+
+// MsgType implements Message.
+func (m *MGetMap) MsgType() Type { return TGetMap }
+
+// EncodePayload implements Message.
+func (m *MGetMap) EncodePayload(e *wire.Encoder) { e.U32(m.Epoch) }
+
+// PayloadBytes implements Message.
+func (m *MGetMap) PayloadBytes() int64 { return 4 }
+
+// MOSDBoot announces a live OSD to the monitor (Ceph's MOSDBoot). Sent on
+// daemon restart and, crucially, when a running OSD sees a map that marks
+// it down: the monitor's failure evidence was stale, and the daemon defends
+// itself by requesting to be marked back up.
+type MOSDBoot struct {
+	OSD   int32
+	Epoch uint32 // sender's map epoch when it booted/protested
+}
+
+// MsgType implements Message.
+func (m *MOSDBoot) MsgType() Type { return TOSDBoot }
+
+// EncodePayload implements Message.
+func (m *MOSDBoot) EncodePayload(e *wire.Encoder) {
+	e.U32(uint32(m.OSD))
+	e.U32(m.Epoch)
+}
+
+// PayloadBytes implements Message.
+func (m *MOSDBoot) PayloadBytes() int64 { return 8 }
+
 func data(bl *wire.Bufferlist) *wire.Bufferlist {
 	if bl == nil {
 		return &wire.Bufferlist{}
@@ -568,6 +613,10 @@ func Decode(bl *wire.Bufferlist) (Message, error) {
 			sr.Values = append(sr.Values, d.I64())
 		}
 		m = sr
+	case TGetMap:
+		m = &MGetMap{Epoch: d.U32()}
+	case TOSDBoot:
+		m = &MOSDBoot{OSD: int32(d.U32()), Epoch: d.U32()}
 	default:
 		return nil, fmt.Errorf("cephmsg: unknown message type %#04x", uint16(t))
 	}

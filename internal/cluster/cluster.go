@@ -18,7 +18,9 @@ import (
 	"doceph/internal/bluestore"
 	"doceph/internal/core"
 	"doceph/internal/crush"
+	"doceph/internal/doca"
 	"doceph/internal/dpu"
+	"doceph/internal/faultinject"
 	"doceph/internal/messenger"
 	"doceph/internal/mgr"
 	"doceph/internal/mon"
@@ -213,13 +215,40 @@ func New(cfg Config) *Cluster {
 	cl.Mgr = mgr.New(env, mgrCPU, gmsgr, osdNames, mgr.Config{})
 
 	cmsgr := messenger.New(env, reg, fabric, cl.ClientCPU, "client.0", "client-node", cfg.Messenger)
-	cl.Client = rados.New(env, cl.ClientCPU, cmsgr, baseMap, cfg.Client)
+	ccfg := cfg.Client
+	ccfg.Monitor = "mon.0"
+	cl.Client = rados.New(env, cl.ClientCPU, cmsgr, baseMap, ccfg)
 	cl.Mon.Subscribe("client.0")
 	return cl
 }
 
 // Config returns the post-default, post-calibration configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// FaultTargets binds this cluster's live components for fault injection.
+// In Baseline mode the DPU target maps stay empty, so DPU fault kinds are
+// no-ops — the same plan can drive both deployments.
+func (c *Cluster) FaultTargets() faultinject.Targets {
+	t := faultinject.Targets{
+		Fabric:   c.Fabric,
+		Stores:   make(map[string]*bluestore.Store),
+		StoreOSD: make(map[string]int32),
+		OSDs:     make(map[int32]*osd.OSD),
+		Mon:      c.Mon,
+		Engines:  make(map[string][]*doca.Engine),
+		Channels: make(map[string]*doca.CommChannel),
+	}
+	for i, n := range c.Nodes {
+		t.Stores[n.Name] = n.Store
+		t.StoreOSD[n.Name] = int32(i)
+		t.OSDs[int32(i)] = n.OSD
+		if n.Bridge != nil {
+			t.Engines[n.Name] = []*doca.Engine{n.Bridge.EngUp, n.Bridge.EngDown}
+			t.Channels[n.Name] = n.Bridge.CC
+		}
+	}
+	return t
+}
 
 // ResetHostStats starts fresh accounting windows on every host CPU (and DPU
 // CPU) — called at the end of benchmark warmup.

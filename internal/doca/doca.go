@@ -72,6 +72,9 @@ type CommChannel struct {
 	hostCPU *sim.CPU
 	hostTh  *sim.Thread
 
+	// stall is extra per-negotiation latency injected by fault plans (a
+	// congested or flapping control channel).
+	stall        sim.Duration
 	negotiations int64
 }
 
@@ -92,9 +95,13 @@ func (cc *CommChannel) Negotiate(p *sim.Proc, region *MemRegion) {
 	cc.negotiations++
 	cc.dpuCPU.ExecSelf(p, cc.cfg.LocalCycles)
 	cc.hostCPU.Exec(p, cc.hostTh, cc.cfg.HostCycles)
-	p.Wait(cc.cfg.RTT)
+	p.Wait(cc.cfg.RTT + cc.stall)
 	region.exported = true
 }
+
+// SetStall injects extra latency into every negotiation round trip; zero
+// clears the fault.
+func (cc *CommChannel) SetStall(d sim.Duration) { cc.stall = d }
 
 // Negotiations returns how many exports have been performed.
 func (cc *CommChannel) Negotiations() int64 { return cc.negotiations }
@@ -228,6 +235,9 @@ type Engine struct {
 	failNext int
 	// FailEvery injects a failure every n-th submission when > 0.
 	FailEvery int64
+	// failProb fails each submission with this probability (seeded via the
+	// environment RNG; fault-plan hook).
+	failProb  float64
 	submitted int64
 
 	stats EngineStats
@@ -263,6 +273,10 @@ func (e *Engine) Stats() EngineStats { return e.stats }
 // FailNext makes the next n submitted transfers fail (test/fallback hook).
 func (e *Engine) FailNext(n int) { e.failNext += n }
 
+// SetFailProb makes each submitted transfer fail with probability prob;
+// zero clears the fault.
+func (e *Engine) SetFailProb(prob float64) { e.failProb = prob }
+
 // Submit validates and enqueues t, charging the submit cost to p's thread
 // on cpu. It returns immediately; wait on t.Done or consume Completions.
 func (e *Engine) Submit(p *sim.Proc, cpu *sim.CPU, t *Transfer) error {
@@ -280,6 +294,8 @@ func (e *Engine) Submit(p *sim.Proc, cpu *sim.CPU, t *Transfer) error {
 		e.failNext--
 		t.forceFail = true
 	} else if e.FailEvery > 0 && e.submitted%e.FailEvery == 0 {
+		t.forceFail = true
+	} else if e.failProb > 0 && e.env.Rand().Float64() < e.failProb {
 		t.forceFail = true
 	}
 	ch := e.channels[int(t.ReqID)%len(e.channels)]

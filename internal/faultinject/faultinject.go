@@ -1,0 +1,279 @@
+// Package faultinject provides a deterministic, virtual-time-scheduled
+// fault-injection framework for the simulated cluster. A Plan is a list of
+// timed fault events (network degradation, storage faults, DPU faults, OSD
+// crashes); an Injector binds the plan to concrete targets and replays it on
+// the simulation clock. Because events fire at virtual times and every
+// probabilistic fault draws from the environment's seeded RNG, a given
+// (seed, plan) pair reproduces the exact same failure history on every run —
+// which is what lets the chaos experiments compare Baseline and DoCeph under
+// *identical* fault schedules and assert byte-identical results across runs.
+package faultinject
+
+import (
+	"fmt"
+
+	"doceph/internal/bluestore"
+	"doceph/internal/doca"
+	"doceph/internal/mon"
+	"doceph/internal/osd"
+	"doceph/internal/sim"
+	"doceph/internal/telemetry"
+)
+
+// Kind enumerates the fault classes the injector can apply.
+type Kind int
+
+// Fault kinds. Network faults (Drop, Latency, Bandwidth, Partition) act on
+// the fabric NIC of Event.Node; storage faults (SlowIO, WriteError, BitRot)
+// act on that node's BlueStore; DPU faults (DMAError, CommStall) act on that
+// node's DMA engines / CommChannel; OSDCrash acts on Event.OSD.
+const (
+	// Drop adds Prob packet-loss probability to the node's NIC.
+	Drop Kind = iota
+	// Latency adds Extra one-way latency to the node's NIC.
+	Latency
+	// Bandwidth multiplies the node's NIC rate by Factor (0 < Factor < 1).
+	Bandwidth
+	// Partition places the node in partition group Group; nodes in
+	// different nonzero groups cannot exchange frames.
+	Partition
+	// SlowIO adds Extra service latency to every BlueStore transaction.
+	SlowIO
+	// WriteError fails each BlueStore transaction with probability Prob.
+	WriteError
+	// BitRot flips payload bytes of up to Count stored objects on the
+	// node, skipping objects for which the node's OSD is the PG primary —
+	// so client reads stay clean while scrub must detect the damage on
+	// the replica.
+	BitRot
+	// DMAError fails each DMA transfer with probability Prob.
+	DMAError
+	// CommStall adds Extra latency to every CommChannel negotiation.
+	CommStall
+	// OSDCrash fails the OSD for Duration, then restarts it; the daemon
+	// announces its boot to the monitor, which marks it back up.
+	OSDCrash
+)
+
+var kindNames = map[Kind]string{
+	Drop: "drop", Latency: "latency", Bandwidth: "bandwidth",
+	Partition: "partition", SlowIO: "slow_io", WriteError: "write_error",
+	BitRot: "bit_rot", DMAError: "dma_error", CommStall: "comm_stall",
+	OSDCrash: "osd_crash",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one timed fault. At is the virtual-time offset from Run;
+// Duration is the fault window (faults with a window revert when it closes;
+// zero makes degradations permanent for the rest of the run). The remaining
+// fields parameterize the individual kinds, as documented on the constants.
+type Event struct {
+	At       sim.Duration
+	Duration sim.Duration
+	Kind     Kind
+	Node     string
+	OSD      int32
+	Prob     float64
+	Factor   float64
+	Extra    sim.Duration
+	Group    int
+	Count    int
+}
+
+// Plan is a named, ordered fault schedule.
+type Plan struct {
+	Name   string
+	Events []Event
+}
+
+// Add appends an event and returns the plan for chaining.
+func (p *Plan) Add(e Event) *Plan {
+	p.Events = append(p.Events, e)
+	return p
+}
+
+// Targets binds a plan's symbolic names to live simulation objects. Any nil
+// or missing target simply makes the corresponding fault kinds no-ops (a
+// Baseline cluster has no DMA engines, for example).
+type Targets struct {
+	Fabric *sim.Fabric
+	// Stores maps fabric node name -> that node's BlueStore.
+	Stores map[string]*bluestore.Store
+	// StoreOSD maps fabric node name -> the OSD id resident on it (used by
+	// BitRot to avoid corrupting primary copies).
+	StoreOSD map[string]int32
+	OSDs     map[int32]*osd.OSD
+	Mon      *mon.Monitor
+	// Engines maps node name -> that node's DMA engines (both directions).
+	Engines map[string][]*doca.Engine
+	// Channels maps node name -> that node's CommChannel.
+	Channels map[string]*doca.CommChannel
+}
+
+// Injector replays fault plans against a target set.
+type Injector struct {
+	env      *sim.Env
+	t        Targets
+	counters *telemetry.Counters
+}
+
+// New creates an injector for the given environment and targets.
+func New(env *sim.Env, t Targets) *Injector {
+	return &Injector{env: env, t: t, counters: telemetry.NewCounters()}
+}
+
+// Counters returns the injection ledger: "inject_<kind>" counts one per
+// applied event, "bit_rot_objects" counts corrupted objects.
+func (in *Injector) Counters() *telemetry.Counters { return in.counters }
+
+// Run schedules every event of plan relative to the current virtual time.
+// Each event runs on its own daemon process: it sleeps until Event.At,
+// applies the fault, and — for windowed faults — sleeps Event.Duration and
+// reverts it.
+func (in *Injector) Run(plan Plan) {
+	for i := range plan.Events {
+		ev := plan.Events[i]
+		name := fmt.Sprintf("fault:%s/%d:%s", plan.Name, i, ev.Kind)
+		in.env.SpawnDaemon(name, func(p *sim.Proc) {
+			if ev.At > 0 {
+				p.Wait(ev.At)
+			}
+			in.apply(p, ev)
+		})
+	}
+}
+
+func (in *Injector) apply(p *sim.Proc, ev Event) {
+	in.counters.Add("inject_"+ev.Kind.String(), 1)
+	revert := func() {}
+	switch ev.Kind {
+	case Drop:
+		if in.t.Fabric == nil {
+			return
+		}
+		in.t.Fabric.SetDropProb(ev.Node, ev.Prob)
+		revert = func() { in.t.Fabric.SetDropProb(ev.Node, 0) }
+	case Latency:
+		if in.t.Fabric == nil {
+			return
+		}
+		in.t.Fabric.SetExtraLatency(ev.Node, ev.Extra)
+		revert = func() { in.t.Fabric.SetExtraLatency(ev.Node, 0) }
+	case Bandwidth:
+		if in.t.Fabric == nil {
+			return
+		}
+		in.t.Fabric.SetBandwidthFactor(ev.Node, ev.Factor)
+		revert = func() { in.t.Fabric.SetBandwidthFactor(ev.Node, 0) }
+	case Partition:
+		if in.t.Fabric == nil {
+			return
+		}
+		in.t.Fabric.SetPartitionGroup(ev.Node, ev.Group)
+		revert = func() { in.t.Fabric.SetPartitionGroup(ev.Node, 0) }
+	case SlowIO:
+		st := in.t.Stores[ev.Node]
+		if st == nil {
+			return
+		}
+		st.SetSlowIO(ev.Extra)
+		revert = func() { st.SetSlowIO(0) }
+	case WriteError:
+		st := in.t.Stores[ev.Node]
+		if st == nil {
+			return
+		}
+		st.SetWriteErrorProb(ev.Prob)
+		revert = func() { st.SetWriteErrorProb(0) }
+	case BitRot:
+		in.bitRot(ev)
+		return // instantaneous, nothing to revert
+	case DMAError:
+		engs := in.t.Engines[ev.Node]
+		if len(engs) == 0 {
+			return
+		}
+		for _, e := range engs {
+			e.SetFailProb(ev.Prob)
+		}
+		revert = func() {
+			for _, e := range engs {
+				e.SetFailProb(0)
+			}
+		}
+	case CommStall:
+		cc := in.t.Channels[ev.Node]
+		if cc == nil {
+			return
+		}
+		cc.SetStall(ev.Extra)
+		revert = func() { cc.SetStall(0) }
+	case OSDCrash:
+		o := in.t.OSDs[ev.OSD]
+		if o == nil {
+			return
+		}
+		o.Fail()
+		revert = func() {
+			// Recover announces the restart to the monitor (MOSDBoot),
+			// which re-ups the daemon if it was marked down. MarkUp here
+			// is only a fallback for OSDs with no monitor configured.
+			o.Recover()
+			if in.t.Mon != nil && !in.t.Mon.Map().IsUp(ev.OSD) {
+				in.t.Mon.MarkUp(ev.OSD)
+			}
+		}
+		// A crash with no window would leave the cluster permanently
+		// degraded; treat it as crash-and-restart with a minimal outage.
+		if ev.Duration <= 0 {
+			ev.Duration = sim.Second
+		}
+	}
+	if ev.Duration > 0 {
+		p.Wait(ev.Duration)
+		revert()
+	}
+}
+
+// bitRot corrupts up to ev.Count replica-held objects on ev.Node's store.
+// Candidates come from the store's sorted object listing, so the picks are
+// deterministic; objects whose PG primary is the resident OSD are skipped so
+// reads served by the primary remain clean and scrub is what must find the
+// damage.
+func (in *Injector) bitRot(ev Event) {
+	st := in.t.Stores[ev.Node]
+	if st == nil {
+		return
+	}
+	count := ev.Count
+	if count <= 0 {
+		count = 1
+	}
+	resident, haveOSD := in.t.StoreOSD[ev.Node]
+	var o *osd.OSD
+	if haveOSD {
+		o = in.t.OSDs[resident]
+	}
+	for _, obj := range st.DataObjects() {
+		if count == 0 {
+			break
+		}
+		var pg uint32
+		if n, err := fmt.Sscanf(obj.Collection, "pg.%d", &pg); err != nil || n != 1 {
+			continue
+		}
+		if o != nil && o.Map().Primary(pg) == resident {
+			continue
+		}
+		if err := st.CorruptObject(obj.Collection, obj.Object); err == nil {
+			in.counters.Add("bit_rot_objects", 1)
+			count--
+		}
+	}
+}

@@ -9,6 +9,7 @@ package messenger
 
 import (
 	"fmt"
+	"sort"
 
 	"doceph/internal/cephmsg"
 	"doceph/internal/sim"
@@ -53,6 +54,12 @@ type Config struct {
 	// at the cost of wall-clock speed); benchmarks leave it off and pass
 	// message pointers with size accounting only.
 	WireEncode bool
+	// ReconnectBackoff is the initial delay before a session reset retries
+	// a frame the fabric dropped; each consecutive loss doubles it up to
+	// ReconnectBackoffMax (capped exponential backoff, Ceph's msgr2
+	// reconnect behaviour).
+	ReconnectBackoff    sim.Duration
+	ReconnectBackoffMax sim.Duration
 }
 
 // DefaultConfig returns the cost model used by the experiments (calibration
@@ -72,6 +79,8 @@ func DefaultConfig() Config {
 		SwitchesPerSend:     2,
 		SwitchesPerRecv:     2,
 		BytesPerSwitch:      288 << 10,
+		ReconnectBackoff:    10 * sim.Millisecond,
+		ReconnectBackoffMax: 2 * sim.Second,
 	}
 }
 
@@ -116,6 +125,12 @@ func (c Config) withDefaults() Config {
 	if c.BytesPerSwitch == 0 {
 		c.BytesPerSwitch = d.BytesPerSwitch
 	}
+	if c.ReconnectBackoff == 0 {
+		c.ReconnectBackoff = d.ReconnectBackoff
+	}
+	if c.ReconnectBackoffMax == 0 {
+		c.ReconnectBackoffMax = d.ReconnectBackoffMax
+	}
 	return c
 }
 
@@ -125,6 +140,11 @@ type Stats struct {
 	Received  int64
 	BytesSent int64
 	BytesRecv int64
+	// SessionResets counts reconnects after the fabric dropped a frame;
+	// Redeliveries counts frames re-sent by those resets (each dropped
+	// frame is redelivered exactly once per successful reset).
+	SessionResets int64
+	Redeliveries  int64
 }
 
 // Dispatcher receives decoded messages on a msgr-worker thread; it must not
@@ -144,6 +164,21 @@ func NewRegistry() *Registry { return &Registry{entities: make(map[string]*Messe
 
 // Lookup returns the messenger registered under name, or nil.
 func (r *Registry) Lookup(name string) *Messenger { return r.entities[name] }
+
+// All returns every registered messenger sorted by entity name, so
+// aggregations built from it are deterministic.
+func (r *Registry) All() []*Messenger {
+	names := make([]string, 0, len(r.entities))
+	for n := range r.entities {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Messenger, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.entities[n])
+	}
+	return out
+}
 
 // Messenger is one entity's messaging endpoint: a set of worker event loops
 // on the entity's CPU plus per-peer wire processes on the fabric.
@@ -175,11 +210,13 @@ type worker struct {
 type conn struct {
 	worker *worker
 	wireq  *sim.Queue[frame]
-	// sendSeq stamps outbound frames; recvSeq verifies inbound order. A
-	// violated sequence means the per-connection FIFO invariant broke —
-	// that is a bug in the transport, so it panics loudly (Ceph would
-	// reset the session; the simulation has no packet loss to recover
-	// from).
+	// sendSeq stamps outbound frames; recvSeq verifies inbound order.
+	// Packet loss is handled below the sequence layer: a frame the fabric
+	// drops triggers a session reset on the sending wire process, which
+	// backs off and redelivers that same frame before sending the next
+	// (Ceph's msgr2 reset + replay of unacked messages). The receive-side
+	// invariant therefore still holds — a violated sequence means the
+	// transport itself broke and panics loudly.
 	sendSeq uint64
 	recvSeq uint64
 }
@@ -276,8 +313,22 @@ func (m *Messenger) connTo(dst string) *conn {
 	m.env.SpawnDaemon(fmt.Sprintf("wire:%s->%s", m.name, dst), func(p *sim.Proc) {
 		for {
 			f := c.wireq.Pop(p)
-			m.fabric.Transfer(p, m.node, peer.node, f.bytes)
-			peer.deliver(f)
+			backoff := m.cfg.ReconnectBackoff
+			for {
+				if _, ok := m.fabric.TransferFrame(p, m.node, peer.node, f.bytes); ok {
+					peer.deliver(f)
+					break
+				}
+				// The frame was lost in flight: reset the session, back
+				// off, reconnect and redeliver the same frame so the
+				// per-connection FIFO order survives the loss.
+				m.stats.SessionResets++
+				p.Wait(backoff)
+				if backoff *= 2; backoff > m.cfg.ReconnectBackoffMax {
+					backoff = m.cfg.ReconnectBackoffMax
+				}
+				m.stats.Redeliveries++
+			}
 		}
 	})
 	return c

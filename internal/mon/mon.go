@@ -34,6 +34,10 @@ type Monitor struct {
 	curMap      *osdmap.Map
 	subscribers []string
 	reports     map[int32]map[string]bool
+	// upFrom records the epoch at which each OSD was last marked up, the
+	// fence against failure reports whose silence evidence predates a
+	// restart (Ceph's osd_info_t::up_from).
+	upFrom map[int32]uint32
 
 	epochBumps int
 }
@@ -50,6 +54,7 @@ func New(env *sim.Env, cpu *sim.CPU, msgr *messenger.Messenger,
 		th:      sim.NewThread("mon", ThreadCat),
 		curMap:  m,
 		reports: make(map[int32]map[string]bool),
+		upFrom:  make(map[int32]uint32),
 	}
 	msgr.SetDispatcher(mon.dispatch)
 	return mon
@@ -71,12 +76,32 @@ func (m *Monitor) dispatch(p *sim.Proc, src string, msg cephmsg.Message) {
 	case *cephmsg.MOSDFailure:
 		m.cpu.Exec(p, m.th, 20_000)
 		m.handleFailure(mm)
+	case *cephmsg.MOSDBoot:
+		m.cpu.Exec(p, m.th, 20_000)
+		m.handleBoot(mm)
 	case *cephmsg.MPing:
 		m.msgr.Send(src, &cephmsg.MPingReply{Src: m.msgr.Name(), Stamp: mm.Stamp})
+	case *cephmsg.MGetMap:
+		// On-demand refresh: a client whose op timed out may have missed
+		// the broadcast that went down with the fault.
+		if m.curMap.Epoch > mm.Epoch {
+			m.cpu.Exec(p, m.th, 10_000)
+			m.msgr.Send(src, &cephmsg.MOSDMap{Epoch: m.curMap.Epoch, Up: m.curMap.UpOSDs()})
+		}
 	}
 }
 
 func (m *Monitor) handleFailure(f *cephmsg.MOSDFailure) {
+	if f.Epoch < m.upFrom[f.Failed] {
+		// Stale report: the silence it describes predates the target's
+		// last up transition. Without the fence, a report racing a
+		// recovery (failure noticed at epoch e, target restarted and
+		// marked up at e+1) would re-down the healthy daemon. The
+		// reporter's ledger resets on the up transition, so a genuinely
+		// dead peer gets re-reported with a fresh epoch after the next
+		// grace window.
+		return
+	}
 	if !m.curMap.IsUp(f.Failed) {
 		return
 	}
@@ -95,12 +120,27 @@ func (m *Monitor) handleFailure(f *cephmsg.MOSDFailure) {
 	m.broadcast()
 }
 
+// handleBoot processes a liveness announcement. A booting (or protesting)
+// daemon is authoritative evidence of life, so it trumps any accumulated
+// failure reports: the in-flight-report race — silence observed across a
+// crash window is reported only after the daemon already restarted — would
+// otherwise leave a healthy OSD down forever, since nothing later marks it
+// up.
+func (m *Monitor) handleBoot(b *cephmsg.MOSDBoot) {
+	delete(m.reports, b.OSD)
+	if m.curMap.IsUp(b.OSD) {
+		return
+	}
+	m.MarkUp(b.OSD)
+}
+
 // MarkUp administratively restores an OSD and publishes a new epoch (used
 // by recovery scenarios and tests).
 func (m *Monitor) MarkUp(id int32) {
 	next := m.curMap.Next()
 	next.MarkUp(id)
 	m.curMap = next
+	m.upFrom[id] = next.Epoch
 	m.epochBumps++
 	m.broadcast()
 }

@@ -54,6 +54,13 @@ type Config struct {
 	RecoveryDelay sim.Duration
 	// ScrubInterval spaces periodic deep scrubs; zero disables scrubbing.
 	ScrubInterval sim.Duration
+	// RepOpTimeout bounds how long the primary waits for replica acks
+	// before resending the outstanding MRepOps (negative disables the
+	// watchdog; zero takes the default).
+	RepOpTimeout sim.Duration
+	// MaxRepRetries bounds resends; past it the write aborts with a typed
+	// error to the client rather than hanging.
+	MaxRepRetries int
 }
 
 // DefaultConfig returns the OSD defaults used by the experiments.
@@ -66,6 +73,8 @@ func DefaultConfig() Config {
 		HeartbeatInterval: sim.Second,
 		HeartbeatGrace:    5 * sim.Second,
 		RecoveryDelay:     2 * sim.Millisecond,
+		RepOpTimeout:      15 * sim.Second,
+		MaxRepRetries:     3,
 	}
 }
 
@@ -89,6 +98,12 @@ func (c Config) withDefaults() Config {
 	if c.RecoveryDelay == 0 {
 		c.RecoveryDelay = d.RecoveryDelay
 	}
+	if c.RepOpTimeout == 0 {
+		c.RepOpTimeout = d.RepOpTimeout
+	}
+	if c.MaxRepRetries == 0 {
+		c.MaxRepRetries = d.MaxRepRetries
+	}
 	return c
 }
 
@@ -99,6 +114,8 @@ type Stats struct {
 	ClientStats      int64
 	ClientDeletes    int64
 	RepOpsServed     int64
+	RepRetries       int64
+	RepAborts        int64
 	WrongPrimary     int64
 	ObjectsRecovered int64
 	PushesServed     int64
@@ -127,17 +144,17 @@ type OSD struct {
 	created map[uint32]bool
 
 	nextTid uint64
-	pending map[uint64]*pendingRep
-	// pendingTarget records which replica each outstanding rep-op waits
-	// on, so a map change that removes that replica can complete the wait
-	// (Ceph re-peers; we continue degraded rather than hang the client).
-	pendingTarget map[uint64]int32
-	nextPushTid   uint64
-	pushPending   map[uint64]*sim.Event
-	scrubPending  map[uint64]*scrubCall
-	thFin         *sim.Thread
-	lastSeen      map[int32]sim.Time
-	reported      map[int32]bool
+	// pending records each outstanding rep-op: which replica it waits on
+	// (so a map change that removes that replica can complete the wait —
+	// Ceph re-peers; we continue degraded rather than hang the client) and
+	// the message itself (so the watchdog can resend it verbatim).
+	pending      map[uint64]*repWait
+	nextPushTid  uint64
+	pushPending  map[uint64]*sim.Event
+	scrubPending map[uint64]*scrubCall
+	thFin        *sim.Thread
+	lastSeen     map[int32]sim.Time
+	reported     map[int32]bool
 
 	// ready gates op processing until PG collections are instantiated.
 	ready  *sim.Event
@@ -155,6 +172,13 @@ type pendingRep struct {
 	ev     *sim.Event
 }
 
+// repWait is one outstanding replica acknowledgment.
+type repWait struct {
+	target int32
+	msg    *cephmsg.MRepOp
+	pend   *pendingRep
+}
+
 // Name returns the OSD's entity name, "osd.<id>".
 func Name(id int32) string { return fmt.Sprintf("osd.%d", id) }
 
@@ -166,16 +190,15 @@ func New(env *sim.Env, cpu *sim.CPU, id int32, msgr *messenger.Messenger,
 	o := &OSD{
 		env: env, cpu: cpu, cfg: cfg.withDefaults(), id: id, name: Name(id),
 		msgr: msgr, store: store, curMap: m,
-		opq:           sim.NewQueue[opItem](env),
-		pgLocks:       make(map[uint32]*sim.Semaphore),
-		created:       make(map[uint32]bool),
-		pending:       make(map[uint64]*pendingRep),
-		pendingTarget: make(map[uint64]int32),
-		pushPending:   make(map[uint64]*sim.Event),
-		scrubPending:  make(map[uint64]*scrubCall),
-		thFin:         sim.NewThread(fmt.Sprintf("fn_osd-%d", id), ThreadCat),
-		lastSeen:      make(map[int32]sim.Time),
-		reported:      make(map[int32]bool),
+		opq:          sim.NewQueue[opItem](env),
+		pgLocks:      make(map[uint32]*sim.Semaphore),
+		created:      make(map[uint32]bool),
+		pending:      make(map[uint64]*repWait),
+		pushPending:  make(map[uint64]*sim.Event),
+		scrubPending: make(map[uint64]*scrubCall),
+		thFin:        sim.NewThread(fmt.Sprintf("fn_osd-%d", id), ThreadCat),
+		lastSeen:     make(map[int32]sim.Time),
+		reported:     make(map[int32]bool),
 	}
 	o.ready = sim.NewEvent(env)
 	msgr.SetDispatcher(o.dispatch)
@@ -239,6 +262,12 @@ func (o *OSD) Recover() {
 	o.failed = false
 	o.lastSeen = make(map[int32]sim.Time)
 	o.reported = make(map[int32]bool)
+	// Announce the restart (Ceph's MOSDBoot): the daemon may have been
+	// marked down while it was dead — it missed that broadcast — and the
+	// monitor will not learn it is back any other way.
+	if o.cfg.Monitor != "" {
+		o.msgr.Send(o.cfg.Monitor, &cephmsg.MOSDBoot{OSD: o.id, Epoch: o.curMap.Epoch})
+	}
 }
 
 // Failed reports whether Fail was called.
@@ -301,15 +330,75 @@ func (o *OSD) workerLoop(p *sim.Proc) {
 // is retired immediately so a late reply from a falsely-reported replica
 // cannot be counted twice.
 func (o *OSD) completeRep(tid uint64) {
-	pend, ok := o.pending[tid]
+	w, ok := o.pending[tid]
 	if !ok {
 		return
 	}
 	delete(o.pending, tid)
-	delete(o.pendingTarget, tid)
-	pend.needed--
+	w.pend.needed--
+	if w.pend.needed <= 0 {
+		w.pend.ev.Fire()
+	}
+}
+
+// sendRepOps fans a replicated mutation out to the secondaries and returns
+// the shared pendingRep plus the tids to watch. mk builds the sub-op for one
+// secondary; the assigned tid is stamped in afterwards.
+func (o *OSD) sendRepOps(p *sim.Proc, acting []int32, mk func(sec int32) *cephmsg.MRepOp) (*pendingRep, []uint64) {
+	pend := &pendingRep{needed: len(acting) - 1, ev: sim.NewEvent(o.env)}
 	if pend.needed <= 0 {
 		pend.ev.Fire()
+		return pend, nil
+	}
+	tids := make([]uint64, 0, len(acting)-1)
+	for _, sec := range acting[1:] {
+		o.cpu.ExecSelf(p, o.cfg.RepPrepCycles)
+		o.nextTid++
+		tid := o.nextTid
+		msg := mk(sec)
+		msg.Tid = tid
+		o.pending[tid] = &repWait{target: sec, msg: msg, pend: pend}
+		o.msgr.Send(Name(sec), msg)
+		tids = append(tids, tid)
+	}
+	return pend, tids
+}
+
+// awaitReplicas blocks the completer until every replica ack has landed (or
+// been abandoned by a map change). With the watchdog armed, acks that miss
+// RepOpTimeout trigger a resend of the still-outstanding sub-ops — resends
+// are idempotent under their stable tids — and after MaxRepRetries rounds
+// the op aborts cleanly (returns false) instead of hanging the client.
+func (o *OSD) awaitReplicas(cp *sim.Proc, pend *pendingRep, tids []uint64) bool {
+	if o.cfg.RepOpTimeout <= 0 {
+		pend.ev.Wait(cp)
+		return true
+	}
+	for try := 0; ; try++ {
+		if pend.ev.WaitTimeout(cp, o.cfg.RepOpTimeout) {
+			return true
+		}
+		if try >= o.cfg.MaxRepRetries {
+			o.stats.RepAborts++
+			for _, tid := range tids {
+				o.completeRep(tid)
+			}
+			return false
+		}
+		o.stats.RepRetries++
+		for _, tid := range tids {
+			w, ok := o.pending[tid]
+			if !ok {
+				continue
+			}
+			if !o.curMap.IsUp(w.target) {
+				// The map already dropped this replica but the abandon path
+				// raced with us; finish the wait degraded.
+				o.completeRep(tid)
+				continue
+			}
+			o.msgr.Send(Name(w.target), w.msg)
+		}
 	}
 }
 
@@ -384,30 +473,21 @@ func (o *OSD) handleOmapWrite(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uin
 	txn := omapTxn(pg, m)
 	o.ensureColl(pg, txn)
 	res := o.store.QueueTransaction(p, txn)
-	pend := &pendingRep{needed: len(acting) - 1, ev: sim.NewEvent(o.env)}
-	if pend.needed <= 0 {
-		pend.ev.Fire()
-	}
-	for _, sec := range acting[1:] {
-		o.cpu.ExecSelf(p, o.cfg.RepPrepCycles)
-		o.nextTid++
-		tid := o.nextTid
-		o.pending[tid] = pend
-		o.pendingTarget[tid] = sec
-		o.msgr.Send(Name(sec), &cephmsg.MRepOp{
-			Tid: tid, Epoch: o.curMap.Epoch, PGID: pg, Object: m.Object,
+	pend, tids := o.sendRepOps(p, acting, func(sec int32) *cephmsg.MRepOp {
+		return &cephmsg.MRepOp{
+			Epoch: o.curMap.Epoch, PGID: pg, Object: m.Object,
 			Op: m.Op, Key: m.Key, Data: m.Data,
-		})
-	}
+		}
+	})
 	lock.Release(1)
 	o.stats.ClientWrites++
 	o.env.Spawn(fmt.Sprintf("completer:%s/%d", o.name, m.Tid), func(cp *sim.Proc) {
 		cp.SetThread(o.thFin)
 		res.Done.Wait(cp)
-		pend.ev.Wait(cp)
+		repOK := o.awaitReplicas(cp, pend, tids)
 		o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles)
 		result := cephmsg.ResOK
-		if res.Err != nil {
+		if res.Err != nil || !repOK {
 			result = cephmsg.ResError
 		}
 		o.msgr.Send(src, &cephmsg.MOSDOpReply{
@@ -468,31 +548,22 @@ func (o *OSD) handleWrite(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32,
 	txn := (&objstore.Transaction{}).Write(pgColl(pg), m.Object, m.Offset, m.Data)
 	o.ensureColl(pg, txn)
 	res := o.store.QueueTransaction(p, txn)
-	pend := &pendingRep{needed: len(acting) - 1, ev: sim.NewEvent(o.env)}
-	if pend.needed <= 0 {
-		pend.ev.Fire()
-	}
-	for _, sec := range acting[1:] {
-		o.cpu.ExecSelf(p, o.cfg.RepPrepCycles)
-		o.nextTid++
-		tid := o.nextTid
-		o.pending[tid] = pend
-		o.pendingTarget[tid] = sec
-		o.msgr.Send(Name(sec), &cephmsg.MRepOp{
-			Tid: tid, Epoch: o.curMap.Epoch, PGID: pg, Object: m.Object,
+	pend, tids := o.sendRepOps(p, acting, func(sec int32) *cephmsg.MRepOp {
+		return &cephmsg.MRepOp{
+			Epoch: o.curMap.Epoch, PGID: pg, Object: m.Object,
 			Op: cephmsg.OpWrite, Offset: m.Offset, Data: m.Data,
-		})
-	}
+		}
+	})
 	lock.Release(1)
 	o.stats.ClientWrites++
 	o.stats.BytesWritten += int64(m.Data.Length())
 	o.env.Spawn(fmt.Sprintf("completer:%s/%d", o.name, m.Tid), func(cp *sim.Proc) {
 		cp.SetThread(o.thFin)
 		res.Done.Wait(cp)
-		pend.ev.Wait(cp)
+		repOK := o.awaitReplicas(cp, pend, tids)
 		o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles)
 		result := cephmsg.ResOK
-		if res.Err != nil {
+		if res.Err != nil || !repOK {
 			result = cephmsg.ResError
 		}
 		o.msgr.Send(src, &cephmsg.MOSDOpReply{
@@ -507,31 +578,24 @@ func (o *OSD) handleDelete(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32
 	lock.Acquire(p, 1)
 	txn := (&objstore.Transaction{}).Remove(pgColl(pg), m.Object)
 	res := o.store.QueueTransaction(p, txn)
-	pend := &pendingRep{needed: len(acting) - 1, ev: sim.NewEvent(o.env)}
-	if pend.needed <= 0 {
-		pend.ev.Fire()
-	}
-	for _, sec := range acting[1:] {
-		o.cpu.ExecSelf(p, o.cfg.RepPrepCycles)
-		o.nextTid++
-		tid := o.nextTid
-		o.pending[tid] = pend
-		o.pendingTarget[tid] = sec
-		o.msgr.Send(Name(sec), &cephmsg.MRepOp{
-			Tid: tid, Epoch: o.curMap.Epoch, PGID: pg, Object: m.Object,
+	pend, tids := o.sendRepOps(p, acting, func(sec int32) *cephmsg.MRepOp {
+		return &cephmsg.MRepOp{
+			Epoch: o.curMap.Epoch, PGID: pg, Object: m.Object,
 			Op: cephmsg.OpDelete,
-		})
-	}
+		}
+	})
 	lock.Release(1)
 	o.stats.ClientDeletes++
 	o.env.Spawn(fmt.Sprintf("completer:%s/%d", o.name, m.Tid), func(cp *sim.Proc) {
 		cp.SetThread(o.thFin)
 		res.Done.Wait(cp)
-		pend.ev.Wait(cp)
+		repOK := o.awaitReplicas(cp, pend, tids)
 		o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles)
 		result := cephmsg.ResOK
 		if res.Err != nil {
 			result = cephmsg.ResNotFound
+		} else if !repOK {
+			result = cephmsg.ResError
 		}
 		o.msgr.Send(src, &cephmsg.MOSDOpReply{
 			Tid: m.Tid, Object: m.Object, Op: m.Op, Result: result,
@@ -673,11 +737,17 @@ func (o *OSD) applyMap(now sim.Time, m *cephmsg.MOSDMap) {
 			o.lastSeen[id] = now
 		}
 	}
+	// Self-defense (Ceph: an OSD that sees itself marked down re-boots):
+	// the monitor acted on silence observed across a crash window that has
+	// since ended. A live daemon protests; a genuinely dead one cannot.
+	if !next.IsUp(o.id) && !o.failed && o.cfg.Monitor != "" {
+		o.msgr.Send(o.cfg.Monitor, &cephmsg.MOSDBoot{OSD: o.id, Epoch: next.Epoch})
+	}
 	// Abandon rep-op waits on replicas the new map removed: the write
 	// continues degraded on the surviving acting set instead of hanging
 	// the client until its timeout.
-	for tid, target := range o.pendingTarget {
-		if !next.IsUp(target) {
+	for tid, w := range o.pending {
+		if !next.IsUp(w.target) {
 			o.completeRep(tid)
 		}
 	}
@@ -692,14 +762,16 @@ func (o *OSD) statsReply(tid uint64) *cephmsg.MStatsReply {
 		Source: o.name,
 		Keys: []string{
 			"client_writes", "client_reads", "client_stats", "client_deletes",
-			"rep_ops", "wrong_primary", "bytes_written", "bytes_read",
+			"rep_ops", "rep_retries", "rep_aborts",
+			"wrong_primary", "bytes_written", "bytes_read",
 			"failure_reports", "objects_recovered", "pushes_served",
 			"objects_scrubbed", "scrubs_served", "scrub_errors", "scrub_repairs",
 			"map_epoch",
 		},
 		Values: []int64{
 			s.ClientWrites, s.ClientReads, s.ClientStats, s.ClientDeletes,
-			s.RepOpsServed, s.WrongPrimary, s.BytesWritten, s.BytesRead,
+			s.RepOpsServed, s.RepRetries, s.RepAborts,
+			s.WrongPrimary, s.BytesWritten, s.BytesRead,
 			s.FailureReports, s.ObjectsRecovered, s.PushesServed,
 			s.ObjectsScrubbed, s.ScrubsServed, s.ScrubErrors, s.ScrubRepairs,
 			int64(o.curMap.Epoch),

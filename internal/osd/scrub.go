@@ -119,9 +119,10 @@ func (o *OSD) handleScrubReply(m *cephmsg.MScrubReply) {
 }
 
 // ScrubNow triggers an immediate scrub pass of every PG this OSD leads
-// (administrative hook used by tests and examples). It returns once the
-// pass has been started; completion is observable through Stats.
-func (o *OSD) ScrubNow() {
+// (administrative hook used by tests and examples). It returns right away;
+// the returned event fires once the whole pass has completed.
+func (o *OSD) ScrubNow() *sim.Event {
+	done := sim.NewEvent(o.env)
 	o.env.Spawn(fmt.Sprintf("scrub-now@%s", o.name), func(p *sim.Proc) {
 		th := sim.NewThread("scrub@"+o.name, ThreadCat)
 		p.SetThread(th)
@@ -132,5 +133,7 @@ func (o *OSD) ScrubNow() {
 			}
 			o.scrubPG(p, pg, acting[1:])
 		}
+		done.Fire()
 	})
+	return done
 }

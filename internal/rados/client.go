@@ -12,6 +12,7 @@ import (
 	"doceph/internal/messenger"
 	"doceph/internal/osdmap"
 	"doceph/internal/sim"
+	"doceph/internal/telemetry"
 	"doceph/internal/wire"
 )
 
@@ -29,18 +30,33 @@ var (
 
 // Config carries client tunables.
 type Config struct {
-	// OpTimeout bounds one attempt before the client retries (possibly
+	// OpTimeout bounds one attempt before the client resends (possibly
 	// against a fresher map).
 	OpTimeout sim.Duration
-	// MaxRetries bounds retries on timeout or wrong-primary redirects.
+	// MaxRetries bounds retries on timeout or wrong-primary redirects, so
+	// every op resolves (success or typed error) within a virtual-time
+	// deadline of roughly (OpTimeout+backoff) * (MaxRetries+1).
 	MaxRetries int
+	// RetryBackoff is the initial delay between attempts; each retry
+	// doubles it up to RetryBackoffMax (capped exponential backoff).
+	RetryBackoff    sim.Duration
+	RetryBackoffMax sim.Duration
+	// Monitor is the entity asked for an on-demand map refresh after a
+	// timeout or redirect ("" disables refresh requests).
+	Monitor string
 	// PrepCycles is the client-side cost per op (librados encode, CRC).
 	PrepCycles int64
 }
 
 // DefaultConfig returns client defaults.
 func DefaultConfig() Config {
-	return Config{OpTimeout: 30 * sim.Second, MaxRetries: 5, PrepCycles: 15_000}
+	return Config{
+		OpTimeout:       30 * sim.Second,
+		MaxRetries:      5,
+		RetryBackoff:    100 * sim.Millisecond,
+		RetryBackoffMax: 5 * sim.Second,
+		PrepCycles:      15_000,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -51,10 +67,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxRetries == 0 {
 		c.MaxRetries = d.MaxRetries
 	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = d.RetryBackoff
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = d.RetryBackoffMax
+	}
 	if c.PrepCycles == 0 {
 		c.PrepCycles = d.PrepCycles
 	}
 	return c
+}
+
+// Stats counts the client's robustness events; the same values feed the
+// telemetry counter set returned by Telemetry.
+type Stats struct {
+	Ops          int64
+	Retries      int64
+	Timeouts     int64
+	Redirects    int64
+	StaleReplies int64
+	MapRefreshes int64
 }
 
 // Client is one RADOS client instance bound to a messenger entity.
@@ -68,6 +101,9 @@ type Client struct {
 	curMap   *osdmap.Map
 	nextTid  uint64
 	inflight map[uint64]*call
+
+	stats    Stats
+	counters *telemetry.Counters
 }
 
 type call struct {
@@ -84,6 +120,7 @@ func New(env *sim.Env, cpu *sim.CPU, msgr *messenger.Messenger,
 		th:       sim.NewThread(msgr.Name(), ThreadCat),
 		curMap:   m,
 		inflight: make(map[uint64]*call),
+		counters: telemetry.NewCounters(),
 	}
 	msgr.SetDispatcher(c.dispatch)
 	return c
@@ -92,17 +129,43 @@ func New(env *sim.Env, cpu *sim.CPU, msgr *messenger.Messenger,
 // Map returns the client's current cluster map.
 func (c *Client) Map() *osdmap.Map { return c.curMap }
 
+// Stats returns a copy of the robustness counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Telemetry returns the client's counter set (stale_replies, op_retries,
+// op_timeouts, redirects, map_refreshes).
+func (c *Client) Telemetry() *telemetry.Counters { return c.counters }
+
 func (c *Client) dispatch(p *sim.Proc, src string, m cephmsg.Message) {
 	switch msg := m.(type) {
 	case *cephmsg.MOSDOpReply:
-		if call, ok := c.inflight[msg.Tid]; ok {
-			call.reply = msg
-			call.done.Fire()
-			delete(c.inflight, msg.Tid)
+		call, ok := c.inflight[msg.Tid]
+		if !ok {
+			// A reply for an unknown or stale tid: the op already
+			// completed (or gave up) via another attempt. Account for it
+			// instead of dropping it silently — stale replies are the
+			// visible residue of timeout+resend under faults.
+			c.stats.StaleReplies++
+			c.counters.Add("stale_replies", 1)
+			return
 		}
+		call.reply = msg
+		call.done.Fire()
+		delete(c.inflight, msg.Tid)
 	case *cephmsg.MOSDMap:
 		c.applyMap(msg)
 	}
+}
+
+// refreshMap asks the monitor for a newer map than the one we hold; the
+// answer arrives through the regular MOSDMap dispatch path.
+func (c *Client) refreshMap() {
+	if c.cfg.Monitor == "" {
+		return
+	}
+	c.stats.MapRefreshes++
+	c.counters.Add("map_refreshes", 1)
+	c.msgr.Send(c.cfg.Monitor, &cephmsg.MGetMap{Epoch: c.curMap.Epoch})
 }
 
 func (c *Client) applyMap(m *cephmsg.MOSDMap) {
@@ -126,34 +189,66 @@ func (c *Client) applyMap(m *cephmsg.MOSDMap) {
 	c.curMap = next
 }
 
-// do sends one op to the current primary and waits for the reply, retrying
-// on redirects and timeouts.
+// do sends one op to the current primary and waits for the reply, resending
+// on timeouts and redirects with capped exponential backoff. The tid is
+// assigned once per op, so resends are idempotent: whichever attempt's reply
+// arrives first completes the op, and later duplicates are counted as stale.
+// Every op resolves within a bounded virtual-time deadline — success or a
+// typed error (ErrTimeout, ErrNoOSD), never a hang.
 func (c *Client) do(p *sim.Proc, op *cephmsg.MOSDOp) (*cephmsg.MOSDOpReply, error) {
+	c.stats.Ops++
+	c.nextTid++
+	op.Tid = c.nextTid
+	op.Src = c.msgr.Name()
+	defer delete(c.inflight, op.Tid)
+	backoff := c.cfg.RetryBackoff
+	wait := func() {
+		p.Wait(backoff)
+		if backoff *= 2; backoff > c.cfg.RetryBackoffMax {
+			backoff = c.cfg.RetryBackoffMax
+		}
+	}
+	sawNoOSD := false
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.stats.Retries++
+			c.counters.Add("op_retries", 1)
+		}
 		pg := c.curMap.PGForObject(op.Object)
 		primary := c.curMap.Primary(pg)
 		if primary < 0 {
-			return nil, ErrNoOSD
+			// The whole acting set is down. Ask for a fresher map and
+			// back off instead of failing outright — the monitor may be
+			// about to re-integrate a recovered OSD.
+			sawNoOSD = true
+			c.refreshMap()
+			wait()
+			continue
 		}
+		sawNoOSD = false
 		c.cpu.Exec(p, c.th, c.cfg.PrepCycles)
-		c.nextTid++
-		op.Tid = c.nextTid
 		op.Epoch = c.curMap.Epoch
-		op.Src = c.msgr.Name()
 		call := &call{done: sim.NewEvent(c.env)}
 		c.inflight[op.Tid] = call
 		c.msgr.Send(fmt.Sprintf("osd.%d", primary), op)
 		if !call.done.WaitTimeout(p, c.cfg.OpTimeout) {
-			delete(c.inflight, op.Tid)
-			// Give a failover a chance to publish a new map, then retry.
-			p.Wait(sim.Second)
+			c.stats.Timeouts++
+			c.counters.Add("op_timeouts", 1)
+			c.refreshMap()
+			wait()
 			continue
 		}
 		if call.reply.Result == cephmsg.ResNotPrimary {
-			p.Wait(100 * sim.Millisecond)
+			c.stats.Redirects++
+			c.counters.Add("redirects", 1)
+			c.refreshMap()
+			wait()
 			continue
 		}
 		return call.reply, nil
+	}
+	if sawNoOSD {
+		return nil, ErrNoOSD
 	}
 	return nil, ErrTimeout
 }

@@ -15,8 +15,9 @@ import (
 // fakeOSD is a scriptable OSD stand-in for exercising the client's retry
 // and redirect machinery without a full cluster.
 type fakeOSD struct {
+	env    *sim.Env
 	msgr   *messenger.Messenger
-	mode   string // "ok", "drop", "wrongPrimary", "notfound"
+	mode   string // "ok", "drop", "wrongPrimary", "notfound", "dup", "slowOnce"
 	served int
 }
 
@@ -29,6 +30,25 @@ func (f *fakeOSD) dispatch(p *sim.Proc, src string, m cephmsg.Message) {
 	switch f.mode {
 	case "drop":
 		return
+	case "dup":
+		// Reply twice: the second copy must land as a stale reply.
+		for i := 0; i < 2; i++ {
+			f.msgr.Send(src, &cephmsg.MOSDOpReply{Tid: op.Tid, Object: op.Object,
+				Op: op.Op, Result: cephmsg.ResOK, Version: 1, Size: 42})
+		}
+	case "slowOnce":
+		// First request answers late (after the client's timeout+resend);
+		// later requests answer immediately.
+		reply := &cephmsg.MOSDOpReply{Tid: op.Tid, Object: op.Object,
+			Op: op.Op, Result: cephmsg.ResOK, Version: 1, Size: 42}
+		if f.served == 1 {
+			f.env.Spawn("late-reply", func(lp *sim.Proc) {
+				lp.Wait(5 * sim.Second)
+				f.msgr.Send(src, reply)
+			})
+			return
+		}
+		f.msgr.Send(src, reply)
 	case "wrongPrimary":
 		f.msgr.Send(src, &cephmsg.MOSDOpReply{Tid: op.Tid, Object: op.Object,
 			Op: op.Op, Result: cephmsg.ResNotPrimary})
@@ -61,7 +81,7 @@ func newClientRig(cfg Config) *clientRig {
 	cpu := sim.NewCPU(env, "cpu", 8, 3.0, 2000)
 	r := &clientRig{env: env}
 	for i := 0; i < 2; i++ {
-		f := &fakeOSD{}
+		f := &fakeOSD{env: env}
 		f.msgr = messenger.New(env, reg, fabric, cpu, Name(i), "n", messenger.Config{})
 		f.msgr.SetDispatcher(f.dispatch)
 		r.osds = append(r.osds, f)
@@ -128,6 +148,53 @@ func TestClientTimesOutAndRetries(t *testing.T) {
 	total := r.osds[0].served + r.osds[1].served
 	if total != 3 {
 		t.Fatalf("attempts=%d want 3", total)
+	}
+}
+
+func TestClientCountsDuplicateReplyAsStale(t *testing.T) {
+	r := newClientRig(Config{})
+	for _, f := range r.osds {
+		f.mode = "dup"
+	}
+	r.run(t, func(p *sim.Proc) {
+		if err := r.client.Write(p, "obj", wire.FromBytes([]byte("x"))); err != nil {
+			t.Fatal(err)
+		}
+		p.Wait(sim.Second) // let the duplicate drain through dispatch
+		if got := r.client.Stats().StaleReplies; got != 1 {
+			t.Fatalf("StaleReplies=%d want 1", got)
+		}
+		if got := r.client.Telemetry().Get("stale_replies"); got != 1 {
+			t.Fatalf("stale_replies counter=%d want 1", got)
+		}
+	})
+}
+
+func TestClientResendIsIdempotentAndLateReplyIsStale(t *testing.T) {
+	r := newClientRig(Config{OpTimeout: 2 * sim.Second, MaxRetries: 2,
+		RetryBackoff: 500 * sim.Millisecond})
+	for _, f := range r.osds {
+		f.mode = "slowOnce"
+	}
+	r.run(t, func(p *sim.Proc) {
+		// Attempt 1 at t=0 times out at 2s; the resend at 2.5s succeeds
+		// under the same tid. The late reply from attempt 1 lands at 5s,
+		// after the op is retired, and must count as stale — not complete
+		// (or corrupt) some other op.
+		if err := r.client.Write(p, "obj", wire.FromBytes([]byte("x"))); err != nil {
+			t.Fatal(err)
+		}
+		p.Wait(10 * sim.Second) // outlive the late reply
+		st := r.client.Stats()
+		if st.Timeouts != 1 || st.Retries != 1 {
+			t.Fatalf("timeouts=%d retries=%d want 1/1", st.Timeouts, st.Retries)
+		}
+		if st.StaleReplies != 1 {
+			t.Fatalf("StaleReplies=%d want 1", st.StaleReplies)
+		}
+	})
+	if total := r.osds[0].served + r.osds[1].served; total != 2 {
+		t.Fatalf("served=%d want 2", total)
 	}
 }
 

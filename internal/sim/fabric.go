@@ -10,11 +10,18 @@ import "fmt"
 // one node fans out to many peers (tx-bound) and when many peers converge on
 // one node (rx-bound), which is what shapes the paper's incast-style
 // replication traffic.
+//
+// The fabric also carries the network half of the fault-injection surface
+// (package faultinject): per-node drop probability, added latency, bandwidth
+// degradation and partition groups, all evaluated deterministically against
+// the environment's seeded random stream.
 type Fabric struct {
 	env     *Env
 	name    string
 	Latency Duration
 	nodes   map[string]*nic
+
+	dropped int64
 }
 
 type nic struct {
@@ -23,6 +30,12 @@ type nic struct {
 	rxFree      Time
 	txBytes     int64
 	rxBytes     int64
+
+	// Fault state (zero values = healthy).
+	dropProb     float64
+	extraLatency Duration
+	bwFactor     float64 // 0 means 1.0 (no degradation)
+	partition    int     // nonzero groups only reach their own group
 }
 
 // NewFabric returns an empty fabric with the given propagation latency.
@@ -39,20 +52,90 @@ func (f *Fabric) AddNode(node string, bytesPerSec float64) {
 // HasNode reports whether node is attached.
 func (f *Fabric) HasNode(node string) bool { _, ok := f.nodes[node]; return ok }
 
+// Nodes returns the number of attached nodes.
+func (f *Fabric) Nodes() int { return len(f.nodes) }
+
+func (f *Fabric) mustNode(role, node string) *nic {
+	n, ok := f.nodes[node]
+	if !ok {
+		panic(fmt.Sprintf("sim: fabric %q: unknown %s node %q", f.name, role, node))
+	}
+	return n
+}
+
+// SetDropProb sets the probability that a frame touching node (as sender or
+// receiver) is lost in flight. 0 restores lossless delivery.
+func (f *Fabric) SetDropProb(node string, p float64) {
+	f.mustNode("fault", node).dropProb = p
+}
+
+// SetExtraLatency adds d of propagation latency to every frame touching
+// node (a latency spike). 0 restores the base latency.
+func (f *Fabric) SetExtraLatency(node string, d Duration) {
+	f.mustNode("fault", node).extraLatency = d
+}
+
+// SetBandwidthFactor scales node's NIC line rate by factor (0 < factor <= 1
+// degrades; 0 restores full rate).
+func (f *Fabric) SetBandwidthFactor(node string, factor float64) {
+	f.mustNode("fault", node).bwFactor = factor
+}
+
+// SetPartitionGroup assigns node to a partition group. Frames between nodes
+// in different groups are dropped; group 0 (the default) communicates with
+// everyone, modelling a partial partition that isolates a set of nodes.
+func (f *Fabric) SetPartitionGroup(node string, group int) {
+	f.mustNode("fault", node).partition = group
+}
+
+// ClearFaults restores every node to the healthy state.
+func (f *Fabric) ClearFaults() {
+	for _, n := range f.nodes {
+		n.dropProb = 0
+		n.extraLatency = 0
+		n.bwFactor = 0
+		n.partition = 0
+	}
+}
+
+// DroppedFrames returns how many transfers the fault layer has discarded.
+func (f *Fabric) DroppedFrames() int64 { return f.dropped }
+
+func partitioned(s, d *nic) bool {
+	return s.partition != 0 && d.partition != 0 && s.partition != d.partition
+}
+
+func (n *nic) effectiveRate() float64 {
+	if n.bwFactor > 0 && n.bwFactor < 1 {
+		return n.bytesPerSec * n.bwFactor
+	}
+	return n.bytesPerSec
+}
+
 // Transfer blocks p while bytes move from src to dst and returns the arrival
-// instant. It panics if either endpoint is unknown (wiring bug).
+// instant. It panics if either endpoint is unknown (wiring bug). Injected
+// faults are ignored: the frame is always delivered (legacy lossless path;
+// transports that can recover use TransferFrame).
 func (f *Fabric) Transfer(p *Proc, src, dst string, bytes int64) Time {
-	s, ok := f.nodes[src]
-	if !ok {
-		panic(fmt.Sprintf("sim: fabric %q: unknown src node %q", f.name, src))
-	}
-	d, ok := f.nodes[dst]
-	if !ok {
-		panic(fmt.Sprintf("sim: fabric %q: unknown dst node %q", f.name, dst))
-	}
-	bw := s.bytesPerSec
-	if d.bytesPerSec < bw {
-		bw = d.bytesPerSec
+	arrive, _ := f.transfer(p, src, dst, bytes, false)
+	return arrive
+}
+
+// TransferFrame is Transfer under the fault model: the frame still occupies
+// the NICs (a lost frame burns wire time before the loss is detected), but
+// delivered reports whether it actually arrived. Drops come from the
+// per-node drop probability (evaluated on the env's seeded random stream)
+// and from partition groups, so runs are reproducible.
+func (f *Fabric) TransferFrame(p *Proc, src, dst string, bytes int64) (arrive Time, delivered bool) {
+	return f.transfer(p, src, dst, bytes, true)
+}
+
+func (f *Fabric) transfer(p *Proc, src, dst string, bytes int64, faulty bool) (Time, bool) {
+	s := f.mustNode("src", src)
+	d := f.mustNode("dst", dst)
+	bw := s.effectiveRate()
+	if r := d.effectiveRate(); r < bw {
+		bw = r
 	}
 	ser := Duration(float64(bytes) / bw * float64(Second))
 	start := maxTime(f.env.now, maxTime(s.txFree, d.rxFree))
@@ -60,9 +143,22 @@ func (f *Fabric) Transfer(p *Proc, src, dst string, bytes int64) Time {
 	s.txFree, d.rxFree = end, end
 	s.txBytes += bytes
 	d.rxBytes += bytes
-	arrive := end.Add(f.Latency)
+	arrive := end.Add(f.Latency + s.extraLatency + d.extraLatency)
+	if faulty {
+		drop := partitioned(s, d)
+		if !drop {
+			if pr := s.dropProb + d.dropProb; pr > 0 && f.env.rng.Float64() < pr {
+				drop = true
+			}
+		}
+		if drop {
+			f.dropped++
+			p.WaitUntil(arrive)
+			return arrive, false
+		}
+	}
 	p.WaitUntil(arrive)
-	return arrive
+	return arrive, true
 }
 
 // TxBytes returns total bytes node has transmitted.
