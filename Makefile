@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test race chaos-smoke bench results quick examples vet fmt
+.PHONY: all build test race chaos-smoke bench bench-smoke microbench results quick examples vet fmt
 
-all: build vet test race chaos-smoke
+all: build vet test race chaos-smoke bench-smoke
 
 build:
 	go build ./...
@@ -34,7 +34,19 @@ results:
 quick:
 	go run ./cmd/docephbench -quick -exp all
 
+# Simulator throughput harness: runs the radosbench sweep and writes
+# events/sec, ns/op and allocs/op to BENCH_sim.json (compared against the
+# recorded pre-optimization baseline). `-rebaseline` resets the baseline.
 bench:
+	go run ./cmd/simbench -out BENCH_sim.json
+
+# ~30 s smoke variant wired into `all`: runs the reduced sweep and prints
+# the numbers without touching BENCH_sim.json.
+bench-smoke:
+	go run ./cmd/simbench -smoke
+
+# Go micro-benchmarks (wire codec, heap, etc.).
+microbench:
 	go test -bench=. -benchmem -benchtime=1x ./...
 
 examples:

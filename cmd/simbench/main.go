@@ -1,0 +1,93 @@
+// Command simbench measures the simulator's own wall-clock performance
+// (events/sec, ns/op, allocs/op over the radosbench sweep) and maintains
+// BENCH_sim.json: a pre-optimization baseline recorded once plus the
+// current numbers and their ratios, so `make bench` tracks the perf
+// trajectory from PR to PR.
+//
+// Usage:
+//
+//	go run ./cmd/simbench                 # update "current", compare to baseline
+//	go run ./cmd/simbench -rebaseline     # overwrite the stored baseline too
+//	go run ./cmd/simbench -smoke          # short sweep, no file written
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"doceph/internal/perf"
+)
+
+// File is the on-disk schema of BENCH_sim.json.
+type File struct {
+	// Baseline is the pre-optimization reference (recorded with
+	// -rebaseline, then left alone so speedups stay comparable).
+	Baseline *perf.Report `json:"baseline,omitempty"`
+	// Current is the most recent run.
+	Current *perf.Report `json:"current,omitempty"`
+
+	// SpeedupEventsPerSec is Current/Baseline events/sec (higher is better).
+	SpeedupEventsPerSec float64 `json:"speedup_events_per_sec,omitempty"`
+	// AllocsPerOpRatio is Current/Baseline allocs/op (lower is better).
+	AllocsPerOpRatio float64 `json:"allocs_per_op_ratio,omitempty"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "BENCH_sim.json", "result file to maintain")
+		rebaseline = flag.Bool("rebaseline", false, "record this run as the baseline")
+		smoke      = flag.Bool("smoke", false, "short sweep, print only, no file written")
+	)
+	flag.Parse()
+
+	sweep := perf.DefaultSweep()
+	if *smoke {
+		sweep = perf.SmokeSweep()
+	}
+	rep, err := perf.RunSweep(sweep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, m := range rep.Scenarios {
+		fmt.Printf("%-14s %8d ops  %12.0f events/s  %10.0f ns/op  %8.1f allocs/op\n",
+			m.Name, m.Ops, m.EventsPerSec, m.NsPerOp, m.AllocsPerOp)
+	}
+	fmt.Printf("%-14s %21.0f events/s  %10.0f ns/op  %8.1f allocs/op\n",
+		"TOTAL", rep.EventsPerSec, rep.NsPerOp, rep.AllocsPerOp)
+	if *smoke {
+		return
+	}
+
+	var f File
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: parse %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	f.Current = &rep
+	if *rebaseline || f.Baseline == nil {
+		f.Baseline = &rep
+	}
+	if f.Baseline.EventsPerSec > 0 {
+		f.SpeedupEventsPerSec = f.Current.EventsPerSec / f.Baseline.EventsPerSec
+	}
+	if f.Baseline.AllocsPerOp > 0 {
+		f.AllocsPerOpRatio = f.Current.AllocsPerOp / f.Baseline.AllocsPerOp
+	}
+	fmt.Printf("vs baseline: %.2fx events/s, %.2fx allocs/op\n",
+		f.SpeedupEventsPerSec, f.AllocsPerOpRatio)
+
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+}

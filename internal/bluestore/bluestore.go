@@ -519,6 +519,23 @@ func (o *onode) truncate(size uint64) {
 	o.size = size
 }
 
+// zeroPage backs hole fills in readRange. Read results are never mutated
+// (Bufferlist aliasing contract), so every hole can share the one page
+// instead of allocating per read.
+var zeroPage = make([]byte, 64<<10)
+
+// appendZeros appends n zero bytes to out as views of the shared zero page.
+func appendZeros(out *wire.Bufferlist, n uint64) {
+	for n > 0 {
+		c := n
+		if c > uint64(len(zeroPage)) {
+			c = uint64(len(zeroPage))
+		}
+		out.Append(zeroPage[:c])
+		n -= c
+	}
+}
+
 // readRange assembles [off, off+length) from extents, zero-filling holes.
 func (o *onode) readRange(off, length uint64) *wire.Bufferlist {
 	out := &wire.Bufferlist{}
@@ -530,7 +547,7 @@ func (o *onode) readRange(off, length uint64) *wire.Bufferlist {
 			continue
 		}
 		if e.off > pos {
-			out.Append(make([]byte, e.off-pos))
+			appendZeros(out, e.off-pos)
 			pos = e.off
 		}
 		start := pos - e.off
@@ -542,7 +559,7 @@ func (o *onode) readRange(off, length uint64) *wire.Bufferlist {
 		pos = stop
 	}
 	if pos < end {
-		out.Append(make([]byte, end-pos))
+		appendZeros(out, end-pos)
 	}
 	return out
 }

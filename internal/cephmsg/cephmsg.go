@@ -537,12 +537,34 @@ func data(bl *wire.Bufferlist) *wire.Bufferlist {
 	return bl
 }
 
-// Encode serializes m with its type tag into a fresh Bufferlist.
+// Encode serializes m with its type tag into a Bufferlist. Headers and
+// other fixed-size fields go into a pooled scratch segment; bulk payload
+// fields (MOSDOp/MRepOp data and friends) are spliced in as shared
+// segments, so encoding never copies the payload. The first segment of the
+// result is pool-owned: once the list and everything decoded zero-copy
+// from it are dead, the framing layer hands it back with wire.PutBuffer.
 func Encode(m Message) *wire.Bufferlist {
-	e := wire.NewEncoder(int(m.PayloadBytes()) + 8)
+	hint := int(m.PayloadBytes()) + 8 - int(data(payloadOf(m)).Length())
+	e := wire.NewEncoderBL(wire.GetBuffer(hint))
 	e.U16(uint16(m.MsgType()))
 	m.EncodePayload(e)
 	return e.Bufferlist()
+}
+
+// payloadOf returns the bulk data field excluded from the scratch sizing
+// hint (it travels as shared segments, not through scratch).
+func payloadOf(m Message) *wire.Bufferlist {
+	switch m := m.(type) {
+	case *MOSDOp:
+		return m.Data
+	case *MOSDOpReply:
+		return m.Data
+	case *MRepOp:
+		return m.Data
+	case *MPGPush:
+		return m.Data
+	}
+	return nil
 }
 
 // Decode parses a message previously produced by Encode.

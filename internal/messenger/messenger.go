@@ -232,7 +232,11 @@ type frame struct {
 	seq   uint64
 	msg   cephmsg.Message
 	bytes int64
-	wire  []byte // only when WireEncode
+	// wire and crc are only set when WireEncode: the encoded frame (header
+	// scratch + shared payload segments, no flatten) and its segment-wise
+	// CRC-32C, verified on receive.
+	wire *wire.Bufferlist
+	crc  uint32
 }
 
 // New creates a messenger for entity name running on fabric node node,
@@ -288,8 +292,9 @@ func (m *Messenger) Send(dst string, msg cephmsg.Message) {
 func (m *Messenger) makeFrame(msg cephmsg.Message) frame {
 	f := frame{src: m.name, msg: msg, bytes: EnvelopeBytes + msg.PayloadBytes()}
 	if m.cfg.WireEncode {
-		f.wire = cephmsg.Encode(msg).Bytes()
-		f.bytes = EnvelopeBytes + int64(len(f.wire))
+		f.wire = cephmsg.Encode(msg)
+		f.crc = f.wire.CRC32C()
+		f.bytes = EnvelopeBytes + int64(f.wire.Length())
 	}
 	return f
 }
@@ -365,7 +370,11 @@ func (m *Messenger) workerLoop(p *sim.Proc, w *worker) {
 			m.stats.BytesRecv += f.bytes
 			msg := f.msg
 			if f.wire != nil {
-				decoded, err := cephmsg.Decode(wire.FromBytes(f.wire))
+				if got := f.wire.CRC32C(); got != f.crc {
+					panic(fmt.Sprintf("messenger %s: frame from %s CRC mismatch: %#x != %#x",
+						m.name, it.peer, got, f.crc))
+				}
+				decoded, err := cephmsg.Decode(f.wire)
 				if err != nil {
 					panic(fmt.Sprintf("messenger %s: corrupt frame from %s: %v", m.name, it.peer, err))
 				}
@@ -375,6 +384,12 @@ func (m *Messenger) workerLoop(p *sim.Proc, w *worker) {
 				panic(fmt.Sprintf("messenger %s: message from %s with no dispatcher", m.name, it.peer))
 			}
 			m.dispatch(p, it.peer, msg)
+			if f.wire != nil {
+				// Everything header-shaped was copied out during decode and
+				// the payload lives in its own shared segments, so the
+				// pooled header scratch can go back.
+				wire.PutBuffer(f.wire.FirstSegment())
+			}
 			continue
 		}
 		cycles := m.cfg.EncodeCycles +

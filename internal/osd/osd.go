@@ -135,6 +135,11 @@ type OSD struct {
 	cfg   Config
 	id    int32
 	name  string
+	// completerName/repCompleterName are the precomputed proc names for the
+	// per-op completion goroutines, spawned on every write — building them
+	// with Sprintf per op was a measurable allocation cost.
+	completerName    string
+	repCompleterName string
 	msgr  *messenger.Messenger
 	store objstore.Store
 
@@ -179,8 +184,23 @@ type repWait struct {
 	pend   *pendingRep
 }
 
+// osdNames caches entity names for the small OSD ids every realistic
+// cluster uses, keeping Name (called per message send) allocation-free.
+var osdNames = func() [256]string {
+	var a [256]string
+	for i := range a {
+		a[i] = fmt.Sprintf("osd.%d", i)
+	}
+	return a
+}()
+
 // Name returns the OSD's entity name, "osd.<id>".
-func Name(id int32) string { return fmt.Sprintf("osd.%d", id) }
+func Name(id int32) string {
+	if id >= 0 && int(id) < len(osdNames) {
+		return osdNames[id]
+	}
+	return fmt.Sprintf("osd.%d", id)
+}
 
 // New creates an OSD with the given identity, messenger and backing store,
 // spawns its tp_osd_tp workers and heartbeat loop, and installs its
@@ -200,6 +220,8 @@ func New(env *sim.Env, cpu *sim.CPU, id int32, msgr *messenger.Messenger,
 		lastSeen:     make(map[int32]sim.Time),
 		reported:     make(map[int32]bool),
 	}
+	o.completerName = "completer:" + o.name
+	o.repCompleterName = "rep-completer:" + o.name
 	o.ready = sim.NewEvent(env)
 	msgr.SetDispatcher(o.dispatch)
 	for i := 0; i < o.cfg.OpWorkers; i++ {
@@ -411,7 +433,22 @@ func (o *OSD) pgLock(pg uint32) *sim.Semaphore {
 	return l
 }
 
-func pgColl(pg uint32) string { return fmt.Sprintf("pg.%d", pg) }
+// pgCollNames caches collection names for the PG counts in realistic use;
+// pgColl sits on every I/O hot path (lock, transaction, replica txn).
+var pgCollNames = func() [1024]string {
+	var a [1024]string
+	for i := range a {
+		a[i] = fmt.Sprintf("pg.%d", i)
+	}
+	return a
+}()
+
+func pgColl(pg uint32) string {
+	if pg < uint32(len(pgCollNames)) {
+		return pgCollNames[pg]
+	}
+	return fmt.Sprintf("pg.%d", pg)
+}
 
 // ensureColl lazily creates a PG's collection in the backing store within
 // the caller's transaction.
@@ -460,7 +497,10 @@ func omapTxn(pg uint32, m *cephmsg.MOSDOp) *objstore.Transaction {
 	}
 	var val []byte
 	if m.Data != nil {
-		val = m.Data.Bytes()
+		// Shared, not copied: the client's payload segment travels into the
+		// omap store as-is (producers follow the Bufferlist aliasing
+		// contract and never reuse payload slices).
+		val = m.Data.ContiguousBytes()
 	}
 	return txn.OmapSet(pgColl(pg), m.Object, m.Key, val)
 }
@@ -481,7 +521,7 @@ func (o *OSD) handleOmapWrite(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uin
 	})
 	lock.Release(1)
 	o.stats.ClientWrites++
-	o.env.Spawn(fmt.Sprintf("completer:%s/%d", o.name, m.Tid), func(cp *sim.Proc) {
+	o.env.Spawn(o.completerName, func(cp *sim.Proc) {
 		cp.SetThread(o.thFin)
 		res.Done.Wait(cp)
 		repOK := o.awaitReplicas(cp, pend, tids)
@@ -557,7 +597,7 @@ func (o *OSD) handleWrite(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32,
 	lock.Release(1)
 	o.stats.ClientWrites++
 	o.stats.BytesWritten += int64(m.Data.Length())
-	o.env.Spawn(fmt.Sprintf("completer:%s/%d", o.name, m.Tid), func(cp *sim.Proc) {
+	o.env.Spawn(o.completerName, func(cp *sim.Proc) {
 		cp.SetThread(o.thFin)
 		res.Done.Wait(cp)
 		repOK := o.awaitReplicas(cp, pend, tids)
@@ -586,7 +626,7 @@ func (o *OSD) handleDelete(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32
 	})
 	lock.Release(1)
 	o.stats.ClientDeletes++
-	o.env.Spawn(fmt.Sprintf("completer:%s/%d", o.name, m.Tid), func(cp *sim.Proc) {
+	o.env.Spawn(o.completerName, func(cp *sim.Proc) {
 		cp.SetThread(o.thFin)
 		res.Done.Wait(cp)
 		repOK := o.awaitReplicas(cp, pend, tids)
@@ -646,7 +686,9 @@ func (o *OSD) handleRepOp(p *sim.Proc, src string, m *cephmsg.MRepOp) {
 	case cephmsg.OpOmapSet:
 		var val []byte
 		if m.Data != nil {
-			val = m.Data.Bytes()
+			// Shared per the Bufferlist aliasing contract, as on the
+			// primary's omapTxn path.
+			val = m.Data.ContiguousBytes()
 		}
 		txn = (&objstore.Transaction{}).Touch(pgColl(m.PGID), m.Object).
 			OmapSet(pgColl(m.PGID), m.Object, m.Key, val)
@@ -663,7 +705,7 @@ func (o *OSD) handleRepOp(p *sim.Proc, src string, m *cephmsg.MRepOp) {
 	if m.Data != nil {
 		o.stats.BytesWritten += int64(m.Data.Length())
 	}
-	o.env.Spawn(fmt.Sprintf("rep-completer:%s/%d", o.name, m.Tid), func(cp *sim.Proc) {
+	o.env.Spawn(o.repCompleterName, func(cp *sim.Proc) {
 		cp.SetThread(o.thFin)
 		res.Done.Wait(cp)
 		o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles)

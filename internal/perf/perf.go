@@ -1,0 +1,151 @@
+// Package perf measures the wall-clock throughput of the simulator itself:
+// events/sec through the DES kernel, wall-clock ns per completed benchmark
+// op and heap allocations per op, over a small fixed radosbench sweep. The
+// numbers feed BENCH_sim.json (via cmd/simbench) so the perf trajectory of
+// the simulator is tracked across PRs — simulated results are asserted
+// bit-identical separately by the golden-determinism test.
+package perf
+
+import (
+	"runtime"
+	"time"
+
+	"doceph/internal/cluster"
+	"doceph/internal/radosbench"
+	"doceph/internal/sim"
+)
+
+// Scenario is one cell of the sweep: a cluster mode and workload shape run
+// at a fixed seed.
+type Scenario struct {
+	Name        string       `json:"name"`
+	Mode        cluster.Mode `json:"mode"`
+	ObjectBytes int64        `json:"object_bytes"`
+	Threads     int          `json:"threads"`
+	DurationSec int          `json:"duration_sec"`
+	WarmupSec   int          `json:"warmup_sec"`
+	Seed        int64        `json:"seed"`
+}
+
+// DefaultSweep is the radosbench sweep `make bench` runs: both deployment
+// modes at two paper object sizes. Small enough to finish in seconds of
+// wall clock, large enough that the kernel and data plane dominate.
+func DefaultSweep() []Scenario {
+	return []Scenario{
+		{Name: "baseline-1M", Mode: cluster.Baseline, ObjectBytes: 1 << 20, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42},
+		{Name: "baseline-4M", Mode: cluster.Baseline, ObjectBytes: 4 << 20, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42},
+		{Name: "doceph-1M", Mode: cluster.DoCeph, ObjectBytes: 1 << 20, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42},
+		{Name: "doceph-4M", Mode: cluster.DoCeph, ObjectBytes: 4 << 20, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42},
+	}
+}
+
+// SmokeSweep is the short variant wired into `make all`: one scenario per
+// mode, enough to catch a gross perf or determinism regression fast.
+func SmokeSweep() []Scenario {
+	return []Scenario{
+		{Name: "baseline-1M", Mode: cluster.Baseline, ObjectBytes: 1 << 20, Threads: 8, DurationSec: 2, WarmupSec: 1, Seed: 42},
+		{Name: "doceph-1M", Mode: cluster.DoCeph, ObjectBytes: 1 << 20, Threads: 8, DurationSec: 2, WarmupSec: 1, Seed: 42},
+	}
+}
+
+// Measurement is the outcome of one scenario.
+type Measurement struct {
+	Name string `json:"name"`
+
+	// Simulated-side results (sanity only; bit-exactness is the golden
+	// test's job).
+	Ops      int64 `json:"ops"`
+	SimEvents uint64 `json:"sim_events"`
+
+	// Wall-clock-side results.
+	WallNs       int64   `json:"wall_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+}
+
+// Report aggregates a sweep.
+type Report struct {
+	Scenarios []Measurement `json:"scenarios"`
+
+	// Aggregates across the sweep: total events over total wall time, and
+	// total allocations over total completed ops — the two numbers the
+	// acceptance gate compares.
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	NsPerOp      float64 `json:"ns_per_op"`
+}
+
+// RunScenario builds a fresh cluster, runs the workload and measures the
+// simulator's wall-clock cost. It is deliberately coarse (one GC fence
+// before, ReadMemStats deltas around the run) — the point is trajectory
+// tracking, not nanosecond benchmarking.
+func RunScenario(sc Scenario) (Measurement, error) {
+	cl := cluster.New(cluster.Config{Mode: sc.Mode, Seed: sc.Seed})
+	defer cl.Shutdown()
+
+	cfg := radosbench.Config{
+		Threads:     sc.Threads,
+		ObjectBytes: sc.ObjectBytes,
+		Duration:    sim.Duration(sc.DurationSec) * sim.Second,
+		Warmup:      sim.Duration(sc.WarmupSec) * sim.Second,
+		OnWarmupEnd: cl.ResetHostStats,
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	res, err := radosbench.Run(cl.Env, cl.Client, cfg)
+
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return Measurement{}, err
+	}
+
+	m := Measurement{
+		Name:      sc.Name,
+		Ops:       res.Ops,
+		SimEvents: cl.Env.Events(),
+		WallNs:    wall.Nanoseconds(),
+	}
+	if wall > 0 {
+		m.EventsPerSec = float64(m.SimEvents) / wall.Seconds()
+	}
+	if res.Ops > 0 {
+		m.NsPerOp = float64(wall.Nanoseconds()) / float64(res.Ops)
+		m.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(res.Ops)
+		m.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Ops)
+	}
+	return m, nil
+}
+
+// RunSweep runs every scenario and aggregates.
+func RunSweep(sweep []Scenario) (Report, error) {
+	var rep Report
+	var totalEvents uint64
+	var totalWallNs, totalOps int64
+	var totalAllocs float64
+	for _, sc := range sweep {
+		m, err := RunScenario(sc)
+		if err != nil {
+			return rep, err
+		}
+		rep.Scenarios = append(rep.Scenarios, m)
+		totalEvents += m.SimEvents
+		totalWallNs += m.WallNs
+		totalOps += m.Ops
+		totalAllocs += m.AllocsPerOp * float64(m.Ops)
+	}
+	if totalWallNs > 0 {
+		rep.EventsPerSec = float64(totalEvents) / (float64(totalWallNs) / 1e9)
+	}
+	if totalOps > 0 {
+		rep.AllocsPerOp = totalAllocs / float64(totalOps)
+		rep.NsPerOp = float64(totalWallNs) / float64(totalOps)
+	}
+	return rep, nil
+}

@@ -20,6 +20,24 @@ import (
 // node's CPU, which the paper does not measure).
 const ThreadCat = "client"
 
+// osdNames caches target entity names so the per-op send path stays
+// allocation-free (mirrors osd.Name, which we cannot import without a test
+// package cycle).
+var osdNames = func() [256]string {
+	var a [256]string
+	for i := range a {
+		a[i] = fmt.Sprintf("osd.%d", i)
+	}
+	return a
+}()
+
+func osdName(id int32) string {
+	if id >= 0 && int(id) < len(osdNames) {
+		return osdNames[id]
+	}
+	return fmt.Sprintf("osd.%d", id)
+}
+
 // Errors returned by client calls.
 var (
 	ErrNotFound = errors.New("rados: object not found")
@@ -230,7 +248,7 @@ func (c *Client) do(p *sim.Proc, op *cephmsg.MOSDOp) (*cephmsg.MOSDOpReply, erro
 		op.Epoch = c.curMap.Epoch
 		call := &call{done: sim.NewEvent(c.env)}
 		c.inflight[op.Tid] = call
-		c.msgr.Send(fmt.Sprintf("osd.%d", primary), op)
+		c.msgr.Send(osdName(primary), op)
 		if !call.done.WaitTimeout(p, c.cfg.OpTimeout) {
 			c.stats.Timeouts++
 			c.counters.Add("op_timeouts", 1)

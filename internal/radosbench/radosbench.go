@@ -8,11 +8,39 @@ package radosbench
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"doceph/internal/rados"
 	"doceph/internal/sim"
 	"doceph/internal/wire"
 )
+
+// payloadCache memoizes the benchmark payload per object size. The fill
+// pattern is a pure function of the byte index (seed-independent), and the
+// data plane never mutates payload segments (Bufferlist aliasing contract),
+// so one immutable buffer per size serves every run in the process — a
+// benchmark sweep stops re-generating megabytes of pattern data per
+// scenario.
+var payloadCache = struct {
+	sync.Mutex
+	bySize map[int64]*wire.Bufferlist
+}{bySize: make(map[int64]*wire.Bufferlist)}
+
+// benchPayload returns the shared, immutable payload for the given size.
+func benchPayload(size int64) *wire.Bufferlist {
+	payloadCache.Lock()
+	defer payloadCache.Unlock()
+	if bl, ok := payloadCache.bySize[size]; ok {
+		return bl
+	}
+	b := wire.GetBuffer(int(size))[:size]
+	for i := range b {
+		b[i] = byte(i * 2654435761)
+	}
+	bl := wire.FromBytes(b)
+	payloadCache.bySize[size] = bl
+	return bl
+}
 
 // Op selects the workload pattern.
 type Op int
@@ -126,11 +154,9 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 	res := Result{Op: cfg.Op, ObjectBytes: cfg.ObjectBytes, Threads: cfg.Threads}
 
 	// One shared payload: segments are shared zero-copy by every write, so
-	// memory stays O(ObjectBytes), not O(total data written).
-	payload := make([]byte, cfg.ObjectBytes)
-	for i := range payload {
-		payload[i] = byte(i * 2654435761)
-	}
+	// memory stays O(ObjectBytes), not O(total data written). The pattern
+	// is deterministic per size, so it is memoized across runs too.
+	payload := benchPayload(cfg.ObjectBytes)
 
 	var (
 		measuring    bool
@@ -171,7 +197,7 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 			}
 			for i := 0; i < n; i++ {
 				obj := fmt.Sprintf("%s_prepop_%d", cfg.Prefix, i)
-				if err := client.Write(p, obj, wire.FromBytes(payload)); err != nil {
+				if err := client.Write(p, obj, payload); err != nil {
 					benchErr = fmt.Errorf("radosbench: prepopulate %s: %w", obj, err)
 					break
 				}
@@ -201,7 +227,7 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 				}
 				if !doRead {
 					obj := fmt.Sprintf("%s_w%d_%d", cfg.Prefix, worker, i)
-					err = client.Write(p, obj, wire.FromBytes(payload))
+					err = client.Write(p, obj, payload)
 					bytes = cfg.ObjectBytes
 				} else {
 					obj := fmt.Sprintf("%s_prepop_%d", cfg.Prefix,

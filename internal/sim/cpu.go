@@ -177,6 +177,7 @@ func (c *CPU) acquire(p *Proc) int {
 		return core
 	}
 	tok := p.newToken()
+	tok.refs++
 	core := -1
 	c.waiters = append(c.waiters, cpuWaiter{tok: tok, core: &core})
 	p.park()
@@ -188,10 +189,12 @@ func (c *CPU) release(core int) {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
 		if w.tok.spent {
+			c.env.dropRef(w.tok)
 			continue
 		}
 		*w.core = core
 		c.env.schedule(w.tok, c.env.now)
+		c.env.dropRef(w.tok)
 		return
 	}
 	c.freeCores = append(c.freeCores, core)

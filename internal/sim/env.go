@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -13,9 +12,16 @@ import (
 // (a timer, a queue push, an event fire). The first path to reach the kernel
 // wins; the rest find the token spent and are ignored. This is what makes
 // timeouts composable with every blocking primitive.
+//
+// Tokens are pooled: refs counts live registrations (heap entries plus
+// waiter-list entries). Every registration site increments refs and every
+// site that drops a registration calls Env.dropRef; a spent token whose last
+// registration is dropped returns to the free list. A token may therefore
+// never be recycled while any waiter list can still observe it.
 type wakeToken struct {
 	p     *Proc
 	spent bool
+	refs  int32
 }
 
 type event struct {
@@ -24,31 +30,68 @@ type event struct {
 	tok *wakeToken
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func (a event) before(b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
-type yieldKind int
+// eventHeap is a 4-ary array-indexed min-heap ordered by (t, seq). It stores
+// events by value (no interface boxing, so Push/Pop never allocate beyond
+// amortized slice growth) and is flatter than a binary heap, which matters
+// because pops dominate: each pop sifts down through at most log4(n) levels.
+type eventHeap struct {
+	a []event
+}
 
-const (
-	yieldBlocked yieldKind = iota
-	yieldDone
-)
+func (h *eventHeap) len() int { return len(h.a) }
+
+func (h *eventHeap) push(ev event) {
+	h.a = append(h.a, ev)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !h.a[i].before(h.a[parent]) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	a := h.a
+	min := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a[last] = event{} // release the token pointer
+	a = a[:last]
+	h.a = a
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= last {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if a[c].before(a[m]) {
+				m = c
+			}
+		}
+		if !a[m].before(a[i]) {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return min
+}
 
 type resumeMsg struct {
 	kill bool
@@ -61,6 +104,9 @@ const (
 	stateRunning
 	stateBlocked
 	stateDone
+	// stateFree marks a proc whose body has returned and whose goroutine is
+	// parked in the reuse pool awaiting the next Spawn.
+	stateFree
 )
 
 // errKilled is the panic sentinel used by Shutdown to unwind parked procs.
@@ -69,13 +115,20 @@ type killSignal struct{}
 // Proc is a simulated thread of control. All blocking operations on the
 // simulation (Wait, queue pops, CPU execution, transfers) take the Proc as
 // the identity of the caller; a Proc must only be used from its own body.
+//
+// Procs (and their goroutines and resume channels) are pooled: when a body
+// returns, the proc parks in a free list and the next Spawn reuses it. A
+// *Proc must therefore not be retained past the return of its body.
 type Proc struct {
 	env    *Env
 	name   string
+	fn     func(*Proc)
 	resume chan resumeMsg
 	state  procState
 	thread *Thread
 	daemon bool
+	// idx is the proc's position in env.procs (swap-removed on completion).
+	idx int
 }
 
 // Name returns the name the process was spawned with.
@@ -99,21 +152,38 @@ func (p *Proc) Now() Time { return p.env.now }
 // queue and the set of live processes. Create one with NewEnv, spawn
 // processes, then call Run or RunUntil from the host goroutine. Env is not
 // safe for concurrent use from multiple host goroutines.
+//
+// Scheduling uses direct handoff: the goroutine that is ceding control (a
+// parking or finishing proc, or the kernel entering RunUntil) pops the next
+// event itself and resumes its owner over that proc's channel. Control only
+// returns to the kernel goroutine when the heap is exhausted or the next
+// event lies beyond the current run limit, so a RunUntil interval costs one
+// kernel round-trip instead of two channel operations per event. Exactly one
+// goroutine runs at a time; every transfer of control is a channel rendezvous
+// (or stays within the same goroutine on the park fast path), which keeps the
+// event order — and with it every simulated result — identical to the
+// classic kernel-centric loop.
 type Env struct {
-	now   Time
-	seq   uint64
-	heap  eventHeap
-	yield chan yieldKind
-	rng   *rand.Rand
-	live  int
-	procs []*Proc
+	now    Time
+	seq    uint64
+	heap   eventHeap
+	limit  Time
+	yield  chan struct{}
+	rng    *rand.Rand
+	live   int
+	procs  []*Proc
+	events uint64
+
+	procFree []*Proc
+	tokFree  []*wakeToken
 }
 
 // NewEnv returns an environment whose random stream is seeded with seed.
 func NewEnv(seed int64) *Env {
 	return &Env{
-		yield: make(chan yieldKind),
+		yield: make(chan struct{}),
 		rng:   rand.New(rand.NewSource(seed)),
+		limit: MaxTime,
 	}
 }
 
@@ -124,13 +194,78 @@ func (e *Env) Now() Time { return e.now }
 // be used from simulation processes (or before Run), never concurrently.
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
+// getToken takes a token from the pool (or allocates one) for p.
+func (e *Env) getToken(p *Proc) *wakeToken {
+	if n := len(e.tokFree); n > 0 {
+		tok := e.tokFree[n-1]
+		e.tokFree = e.tokFree[:n-1]
+		tok.p, tok.spent, tok.refs = p, false, 0
+		return tok
+	}
+	return &wakeToken{p: p}
+}
+
+// dropRef releases one registration of tok (heap entry or waiter-list
+// entry). A spent token with no registrations left can never be observed
+// again and returns to the pool.
+func (e *Env) dropRef(tok *wakeToken) {
+	tok.refs--
+	if tok.refs == 0 && tok.spent {
+		tok.p = nil
+		e.tokFree = append(e.tokFree, tok)
+	}
+}
+
 // schedule enqueues tok to fire at time at (>= now).
 func (e *Env) schedule(tok *wakeToken, at Time) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.heap, event{t: at, seq: e.seq, tok: tok})
+	tok.refs++
+	e.heap.push(event{t: at, seq: e.seq, tok: tok})
+}
+
+// next pops events until it can return the proc owning the next live event.
+// It returns nil when the heap is exhausted or the next live event lies
+// beyond the run limit (the event is left in the heap). Must only be called
+// by the goroutine currently holding control.
+func (e *Env) next() *Proc {
+	for e.heap.len() > 0 {
+		if tok := e.heap.a[0].tok; tok.spent {
+			e.heap.pop()
+			e.dropRef(tok)
+			continue
+		}
+		if e.heap.a[0].t > e.limit {
+			return nil
+		}
+		ev := e.heap.pop()
+		e.now = ev.t
+		ev.tok.spent = true
+		e.events++
+		p := ev.tok.p
+		e.dropRef(ev.tok)
+		return p
+	}
+	return nil
+}
+
+// handoff transfers control to the owner of the next event — or back to the
+// kernel goroutine when there is none runnable. It returns true (without any
+// channel operation) when self is itself the next to run: the caller keeps
+// control. Called by a goroutine that is ceding control.
+func (e *Env) handoff(self *Proc) bool {
+	next := e.next()
+	if next == nil {
+		e.yield <- struct{}{}
+		return false
+	}
+	if next == self {
+		return true
+	}
+	next.resume <- resumeMsg{}
+	return false
 }
 
 // SpawnDaemon creates a service-loop process that is expected to block
@@ -145,40 +280,95 @@ func (e *Env) SpawnDaemon(name string, fn func(*Proc)) *Proc {
 
 // Spawn creates a new process running fn and schedules it to start at the
 // current virtual time. It may be called before Run or from inside a running
-// process.
+// process. Finished procs (goroutine and channel included) are reused.
 func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
-	p := &Proc{env: e, name: name, resume: make(chan resumeMsg)}
-	e.live++
+	var p *Proc
+	if n := len(e.procFree); n > 0 {
+		p = e.procFree[n-1]
+		e.procFree = e.procFree[:n-1]
+		p.name, p.fn = name, fn
+		p.state = stateNew
+		p.thread = nil
+		p.daemon = false
+	} else {
+		p = &Proc{env: e, name: name, fn: fn, resume: make(chan resumeMsg)}
+		go p.loop()
+	}
+	p.idx = len(e.procs)
 	e.procs = append(e.procs, p)
-	go func() {
+	e.live++
+	e.schedule(e.getToken(p), e.now)
+	return p
+}
+
+// loop is the body of a proc goroutine: run a spawned function, recycle the
+// proc, park until the next reuse. One goroutine serves many Spawns.
+func (p *Proc) loop() {
+	e := p.env
+	for {
 		msg := <-p.resume
 		if msg.kill {
+			if p.state == stateNew {
+				e.live--
+			}
 			p.state = stateDone
-			e.yield <- yieldDone
+			e.yield <- struct{}{}
 			return
 		}
 		p.state = stateRunning
+		if p.run() {
+			return // killed mid-body during Shutdown
+		}
+	}
+}
+
+// run executes the proc body once and reports whether the proc was killed.
+// On normal completion it recycles the proc and hands control to the next
+// event's owner.
+func (p *Proc) run() (killed bool) {
+	e := p.env
+	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killSignal); !ok {
 					panic(r)
 				}
+				killed = true
 			}
-			p.state = stateDone
-			e.yield <- yieldDone
 		}()
-		fn(p)
+		p.fn(p)
 	}()
-	tok := &wakeToken{p: p}
-	e.schedule(tok, e.now)
-	return p
+	e.live--
+	p.state = stateDone
+	if killed {
+		e.yield <- struct{}{}
+		return true
+	}
+	// Swap-remove from the live list and recycle.
+	lastIdx := len(e.procs) - 1
+	lastProc := e.procs[lastIdx]
+	e.procs[p.idx] = lastProc
+	lastProc.idx = p.idx
+	e.procs[lastIdx] = nil
+	e.procs = e.procs[:lastIdx]
+	p.fn = nil
+	p.thread = nil
+	p.state = stateFree
+	e.procFree = append(e.procFree, p)
+	e.handoff(nil)
+	return false
 }
 
 // park yields control to the kernel until one of the proc's registered wake
-// tokens fires.
+// tokens fires. Fast path: when the next event in the heap is the proc's
+// own (typical for plain Waits), park pops it and returns without touching
+// any channel.
 func (p *Proc) park() {
 	p.state = stateBlocked
-	p.env.yield <- yieldBlocked
+	if p.env.handoff(p) {
+		p.state = stateRunning
+		return
+	}
 	msg := <-p.resume
 	if msg.kill {
 		panic(killSignal{})
@@ -187,7 +377,7 @@ func (p *Proc) park() {
 }
 
 // newToken creates a fresh single-use wake token for this proc.
-func (p *Proc) newToken() *wakeToken { return &wakeToken{p: p} }
+func (p *Proc) newToken() *wakeToken { return p.env.getToken(p) }
 
 // Wait blocks the process for duration d of virtual time.
 func (p *Proc) Wait(d Duration) {
@@ -234,23 +424,21 @@ func (e *Env) Run() error { return e.RunUntil(MaxTime) }
 // reclaim them. A DeadlockError is returned if, before the limit, live
 // processes remain with an empty event queue.
 func (e *Env) RunUntil(limit Time) error {
-	for len(e.heap) > 0 {
-		ev := heap.Pop(&e.heap).(event)
-		if ev.tok.spent {
-			continue
+	e.limit = limit
+	for {
+		p := e.next()
+		if p == nil {
+			if e.heap.len() > 0 {
+				// Next live event is beyond the limit; leave it queued.
+				e.now = limit
+				return nil
+			}
+			break
 		}
-		if ev.t > limit {
-			heap.Push(&e.heap, ev)
-			e.now = limit
-			return nil
-		}
-		e.now = ev.t
-		ev.tok.spent = true
-		p := ev.tok.p
 		p.resume <- resumeMsg{}
-		if k := <-e.yield; k == yieldDone {
-			e.live--
-		}
+		// Control comes back only when the handoff chain exhausts the heap
+		// or reaches the limit; re-check which on the next iteration.
+		<-e.yield
 	}
 	var blocked []string
 	for _, p := range e.procs {
@@ -269,18 +457,27 @@ func (e *Env) RunUntil(limit Time) error {
 }
 
 // Shutdown force-terminates every process that is still parked or never
-// started, releasing their goroutines. The environment must not be used
-// afterwards.
+// started — including the pooled goroutines of finished procs — releasing
+// their goroutines. The environment must not be used afterwards.
 func (e *Env) Shutdown() {
-	for _, p := range e.procs {
+	procs := append([]*Proc(nil), e.procs...)
+	for _, p := range procs {
 		if p.state == stateBlocked || p.state == stateNew {
 			p.resume <- resumeMsg{kill: true}
-			if k := <-e.yield; k == yieldDone {
-				e.live--
-			}
+			<-e.yield
 		}
 	}
+	for _, p := range e.procFree {
+		p.resume <- resumeMsg{kill: true}
+		<-e.yield
+	}
+	e.procFree = nil
 }
 
 // LiveProcs returns the number of processes that have not finished.
 func (e *Env) LiveProcs() int { return e.live }
+
+// Events returns the total number of events fired since the environment was
+// created (spent tokens skipped by the kernel are not counted). It is the
+// numerator of the simulator's events/sec throughput metric.
+func (e *Env) Events() uint64 { return e.events }

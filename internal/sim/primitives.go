@@ -30,11 +30,13 @@ func (q *Queue[T]) Push(v T) {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		if w.tok.spent {
+			q.env.dropRef(w.tok)
 			continue
 		}
 		*w.slot = v
 		*w.got = true
 		q.env.schedule(w.tok, q.env.now)
+		q.env.dropRef(w.tok)
 		return
 	}
 	q.buf = append(q.buf, v)
@@ -69,6 +71,7 @@ func (q *Queue[T]) pop(p *Proc, timeout Duration) (v T, ok bool) {
 		return v, true
 	}
 	tok := p.newToken()
+	tok.refs++
 	got := false
 	q.waiters = append(q.waiters, queueWaiter[T]{tok: tok, slot: &v, got: &got})
 	if timeout >= 0 {
@@ -106,6 +109,7 @@ func (s *Semaphore) Acquire(p *Proc, n int) {
 		return
 	}
 	tok := p.newToken()
+	tok.refs++
 	s.waiters = append(s.waiters, semWaiter{tok: tok, n: n})
 	p.park()
 }
@@ -126,6 +130,7 @@ func (s *Semaphore) Release(n int) {
 		w := s.waiters[0]
 		if w.tok.spent {
 			s.waiters = s.waiters[1:]
+			s.env.dropRef(w.tok)
 			continue
 		}
 		if s.avail < w.n {
@@ -134,6 +139,7 @@ func (s *Semaphore) Release(n int) {
 		s.waiters = s.waiters[1:]
 		s.avail -= w.n
 		s.env.schedule(w.tok, s.env.now)
+		s.env.dropRef(w.tok)
 	}
 }
 
@@ -164,10 +170,12 @@ func (ev *Event) Fire() {
 	ev.fired = true
 	for _, w := range ev.waiters {
 		if w.tok.spent {
+			ev.env.dropRef(w.tok)
 			continue
 		}
 		*w.fired = true
 		ev.env.schedule(w.tok, ev.env.now)
+		ev.env.dropRef(w.tok)
 	}
 	ev.waiters = nil
 }
@@ -178,6 +186,7 @@ func (ev *Event) Wait(p *Proc) {
 		return
 	}
 	tok := p.newToken()
+	tok.refs++
 	fired := false
 	ev.waiters = append(ev.waiters, eventWaiter{tok: tok, fired: &fired})
 	p.park()
@@ -190,6 +199,7 @@ func (ev *Event) WaitTimeout(p *Proc, d Duration) bool {
 		return true
 	}
 	tok := p.newToken()
+	tok.refs++
 	fired := false
 	ev.waiters = append(ev.waiters, eventWaiter{tok: tok, fired: &fired})
 	ev.env.schedule(tok, ev.env.now.Add(d))
@@ -214,6 +224,7 @@ func NewCond(env *Env) *Cond { return &Cond{env: env} }
 // Wait parks p until the next Broadcast.
 func (c *Cond) Wait(p *Proc) {
 	tok := p.newToken()
+	tok.refs++
 	c.waiters = append(c.waiters, tok)
 	p.park()
 }
@@ -221,10 +232,10 @@ func (c *Cond) Wait(p *Proc) {
 // Broadcast wakes every process currently in Wait.
 func (c *Cond) Broadcast() {
 	for _, tok := range c.waiters {
-		if tok.spent {
-			continue
+		if !tok.spent {
+			c.env.schedule(tok, c.env.now)
 		}
-		c.env.schedule(tok, c.env.now)
+		c.env.dropRef(tok)
 	}
 	c.waiters = nil
 }

@@ -17,9 +17,25 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 var ErrShortBuffer = errors.New("wire: short buffer")
 
 // Bufferlist is an ordered list of byte segments treated as one logical
-// byte string. Appends share the underlying arrays (no copy); use
-// AppendCopy when the caller may mutate its slice afterwards. The zero
-// value is an empty list ready for use.
+// byte string. The zero value is an empty list ready for use.
+//
+// # Sharing vs copying
+//
+// Append and AppendBufferlist share the underlying arrays — they are the
+// zero-copy fast path the data plane is built on, and they come with the
+// same aliasing contract as Ceph's bufferlist::append(ptr): neither the
+// caller nor any holder of the resulting list may mutate the bytes while
+// the other can still observe them. Concretely:
+//
+//   - A producer that will reuse or overwrite its slice after handing it
+//     off (e.g. a recycled I/O buffer) must use AppendCopy instead.
+//   - A consumer that stores a shared list for later reading (BlueStore
+//     blobs, omap values) relies on every upstream producer following the
+//     rule above; in this simulation the payload travels client → OSD →
+//     BlueStore fully shared, which is what lets a write reach the disk
+//     blob with at most the one copy the model charges for.
+//
+// TestBufferlistAliasingContract pins this contract down.
 type Bufferlist struct {
 	segs   [][]byte
 	length int
@@ -77,6 +93,27 @@ func (bl *Bufferlist) Bytes() []byte {
 		out = append(out, s...)
 	}
 	return out
+}
+
+// ContiguousBytes returns the logical content as one contiguous slice:
+// single-segment lists are returned shared (no copy, aliasing contract
+// applies), multi-segment lists are flattened. Hot paths that need a plain
+// []byte should prefer this over Bytes.
+func (bl *Bufferlist) ContiguousBytes() []byte {
+	if len(bl.segs) == 1 {
+		return bl.segs[0]
+	}
+	return bl.Bytes()
+}
+
+// FirstSegment returns the first underlying segment (shared), or nil for an
+// empty list. Framing code uses it to recycle pooled header scratch once a
+// frame has been decoded and dispatched.
+func (bl *Bufferlist) FirstSegment() []byte {
+	if len(bl.segs) == 0 {
+		return nil
+	}
+	return bl.segs[0]
 }
 
 // SubList returns a zero-copy view of n bytes starting at off. It panics if

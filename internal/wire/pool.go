@@ -1,0 +1,59 @@
+package wire
+
+import "sync"
+
+// The scratch pool recycles the short header buffers the framing layer
+// encodes into (and any other transient []byte a hot path needs). Buffers
+// are handed out empty with at least the requested capacity; callers give
+// them back with PutBuffer once nothing can reference them anymore.
+//
+// A mutex-guarded free list (rather than sync.Pool) keeps Get/Put
+// allocation-free; the simulator runs one goroutine at a time per
+// environment, so the lock is effectively uncontended.
+var scratch = struct {
+	sync.Mutex
+	free [][]byte
+}{}
+
+const (
+	// poolMaxBuffers bounds how many buffers the pool retains.
+	poolMaxBuffers = 64
+	// poolMaxCap bounds the capacity of a retained buffer; anything larger
+	// (bulk payloads) is left to the garbage collector.
+	poolMaxCap = 64 << 10
+)
+
+// GetBuffer returns an empty buffer with capacity at least hint, reusing a
+// pooled one when possible.
+func GetBuffer(hint int) []byte {
+	scratch.Lock()
+	for i := len(scratch.free) - 1; i >= 0; i-- {
+		if b := scratch.free[i]; cap(b) >= hint {
+			last := len(scratch.free) - 1
+			scratch.free[i] = scratch.free[last]
+			scratch.free[last] = nil
+			scratch.free = scratch.free[:last]
+			scratch.Unlock()
+			return b[:0]
+		}
+	}
+	scratch.Unlock()
+	if hint < 128 {
+		hint = 128
+	}
+	return make([]byte, 0, hint)
+}
+
+// PutBuffer returns b's storage to the pool. The caller must guarantee no
+// live reference into b's array remains; passing a buffer that is still
+// aliased by a Bufferlist in flight corrupts that list's content.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 || cap(b) > poolMaxCap {
+		return
+	}
+	scratch.Lock()
+	if len(scratch.free) < poolMaxBuffers {
+		scratch.free = append(scratch.free, b[:0])
+	}
+	scratch.Unlock()
+}
