@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test race chaos-smoke bench bench-smoke microbench results quick examples vet fmt
+.PHONY: all build test test-race race chaos-smoke bench bench-smoke microbench results quick examples vet fmt trace
 
-all: build vet test race chaos-smoke bench-smoke
+all: build vet test test-race chaos-smoke bench-smoke
 
 build:
 	go build ./...
@@ -18,8 +18,10 @@ test:
 
 # The simulation is single-goroutine per cluster by design; the race run
 # guards the few places real goroutines meet (env driver, queues).
-race:
+test-race:
 	go test -race ./...
+
+race: test-race
 
 # A short chaos run: full default fault plan against both deployments,
 # integrity-checked. Exercises the fault-injection path end to end.
@@ -40,10 +42,17 @@ quick:
 bench:
 	go run ./cmd/simbench -out BENCH_sim.json
 
-# ~30 s smoke variant wired into `all`: runs the reduced sweep and prints
-# the numbers without touching BENCH_sim.json.
+# ~30 s smoke variant wired into `all`: runs the reduced sweep (tracing
+# disabled) and fails if events/sec collapses versus the BENCH_sim.json
+# record — without touching the file. This is the guard that keeps the
+# tracing hooks free when tracing is off.
 bench-smoke:
-	go run ./cmd/simbench -smoke
+	go run ./cmd/simbench -smoke -guard BENCH_sim.json
+
+# Traced benchmark: per-stage CPU/latency tables for both deployments plus
+# Chrome trace_event JSON for chrome://tracing or ui.perfetto.dev.
+trace:
+	go run ./cmd/docephbench -trace -quick -trace-out trace
 
 # Go micro-benchmarks (wire codec, heap, etc.).
 microbench:

@@ -25,6 +25,9 @@ func main() {
 	seconds := flag.Int("seconds", 0, "override the measured window length in seconds")
 	threads := flag.Int("threads", 16, "concurrent bench clients")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	traceRun := flag.Bool("trace", false, "run traced benchmarks (baseline + DoCeph) and print per-stage CPU/latency breakdowns")
+	traceOut := flag.String("trace-out", "", "with -trace: write Chrome trace_event JSON to <prefix>-baseline.json and <prefix>-doceph.json")
+	traceSize := flag.Int64("trace-size", 4<<20, "with -trace: request size in bytes")
 	flag.Parse()
 
 	opts := doceph.FullOptions()
@@ -36,6 +39,12 @@ func main() {
 	}
 	opts.Threads = *threads
 	opts.Seed = *seed
+
+	// -trace alone means "just the traced run": keep the full sweep only if
+	// the user also asked for a specific experiment.
+	if *traceRun && *exp == "all" {
+		*exp = "none"
+	}
 
 	want := func(names ...string) bool {
 		if *exp == "all" {
@@ -135,6 +144,28 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(doceph.ChaosTable(r))
+	}
+
+	// Tracing is opt-in (not part of "all"): it is an observability view,
+	// not a paper figure.
+	if *traceRun {
+		fmt.Println("running traced benchmark (baseline vs DoCeph)...")
+		r, err := doceph.RunTraceBreakdown(opts, *traceSize)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Baseline.StageTable(r.SizeBytes))
+		fmt.Println(r.DoCeph.StageTable(r.SizeBytes))
+		fmt.Println(r.CPUAttributionTable())
+		if *traceOut != "" {
+			for _, run := range []doceph.TracedRun{r.Baseline, r.DoCeph} {
+				path := fmt.Sprintf("%s-%s.json", *traceOut, run.Mode)
+				if err := os.WriteFile(path, doceph.ChromeTrace(run.Spans), 0o644); err != nil {
+					fail(err)
+				}
+				fmt.Printf("wrote %s (%d spans)\n", path, len(run.Spans))
+			}
+		}
 	}
 
 	if want("ablation") {

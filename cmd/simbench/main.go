@@ -4,15 +4,20 @@
 // current numbers and their ratios, so `make bench` tracks the perf
 // trajectory from PR to PR.
 //
+// A failed benchmark run exits non-zero before touching the result file:
+// BENCH_sim.json is only ever rewritten from a complete, successful sweep
+// (see perf.UpdateFile).
+//
 // Usage:
 //
 //	go run ./cmd/simbench                 # update "current", compare to baseline
 //	go run ./cmd/simbench -rebaseline     # overwrite the stored baseline too
 //	go run ./cmd/simbench -smoke          # short sweep, no file written
+//	go run ./cmd/simbench -smoke -guard BENCH_sim.json
+//	                                      # also fail on a gross perf regression
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,27 +25,20 @@ import (
 	"doceph/internal/perf"
 )
 
-// File is the on-disk schema of BENCH_sim.json.
-type File struct {
-	// Baseline is the pre-optimization reference (recorded with
-	// -rebaseline, then left alone so speedups stay comparable).
-	Baseline *perf.Report `json:"baseline,omitempty"`
-	// Current is the most recent run.
-	Current *perf.Report `json:"current,omitempty"`
-
-	// SpeedupEventsPerSec is Current/Baseline events/sec (higher is better).
-	SpeedupEventsPerSec float64 `json:"speedup_events_per_sec,omitempty"`
-	// AllocsPerOpRatio is Current/Baseline allocs/op (lower is better).
-	AllocsPerOpRatio float64 `json:"allocs_per_op_ratio,omitempty"`
-}
-
 func main() {
 	var (
 		out        = flag.String("out", "BENCH_sim.json", "result file to maintain")
 		rebaseline = flag.Bool("rebaseline", false, "record this run as the baseline")
 		smoke      = flag.Bool("smoke", false, "short sweep, print only, no file written")
+		guard      = flag.String("guard", "", "fail if events/sec falls below -guard-ratio of this file's current record")
+		guardRatio = flag.Float64("guard-ratio", 0.3, "minimum fraction of the recorded events/sec the run must reach")
 	)
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	sweep := perf.DefaultSweep()
 	if *smoke {
@@ -48,8 +46,7 @@ func main() {
 	}
 	rep, err := perf.RunSweep(sweep)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	for _, m := range rep.Scenarios {
 		fmt.Printf("%-14s %8d ops  %12.0f events/s  %10.0f ns/op  %8.1f allocs/op\n",
@@ -57,37 +54,19 @@ func main() {
 	}
 	fmt.Printf("%-14s %21.0f events/s  %10.0f ns/op  %8.1f allocs/op\n",
 		"TOTAL", rep.EventsPerSec, rep.NsPerOp, rep.AllocsPerOp)
+	if *guard != "" {
+		if err := perf.Guard(*guard, rep, *guardRatio); err != nil {
+			fail(err)
+		}
+	}
 	if *smoke {
 		return
 	}
 
-	var f File
-	if raw, err := os.ReadFile(*out); err == nil {
-		if err := json.Unmarshal(raw, &f); err != nil {
-			fmt.Fprintf(os.Stderr, "simbench: parse %s: %v\n", *out, err)
-			os.Exit(1)
-		}
-	}
-	f.Current = &rep
-	if *rebaseline || f.Baseline == nil {
-		f.Baseline = &rep
-	}
-	if f.Baseline.EventsPerSec > 0 {
-		f.SpeedupEventsPerSec = f.Current.EventsPerSec / f.Baseline.EventsPerSec
-	}
-	if f.Baseline.AllocsPerOp > 0 {
-		f.AllocsPerOpRatio = f.Current.AllocsPerOp / f.Baseline.AllocsPerOp
+	f, err := perf.UpdateFile(*out, rep, *rebaseline)
+	if err != nil {
+		fail(err)
 	}
 	fmt.Printf("vs baseline: %.2fx events/s, %.2fx allocs/op\n",
 		f.SpeedupEventsPerSec, f.AllocsPerOpRatio)
-
-	raw, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
-		os.Exit(1)
-	}
 }

@@ -47,8 +47,17 @@ type goldenMetrics struct {
 
 func runGoldenScenario(t *testing.T, mode cluster.Mode) goldenMetrics {
 	t.Helper()
-	cl := cluster.New(cluster.Config{Mode: mode, Seed: 42})
-	defer cl.Shutdown()
+	m, cl := runGoldenScenarioOpt(t, mode, false)
+	cl.Shutdown()
+	return m
+}
+
+// runGoldenScenarioOpt runs the pinned scenario, optionally with tracing,
+// and returns the headline metrics plus the cluster for extra inspection.
+// The caller owns the cluster shutdown.
+func runGoldenScenarioOpt(t *testing.T, mode cluster.Mode, traced bool) (goldenMetrics, *cluster.Cluster) {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Mode: mode, Seed: 42, Trace: traced})
 	res, err := radosbench.Run(cl.Env, cl.Client, radosbench.Config{
 		Threads:     8,
 		ObjectBytes: 1 << 20,
@@ -57,6 +66,7 @@ func runGoldenScenario(t *testing.T, mode cluster.Mode) goldenMetrics {
 		OnWarmupEnd: cl.ResetHostStats,
 	})
 	if err != nil {
+		cl.Shutdown()
 		t.Fatalf("mode %v: %v", mode, err)
 	}
 	host := cl.HostCPUMerged()
@@ -74,7 +84,7 @@ func runGoldenScenario(t *testing.T, mode cluster.Mode) goldenMetrics {
 		MsgrSwitches: host.SwitchesByCat[messenger.ThreadCat],
 		ObjSwitches:  host.SwitchesByCat[bluestore.ThreadCat],
 		KernelEvents: cl.Env.Events(),
-	}
+	}, cl
 }
 
 func strconvFloat(f float64) string {

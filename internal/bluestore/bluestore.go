@@ -17,6 +17,7 @@ import (
 
 	"doceph/internal/objstore"
 	"doceph/internal/sim"
+	"doceph/internal/trace"
 	"doceph/internal/wire"
 )
 
@@ -159,6 +160,7 @@ type Store struct {
 	writeErrProb float64
 
 	stats Stats
+	tr    *trace.Tracer
 }
 
 type collection struct {
@@ -191,6 +193,10 @@ type blockExtent struct {
 type txc struct {
 	txn    *objstore.Transaction
 	result *objstore.Result
+	// span/enq carry the current pipeline stage's trace span and its
+	// enqueue instant (zero when the transaction is untraced).
+	span trace.SpanID
+	enq  sim.Time
 }
 
 // New creates a store and spawns its bstore_aio and bstore_kv threads on
@@ -218,6 +224,10 @@ func New(env *sim.Env, name string, cpu *sim.CPU, disk *sim.Disk, cfg Config) *S
 // Stats returns a copy of the engine counters.
 func (s *Store) Stats() Stats { return s.stats }
 
+// SetTracer enables pipeline-stage tracing (nil disables). Only
+// transactions carrying a TraceCtx produce spans.
+func (s *Store) SetTracer(tr *trace.Tracer) { s.tr = tr }
+
 // SetSlowIO injects extra per-transaction service latency on the aio path
 // (a degraded device); zero clears the fault.
 func (s *Store) SetSlowIO(extra sim.Duration) { s.slowIO = extra }
@@ -234,11 +244,19 @@ func (s *Store) FreeBytes() int64 { return s.alloc.free() }
 // server in DoCeph); data and metadata persistence proceed asynchronously on
 // the bstore threads.
 func (s *Store) QueueTransaction(p *sim.Proc, txn *objstore.Transaction) *objstore.Result {
-	s.cpu.ExecSelf(p, s.cfg.PrepCyclesPerOp*int64(len(txn.Ops)))
+	prep := s.cpu.ExecSelf(p, s.cfg.PrepCyclesPerOp*int64(len(txn.Ops)))
 	res := &objstore.Result{Done: sim.NewEvent(s.env)}
 	s.stats.Transactions++
 	s.stats.Ops += int64(len(txn.Ops))
-	s.aioq.Push(&txc{txn: txn, result: res})
+	t := &txc{txn: txn, result: res}
+	if s.tr.Enabled() && txn.TraceCtx != 0 {
+		// Submission prep runs on the caller's thread but belongs to the
+		// commit stage the caller opened.
+		s.tr.AddCPU(trace.SpanID(txn.TraceCtx), s.cpu.Name(), prep)
+		t.span = s.tr.Start(trace.SpanID(txn.TraceCtx), 0, trace.StageAIO, s.name)
+		t.enq = s.env.Now()
+	}
+	s.aioq.Push(t)
 	return res
 }
 
@@ -249,6 +267,9 @@ func (s *Store) aioLoop(p *sim.Proc) {
 	p.SetThread(s.thAIO)
 	for {
 		t := s.aioq.Pop(p)
+		if t.span != 0 {
+			s.tr.AddQueueWait(t.span, p.Now().Sub(t.enq))
+		}
 		if s.slowIO > 0 {
 			p.Wait(s.slowIO)
 			t.result.ServiceTime += s.slowIO
@@ -268,11 +289,17 @@ func (s *Store) aioLoop(p *sim.Proc) {
 		}
 		if directBytes > 0 {
 			csum := int64(float64(directBytes) * s.cfg.CsumCyclesPerByte)
-			s.cpu.Exec(p, s.thAIO, csum)
+			s.tr.AddCPU(t.span, s.cpu.Name(), s.cpu.Exec(p, s.thAIO, csum))
 			svc := s.disk.Write(p, directBytes)
 			t.result.ServiceTime += svc + s.cpu.CyclesToDuration(csum)
 			s.cpu.NoteSwitches(s.thAIO, s.cfg.SwitchesPerAIO)
 			s.stats.BytesWritten += directBytes
+			s.tr.AddBytes(t.span, directBytes)
+		}
+		if t.span != 0 {
+			s.tr.Finish(t.span)
+			t.span = s.tr.Start(trace.SpanID(t.txn.TraceCtx), 0, trace.StageKV, s.name)
+			t.enq = p.Now()
 		}
 		s.kvq.Push(t)
 	}
@@ -295,18 +322,30 @@ func (s *Store) kvLoop(p *sim.Proc) {
 		var walBytes int64 = 512 // batch header
 		var ops int64
 		for _, t := range batch {
+			if t.span != 0 {
+				s.tr.AddQueueWait(t.span, p.Now().Sub(t.enq))
+			}
+			var tWal int64
 			for i := range t.txn.Ops {
 				op := &t.txn.Ops[i]
 				ops++
-				walBytes += 256 // per-op metadata/onode delta
+				tWal += 256 // per-op metadata/onode delta
 				if op.Code == objstore.OpWrite && op.Data != nil &&
 					int64(op.Data.Length()) < s.cfg.DeferredThreshold {
-					walBytes += int64(op.Data.Length())
+					tWal += int64(op.Data.Length())
 				}
 			}
+			walBytes += tWal
+			s.tr.AddBytes(t.span, tWal)
 		}
 		kvCycles := s.cfg.KVCommitCycles + s.cfg.KVApplyCyclesPerOp*ops
-		s.cpu.Exec(p, s.thKV, kvCycles)
+		kvBusy := s.cpu.Exec(p, s.thKV, kvCycles)
+		// Each transaction in the batch is attributed an equal share of the
+		// sync cycle's CPU (the remainder of the integer split stays
+		// unattributed, preserving traced <= busy).
+		for _, t := range batch {
+			s.tr.AddCPU(t.span, s.cpu.Name(), kvBusy/sim.Duration(len(batch)))
+		}
 		for _, t := range batch {
 			if s.writeErrProb > 0 && s.env.Rand().Float64() < s.writeErrProb {
 				s.stats.InjectedErrors++
@@ -324,6 +363,7 @@ func (s *Store) kvLoop(p *sim.Proc) {
 		s.stats.KVSyncCycles++
 		s.stats.BytesWritten += walBytes
 		for _, t := range batch {
+			s.tr.Finish(t.span)
 			t.result.Done.Fire()
 		}
 	}

@@ -137,6 +137,10 @@ type MOSDOp struct {
 	// values.
 	Key  string
 	Data *wire.Bufferlist
+	// TraceCtx is the sender's trace span context (trace.SpanID as a raw
+	// uint64). It is simulator instrumentation, not protocol state: it is
+	// never encoded, so wire-encoded round trips drop it.
+	TraceCtx uint64
 }
 
 // MsgType implements Message.
@@ -179,6 +183,8 @@ type MOSDOpReply struct {
 	Version uint64
 	Size    uint64           // stat result
 	Data    *wire.Bufferlist // read payload
+	// TraceCtx carries the trace span context out-of-band (see MOSDOp).
+	TraceCtx uint64
 }
 
 // MsgType implements Message.
@@ -210,6 +216,8 @@ type MRepOp struct {
 	Offset uint64
 	Key    string
 	Data   *wire.Bufferlist
+	// TraceCtx carries the trace span context out-of-band (see MOSDOp).
+	TraceCtx uint64
 }
 
 // MsgType implements Message.
@@ -237,6 +245,8 @@ type MRepOpReply struct {
 	Tid    uint64
 	PGID   uint32
 	Result int32
+	// TraceCtx carries the trace span context out-of-band (see MOSDOp).
+	TraceCtx uint64
 }
 
 // MsgType implements Message.
@@ -549,6 +559,23 @@ func Encode(m Message) *wire.Bufferlist {
 	e.U16(uint16(m.MsgType()))
 	m.EncodePayload(e)
 	return e.Bufferlist()
+}
+
+// TraceContext returns the out-of-band trace span context carried by op
+// messages (0 for message types that carry none). The messenger uses it to
+// parent its framing spans without knowing the concrete message type.
+func TraceContext(m Message) uint64 {
+	switch m := m.(type) {
+	case *MOSDOp:
+		return m.TraceCtx
+	case *MOSDOpReply:
+		return m.TraceCtx
+	case *MRepOp:
+		return m.TraceCtx
+	case *MRepOpReply:
+		return m.TraceCtx
+	}
+	return 0
 }
 
 // payloadOf returns the bulk data field excluded from the scratch sizing

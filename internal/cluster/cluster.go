@@ -30,6 +30,7 @@ import (
 	"doceph/internal/rados"
 	"doceph/internal/sim"
 	"doceph/internal/telemetry"
+	"doceph/internal/trace"
 )
 
 // Mode selects the deployment.
@@ -82,6 +83,13 @@ type Config struct {
 	// WireEncode turns on real message serialization end to end (slower,
 	// used by integrity tests).
 	WireEncode bool
+
+	// Trace threads an op-level span tracer through every layer (client,
+	// messengers, OSDs, stores, DPU proxy and host server); the assembled
+	// tracer is exposed as Cluster.Tracer. Off (the default) every hook
+	// stays on its zero-cost nil path. Tracing is pure bookkeeping: it
+	// never changes simulated timing or results.
+	Trace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +159,8 @@ type Cluster struct {
 	Client   *rados.Client
 	// ClientCPU is the client node's CPU (not measured by the paper).
 	ClientCPU *sim.CPU
+	// Tracer is the op-level span tracer, nil unless Config.Trace is set.
+	Tracer *trace.Tracer
 
 	cfg Config
 }
@@ -167,6 +177,9 @@ func New(cfg Config) *Cluster {
 	baseMap := osdmap.New(crushMap, cfg.PGs, cfg.Replicas)
 
 	cl := &Cluster{Env: env, Fabric: fabric, Registry: reg, cfg: cfg}
+	if cfg.Trace {
+		cl.Tracer = trace.New(env)
+	}
 
 	fabric.AddNode("client-node", cfg.LinkBytesPerSec)
 	cl.ClientCPU = sim.NewCPU(env, "client-cpu", 32, 3.2, 2000)
@@ -177,6 +190,7 @@ func New(cfg Config) *Cluster {
 		node.HostCPU = sim.NewCPU(env, "host-"+node.Name, cfg.HostCores, cfg.HostFreqGHz, 2500)
 		node.Disk = sim.NewDisk(env, "ssd-"+node.Name, cfg.DiskWriteBps, cfg.DiskReadBps, cfg.DiskIOLat)
 		node.Store = bluestore.New(env, node.Name, node.HostCPU, node.Disk, cfg.BlueStore)
+		node.Store.SetTracer(cl.Tracer)
 
 		// The CPU that runs Ceph daemons (OSD + messenger + MON) depends on
 		// the mode; the store backend the OSD sees does too.
@@ -185,6 +199,8 @@ func New(cfg Config) *Cluster {
 		if cfg.Mode == DoCeph {
 			node.DPU = dpu.New(env, fmt.Sprintf("bf3-%d", i), cfg.DPU)
 			node.Bridge = core.NewBridge(env, node.DPU, node.HostCPU, node.Store, cfg.Bridge)
+			node.Bridge.Proxy.SetTracer(cl.Tracer)
+			node.Bridge.Host.SetTracer(cl.Tracer)
 			daemonCPU = node.DPU.CPU
 			backend = node.Bridge.Proxy
 		}
@@ -194,9 +210,11 @@ func New(cfg Config) *Cluster {
 			cl.Mon = mon.New(env, daemonCPU, mmsgr, baseMap.Next(), mon.Config{})
 		}
 		omsgr := messenger.New(env, reg, fabric, daemonCPU, osd.Name(int32(i)), node.Name, cfg.Messenger)
+		omsgr.SetTracer(cl.Tracer)
 		ocfg := cfg.OSD
 		ocfg.Monitor = "mon.0"
 		node.OSD = osd.New(env, daemonCPU, int32(i), omsgr, backend, baseMap, ocfg)
+		node.OSD.SetTracer(cl.Tracer)
 		cl.Mon.Subscribe(osd.Name(int32(i)))
 		cl.Nodes = append(cl.Nodes, node)
 	}
@@ -215,9 +233,11 @@ func New(cfg Config) *Cluster {
 	cl.Mgr = mgr.New(env, mgrCPU, gmsgr, osdNames, mgr.Config{})
 
 	cmsgr := messenger.New(env, reg, fabric, cl.ClientCPU, "client.0", "client-node", cfg.Messenger)
+	cmsgr.SetTracer(cl.Tracer)
 	ccfg := cfg.Client
 	ccfg.Monitor = "mon.0"
 	cl.Client = rados.New(env, cl.ClientCPU, cmsgr, baseMap, ccfg)
+	cl.Client.SetTracer(cl.Tracer)
 	cl.Mon.Subscribe("client.0")
 	return cl
 }
@@ -251,8 +271,11 @@ func (c *Cluster) FaultTargets() faultinject.Targets {
 }
 
 // ResetHostStats starts fresh accounting windows on every host CPU (and DPU
-// CPU) — called at the end of benchmark warmup.
+// CPU) — called at the end of benchmark warmup. The tracer window resets
+// with it so traced CPU stays comparable to the CPU accounting.
 func (c *Cluster) ResetHostStats() {
+	c.Tracer.Reset()
+	c.ClientCPU.ResetStats()
 	for _, n := range c.Nodes {
 		n.HostCPU.ResetStats()
 		if n.DPU != nil {

@@ -8,6 +8,7 @@ import (
 	"doceph/internal/objstore"
 	"doceph/internal/rpcchan"
 	"doceph/internal/sim"
+	"doceph/internal/trace"
 	"doceph/internal/wire"
 )
 
@@ -117,6 +118,7 @@ type HostServer struct {
 	readBuf *dpu.BufferPool
 
 	thPoll *sim.Thread
+	tr     *trace.Tracer
 
 	asm map[uint64]*assembly
 	// Commit ordering: assembled transactions apply to BlueStore strictly
@@ -134,12 +136,19 @@ type readyTxn struct {
 	// silent suppresses the commit notification (the error was already
 	// reported; the entry only keeps the sequence moving).
 	silent bool
+	// span is the host-commit span opened at assembly completion; ready is
+	// that instant, so the commit-ordering delay lands as queue wait.
+	span  trace.SpanID
+	ready sim.Time
 }
 
 type assembly struct {
 	segs    map[int]*wire.Bufferlist
 	total   int
 	started sim.Time
+	// traceCtx is the first non-zero trace context seen on a segment tag
+	// (RPC-fallback segments carry none).
+	traceCtx uint64
 }
 
 // orderKey: transactions commit in txnSeq order starting at 1.
@@ -176,6 +185,10 @@ func NewHostServer(env *sim.Env, hostCPU *sim.CPU, store objstore.Store,
 	return hs
 }
 
+// SetTracer attaches an op tracer. Host-commit spans open only for
+// segments whose tags carry a trace context from the DPU side.
+func (hs *HostServer) SetTracer(tr *trace.Tracer) { hs.tr = tr }
+
 // Stats returns a copy of the host counters.
 func (hs *HostServer) Stats() HostStats { return hs.stats }
 
@@ -201,7 +214,7 @@ func (hs *HostServer) pollLoop(p *sim.Proc) {
 				hs.cpu.Exec(p, hs.thPoll,
 					int64(float64(t.Data.Length())*hs.cfg.DecompressCyclesPerByte))
 			}
-			hs.addSegment(p, hdr.reqID, hdr.txnSeq, hdr.seg, hdr.total, t.Data)
+			hs.addSegment(p, hdr.reqID, hdr.txnSeq, hdr.seg, hdr.total, t.Data, hdr.traceCtx)
 		case segReadReq:
 			req, err := decodeReadReq(t.Data)
 			if err != nil {
@@ -216,7 +229,7 @@ func (hs *HostServer) pollLoop(p *sim.Proc) {
 
 // addSegment files one transaction segment (from either plane); once the
 // request is complete its transaction joins the ordered commit queue.
-func (hs *HostServer) addSegment(p *sim.Proc, reqID, txnSeq uint64, seg, total int, data *wire.Bufferlist) {
+func (hs *HostServer) addSegment(p *sim.Proc, reqID, txnSeq uint64, seg, total int, data *wire.Bufferlist, traceCtx uint64) {
 	a, ok := hs.asm[reqID]
 	if !ok {
 		a = &assembly{segs: make(map[int]*wire.Bufferlist), started: p.Now()}
@@ -224,6 +237,9 @@ func (hs *HostServer) addSegment(p *sim.Proc, reqID, txnSeq uint64, seg, total i
 	}
 	a.segs[seg] = data
 	a.total = total
+	if a.traceCtx == 0 {
+		a.traceCtx = traceCtx
+	}
 	if len(a.segs) < total {
 		return
 	}
@@ -232,15 +248,24 @@ func (hs *HostServer) addSegment(p *sim.Proc, reqID, txnSeq uint64, seg, total i
 	for i := 0; i < total; i++ {
 		payload.AppendBufferlist(a.segs[i])
 	}
-	hs.cpu.ExecSelf(p, int64(float64(payload.Length())*hs.cfg.AssembleCyclesPerByte))
+	var hostSp trace.SpanID
+	if hs.tr.Enabled() && a.traceCtx != 0 {
+		hostSp = hs.tr.Start(trace.SpanID(a.traceCtx), 0, trace.StageHostCommit, hs.cpu.Name())
+		hs.tr.AddBytes(hostSp, int64(payload.Length()))
+	}
+	hs.tr.AddCPU(hostSp, hs.cpu.Name(),
+		hs.cpu.ExecSelf(p, int64(float64(payload.Length())*hs.cfg.AssembleCyclesPerByte)))
 	txn, err := objstore.DecodeTransactionBL(payload)
 	if err != nil {
 		// Report the failure but keep the commit sequence moving with an
 		// empty transaction in this slot.
 		hs.notifyTxnDone(reqID, rcIO, 0)
-		hs.readyTxns[txnSeq] = &readyTxn{reqID: reqID, txn: &objstore.Transaction{}, silent: true}
+		hs.readyTxns[txnSeq] = &readyTxn{reqID: reqID, txn: &objstore.Transaction{},
+			silent: true, span: hostSp, ready: p.Now()}
 	} else {
-		hs.readyTxns[txnSeq] = &readyTxn{reqID: reqID, txn: txn}
+		// The host-commit span parents the local BlueStore's aio/kv spans.
+		txn.TraceCtx = uint64(hostSp)
+		hs.readyTxns[txnSeq] = &readyTxn{reqID: reqID, txn: txn, span: hostSp, ready: p.Now()}
 	}
 	for {
 		rt, ok := hs.readyTxns[hs.nextCommit]
@@ -255,12 +280,15 @@ func (hs *HostServer) addSegment(p *sim.Proc, reqID, txnSeq uint64, seg, total i
 
 func (hs *HostServer) commit(p *sim.Proc, rt *readyTxn) {
 	start := p.Now()
+	hs.tr.AddQueueWait(rt.span, p.Now().Sub(rt.ready))
 	res := hs.store.QueueTransaction(p, rt.txn)
 	reqID := rt.reqID
 	silent := rt.silent
+	span := rt.span
 	hs.env.Spawn(fmt.Sprintf("host-commit:%d", reqID), func(cp *sim.Proc) {
 		cp.SetThread(hs.thPoll)
 		res.Done.Wait(cp)
+		hs.tr.Finish(span)
 		if silent {
 			return
 		}
@@ -420,7 +448,7 @@ func (hs *HostServer) onSegFallback(p *sim.Proc, req *rpcchan.Request,
 	}
 	hs.stats.SegmentsViaRPC++
 	respond(nil, rcOK) // receipt ack; durability is signalled via opTxnDone
-	hs.addSegment(p, reqID, txnSeq, seg, total, payload)
+	hs.addSegment(p, reqID, txnSeq, seg, total, payload, 0)
 }
 
 // onReadFallback serves a whole read over RPC (cooldown path).

@@ -108,6 +108,10 @@ type segHeader struct {
 	seg    int
 	total  int
 	txnSeq uint64
+	// traceCtx rides the in-memory tag only (raw trace.SpanID); it is not
+	// part of the wire header, so the RPC fallback path (encodeSegFallback)
+	// drops it and fallback segments go untraced.
+	traceCtx uint64
 }
 
 // readReq is the read descriptor shipped to the host on the data plane.

@@ -8,6 +8,7 @@ import (
 	"doceph/internal/objstore"
 	"doceph/internal/rpcchan"
 	"doceph/internal/sim"
+	"doceph/internal/trace"
 	"doceph/internal/wire"
 )
 
@@ -123,6 +124,7 @@ type Proxy struct {
 	hostMR  *doca.MemRegion
 
 	thProxy *sim.Thread
+	tr      *trace.Tracer
 
 	nextReq      uint64
 	nextTxnSeq   uint64
@@ -175,6 +177,10 @@ func NewProxy(env *sim.Env, dev *dpu.DPU, rpcEnd *rpcchan.Endpoint,
 	env.SpawnDaemon("dpu-dma-poll@"+dev.Name, func(p *sim.Proc) { px.downPollLoop(p) })
 	return px
 }
+
+// SetTracer attaches an op tracer. Only transactions carrying a TraceCtx
+// produce spans; probe traffic and RPC-fallback segments stay untraced.
+func (px *Proxy) SetTracer(tr *trace.Tracer) { px.tr = tr }
 
 // Stats returns a copy of the proxy counters.
 func (px *Proxy) Stats() ProxyStats { return px.stats }
@@ -246,11 +252,22 @@ func (px *Proxy) enterCooldown(p *sim.Proc) {
 // write-through semantics).
 func (px *Proxy) QueueTransaction(p *sim.Proc, txn *objstore.Transaction) *objstore.Result {
 	res := &objstore.Result{Done: sim.NewEvent(px.env)}
+	ctx := trace.SpanID(txn.TraceCtx)
+	if !px.tr.Enabled() {
+		ctx = 0
+	}
 	// Serialize on the submitting DPU thread (tp_osd_tp on the DPU). The
 	// frame references payload segments zero-copy; the CPU cost of the
 	// memcpy a real implementation would do is still charged below.
+	var serSp trace.SpanID
+	if ctx != 0 {
+		serSp = px.tr.Start(ctx, 0, trace.StageSerialize, px.dev.Name)
+	}
 	payload := txn.EncodeBL()
-	px.dev.CPU.ExecSelf(p, int64(float64(payload.Length())*px.cfg.SerializeCyclesPerByte))
+	serBusy := px.dev.CPU.ExecSelf(p, int64(float64(payload.Length())*px.cfg.SerializeCyclesPerByte))
+	px.tr.AddCPU(serSp, px.dev.CPU.Name(), serBusy)
+	px.tr.AddBytes(serSp, int64(payload.Length()))
+	px.tr.Finish(serSp)
 
 	px.nextReq++
 	reqID := px.nextReq
@@ -268,7 +285,7 @@ func (px *Proxy) QueueTransaction(p *sim.Proc, txn *objstore.Transaction) *objst
 	px.env.Spawn(fmt.Sprintf("proxy-tx:%d", reqID), func(tp *sim.Proc) {
 		tp.SetThread(px.thProxy)
 		if useDMA {
-			px.shipViaDMA(tp, reqID, txnSeq, payload)
+			px.shipViaDMA(tp, reqID, txnSeq, payload, ctx)
 		} else {
 			px.shipViaRPC(tp, reqID, txnSeq, payload, 0)
 		}
@@ -285,8 +302,9 @@ func (px *Proxy) QueueTransaction(p *sim.Proc, txn *objstore.Transaction) *objst
 
 // shipViaDMA cuts payload into segments and pipelines stage+transfer. On a
 // segment error the completed segments are preserved and the rest falls
-// back to RPC (paper §4).
-func (px *Proxy) shipViaDMA(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Bufferlist) {
+// back to RPC (paper §4). ctx, when non-zero, parents per-segment
+// dma-stage/dma spans and rides the segment tags to the host.
+func (px *Proxy) shipViaDMA(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Bufferlist, ctx trace.SpanID) {
 	segBytes := px.dev.Buffers.BufferBytes()
 	if max := px.engUp.Config().MaxTransferBytes; segBytes > max {
 		segBytes = max
@@ -298,8 +316,9 @@ func (px *Proxy) shipViaDMA(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Buf
 	px.ensureRegions(p)
 
 	type segState struct {
-		idx int
-		t   *doca.Transfer
+		idx  int
+		t    *doca.Transfer
+		span trace.SpanID
 	}
 	inflight := make([]*segState, 0, total)
 	failedFrom := -1
@@ -317,8 +336,15 @@ func (px *Proxy) shipViaDMA(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Buf
 			n = segBytes
 		}
 		// Staging: wait for a free DMA-capable buffer, then memcpy.
+		var stageSp trace.SpanID
+		if ctx != 0 {
+			stageSp = px.tr.Start(ctx, 0, trace.StageDMAStage, px.dev.Name)
+		}
+		acq := p.Now()
 		px.dev.Buffers.Acquire(p)
-		px.dev.CPU.Exec(p, px.thProxy, int64(float64(n)*px.cfg.StageCyclesPerByte))
+		px.tr.AddQueueWait(stageSp, p.Now().Sub(acq))
+		px.tr.AddCPU(stageSp, px.dev.CPU.Name(),
+			px.dev.CPU.Exec(p, px.thProxy, int64(float64(n)*px.cfg.StageCyclesPerByte)))
 		if px.cfg.DisableMRCache {
 			px.cc.Negotiate(p, px.hostMR)
 		}
@@ -332,27 +358,38 @@ func (px *Proxy) shipViaDMA(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Buf
 		if px.comp != nil {
 			wireBytes = px.comp.Compress(p, px.dev.CPU, n)
 		}
+		px.tr.AddBytes(stageSp, n)
+		px.tr.Finish(stageSp)
+		var dmaSp trace.SpanID
+		if ctx != 0 {
+			dmaSp = px.tr.Start(ctx, 0, trace.StageDMA, px.dev.Name)
+			px.tr.AddBytes(dmaSp, wireBytes)
+		}
 		t := &doca.Transfer{
 			ReqID: reqID, Seg: i, TotalSegs: total, Bytes: wireBytes, Data: data,
-			Src: px.dpuMR, Dst: px.hostMR,
-			Tag: segHeader{kind: segTxn, reqID: reqID, seg: i, total: total, txnSeq: txnSeq},
+			Src: px.dpuMR, Dst: px.hostMR, TraceCtx: uint64(ctx),
+			Tag: segHeader{kind: segTxn, reqID: reqID, seg: i, total: total,
+				txnSeq: txnSeq, traceCtx: uint64(ctx)},
 		}
 		if err := px.engUp.Submit(p, px.dev.CPU, t); err != nil {
+			px.tr.Finish(dmaSp)
 			px.dev.Buffers.Release()
 			failedFrom = i
 			break
 		}
-		st := &segState{idx: i, t: t}
+		st := &segState{idx: i, t: t, span: dmaSp}
 		inflight = append(inflight, st)
 		if !px.cfg.DisablePipeline {
 			// Release the buffer when the engine finishes with it; keep
 			// staging the next segment meanwhile.
 			px.env.Spawn(fmt.Sprintf("proxy-seg:%d/%d", reqID, i), func(sp *sim.Proc) {
 				st.t.Done.Wait(sp)
+				px.tr.Finish(st.span)
 				px.dev.Buffers.Release()
 			})
 		} else {
 			t.Done.Wait(p)
+			px.tr.Finish(dmaSp)
 			px.dev.Buffers.Release()
 		}
 	}

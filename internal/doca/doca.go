@@ -191,6 +191,9 @@ type Transfer struct {
 	Src, Dst  *MemRegion
 	// Tag carries caller context to the completion poller.
 	Tag interface{}
+	// TraceCtx is the submitting operation's trace span context (raw
+	// trace.SpanID). Instrumentation only; never serialized.
+	TraceCtx uint64
 
 	SubmittedAt sim.Time
 	StartedAt   sim.Time

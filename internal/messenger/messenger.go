@@ -13,6 +13,7 @@ import (
 
 	"doceph/internal/cephmsg"
 	"doceph/internal/sim"
+	"doceph/internal/trace"
 	"doceph/internal/wire"
 )
 
@@ -200,6 +201,7 @@ type Messenger struct {
 	dispatch Dispatcher
 
 	stats Stats
+	tr    *trace.Tracer
 }
 
 type worker struct {
@@ -237,6 +239,12 @@ type frame struct {
 	// CRC-32C, verified on receive.
 	wire *wire.Bufferlist
 	crc  uint32
+	// Tracing state (zero when tracing is off or the message carries no
+	// context): the originating op's span, the span of the stage currently
+	// in flight, and the instant the frame entered the current queue.
+	traceCtx uint64
+	span     trace.SpanID
+	enq      sim.Time
 }
 
 // New creates a messenger for entity name running on fabric node node,
@@ -277,6 +285,13 @@ func (m *Messenger) Stats() Stats { return m.stats }
 // peer sends to this messenger.
 func (m *Messenger) SetDispatcher(d Dispatcher) { m.dispatch = d }
 
+// SetTracer enables framing-stage tracing on this endpoint (nil disables).
+// Only messages carrying a trace context (RADOS op traffic) produce spans;
+// heartbeats and map gossip stay untraced. With WireEncode the decoded copy
+// handed to the dispatcher loses the out-of-band context, so downstream
+// stages of wire-encoded runs go untraced by design.
+func (m *Messenger) SetTracer(tr *trace.Tracer) { m.tr = tr }
+
 // Send queues msg for delivery to entity dst. It never blocks the caller
 // (the connection queue is unbounded, as Ceph's is in practice for the
 // workloads modelled here). Unknown destinations panic: entity wiring is
@@ -284,6 +299,12 @@ func (m *Messenger) SetDispatcher(d Dispatcher) { m.dispatch = d }
 func (m *Messenger) Send(dst string, msg cephmsg.Message) {
 	c := m.connTo(dst)
 	f := m.makeFrame(msg)
+	if m.tr.Enabled() {
+		if f.traceCtx = cephmsg.TraceContext(msg); f.traceCtx != 0 {
+			f.span = m.tr.Start(trace.SpanID(f.traceCtx), 0, trace.StageMsgrSend, dst)
+			f.enq = m.env.Now()
+		}
+	}
 	c.sendSeq++
 	f.seq = c.sendSeq
 	c.worker.q.Push(workItem{peer: dst, frame: f})
@@ -318,9 +339,17 @@ func (m *Messenger) connTo(dst string) *conn {
 	m.env.SpawnDaemon(fmt.Sprintf("wire:%s->%s", m.name, dst), func(p *sim.Proc) {
 		for {
 			f := c.wireq.Pop(p)
+			if f.span != 0 {
+				m.tr.AddQueueWait(f.span, p.Now().Sub(f.enq))
+			}
 			backoff := m.cfg.ReconnectBackoff
 			for {
 				if _, ok := m.fabric.TransferFrame(p, m.node, peer.node, f.bytes); ok {
+					if f.span != 0 {
+						m.tr.AddBytes(f.span, f.bytes)
+						m.tr.Finish(f.span)
+						f.span = 0
+					}
 					peer.deliver(f)
 					break
 				}
@@ -348,6 +377,10 @@ func (m *Messenger) deliver(f frame) {
 			m.name, f.src, f.seq, c.recvSeq))
 	}
 	c.recvSeq = f.seq
+	if m.tr.Enabled() && f.traceCtx != 0 {
+		f.span = m.tr.Start(trace.SpanID(f.traceCtx), 0, trace.StageMsgrRecv, m.name)
+		f.enq = m.env.Now()
+	}
 	c.worker.q.Push(workItem{recv: true, peer: f.src, frame: f})
 }
 
@@ -361,10 +394,13 @@ func (m *Messenger) workerLoop(p *sim.Proc, w *worker) {
 		f := it.frame
 		segments := (f.bytes + m.cfg.TCPSegmentBytes - 1) / m.cfg.TCPSegmentBytes
 		if it.recv {
+			if f.span != 0 {
+				m.tr.AddQueueWait(f.span, p.Now().Sub(f.enq))
+			}
 			cycles := m.cfg.RecvSyscallCycles*segments +
 				int64(float64(f.bytes)*(m.cfg.RxCopyCyclesPerByte+m.cfg.CRCCyclesPerByte)) +
 				m.cfg.DecodeCycles + m.cfg.DispatchCycles
-			m.cpu.Exec(p, w.th, cycles)
+			m.tr.AddCPU(f.span, m.cpu.Name(), m.cpu.Exec(p, w.th, cycles))
 			m.cpu.NoteSwitches(w.th, m.cfg.SwitchesPerRecv+f.bytes/m.cfg.BytesPerSwitch)
 			m.stats.Received++
 			m.stats.BytesRecv += f.bytes
@@ -384,6 +420,10 @@ func (m *Messenger) workerLoop(p *sim.Proc, w *worker) {
 				panic(fmt.Sprintf("messenger %s: message from %s with no dispatcher", m.name, it.peer))
 			}
 			m.dispatch(p, it.peer, msg)
+			if f.span != 0 {
+				m.tr.AddBytes(f.span, f.bytes)
+				m.tr.Finish(f.span)
+			}
 			if f.wire != nil {
 				// Everything header-shaped was copied out during decode and
 				// the payload lives in its own shared segments, so the
@@ -395,7 +435,19 @@ func (m *Messenger) workerLoop(p *sim.Proc, w *worker) {
 		cycles := m.cfg.EncodeCycles +
 			int64(float64(f.bytes)*(m.cfg.TxCopyCyclesPerByte+m.cfg.CRCCyclesPerByte)) +
 			m.cfg.SendSyscallCycles*segments
-		m.cpu.Exec(p, w.th, cycles)
+		if f.span != 0 {
+			m.tr.AddQueueWait(f.span, p.Now().Sub(f.enq))
+			m.tr.AddBytes(f.span, f.bytes)
+			m.tr.AddCPU(f.span, m.cpu.Name(), m.cpu.Exec(p, w.th, cycles))
+			m.tr.Finish(f.span)
+			// Hand the frame to the wire stage under a fresh span covering
+			// the outbound queue plus fabric occupancy (including any
+			// session-reset redeliveries).
+			f.span = m.tr.Start(trace.SpanID(f.traceCtx), 0, trace.StageWire, it.peer)
+			f.enq = p.Now()
+		} else {
+			m.cpu.Exec(p, w.th, cycles)
+		}
 		m.cpu.NoteSwitches(w.th, m.cfg.SwitchesPerSend+f.bytes/m.cfg.BytesPerSwitch)
 		m.stats.Sent++
 		m.stats.BytesSent += f.bytes

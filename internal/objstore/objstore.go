@@ -85,6 +85,11 @@ type Op struct {
 // helpers and submit it via Store.QueueTransaction.
 type Transaction struct {
 	Ops []Op
+	// TraceCtx is the submitting operation's trace span context
+	// (trace.SpanID as a raw uint64). Instrumentation only: it is not part
+	// of the transaction's encoded form and survives the proxy→host DMA
+	// hop out-of-band via the segment tag.
+	TraceCtx uint64
 }
 
 // Touch ensures obj exists in coll.

@@ -20,6 +20,7 @@ import (
 	"doceph/internal/objstore"
 	"doceph/internal/osdmap"
 	"doceph/internal/sim"
+	"doceph/internal/trace"
 	"doceph/internal/wire"
 )
 
@@ -130,18 +131,18 @@ type Stats struct {
 
 // OSD is one object storage daemon instance.
 type OSD struct {
-	env   *sim.Env
-	cpu   *sim.CPU
-	cfg   Config
-	id    int32
-	name  string
+	env  *sim.Env
+	cpu  *sim.CPU
+	cfg  Config
+	id   int32
+	name string
 	// completerName/repCompleterName are the precomputed proc names for the
 	// per-op completion goroutines, spawned on every write — building them
 	// with Sprintf per op was a measurable allocation cost.
 	completerName    string
 	repCompleterName string
-	msgr  *messenger.Messenger
-	store objstore.Store
+	msgr             *messenger.Messenger
+	store            objstore.Store
 
 	curMap  *osdmap.Map
 	opq     *sim.Queue[opItem]
@@ -165,11 +166,16 @@ type OSD struct {
 	ready  *sim.Event
 	failed bool
 	stats  Stats
+	tr     *trace.Tracer
 }
 
 type opItem struct {
 	src string
 	msg cephmsg.Message
+	// span/enq carry the op's trace stage across the op queue (zero when
+	// tracing is off or the message has no context).
+	span trace.SpanID
+	enq  sim.Time
 }
 
 type pendingRep struct {
@@ -295,6 +301,9 @@ func (o *OSD) Recover() {
 // Failed reports whether Fail was called.
 func (o *OSD) Failed() bool { return o.failed }
 
+// SetTracer enables op-path tracing on this OSD (nil disables).
+func (o *OSD) SetTracer(tr *trace.Tracer) { o.tr = tr }
+
 // Stats returns a copy of the activity counters.
 func (o *OSD) Stats() Stats { return o.stats }
 
@@ -309,7 +318,21 @@ func (o *OSD) dispatch(p *sim.Proc, src string, m cephmsg.Message) {
 	}
 	switch msg := m.(type) {
 	case *cephmsg.MOSDOp, *cephmsg.MRepOp, *cephmsg.MPGPush, *cephmsg.MScrub:
-		o.opq.Push(opItem{src: src, msg: m})
+		it := opItem{src: src, msg: m}
+		if o.tr.Enabled() {
+			if ctx := cephmsg.TraceContext(m); ctx != 0 {
+				// The OSD stage span opens at enqueue so op-queue wait is
+				// part of its latency (attributed via AddQueueWait at pop).
+				switch mm := m.(type) {
+				case *cephmsg.MOSDOp:
+					it.span = o.tr.Start(trace.SpanID(ctx), 0, trace.StageOSDOp, mm.Object)
+				case *cephmsg.MRepOp:
+					it.span = o.tr.Start(trace.SpanID(ctx), 0, trace.StageRepOp, mm.Object)
+				}
+				it.enq = o.env.Now()
+			}
+		}
+		o.opq.Push(it)
 	case *cephmsg.MPGPushAck:
 		o.handlePGPushAck(msg)
 	case *cephmsg.MScrubReply:
@@ -335,11 +358,14 @@ func (o *OSD) workerLoop(p *sim.Proc) {
 	o.ready.Wait(p)
 	for {
 		it := o.opq.Pop(p)
+		if it.span != 0 {
+			o.tr.AddQueueWait(it.span, p.Now().Sub(it.enq))
+		}
 		switch m := it.msg.(type) {
 		case *cephmsg.MOSDOp:
-			o.handleClientOp(p, it.src, m)
+			o.handleClientOp(p, it.src, m, it.span)
 		case *cephmsg.MRepOp:
-			o.handleRepOp(p, it.src, m)
+			o.handleRepOp(p, it.src, m, it.span)
 		case *cephmsg.MPGPush:
 			o.handlePGPush(p, it.src, m)
 		case *cephmsg.MScrub:
@@ -366,7 +392,8 @@ func (o *OSD) completeRep(tid uint64) {
 // sendRepOps fans a replicated mutation out to the secondaries and returns
 // the shared pendingRep plus the tids to watch. mk builds the sub-op for one
 // secondary; the assigned tid is stamped in afterwards.
-func (o *OSD) sendRepOps(p *sim.Proc, acting []int32, mk func(sec int32) *cephmsg.MRepOp) (*pendingRep, []uint64) {
+func (o *OSD) sendRepOps(p *sim.Proc, acting []int32, repSp trace.SpanID,
+	mk func(sec int32) *cephmsg.MRepOp) (*pendingRep, []uint64) {
 	pend := &pendingRep{needed: len(acting) - 1, ev: sim.NewEvent(o.env)}
 	if pend.needed <= 0 {
 		pend.ev.Fire()
@@ -374,7 +401,7 @@ func (o *OSD) sendRepOps(p *sim.Proc, acting []int32, mk func(sec int32) *cephms
 	}
 	tids := make([]uint64, 0, len(acting)-1)
 	for _, sec := range acting[1:] {
-		o.cpu.ExecSelf(p, o.cfg.RepPrepCycles)
+		o.tr.AddCPU(repSp, o.cpu.Name(), o.cpu.ExecSelf(p, o.cfg.RepPrepCycles))
 		o.nextTid++
 		tid := o.nextTid
 		msg := mk(sec)
@@ -462,28 +489,29 @@ func (o *OSD) ensureColl(pg uint32, txn *objstore.Transaction) {
 	}
 }
 
-func (o *OSD) handleClientOp(p *sim.Proc, src string, m *cephmsg.MOSDOp) {
-	o.cpu.ExecSelf(p, o.cfg.OpPrepCycles)
+func (o *OSD) handleClientOp(p *sim.Proc, src string, m *cephmsg.MOSDOp, sp trace.SpanID) {
+	o.tr.AddCPU(sp, o.cpu.Name(), o.cpu.ExecSelf(p, o.cfg.OpPrepCycles))
 	pg := o.curMap.PGForObject(m.Object)
 	acting := o.curMap.ActingSet(pg)
 	if len(acting) == 0 || acting[0] != o.id {
 		o.stats.WrongPrimary++
 		o.reply(&wrongPrimaryReply{src: src, m: m})
+		o.tr.Finish(sp)
 		return
 	}
 	switch m.Op {
 	case cephmsg.OpWrite:
-		o.handleWrite(p, src, m, pg, acting)
+		o.handleWrite(p, src, m, pg, acting, sp)
 	case cephmsg.OpDelete:
-		o.handleDelete(p, src, m, pg, acting)
+		o.handleDelete(p, src, m, pg, acting, sp)
 	case cephmsg.OpRead:
-		o.handleRead(p, src, m, pg)
+		o.handleRead(p, src, m, pg, sp)
 	case cephmsg.OpStat:
-		o.handleStat(p, src, m, pg)
+		o.handleStat(p, src, m, pg, sp)
 	case cephmsg.OpOmapSet, cephmsg.OpOmapRm:
-		o.handleOmapWrite(p, src, m, pg, acting)
+		o.handleOmapWrite(p, src, m, pg, acting, sp)
 	case cephmsg.OpOmapGet, cephmsg.OpOmapKeys:
-		o.handleOmapRead(p, src, m, pg)
+		o.handleOmapRead(p, src, m, pg, sp)
 	}
 }
 
@@ -507,16 +535,24 @@ func omapTxn(pg uint32, m *cephmsg.MOSDOp) *objstore.Transaction {
 
 // handleOmapWrite applies and replicates an omap mutation with the same
 // durability contract as object writes.
-func (o *OSD) handleOmapWrite(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32, acting []int32) {
+func (o *OSD) handleOmapWrite(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32, acting []int32, sp trace.SpanID) {
 	lock := o.pgLock(pg)
 	lock.Acquire(p, 1)
 	txn := omapTxn(pg, m)
 	o.ensureColl(pg, txn)
+	var commitSp, repSp trace.SpanID
+	if sp != 0 {
+		commitSp = o.tr.Start(sp, 0, trace.StageCommit, m.Object)
+		txn.TraceCtx = uint64(commitSp)
+	}
 	res := o.store.QueueTransaction(p, txn)
-	pend, tids := o.sendRepOps(p, acting, func(sec int32) *cephmsg.MRepOp {
+	if sp != 0 {
+		repSp = o.tr.Start(sp, 0, trace.StageReplication, m.Object)
+	}
+	pend, tids := o.sendRepOps(p, acting, repSp, func(sec int32) *cephmsg.MRepOp {
 		return &cephmsg.MRepOp{
 			Epoch: o.curMap.Epoch, PGID: pg, Object: m.Object,
-			Op: m.Op, Key: m.Key, Data: m.Data,
+			Op: m.Op, Key: m.Key, Data: m.Data, TraceCtx: uint64(repSp),
 		}
 	})
 	lock.Release(1)
@@ -524,21 +560,25 @@ func (o *OSD) handleOmapWrite(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uin
 	o.env.Spawn(o.completerName, func(cp *sim.Proc) {
 		cp.SetThread(o.thFin)
 		res.Done.Wait(cp)
+		o.tr.Finish(commitSp)
 		repOK := o.awaitReplicas(cp, pend, tids)
-		o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles)
+		o.tr.Finish(repSp)
+		o.tr.AddCPU(sp, o.cpu.Name(), o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles))
 		result := cephmsg.ResOK
 		if res.Err != nil || !repOK {
 			result = cephmsg.ResError
 		}
 		o.msgr.Send(src, &cephmsg.MOSDOpReply{
 			Tid: m.Tid, Object: m.Object, Op: m.Op, Result: result,
+			TraceCtx: m.TraceCtx,
 		})
+		o.tr.Finish(sp)
 	})
 }
 
 // handleOmapRead serves omap get/keys from the local (primary) store.
-func (o *OSD) handleOmapRead(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32) {
-	reply := &cephmsg.MOSDOpReply{Tid: m.Tid, Object: m.Object, Op: m.Op}
+func (o *OSD) handleOmapRead(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32, sp trace.SpanID) {
+	reply := &cephmsg.MOSDOpReply{Tid: m.Tid, Object: m.Object, Op: m.Op, TraceCtx: m.TraceCtx}
 	lock := o.pgLock(pg)
 	lock.Acquire(p, 1)
 	switch m.Op {
@@ -565,6 +605,7 @@ func (o *OSD) handleOmapRead(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint
 	lock.Release(1)
 	o.stats.ClientReads++
 	o.msgr.Send(src, reply)
+	o.tr.Finish(sp)
 }
 
 type wrongPrimaryReply struct {
@@ -575,23 +616,33 @@ type wrongPrimaryReply struct {
 func (o *OSD) reply(w *wrongPrimaryReply) {
 	o.msgr.Send(w.src, &cephmsg.MOSDOpReply{
 		Tid: w.m.Tid, Object: w.m.Object, Op: w.m.Op,
-		Result: cephmsg.ResNotPrimary,
+		Result: cephmsg.ResNotPrimary, TraceCtx: w.m.TraceCtx,
 	})
 }
 
 // handleWrite implements the replicated write path: local commit via the
 // ObjectStore plus one MRepOp per secondary; the client ack is withheld
 // until every part is durable.
-func (o *OSD) handleWrite(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32, acting []int32) {
+func (o *OSD) handleWrite(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32, acting []int32, sp trace.SpanID) {
 	lock := o.pgLock(pg)
 	lock.Acquire(p, 1)
 	txn := (&objstore.Transaction{}).Write(pgColl(pg), m.Object, m.Offset, m.Data)
 	o.ensureColl(pg, txn)
+	var commitSp, repSp trace.SpanID
+	if sp != 0 {
+		commitSp = o.tr.Start(sp, 0, trace.StageCommit, m.Object)
+		txn.TraceCtx = uint64(commitSp)
+		o.tr.AddBytes(commitSp, txn.DataBytes())
+	}
 	res := o.store.QueueTransaction(p, txn)
-	pend, tids := o.sendRepOps(p, acting, func(sec int32) *cephmsg.MRepOp {
+	if sp != 0 {
+		repSp = o.tr.Start(sp, 0, trace.StageReplication, m.Object)
+	}
+	pend, tids := o.sendRepOps(p, acting, repSp, func(sec int32) *cephmsg.MRepOp {
 		return &cephmsg.MRepOp{
 			Epoch: o.curMap.Epoch, PGID: pg, Object: m.Object,
 			Op: cephmsg.OpWrite, Offset: m.Offset, Data: m.Data,
+			TraceCtx: uint64(repSp),
 		}
 	})
 	lock.Release(1)
@@ -600,28 +651,39 @@ func (o *OSD) handleWrite(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32,
 	o.env.Spawn(o.completerName, func(cp *sim.Proc) {
 		cp.SetThread(o.thFin)
 		res.Done.Wait(cp)
+		o.tr.Finish(commitSp)
 		repOK := o.awaitReplicas(cp, pend, tids)
-		o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles)
+		o.tr.Finish(repSp)
+		o.tr.AddCPU(sp, o.cpu.Name(), o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles))
 		result := cephmsg.ResOK
 		if res.Err != nil || !repOK {
 			result = cephmsg.ResError
 		}
 		o.msgr.Send(src, &cephmsg.MOSDOpReply{
 			Tid: m.Tid, Object: m.Object, Op: m.Op, Result: result,
-			Version: uint64(cp.Now()),
+			Version: uint64(cp.Now()), TraceCtx: m.TraceCtx,
 		})
+		o.tr.Finish(sp)
 	})
 }
 
-func (o *OSD) handleDelete(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32, acting []int32) {
+func (o *OSD) handleDelete(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32, acting []int32, sp trace.SpanID) {
 	lock := o.pgLock(pg)
 	lock.Acquire(p, 1)
 	txn := (&objstore.Transaction{}).Remove(pgColl(pg), m.Object)
+	var commitSp, repSp trace.SpanID
+	if sp != 0 {
+		commitSp = o.tr.Start(sp, 0, trace.StageCommit, m.Object)
+		txn.TraceCtx = uint64(commitSp)
+	}
 	res := o.store.QueueTransaction(p, txn)
-	pend, tids := o.sendRepOps(p, acting, func(sec int32) *cephmsg.MRepOp {
+	if sp != 0 {
+		repSp = o.tr.Start(sp, 0, trace.StageReplication, m.Object)
+	}
+	pend, tids := o.sendRepOps(p, acting, repSp, func(sec int32) *cephmsg.MRepOp {
 		return &cephmsg.MRepOp{
 			Epoch: o.curMap.Epoch, PGID: pg, Object: m.Object,
-			Op: cephmsg.OpDelete,
+			Op: cephmsg.OpDelete, TraceCtx: uint64(repSp),
 		}
 	})
 	lock.Release(1)
@@ -629,8 +691,10 @@ func (o *OSD) handleDelete(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32
 	o.env.Spawn(o.completerName, func(cp *sim.Proc) {
 		cp.SetThread(o.thFin)
 		res.Done.Wait(cp)
+		o.tr.Finish(commitSp)
 		repOK := o.awaitReplicas(cp, pend, tids)
-		o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles)
+		o.tr.Finish(repSp)
+		o.tr.AddCPU(sp, o.cpu.Name(), o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles))
 		result := cephmsg.ResOK
 		if res.Err != nil {
 			result = cephmsg.ResNotFound
@@ -639,30 +703,39 @@ func (o *OSD) handleDelete(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32
 		}
 		o.msgr.Send(src, &cephmsg.MOSDOpReply{
 			Tid: m.Tid, Object: m.Object, Op: m.Op, Result: result,
+			TraceCtx: m.TraceCtx,
 		})
+		o.tr.Finish(sp)
 	})
 }
 
-func (o *OSD) handleRead(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32) {
+func (o *OSD) handleRead(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32, sp trace.SpanID) {
 	lock := o.pgLock(pg)
 	lock.Acquire(p, 1)
+	var commitSp trace.SpanID
+	if sp != 0 {
+		commitSp = o.tr.Start(sp, 0, trace.StageCommit, m.Object)
+	}
 	bl, err := o.store.Read(p, pgColl(pg), m.Object, m.Offset, m.Length)
+	o.tr.Finish(commitSp)
 	lock.Release(1)
-	reply := &cephmsg.MOSDOpReply{Tid: m.Tid, Object: m.Object, Op: m.Op}
+	reply := &cephmsg.MOSDOpReply{Tid: m.Tid, Object: m.Object, Op: m.Op, TraceCtx: m.TraceCtx}
 	if err != nil {
 		reply.Result = cephmsg.ResNotFound
 	} else {
 		reply.Data = bl
 		o.stats.BytesRead += int64(bl.Length())
+		o.tr.AddBytes(commitSp, int64(bl.Length()))
 	}
 	o.stats.ClientReads++
-	o.cpu.ExecSelf(p, o.cfg.FinishCycles)
+	o.tr.AddCPU(sp, o.cpu.Name(), o.cpu.ExecSelf(p, o.cfg.FinishCycles))
 	o.msgr.Send(src, reply)
+	o.tr.Finish(sp)
 }
 
-func (o *OSD) handleStat(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32) {
+func (o *OSD) handleStat(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32, sp trace.SpanID) {
 	st, err := o.store.Stat(p, pgColl(pg), m.Object)
-	reply := &cephmsg.MOSDOpReply{Tid: m.Tid, Object: m.Object, Op: m.Op}
+	reply := &cephmsg.MOSDOpReply{Tid: m.Tid, Object: m.Object, Op: m.Op, TraceCtx: m.TraceCtx}
 	if err != nil {
 		reply.Result = cephmsg.ResNotFound
 	} else {
@@ -671,12 +744,13 @@ func (o *OSD) handleStat(p *sim.Proc, src string, m *cephmsg.MOSDOp, pg uint32) 
 	}
 	o.stats.ClientStats++
 	o.msgr.Send(src, reply)
+	o.tr.Finish(sp)
 }
 
 // handleRepOp applies a replicated sub-op on a secondary and acks once
 // durable.
-func (o *OSD) handleRepOp(p *sim.Proc, src string, m *cephmsg.MRepOp) {
-	o.cpu.ExecSelf(p, o.cfg.OpPrepCycles)
+func (o *OSD) handleRepOp(p *sim.Proc, src string, m *cephmsg.MRepOp, sp trace.SpanID) {
+	o.tr.AddCPU(sp, o.cpu.Name(), o.cpu.ExecSelf(p, o.cfg.OpPrepCycles))
 	lock := o.pgLock(m.PGID)
 	lock.Acquire(p, 1)
 	var txn *objstore.Transaction
@@ -699,6 +773,12 @@ func (o *OSD) handleRepOp(p *sim.Proc, src string, m *cephmsg.MRepOp) {
 		txn = (&objstore.Transaction{}).Write(pgColl(m.PGID), m.Object, m.Offset, m.Data)
 	}
 	o.ensureColl(m.PGID, txn)
+	var commitSp trace.SpanID
+	if sp != 0 {
+		commitSp = o.tr.Start(sp, 0, trace.StageCommit, m.Object)
+		txn.TraceCtx = uint64(commitSp)
+		o.tr.AddBytes(commitSp, txn.DataBytes())
+	}
 	res := o.store.QueueTransaction(p, txn)
 	lock.Release(1)
 	o.stats.RepOpsServed++
@@ -708,8 +788,12 @@ func (o *OSD) handleRepOp(p *sim.Proc, src string, m *cephmsg.MRepOp) {
 	o.env.Spawn(o.repCompleterName, func(cp *sim.Proc) {
 		cp.SetThread(o.thFin)
 		res.Done.Wait(cp)
-		o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles)
-		o.msgr.Send(src, &cephmsg.MRepOpReply{Tid: m.Tid, PGID: m.PGID})
+		o.tr.Finish(commitSp)
+		o.tr.AddCPU(sp, o.cpu.Name(), o.cpu.Exec(cp, o.thFin, o.cfg.FinishCycles))
+		// The ack parents to the primary's replication span, which is
+		// still open until every replica has answered.
+		o.msgr.Send(src, &cephmsg.MRepOpReply{Tid: m.Tid, PGID: m.PGID, TraceCtx: m.TraceCtx})
+		o.tr.Finish(sp)
 	})
 }
 

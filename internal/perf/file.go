@@ -1,0 +1,84 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// File is the on-disk schema of BENCH_sim.json: a pre-optimization
+// baseline recorded once, the most recent run, and their ratios.
+type File struct {
+	// Baseline is the pre-optimization reference (recorded with
+	// -rebaseline, then left alone so speedups stay comparable).
+	Baseline *Report `json:"baseline,omitempty"`
+	// Current is the most recent run.
+	Current *Report `json:"current,omitempty"`
+
+	// SpeedupEventsPerSec is Current/Baseline events/sec (higher is better).
+	SpeedupEventsPerSec float64 `json:"speedup_events_per_sec,omitempty"`
+	// AllocsPerOpRatio is Current/Baseline allocs/op (lower is better).
+	AllocsPerOpRatio float64 `json:"allocs_per_op_ratio,omitempty"`
+}
+
+// Guard compares a fresh (tracing-disabled) run against the recorded
+// current numbers in the bench file and errors if events/sec collapsed
+// below minRatio of the record. The loose ratio absorbs machine-to-machine
+// and smoke-vs-full sweep variance; the guard exists to catch gross
+// regressions — e.g. instrumentation hooks that stopped being free when
+// disabled. A missing file or record is not an error (nothing to compare).
+func Guard(path string, rep Report, minRatio float64) error {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if f.Current == nil || f.Current.EventsPerSec <= 0 {
+		return nil
+	}
+	if rep.EventsPerSec < f.Current.EventsPerSec*minRatio {
+		return fmt.Errorf("perf regression: %.0f events/s is below %.0f%% of the recorded %.0f (see %s)",
+			rep.EventsPerSec, minRatio*100, f.Current.EventsPerSec, path)
+	}
+	return nil
+}
+
+// UpdateFile folds rep into the bench file at path and rewrites it. A
+// missing file starts fresh (the first run becomes its own baseline); a
+// present but unparsable file is an error and the file is left untouched —
+// the bench gate must fail loudly rather than silently clobber history
+// with a partial record.
+func UpdateFile(path string, rep Report, rebaseline bool) (File, error) {
+	var f File
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return File{}, fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return File{}, err
+	}
+	f.Current = &rep
+	if rebaseline || f.Baseline == nil {
+		f.Baseline = &rep
+	}
+	if f.Baseline.EventsPerSec > 0 {
+		f.SpeedupEventsPerSec = f.Current.EventsPerSec / f.Baseline.EventsPerSec
+	}
+	if f.Baseline.AllocsPerOp > 0 {
+		f.AllocsPerOpRatio = f.Current.AllocsPerOp / f.Baseline.AllocsPerOp
+	}
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return File{}, err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return File{}, err
+	}
+	return f, nil
+}

@@ -7,6 +7,7 @@
 package perf
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
@@ -54,7 +55,7 @@ type Measurement struct {
 
 	// Simulated-side results (sanity only; bit-exactness is the golden
 	// test's job).
-	Ops      int64 `json:"ops"`
+	Ops       int64  `json:"ops"`
 	SimEvents uint64 `json:"sim_events"`
 
 	// Wall-clock-side results.
@@ -77,11 +78,36 @@ type Report struct {
 	NsPerOp      float64 `json:"ns_per_op"`
 }
 
+// Validate rejects scenario shapes that would silently fall back to
+// radosbench defaults or produce a meaningless measurement window. Perf
+// numbers must come from the configured workload, not from defaulting.
+func (sc Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("perf: scenario has no name")
+	}
+	if sc.Threads <= 0 {
+		return fmt.Errorf("perf: scenario %q: threads must be positive, got %d", sc.Name, sc.Threads)
+	}
+	if sc.ObjectBytes <= 0 {
+		return fmt.Errorf("perf: scenario %q: object_bytes must be positive, got %d", sc.Name, sc.ObjectBytes)
+	}
+	if sc.DurationSec <= 0 {
+		return fmt.Errorf("perf: scenario %q: duration_sec must be positive, got %d", sc.Name, sc.DurationSec)
+	}
+	if sc.WarmupSec < 0 {
+		return fmt.Errorf("perf: scenario %q: warmup_sec must be non-negative, got %d", sc.Name, sc.WarmupSec)
+	}
+	return nil
+}
+
 // RunScenario builds a fresh cluster, runs the workload and measures the
 // simulator's wall-clock cost. It is deliberately coarse (one GC fence
 // before, ReadMemStats deltas around the run) — the point is trajectory
 // tracking, not nanosecond benchmarking.
 func RunScenario(sc Scenario) (Measurement, error) {
+	if err := sc.Validate(); err != nil {
+		return Measurement{}, err
+	}
 	cl := cluster.New(cluster.Config{Mode: sc.Mode, Seed: sc.Seed})
 	defer cl.Shutdown()
 

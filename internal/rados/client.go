@@ -13,6 +13,7 @@ import (
 	"doceph/internal/osdmap"
 	"doceph/internal/sim"
 	"doceph/internal/telemetry"
+	"doceph/internal/trace"
 	"doceph/internal/wire"
 )
 
@@ -122,6 +123,7 @@ type Client struct {
 
 	stats    Stats
 	counters *telemetry.Counters
+	tr       *trace.Tracer
 }
 
 type call struct {
@@ -143,6 +145,10 @@ func New(env *sim.Env, cpu *sim.CPU, msgr *messenger.Messenger,
 	msgr.SetDispatcher(c.dispatch)
 	return c
 }
+
+// SetTracer enables op tracing (nil disables it; the hooks are
+// nil-receiver safe).
+func (c *Client) SetTracer(tr *trace.Tracer) { c.tr = tr }
 
 // Map returns the client's current cluster map.
 func (c *Client) Map() *osdmap.Map { return c.curMap }
@@ -219,6 +225,14 @@ func (c *Client) do(p *sim.Proc, op *cephmsg.MOSDOp) (*cephmsg.MOSDOpReply, erro
 	op.Tid = c.nextTid
 	op.Src = c.msgr.Name()
 	defer delete(c.inflight, op.Tid)
+	// Root span of the operation: submit through final reply (covering
+	// retries). Downstream stages parent themselves to it via op.TraceCtx.
+	sp := c.tr.Start(0, op.Tid, trace.StageOp, op.Object)
+	op.TraceCtx = uint64(sp)
+	if op.Data != nil {
+		c.tr.AddBytes(sp, int64(op.Data.Length()))
+	}
+	defer c.tr.Finish(sp)
 	backoff := c.cfg.RetryBackoff
 	wait := func() {
 		p.Wait(backoff)
@@ -244,7 +258,7 @@ func (c *Client) do(p *sim.Proc, op *cephmsg.MOSDOp) (*cephmsg.MOSDOpReply, erro
 			continue
 		}
 		sawNoOSD = false
-		c.cpu.Exec(p, c.th, c.cfg.PrepCycles)
+		c.tr.AddCPU(sp, c.cpu.Name(), c.cpu.Exec(p, c.th, c.cfg.PrepCycles))
 		op.Epoch = c.curMap.Epoch
 		call := &call{done: sim.NewEvent(c.env)}
 		c.inflight[op.Tid] = call

@@ -1,0 +1,84 @@
+package radosbench
+
+import (
+	"testing"
+
+	"doceph/internal/cluster"
+	"doceph/internal/sim"
+)
+
+// TestBenchPayloadMemoized pins the payload cache contract: one immutable
+// buffer per size, aliased across calls, with the documented deterministic
+// fill pattern.
+func TestBenchPayloadMemoized(t *testing.T) {
+	a := benchPayload(4096)
+	if got := a.Length(); got != 4096 {
+		t.Fatalf("payload length = %d, want 4096", got)
+	}
+	if b := benchPayload(4096); b != a {
+		t.Error("repeated size must return the same aliased Bufferlist")
+	}
+	if c := benchPayload(8192); c == a || c.Length() != 8192 {
+		t.Errorf("distinct size must get its own buffer (len %d)", c.Length())
+	}
+	raw := a.Bytes()
+	for _, i := range []int{0, 1, 255, 4095} {
+		if want := byte(i * 2654435761); raw[i] != want {
+			t.Errorf("payload[%d] = %#x, want %#x (fill must stay a pure function of the index)", i, raw[i], want)
+		}
+	}
+}
+
+func TestResultDerivedRates(t *testing.T) {
+	r := Result{Ops: 10, Bytes: 100 << 20, Window: 2 * sim.Second}
+	if got := r.IOPS(); got != 5 {
+		t.Errorf("IOPS = %v, want 5", got)
+	}
+	if got := r.ThroughputBps(); got != float64(50<<20) {
+		t.Errorf("throughput = %v, want %v", got, float64(50<<20))
+	}
+	// A zero or negative window must not divide by zero.
+	for _, w := range []sim.Duration{0, -sim.Second} {
+		r.Window = w
+		if r.IOPS() != 0 || r.ThroughputBps() != 0 {
+			t.Errorf("window %v: rates must be 0", w)
+		}
+	}
+}
+
+// TestRunSmallWrite drives a short real write workload through a baseline
+// cluster and checks the accumulated stats are internally consistent.
+func TestRunSmallWrite(t *testing.T) {
+	cl := cluster.New(cluster.Config{Mode: cluster.Baseline, Seed: 7})
+	defer cl.Shutdown()
+	res, err := Run(cl.Env, cl.Client, Config{
+		Op:          Write,
+		Threads:     2,
+		ObjectBytes: 256 << 10,
+		Duration:    sim.Second,
+		Warmup:      100 * sim.Millisecond,
+		OnWarmupEnd: cl.ResetHostStats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops <= 0 {
+		t.Fatal("no ops completed")
+	}
+	if res.Bytes != res.Ops*(256<<10) {
+		t.Errorf("bytes = %d, want ops*size = %d", res.Bytes, res.Ops*(256<<10))
+	}
+	if res.Window <= 0 {
+		t.Errorf("window = %v", res.Window)
+	}
+	if !(res.MinLatency <= res.P50 && res.P50 <= res.P99 && res.P99 <= res.MaxLatency) {
+		t.Errorf("latency ordering violated: min %v, p50 %v, p99 %v, max %v",
+			res.MinLatency, res.P50, res.P99, res.MaxLatency)
+	}
+	if res.AvgLatency < res.MinLatency || res.AvgLatency > res.MaxLatency {
+		t.Errorf("avg latency %v outside [min, max]", res.AvgLatency)
+	}
+	if res.IOPS() <= 0 || res.ThroughputBps() <= 0 {
+		t.Errorf("derived rates empty: %v", res)
+	}
+}

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"doceph/internal/sim"
+	"doceph/internal/trace"
+)
+
+// StageTable renders trace.Aggregate rows as one line per (stage,
+// resource): span count, total CPU charged, mean span latency, mean queue
+// wait and total payload moved.
+func StageTable(title string, stats []trace.StageStat) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"stage", "resource", "count", "cpu (s)", "avg lat (ms)", "avg wait (ms)", "MB"},
+	}
+	for _, s := range stats {
+		res := s.Resource
+		if res == "" {
+			res = "-"
+		}
+		n := float64(s.Count)
+		t.AddRow(s.Stage, res, fmt.Sprint(s.Count),
+			F3(s.CPU.Seconds()),
+			F3(s.Latency.Seconds()*1e3/n),
+			F3(s.QueueWait.Seconds()*1e3/n),
+			fmt.Sprintf("%.1f", float64(s.Bytes)/(1<<20)))
+	}
+	return t
+}
+
+// CPUAttributionRows renders traced CPU per processor as (resource, cpu,
+// share-of-total) cells, sorted by resource name for stable output.
+func CPUAttributionRows(byRes map[string]sim.Duration) [][]string {
+	names := make([]string, 0, len(byRes))
+	var total sim.Duration
+	for name, d := range byRes {
+		names = append(names, name)
+		total += d
+	}
+	sort.Strings(names)
+	rows := make([][]string, 0, len(names))
+	for _, name := range names {
+		share := 0.0
+		if total > 0 {
+			share = byRes[name].Seconds() / total.Seconds()
+		}
+		rows = append(rows, []string{name, F3(byRes[name].Seconds()), Pct(share)})
+	}
+	return rows
+}

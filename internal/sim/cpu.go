@@ -127,10 +127,12 @@ func (c *CPU) CyclesToDuration(cycles int64) Duration {
 }
 
 // Exec runs th on this CPU for the given number of cycles, blocking p for
-// queueing (if all cores are busy) plus execution time.
-func (c *CPU) Exec(p *Proc, th *Thread, cycles int64) {
+// queueing (if all cores are busy) plus execution time. It returns the busy
+// time charged (including any context-switch overhead) so callers can
+// attribute the occupancy, e.g. to a trace span.
+func (c *CPU) Exec(p *Proc, th *Thread, cycles int64) Duration {
 	if cycles <= 0 {
-		return
+		return 0
 	}
 	core := c.acquire(p)
 	total := cycles
@@ -146,22 +148,24 @@ func (c *CPU) Exec(p *Proc, th *Thread, cycles int64) {
 	c.totalBusy += d
 	p.Wait(d)
 	c.release(core)
+	return d
 }
 
 // ExecSelf charges cycles to the thread identity attached to p (see
-// Proc.SetThread). It panics if p has no thread — that is a wiring bug.
-func (c *CPU) ExecSelf(p *Proc, cycles int64) {
+// Proc.SetThread) and returns the busy time charged. It panics if p has no
+// thread — that is a wiring bug.
+func (c *CPU) ExecSelf(p *Proc, cycles int64) Duration {
 	th := p.Thread()
 	if th == nil {
 		panic("sim: ExecSelf on proc " + p.Name() + " with no thread identity")
 	}
-	c.Exec(p, th, cycles)
+	return c.Exec(p, th, cycles)
 }
 
 // ExecDuration is Exec with the work expressed directly as time at this
 // clock (cycles = d * FreqGHz).
-func (c *CPU) ExecDuration(p *Proc, th *Thread, d Duration) {
-	c.Exec(p, th, int64(float64(d)*c.FreqGHz))
+func (c *CPU) ExecDuration(p *Proc, th *Thread, d Duration) Duration {
+	return c.Exec(p, th, int64(float64(d)*c.FreqGHz))
 }
 
 // NoteSwitches records n voluntary context switches (e.g. blocking syscall

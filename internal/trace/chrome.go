@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// ChromeTrace renders finished spans as Chrome trace_event JSON ("X"
+// complete events, chrome://tracing / Perfetto compatible). Each CPU
+// resource becomes a process row (spans without a resource land on the
+// "virtual" row) and each operation becomes a thread row, so one op's
+// stages stack under its tid. The output is built with deterministic
+// formatting: identical span slices yield identical bytes, which the
+// golden trace test relies on.
+func ChromeTrace(spans []Span) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+
+	// Assign pids per resource in first-seen order (deterministic: spans
+	// arrive in ID order).
+	pids := make(map[string]int)
+	var resources []string
+	pidOf := func(res string) int {
+		if res == "" {
+			res = "virtual"
+		}
+		pid, ok := pids[res]
+		if !ok {
+			pid = len(resources) + 1
+			pids[res] = pid
+			resources = append(resources, res)
+		}
+		return pid
+	}
+
+	first := true
+	sep := func() {
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+	}
+	us := func(ns int64) string {
+		return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64)
+	}
+
+	for i := range spans {
+		s := &spans[i]
+		sep()
+		buf.WriteString("{\"name\":")
+		writeJSONString(&buf, s.Stage+" "+s.Name)
+		buf.WriteString(",\"cat\":")
+		writeJSONString(&buf, s.Stage)
+		buf.WriteString(",\"ph\":\"X\",\"ts\":")
+		buf.WriteString(us(int64(s.Start)))
+		buf.WriteString(",\"dur\":")
+		buf.WriteString(us(int64(s.Latency())))
+		fmt.Fprintf(&buf, ",\"pid\":%d,\"tid\":%d", pidOf(s.Resource), s.OpID)
+		fmt.Fprintf(&buf, ",\"args\":{\"span\":%d,\"parent\":%d,\"cpu_us\":%s,\"queue_wait_us\":%s,\"bytes\":%d}}",
+			s.ID, s.Parent, us(int64(s.CPU)), us(int64(s.QueueWait)), s.Bytes)
+	}
+
+	// Name the process rows after their resources.
+	for i, res := range resources {
+		sep()
+		fmt.Fprintf(&buf, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":", i+1)
+		writeJSONString(&buf, res)
+		buf.WriteString("}}")
+	}
+
+	buf.WriteString("]}\n")
+	return buf.Bytes()
+}
+
+// writeJSONString writes s as a JSON string literal. Span names are plain
+// ASCII identifiers in practice; anything else is \u-escaped.
+func writeJSONString(buf *bytes.Buffer, s string) {
+	buf.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf.WriteByte('\\')
+			buf.WriteByte(c)
+		case c < 0x20 || c >= 0x7f:
+			fmt.Fprintf(buf, "\\u%04x", c)
+		default:
+			buf.WriteByte(c)
+		}
+	}
+	buf.WriteByte('"')
+}

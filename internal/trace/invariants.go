@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"doceph/internal/sim"
+)
+
+// CheckInvariants validates the structural properties every deterministic
+// trace must satisfy:
+//
+//  1. every finished span has Start <= End;
+//  2. a child's virtual lifetime lies within its parent's when the parent
+//     is also in the trace (parent.Start <= child.Start and
+//     child.End <= parent.End);
+//  3. a child inherits its parent's OpID.
+//
+// It returns an error describing every violation found, or nil.
+func CheckInvariants(spans []Span) error {
+	byID := make(map[SpanID]*Span, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	var bad []string
+	for i := range spans {
+		s := &spans[i]
+		if s.End.Sub(s.Start) < 0 {
+			bad = append(bad, fmt.Sprintf("span %d (%s): End precedes Start", s.ID, s.Stage))
+		}
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			// The parent may legitimately be missing (unfinished at run
+			// end, or discarded by a warmup Reset); nothing to check.
+			continue
+		}
+		if s.Start.Sub(p.Start) < 0 || p.End.Sub(s.End) < 0 {
+			bad = append(bad, fmt.Sprintf(
+				"span %d (%s) [%d,%d] escapes parent %d (%s) [%d,%d]",
+				s.ID, s.Stage, s.Start, s.End, p.ID, p.Stage, p.Start, p.End))
+		}
+		if s.OpID != p.OpID {
+			bad = append(bad, fmt.Sprintf("span %d (%s): OpID %d != parent's %d",
+				s.ID, s.Stage, s.OpID, p.OpID))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("trace: %d invariant violation(s):\n%s", len(bad), strings.Join(bad, "\n"))
+	}
+	return nil
+}
+
+// CheckCPUConservation verifies that the CPU time attributed to spans on
+// each resource never exceeds what that processor actually accumulated
+// (busy, keyed by CPU name, e.g. from CPUStats.TotalBusy over the same
+// window). Traced CPU is a subset of total busy time — background daemons
+// (heartbeats, scrub, compaction) run untraced — so the check is <=, and
+// it is exact: both sides derive from the same integer charges.
+func CheckCPUConservation(spans []Span, busy map[string]sim.Duration) error {
+	traced := CPUByResource(spans)
+	var bad []string
+	for res, d := range traced {
+		if d > busy[res] {
+			bad = append(bad, fmt.Sprintf("resource %q: traced CPU %v exceeds busy %v",
+				res, d, busy[res]))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("trace: CPU conservation violated:\n%s", strings.Join(bad, "\n"))
+	}
+	return nil
+}

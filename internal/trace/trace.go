@@ -1,0 +1,272 @@
+// Package trace is the simulator's op-level observability layer: a
+// virtual-time, allocation-lean span tracer threaded through every RADOS
+// operation, from client submit through messenger framing, DPU DMA
+// staging, OSD dispatch, replication fan-out and the BlueStore commit back
+// to the reply. Each span records its virtual start/end instants, the CPU
+// occupancy it charged (and on which processor), queue wait and bytes
+// moved — the quantities behind the paper's per-stage CPU-attribution
+// breakdown.
+//
+// Spans derive entirely from the deterministic kernel: identical (seed,
+// config) yields byte-identical trace output, which the golden trace test
+// pins. A nil *Tracer is the disabled state — every method is nil-receiver
+// safe and returns immediately, so the instrumented hot path stays intact
+// when tracing is off.
+package trace
+
+import (
+	"sort"
+
+	"doceph/internal/sim"
+)
+
+// SpanID identifies a span within a Tracer. Zero means "no span"; all
+// hooks treat it as a no-op, so untraced contexts propagate for free.
+type SpanID uint64
+
+// Span is one stage of one operation's lifetime.
+//
+// Spans carry at most one CPU resource: the instrumentation charges each
+// stage's cycles on exactly one processor (client, host or DPU SoC), which
+// is what lets Aggregate and the CPU-conservation invariant attribute
+// occupancy per resource without per-span maps.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	// OpID groups the spans of one logical operation (the client tid);
+	// children inherit it from their parent.
+	OpID  uint64
+	Stage string
+	// Name carries instance detail (object, peer, resource), free-form.
+	Name  string
+	Start sim.Time
+	End   sim.Time
+	// Finished marks spans whose End is valid. Only finished spans are
+	// exported and aggregated.
+	Finished bool
+	// CPU is the busy time this stage charged on Resource (as returned by
+	// CPU.Exec), including context-switch overhead.
+	CPU      sim.Duration
+	Resource string
+	// QueueWait is time spent parked in a queue before service.
+	QueueWait sim.Duration
+	// Bytes is payload moved by this stage.
+	Bytes int64
+}
+
+// Latency returns the span's virtual wall time.
+func (s *Span) Latency() sim.Duration { return s.End.Sub(s.Start) }
+
+// Tracer records spans against an Env's virtual clock. Span IDs are
+// assigned sequentially in event order — the kernel is deterministic, so
+// the ID sequence (and therefore the whole trace) is too.
+type Tracer struct {
+	env *sim.Env
+	// base is the ID of the last span discarded by Reset; IDs at or below
+	// it are stale and all hooks ignore them.
+	base  uint64
+	spans []Span
+}
+
+// New returns an enabled tracer on env's clock.
+func New(env *sim.Env) *Tracer { return &Tracer{env: env} }
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// span returns the live record for id, or nil for 0/stale/foreign ids.
+func (t *Tracer) span(id SpanID) *Span {
+	if t == nil || uint64(id) <= t.base {
+		return nil
+	}
+	i := uint64(id) - t.base - 1
+	if i >= uint64(len(t.spans)) {
+		return nil
+	}
+	return &t.spans[i]
+}
+
+// Start opens a span under parent (0 for a root) and returns its ID. The
+// opID argument seeds a root span's operation identity; children ignore it
+// and inherit the parent's. Start on a nil tracer returns 0.
+func (t *Tracer) Start(parent SpanID, opID uint64, stage, name string) SpanID {
+	if t == nil {
+		return 0
+	}
+	id := SpanID(t.base + uint64(len(t.spans)) + 1)
+	s := Span{ID: id, OpID: opID, Stage: stage, Name: name, Start: t.env.Now()}
+	if ps := t.span(parent); ps != nil {
+		s.Parent = parent
+		s.OpID = ps.OpID
+	}
+	t.spans = append(t.spans, s)
+	return id
+}
+
+// Finish closes the span at the current virtual instant.
+func (t *Tracer) Finish(id SpanID) {
+	if s := t.span(id); s != nil && !s.Finished {
+		s.End = t.env.Now()
+		s.Finished = true
+	}
+}
+
+// AddCPU attributes busy time on the named processor to the span. A span's
+// resource is fixed by its first charge; the instrumentation keeps each
+// span on a single processor.
+func (t *Tracer) AddCPU(id SpanID, resource string, d sim.Duration) {
+	if s := t.span(id); s != nil && d > 0 {
+		if s.Resource == "" {
+			s.Resource = resource
+		}
+		s.CPU += d
+	}
+}
+
+// AddQueueWait attributes queueing delay to the span.
+func (t *Tracer) AddQueueWait(id SpanID, d sim.Duration) {
+	if s := t.span(id); s != nil && d > 0 {
+		s.QueueWait += d
+	}
+}
+
+// AddBytes attributes moved payload bytes to the span.
+func (t *Tracer) AddBytes(id SpanID, n int64) {
+	if s := t.span(id); s != nil && n > 0 {
+		s.Bytes += n
+	}
+}
+
+// Reset discards every recorded span and invalidates outstanding IDs, so
+// in-flight operations that started before the reset contribute nothing
+// afterwards. Call it at the warmup/measurement boundary alongside
+// CPU.ResetStats.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.base += uint64(len(t.spans))
+	t.spans = t.spans[:0]
+}
+
+// Spans returns the finished spans in ID (event) order. The slice is
+// freshly allocated; the Span values are copies.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(t.spans))
+	for i := range t.spans {
+		if t.spans[i].Finished {
+			out = append(out, t.spans[i])
+		}
+	}
+	return out
+}
+
+// StageStat is one row of the per-stage aggregation: every finished span
+// of one stage on one resource, summed.
+type StageStat struct {
+	Stage    string
+	Resource string
+	Count    int64
+	// CPU is total busy time charged; Latency and QueueWait are summed
+	// span wall times and queue waits (divide by Count for means).
+	CPU       sim.Duration
+	Latency   sim.Duration
+	QueueWait sim.Duration
+	Bytes     int64
+}
+
+// stageRank orders stages along the request path for stable, readable
+// aggregate tables. Unknown stages sort after, alphabetically.
+var stageRank = map[string]int{
+	StageOp:          0,
+	StageMsgrSend:    1,
+	StageWire:        2,
+	StageMsgrRecv:    3,
+	StageOSDOp:       4,
+	StageRepOp:       5,
+	StageReplication: 6,
+	StageCommit:      7,
+	StageSerialize:   8,
+	StageDMAStage:    9,
+	StageDMA:         10,
+	StageHostCommit:  11,
+	StageAIO:         12,
+	StageKV:          13,
+}
+
+// Canonical stage names used by the instrumentation.
+const (
+	StageOp          = "op"
+	StageMsgrSend    = "msgr-send"
+	StageWire        = "wire"
+	StageMsgrRecv    = "msgr-recv"
+	StageOSDOp       = "osd-op"
+	StageRepOp       = "rep-op"
+	StageReplication = "replication"
+	StageCommit      = "objectstore-commit"
+	StageSerialize   = "proxy-serialize"
+	StageDMAStage    = "dma-stage"
+	StageDMA         = "dma"
+	StageHostCommit  = "host-commit"
+	// StageAIO is the bstore_aio data stage (checksum + direct blob
+	// writes); StageKV is the bstore_kv stage (WAL + metadata batch
+	// commit, deferred payloads riding the WAL).
+	StageAIO = "bstore-aio"
+	StageKV  = "bstore-kv"
+)
+
+// Aggregate folds finished spans into per-(stage, resource) rows, ordered
+// along the request path. Deterministic input order yields deterministic
+// output.
+func Aggregate(spans []Span) []StageStat {
+	type key struct{ stage, res string }
+	acc := make(map[key]*StageStat)
+	var order []key
+	for i := range spans {
+		s := &spans[i]
+		k := key{s.Stage, s.Resource}
+		st, ok := acc[k]
+		if !ok {
+			st = &StageStat{Stage: s.Stage, Resource: s.Resource}
+			acc[k] = st
+			order = append(order, k)
+		}
+		st.Count++
+		st.CPU += s.CPU
+		st.Latency += s.Latency()
+		st.QueueWait += s.QueueWait
+		st.Bytes += s.Bytes
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ri, iKnown := stageRank[order[i].stage]
+		rj, jKnown := stageRank[order[j].stage]
+		switch {
+		case iKnown && jKnown && ri != rj:
+			return ri < rj
+		case iKnown != jKnown:
+			return iKnown
+		case order[i].stage != order[j].stage:
+			return order[i].stage < order[j].stage
+		}
+		return order[i].res < order[j].res
+	})
+	out := make([]StageStat, len(order))
+	for i, k := range order {
+		out[i] = *acc[k]
+	}
+	return out
+}
+
+// CPUByResource sums traced CPU per processor over finished spans.
+func CPUByResource(spans []Span) map[string]sim.Duration {
+	out := make(map[string]sim.Duration)
+	for i := range spans {
+		if spans[i].CPU > 0 {
+			out[spans[i].Resource] += spans[i].CPU
+		}
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"doceph/internal/sim"
+)
+
+// runScript drives fn on a fresh env's clock and returns the tracer.
+func runScript(t *testing.T, fn func(p *sim.Proc, tr *Tracer)) *Tracer {
+	t.Helper()
+	env := sim.NewEnv(1)
+	defer env.Shutdown()
+	tr := New(env)
+	env.Spawn("script", func(p *sim.Proc) { fn(p, tr) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := runScript(t, func(p *sim.Proc, tr *Tracer) {
+		root := tr.Start(0, 7, StageOp, "obj")
+		p.Wait(10 * sim.Microsecond)
+		child := tr.Start(root, 999, StageCommit, "node0")
+		tr.AddCPU(child, "host-node0", 3*sim.Microsecond)
+		tr.AddCPU(child, "ignored-second-resource", 2*sim.Microsecond)
+		tr.AddQueueWait(child, sim.Microsecond)
+		tr.AddBytes(child, 4096)
+		p.Wait(20 * sim.Microsecond)
+		tr.Finish(child)
+		tr.Finish(root)
+	})
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	root, child := spans[0], spans[1]
+	if root.OpID != 7 || root.Parent != 0 || root.Stage != StageOp {
+		t.Errorf("bad root: %+v", root)
+	}
+	if child.Parent != root.ID {
+		t.Errorf("child parent = %d, want %d", child.Parent, root.ID)
+	}
+	if child.OpID != 7 {
+		t.Errorf("child must inherit OpID, got %d", child.OpID)
+	}
+	if child.Resource != "host-node0" {
+		t.Errorf("resource must be fixed by first charge, got %q", child.Resource)
+	}
+	if child.CPU != 5*sim.Microsecond {
+		t.Errorf("cpu = %v, want 5us", child.CPU)
+	}
+	if child.QueueWait != sim.Microsecond || child.Bytes != 4096 {
+		t.Errorf("wait/bytes = %v/%d", child.QueueWait, child.Bytes)
+	}
+	if child.Latency() != 20*sim.Microsecond {
+		t.Errorf("latency = %v, want 20us", child.Latency())
+	}
+	if err := CheckInvariants(spans); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+func TestUnfinishedSpansNotExported(t *testing.T) {
+	tr := runScript(t, func(p *sim.Proc, tr *Tracer) {
+		tr.Start(0, 1, StageOp, "never-finished")
+		sp := tr.Start(0, 2, StageOp, "finished")
+		tr.Finish(sp)
+	})
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].OpID != 2 {
+		t.Fatalf("want only the finished span, got %+v", spans)
+	}
+}
+
+func TestResetInvalidatesOutstandingIDs(t *testing.T) {
+	tr := runScript(t, func(p *sim.Proc, tr *Tracer) {
+		stale := tr.Start(0, 1, StageOp, "pre-reset")
+		tr.Reset()
+		// Hooks on a stale ID must all be no-ops, and a child of a stale
+		// parent becomes a root.
+		tr.AddCPU(stale, "cpu", sim.Second)
+		tr.Finish(stale)
+		orphan := tr.Start(stale, 5, StageCommit, "post-reset")
+		tr.Finish(orphan)
+	})
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].Parent != 0 || spans[0].OpID != 5 {
+		t.Errorf("orphan must be a root keeping its own opID: %+v", spans[0])
+	}
+}
+
+func TestNilTracerIsSafeAndFree(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer must report disabled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start(0, 1, StageOp, "x")
+		tr.AddCPU(sp, "cpu", sim.Second)
+		tr.AddQueueWait(sp, sim.Second)
+		tr.AddBytes(sp, 1)
+		tr.Finish(sp)
+		tr.Reset()
+		if tr.Spans() != nil {
+			t.Fatal("nil tracer returned spans")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing allocated %.1f per op, want 0", allocs)
+	}
+}
+
+func TestAggregateOrderAndSums(t *testing.T) {
+	tr := runScript(t, func(p *sim.Proc, tr *Tracer) {
+		// Recorded out of path order on purpose: kv, then two ops, then an
+		// unknown stage.
+		kv := tr.Start(0, 1, StageKV, "node0")
+		tr.AddCPU(kv, "host-node0", 2*sim.Microsecond)
+		tr.Finish(kv)
+		for i := 0; i < 2; i++ {
+			op := tr.Start(0, uint64(i), StageOp, "obj")
+			tr.AddCPU(op, "client-cpu", sim.Microsecond)
+			tr.AddBytes(op, 100)
+			p.Wait(sim.Microsecond)
+			tr.Finish(op)
+		}
+		x := tr.Start(0, 9, "zz-custom", "elsewhere")
+		tr.Finish(x)
+	})
+	stats := Aggregate(tr.Spans())
+	if len(stats) != 3 {
+		t.Fatalf("got %d rows, want 3: %+v", len(stats), stats)
+	}
+	// Path order: op before kv; unknown stages sort last.
+	if stats[0].Stage != StageOp || stats[1].Stage != StageKV || stats[2].Stage != "zz-custom" {
+		t.Fatalf("bad order: %s, %s, %s", stats[0].Stage, stats[1].Stage, stats[2].Stage)
+	}
+	op := stats[0]
+	if op.Count != 2 || op.CPU != 2*sim.Microsecond || op.Bytes != 200 {
+		t.Errorf("bad op row: %+v", op)
+	}
+	if op.Latency != 2*sim.Microsecond {
+		t.Errorf("summed latency = %v, want 2us", op.Latency)
+	}
+	byRes := CPUByResource(tr.Spans())
+	if byRes["client-cpu"] != 2*sim.Microsecond || byRes["host-node0"] != 2*sim.Microsecond {
+		t.Errorf("bad CPUByResource: %v", byRes)
+	}
+}
+
+func TestCheckInvariantsCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		spans []Span
+		wants string
+	}{
+		{
+			"end before start",
+			[]Span{{ID: 1, Start: 100, End: 50, Finished: true}},
+			"End precedes Start",
+		},
+		{
+			"child escapes parent",
+			[]Span{
+				{ID: 1, OpID: 1, Start: 0, End: 100, Finished: true},
+				{ID: 2, Parent: 1, OpID: 1, Start: 50, End: 150, Finished: true},
+			},
+			"escapes parent",
+		},
+		{
+			"op id mismatch",
+			[]Span{
+				{ID: 1, OpID: 1, Start: 0, End: 100, Finished: true},
+				{ID: 2, Parent: 1, OpID: 2, Start: 10, End: 20, Finished: true},
+			},
+			"OpID",
+		},
+	}
+	for _, tc := range cases {
+		err := CheckInvariants(tc.spans)
+		if err == nil || !strings.Contains(err.Error(), tc.wants) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wants)
+		}
+	}
+	// A child whose parent is absent from the slice (reset, unfinished) is
+	// skipped, not a violation.
+	ok := []Span{{ID: 2, Parent: 1, OpID: 1, Start: 50, End: 150, Finished: true}}
+	if err := CheckInvariants(ok); err != nil {
+		t.Errorf("orphan child flagged: %v", err)
+	}
+}
+
+func TestCheckCPUConservation(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Finished: true, CPU: 5 * sim.Microsecond, Resource: "host-node0"},
+		{ID: 2, Finished: true, CPU: 3 * sim.Microsecond, Resource: "host-node0"},
+	}
+	busy := map[string]sim.Duration{"host-node0": 8 * sim.Microsecond}
+	if err := CheckCPUConservation(spans, busy); err != nil {
+		t.Errorf("exact sum rejected: %v", err)
+	}
+	busy["host-node0"] = 7 * sim.Microsecond
+	if err := CheckCPUConservation(spans, busy); err == nil {
+		t.Error("traced > busy must fail")
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	tr := runScript(t, func(p *sim.Proc, tr *Tracer) {
+		op := tr.Start(0, 3, StageOp, `obj "quoted"\x`)
+		tr.AddCPU(op, "client-cpu", sim.Microsecond)
+		p.Wait(5 * sim.Microsecond)
+		tr.Finish(op)
+	})
+	out := ChromeTrace(tr.Spans())
+	if !bytes.HasPrefix(out, []byte(`{"displayTimeUnit":"ms","traceEvents":[`)) {
+		t.Fatalf("bad prefix: %.60s", out)
+	}
+	if !bytes.HasSuffix(out, []byte("]}\n")) {
+		t.Fatalf("bad suffix: %s", out[len(out)-10:])
+	}
+	for _, want := range []string{
+		`"ph":"X"`, `"dur":5.000`, `"cpu_us":1.000`, `"tid":3`,
+		`obj \"quoted\"\\x`, `"ph":"M"`, `"process_name"`, `client-cpu`,
+	} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if again := ChromeTrace(tr.Spans()); !bytes.Equal(out, again) {
+		t.Error("ChromeTrace is not deterministic for identical spans")
+	}
+}
