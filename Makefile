@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test test-race race chaos-smoke bench bench-smoke microbench results quick examples vet fmt trace
+.PHONY: all build test test-race race chaos-smoke bench bench-smoke cover microbench results quick examples vet fmt trace
 
-all: build vet test test-race chaos-smoke bench-smoke
+all: build vet test test-race chaos-smoke bench-smoke cover
 
 build:
 	go build ./...
@@ -48,6 +48,11 @@ bench:
 # tracing hooks free when tracing is off.
 bench-smoke:
 	go run ./cmd/simbench -smoke -guard BENCH_sim.json
+
+# Per-package statement-coverage floors for the offload-critical packages
+# (core, doca, osd); see scripts/covergate.sh for the recorded floors.
+cover:
+	./scripts/covergate.sh
 
 # Traced benchmark: per-stage CPU/latency tables for both deployments plus
 # Chrome trace_event JSON for chrome://tracing or ui.perfetto.dev.

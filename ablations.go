@@ -17,6 +17,8 @@ type AblationResult struct {
 	Negotiations int64
 	FallbackSegs int64
 	DMAErrors    int64
+	BatchedTxns  int64
+	BatchFlushes int64
 }
 
 // RunAblations measures DoCeph with individual mechanisms disabled or
@@ -34,7 +36,7 @@ func RunAblations(opts ExpOptions) ([]AblationResult, error) {
 		mut    func(*ClusterConfig)
 		inject int64 // engine FailEvery
 	}
-	const big, small = int64(16 << 20), int64(1 << 20)
+	const big, small, tiny = int64(16 << 20), int64(1 << 20), int64(64 << 10)
 	variants := []variant{
 		{name: "doceph (full design)", size: big},
 		{name: "no pipelining", size: big, mut: func(c *ClusterConfig) {
@@ -59,6 +61,22 @@ func RunAblations(opts ExpOptions) ([]AblationResult, error) {
 		}},
 		{name: "1MB writes, DPU compression (2:1)", size: small, mut: func(c *ClusterConfig) {
 			c.Bridge.Proxy.EnableCompression = true
+		}},
+		// Batching variants at 64 KB, where per-op DMA setup dominates and
+		// coalescing pays the most.
+		{name: "64KB writes, no batching", size: tiny},
+		{name: "64KB writes, adaptive batching", size: tiny, mut: func(c *ClusterConfig) {
+			c.Bridge.Batch.Enable = true
+		}},
+		{name: "64KB writes, delay-only batching", size: tiny, mut: func(c *ClusterConfig) {
+			// Disable the idle heuristic by making the idle gap equal the
+			// max-delay budget: flushes come only from bytes or the timer.
+			c.Bridge.Batch.Enable = true
+			c.Bridge.Batch.IdleDelay = 400 * Microsecond
+			c.Bridge.Batch.MaxDelay = 400 * Microsecond
+		}},
+		{name: "64KB writes, batching + DMA failure every 200", size: tiny, inject: 200, mut: func(c *ClusterConfig) {
+			c.Bridge.Batch.Enable = true
 		}},
 	}
 
@@ -90,10 +108,12 @@ func RunAblations(opts ExpOptions) ([]AblationResult, error) {
 			HostUtil:   cl.HostCPUMerged().SingleCoreUtilization(),
 		}
 		for _, n := range cl.Nodes {
+			st := n.Bridge.Proxy.Stats()
 			res.Negotiations += n.Bridge.CC.Negotiations()
-			res.FallbackSegs += n.Bridge.Proxy.Stats().FallbackSegments +
-				n.Bridge.Proxy.Stats().FallbackTxns
+			res.FallbackSegs += st.FallbackSegments + st.FallbackTxns
 			res.DMAErrors += n.Bridge.EngUp.Stats().Errors
+			res.BatchedTxns += st.BatchedTxns
+			res.BatchFlushes += st.BatchFlushes
 		}
 		cl.Shutdown()
 		out = append(out, res)
@@ -105,12 +125,17 @@ func RunAblations(opts ExpOptions) ([]AblationResult, error) {
 func AblationTable(rows []AblationResult) *report.Table {
 	t := &report.Table{
 		Title:  "Ablations: DoCeph design choices",
-		Header: []string{"variant", "size", "avg lat (s)", "IOPS", "host CPU", "negotiations", "fallbacks", "DMA errors"},
+		Header: []string{"variant", "size", "avg lat (s)", "IOPS", "host CPU", "negotiations", "fallbacks", "DMA errors", "batched txns", "flushes"},
 	}
 	for _, r := range rows {
-		t.AddRow(r.Name, report.MB(r.SizeBytes), report.F3(r.AvgLatency.Seconds()), report.F2(r.IOPS),
+		size := report.MB(r.SizeBytes)
+		if r.SizeBytes < 1<<20 {
+			size = report.KB(r.SizeBytes)
+		}
+		t.AddRow(r.Name, size, report.F3(r.AvgLatency.Seconds()), report.F2(r.IOPS),
 			report.Pct(r.HostUtil), fmt.Sprint(r.Negotiations),
-			fmt.Sprint(r.FallbackSegs), fmt.Sprint(r.DMAErrors))
+			fmt.Sprint(r.FallbackSegs), fmt.Sprint(r.DMAErrors),
+			fmt.Sprint(r.BatchedTxns), fmt.Sprint(r.BatchFlushes))
 	}
 	t.AddNote("pipelining and MR caching are the paper's §3.3 optimizations; fallback rows exercise §4")
 	return t

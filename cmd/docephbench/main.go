@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	docephbench [-exp all|fig5|fig6|table2|fig7|fig8|fig9|fig10|table3|read|ablation|chaos]
+//	docephbench [-exp all|fig5|fig6|table2|fig7|fig8|fig9|fig10|table3|read|smallops|ablation|chaos]
 //	            [-quick] [-seconds N] [-threads N] [-seed N]
+//	            [-batch-bytes N] [-batch-op-bytes N] [-batch-delay-us N] [-batch-idle-us N]
 //
 // With -quick the runs are shortened (8 s measured window instead of the
 // paper's 60 s); shapes are preserved.
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, ablation, stability, scale, chaos")
+	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, smallops, ablation, stability, scale, chaos")
 	quick := flag.Bool("quick", false, "short runs (8s window) instead of the paper's 60s")
 	seconds := flag.Int("seconds", 0, "override the measured window length in seconds")
 	threads := flag.Int("threads", 16, "concurrent bench clients")
@@ -28,6 +29,10 @@ func main() {
 	traceRun := flag.Bool("trace", false, "run traced benchmarks (baseline + DoCeph) and print per-stage CPU/latency breakdowns")
 	traceOut := flag.String("trace-out", "", "with -trace: write Chrome trace_event JSON to <prefix>-baseline.json and <prefix>-doceph.json")
 	traceSize := flag.Int64("trace-size", 4<<20, "with -trace: request size in bytes")
+	batchBytes := flag.Int64("batch-bytes", 0, "smallops: max coalesced frame payload bytes (0 = default 1MB)")
+	batchOpBytes := flag.Int64("batch-op-bytes", 0, "smallops: largest op eligible for batching (0 = default 256KB)")
+	batchDelayUs := flag.Int64("batch-delay-us", 0, "smallops: max per-op batching delay in µs (0 = default 400)")
+	batchIdleUs := flag.Int64("batch-idle-us", 0, "smallops: queue-idle flush gap in µs (0 = default 40)")
 	flag.Parse()
 
 	opts := doceph.FullOptions()
@@ -39,6 +44,12 @@ func main() {
 	}
 	opts.Threads = *threads
 	opts.Seed = *seed
+	opts.Batch = doceph.BatchConfig{
+		MaxBatchBytes: *batchBytes,
+		MaxOpBytes:    *batchOpBytes,
+		MaxDelay:      doceph.Duration(*batchDelayUs) * doceph.Microsecond,
+		IdleDelay:     doceph.Duration(*batchIdleUs) * doceph.Microsecond,
+	}
 
 	// -trace alone means "just the traced run": keep the full sweep only if
 	// the user also asked for a specific experiment.
@@ -101,6 +112,18 @@ func main() {
 		if want("fig10") {
 			fmt.Println(doceph.Fig10Table(rows))
 		}
+	}
+
+	// Smallops is opt-in (not part of "all"): it is an extension below the
+	// paper's 1MB floor, probing the Figure-10 gap and what adaptive
+	// batching buys back.
+	if strings.EqualFold(*exp, "smallops") {
+		fmt.Println("running small-op sweep (baseline vs DoCeph vs DoCeph+batching, 4-256KB writes)...")
+		rows, err := doceph.RunSmallOpsSweep(opts, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.SmallOpsTable(rows))
 	}
 
 	if want("read") {

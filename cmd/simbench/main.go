@@ -27,11 +27,12 @@ import (
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_sim.json", "result file to maintain")
-		rebaseline = flag.Bool("rebaseline", false, "record this run as the baseline")
-		smoke      = flag.Bool("smoke", false, "short sweep, print only, no file written")
-		guard      = flag.String("guard", "", "fail if events/sec falls below -guard-ratio of this file's current record")
-		guardRatio = flag.Float64("guard-ratio", 0.3, "minimum fraction of the recorded events/sec the run must reach")
+		out         = flag.String("out", "BENCH_sim.json", "result file to maintain")
+		rebaseline  = flag.Bool("rebaseline", false, "record this run as the baseline")
+		smoke       = flag.Bool("smoke", false, "short sweep, print only, no file written")
+		guard       = flag.String("guard", "", "fail if events/sec falls below -guard-ratio of this file's current record")
+		guardRatio  = flag.Float64("guard-ratio", 0.3, "minimum fraction of the recorded events/sec the run must reach")
+		guardAllocs = flag.Float64("guard-allocs-ratio", 2.0, "maximum multiple of the recorded allocs/op the run may reach (0 disables)")
 	)
 	flag.Parse()
 
@@ -55,7 +56,7 @@ func main() {
 	fmt.Printf("%-14s %21.0f events/s  %10.0f ns/op  %8.1f allocs/op\n",
 		"TOTAL", rep.EventsPerSec, rep.NsPerOp, rep.AllocsPerOp)
 	if *guard != "" {
-		if err := perf.Guard(*guard, rep, *guardRatio); err != nil {
+		if err := perf.Guard(*guard, rep, *guardRatio, *guardAllocs); err != nil {
 			fail(err)
 		}
 	}

@@ -20,6 +20,7 @@ package doceph
 
 import (
 	"doceph/internal/cluster"
+	"doceph/internal/core"
 	"doceph/internal/radosbench"
 	"doceph/internal/sim"
 )
@@ -46,6 +47,9 @@ type (
 	BenchConfig = radosbench.Config
 	// BenchResult carries a workload's measurements.
 	BenchResult = radosbench.Result
+	// BatchConfig tunes the DPU data path's adaptive small-op batching
+	// (off by default; see core.BatchConfig).
+	BatchConfig = core.BatchConfig
 	// Duration is virtual time in nanoseconds.
 	Duration = sim.Duration
 )
@@ -73,6 +77,9 @@ const (
 
 // NewCluster assembles a simulated testbed.
 func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// DefaultBatchConfig returns the enabled batching defaults.
+func DefaultBatchConfig() BatchConfig { return core.DefaultBatchConfig() }
 
 // RunBench executes a closed-loop benchmark against cl's client and returns
 // its measurements. If cfg.OnWarmupEnd is nil, the cluster's host-CPU

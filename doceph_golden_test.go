@@ -57,11 +57,19 @@ func runGoldenScenario(t *testing.T, mode cluster.Mode) goldenMetrics {
 // The caller owns the cluster shutdown.
 func runGoldenScenarioOpt(t *testing.T, mode cluster.Mode, traced bool) (goldenMetrics, *cluster.Cluster) {
 	t.Helper()
-	cl := cluster.New(cluster.Config{Mode: mode, Seed: 42, Trace: traced})
+	return runSeededScenario(t, mode, traced, 42, 3*sim.Second)
+}
+
+// runSeededScenario is the golden scenario parameterized by seed and window
+// length, for the multi-seed determinism sweep.
+func runSeededScenario(t *testing.T, mode cluster.Mode, traced bool,
+	seed int64, dur sim.Duration) (goldenMetrics, *cluster.Cluster) {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Mode: mode, Seed: seed, Trace: traced})
 	res, err := radosbench.Run(cl.Env, cl.Client, radosbench.Config{
 		Threads:     8,
 		ObjectBytes: 1 << 20,
-		Duration:    3 * sim.Second,
+		Duration:    dur,
 		Warmup:      sim.Second,
 		OnWarmupEnd: cl.ResetHostStats,
 	})

@@ -1,0 +1,169 @@
+package doceph
+
+import (
+	"fmt"
+	"testing"
+
+	"doceph/internal/cluster"
+	"doceph/internal/radosbench"
+	"doceph/internal/sim"
+	"doceph/internal/trace"
+	"doceph/internal/wire"
+)
+
+// The metamorphic property of adaptive batching: it is a pure transport
+// optimization. For a fixed workload, turning batching on may change WHEN
+// things happen (virtual-time metrics) but never WHAT happens — every
+// stored object byte-identical, every reply's success/error identical, and
+// the trace still structurally sound. The suite runs a fixed op set at
+// sizes spanning the batched path (4K, 64K), the eligibility boundary and
+// the segmented bypass (1M, 4M), under both deployments.
+
+// metaOutcome captures everything observable about one run that batching
+// must NOT change.
+type metaOutcome struct {
+	ops      int64
+	objCRC   map[string]uint32
+	objLen   map[string]int
+	ghostErr string
+	// what batching MAY change, kept for the assertions about the
+	// batched arm itself:
+	batchedTxns int64
+	stages      map[string]bool
+}
+
+const (
+	metaThreads = 4
+	metaOps     = 5
+)
+
+// runMetamorphic executes the fixed workload and reads every written object
+// back through the client, plus one ghost read of an object that was never
+// written (the error half of the reply-set identity).
+func runMetamorphic(t *testing.T, mode cluster.Mode, size int64, batch bool) metaOutcome {
+	t.Helper()
+	cfg := cluster.Config{Mode: mode, Seed: 42, Trace: true}
+	if batch {
+		cfg.Bridge.Batch.Enable = true
+	}
+	cl := cluster.New(cfg)
+	defer cl.Shutdown()
+	res, err := radosbench.Run(cl.Env, cl.Client, radosbench.Config{
+		Threads:      metaThreads,
+		ObjectBytes:  size,
+		OpsPerThread: metaOps,
+	})
+	if err != nil {
+		t.Fatalf("mode %v size %d batch %v: %v", mode, size, batch, err)
+	}
+	out := metaOutcome{
+		ops:    res.Ops,
+		objCRC: map[string]uint32{},
+		objLen: map[string]int{},
+		stages: map[string]bool{},
+	}
+	readback := false
+	cl.Env.Spawn("meta-readback", func(p *sim.Proc) {
+		p.SetThread(sim.NewThread("meta-readback", "client"))
+		for w := 0; w < metaThreads; w++ {
+			for i := 0; i < metaOps; i++ {
+				obj := fmt.Sprintf("benchmark_data_w%d_%d", w, i)
+				var bl *wire.Bufferlist
+				bl, err := cl.Client.Read(p, obj, 0, 0)
+				if err != nil {
+					t.Errorf("readback %s: %v", obj, err)
+					continue
+				}
+				out.objCRC[obj] = bl.CRC32C()
+				out.objLen[obj] = bl.Length()
+			}
+		}
+		if _, err := cl.Client.Read(p, "never_written", 0, 0); err != nil {
+			out.ghostErr = err.Error()
+		}
+		readback = true
+	})
+	if err := cl.Env.RunUntil(cl.Env.Now().Add(60 * sim.Second)); err != nil || !readback {
+		t.Fatalf("readback did not finish: err=%v", err)
+	}
+
+	// The trace must stay structurally sound in every arm.
+	spans := cl.Tracer.Spans()
+	if err := trace.CheckInvariants(spans); err != nil {
+		t.Errorf("mode %v size %d batch %v: trace invariants: %v", mode, size, batch, err)
+	}
+	busy := map[string]Duration{cl.ClientCPU.Name(): cl.ClientCPU.Stats().TotalBusy}
+	for _, n := range cl.Nodes {
+		busy[n.HostCPU.Name()] = n.HostCPU.Stats().TotalBusy
+		if n.DPU != nil {
+			busy[n.DPU.CPU.Name()] = n.DPU.CPU.Stats().TotalBusy
+		}
+	}
+	if err := trace.CheckCPUConservation(spans, busy); err != nil {
+		t.Errorf("mode %v size %d batch %v: CPU conservation: %v", mode, size, batch, err)
+	}
+	for _, s := range spans {
+		out.stages[s.Stage] = true
+	}
+	for _, n := range cl.Nodes {
+		if n.Bridge != nil {
+			out.batchedTxns += n.Bridge.Proxy.Stats().BatchedTxns
+		}
+	}
+	return out
+}
+
+func TestMetamorphicBatchingPreservesSemantics(t *testing.T) {
+	sizes := []int64{4 << 10, 64 << 10, 1 << 20, 4 << 20}
+	for _, mode := range []cluster.Mode{cluster.Baseline, cluster.DoCeph} {
+		for _, size := range sizes {
+			mode, size := mode, size
+			t.Run(fmt.Sprintf("%v_%dKB", mode, size>>10), func(t *testing.T) {
+				t.Parallel()
+				off := runMetamorphic(t, mode, size, false)
+				on := runMetamorphic(t, mode, size, true)
+
+				// Reply sets: same op count, no write failures in either
+				// arm (runMetamorphic fails the test on any), and the same
+				// error for the never-written object.
+				if off.ops != on.ops {
+					t.Errorf("op count changed: %d vs %d", off.ops, on.ops)
+				}
+				if off.ghostErr == "" || off.ghostErr != on.ghostErr {
+					t.Errorf("ghost-read error changed: %q vs %q", off.ghostErr, on.ghostErr)
+				}
+
+				// Stored objects byte-identical between arms AND equal to
+				// the submitted payload.
+				want := radosbench.Payload(size)
+				if len(on.objCRC) != metaThreads*metaOps || len(off.objCRC) != len(on.objCRC) {
+					t.Fatalf("object sets differ: %d vs %d", len(off.objCRC), len(on.objCRC))
+				}
+				for obj, crc := range off.objCRC {
+					if on.objCRC[obj] != crc {
+						t.Errorf("%s: stored bytes changed with batching: %08x vs %08x",
+							obj, crc, on.objCRC[obj])
+					}
+					if crc != want.CRC32C() || int64(off.objLen[obj]) != size {
+						t.Errorf("%s: stored object corrupt (len %d, crc %08x)",
+							obj, off.objLen[obj], crc)
+					}
+				}
+
+				// The batched arm really batched where eligible, and the
+				// batch stages only ever appear in the batched arm.
+				if off.stages[trace.StageBatchStage] || off.stages[trace.StageBatchDMA] {
+					t.Error("batch spans present with batching off")
+				}
+				if mode == cluster.DoCeph && size <= 64<<10 {
+					if on.batchedTxns == 0 {
+						t.Error("no transactions batched in the batched arm")
+					}
+					if !on.stages[trace.StageBatchStage] || !on.stages[trace.StageBatchDMA] {
+						t.Errorf("batch spans missing in batched arm: %v", on.stages)
+					}
+				}
+			})
+		}
+	}
+}

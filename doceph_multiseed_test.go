@@ -1,0 +1,106 @@
+package doceph
+
+import (
+	"fmt"
+	"testing"
+
+	"doceph/internal/cluster"
+	"doceph/internal/sim"
+	"doceph/internal/trace"
+)
+
+// TestMultiSeedDeterminism widens the golden determinism gate from one
+// pinned seed to a sweep: for every seed, running the traced golden
+// scenario twice must reproduce every headline metric AND the byte-exact
+// trace bit-identically, and each run must satisfy the structural span
+// invariants and CPU conservation. A scheduling hazard that happens to
+// cancel out at seed 42 has to survive eight more orderings here.
+func TestMultiSeedDeterminism(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 42, 1337}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			type runOut struct {
+				metrics goldenMetrics
+				hash    string
+			}
+			run := func() runOut {
+				m, cl := runSeededScenario(t, cluster.DoCeph, true, seed, sim.Second)
+				defer cl.Shutdown()
+				spans := cl.Tracer.Spans()
+				if len(spans) == 0 {
+					t.Fatal("no spans recorded")
+				}
+				if err := trace.CheckInvariants(spans); err != nil {
+					t.Errorf("trace invariants: %v", err)
+				}
+				busy := map[string]Duration{cl.ClientCPU.Name(): cl.ClientCPU.Stats().TotalBusy}
+				for _, n := range cl.Nodes {
+					busy[n.HostCPU.Name()] = n.HostCPU.Stats().TotalBusy
+					if n.DPU != nil {
+						busy[n.DPU.CPU.Name()] = n.DPU.CPU.Stats().TotalBusy
+					}
+				}
+				if err := trace.CheckCPUConservation(spans, busy); err != nil {
+					t.Errorf("CPU conservation: %v", err)
+				}
+				return runOut{metrics: m, hash: chromeHash(spans)}
+			}
+			a, b := run(), run()
+			if a.metrics != b.metrics {
+				t.Errorf("metrics differ across identical runs:\n 1: %+v\n 2: %+v",
+					a.metrics, b.metrics)
+			}
+			if a.hash != b.hash {
+				t.Errorf("trace output differs across identical runs: %s vs %s",
+					a.hash, b.hash)
+			}
+		})
+	}
+}
+
+// TestMultiSeedDeterminismBatched is the same run-twice gate with the
+// batching daemons live, covering the new virtual-time machinery (adaptive
+// flush loop, notify coalescer, in-flight backpressure) at a size that
+// exercises the batched path.
+func TestMultiSeedDeterminismBatched(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 42}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			run := func() (int64, int64, uint64, string) {
+				cfg := cluster.Config{Mode: cluster.DoCeph, Seed: seed, Trace: true}
+				cfg.Bridge.Batch.Enable = true
+				cl := cluster.New(cfg)
+				defer cl.Shutdown()
+				res, err := RunBench(cl, BenchConfig{
+					Threads: 8, ObjectBytes: 64 << 10,
+					Duration: sim.Second, Warmup: 200 * sim.Millisecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				spans := cl.Tracer.Spans()
+				if err := trace.CheckInvariants(spans); err != nil {
+					t.Errorf("trace invariants: %v", err)
+				}
+				var batched int64
+				for _, n := range cl.Nodes {
+					batched += n.Bridge.Proxy.Stats().BatchedTxns
+				}
+				if batched == 0 {
+					t.Error("no transactions batched")
+				}
+				return res.Ops, int64(res.AvgLatency), cl.Env.Events(), chromeHash(spans)
+			}
+			o1, l1, e1, h1 := run()
+			o2, l2, e2, h2 := run()
+			if o1 != o2 || l1 != l2 || e1 != e2 || h1 != h2 {
+				t.Errorf("batched run not deterministic: ops %d/%d lat %d/%d events %d/%d trace %s/%s",
+					o1, o2, l1, l2, e1, e2, h1, h2)
+			}
+		})
+	}
+}

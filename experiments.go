@@ -18,6 +18,10 @@ type ExpOptions struct {
 	Warmup   Duration
 	Threads  int
 	Seed     int64
+	// Batch sets the batching knobs for sweep arms that run with batching
+	// on (RunSmallOpsSweep's third arm). Enable is forced on there; zero
+	// fields take DefaultBatchConfig values.
+	Batch BatchConfig
 }
 
 // FullOptions mirrors the paper's methodology (60 s runs, 16 clients).
@@ -57,11 +61,26 @@ type runResult struct {
 	msgrSw    int64
 	objSw     int64
 	breakdown core.Breakdown
+	// Batching counters, summed over nodes (zero on Baseline / unbatched).
+	batchedTxns  int64
+	batchFlushes int64
 }
 
 // runWorkload builds a fresh cluster and executes one benchmark on it.
 func runWorkload(mode Mode, linkBps float64, size int64, op BenchConfig, opts ExpOptions) (runResult, error) {
-	cl := NewCluster(ClusterConfig{Mode: mode, LinkBytesPerSec: linkBps, Seed: opts.Seed})
+	return runWorkloadCfg(mode, linkBps, size, op, opts, nil)
+}
+
+// runWorkloadCfg is runWorkload with a cluster-config mutator, for arms that
+// flip mechanism knobs (batching, channels, ...) on an otherwise identical
+// testbed.
+func runWorkloadCfg(mode Mode, linkBps float64, size int64, op BenchConfig,
+	opts ExpOptions, mut func(*ClusterConfig)) (runResult, error) {
+	cfg := ClusterConfig{Mode: mode, LinkBytesPerSec: linkBps, Seed: opts.Seed}
+	if mut != nil {
+		mut(&cfg)
+	}
+	cl := NewCluster(cfg)
 	defer cl.Shutdown()
 	op.Threads = opts.Threads
 	op.ObjectBytes = size
@@ -73,7 +92,7 @@ func runWorkload(mode Mode, linkBps float64, size int64, op BenchConfig, opts Ex
 		return runResult{}, err
 	}
 	m := cl.HostCPUMerged()
-	return runResult{
+	r := runResult{
 		bench:     bench,
 		hostUtil:  m.SingleCoreUtilization(),
 		msgrShare: m.ShareOf(messenger.ThreadCat),
@@ -82,7 +101,15 @@ func runWorkload(mode Mode, linkBps float64, size int64, op BenchConfig, opts Ex
 		msgrSw:    m.SwitchesByCat[messenger.ThreadCat],
 		objSw:     m.SwitchesByCat[bluestore.ThreadCat],
 		breakdown: cl.ProxyBreakdownMerged(),
-	}, nil
+	}
+	for _, n := range cl.Nodes {
+		if n.Bridge != nil {
+			st := n.Bridge.Proxy.Stats()
+			r.batchedTxns += st.BatchedTxns
+			r.batchFlushes += st.BatchFlushes
+		}
+	}
+	return r, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -346,6 +373,104 @@ func Fig10Table(rows []SizeComparison) *report.Table {
 			report.F2(r.DoCephIOPS), fmt.Sprintf("-%.0f%%", gap))
 	}
 	t.AddNote("paper: 435/304 at 1MB (-30%%) narrowing to 28/27 at 16MB (-4%%)")
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Extension: small-op IOPS sweep with adaptive batching (Figure 10's gap at
+// the small end, and what coalescing DMA setup buys back).
+
+// SmallOpComparison is one request-size row of the small-op sweep: Baseline
+// against DoCeph with batching off and on.
+type SmallOpComparison struct {
+	SizeBytes    int64
+	BaselineIOPS float64
+	DoCephIOPS   float64 // batching off
+	BatchedIOPS  float64 // batching on
+	BatchGainPct float64 // batched vs unbatched DoCeph
+	BaselineUtil float64
+	DoCephUtil   float64
+	BatchedUtil  float64
+	BatchedTxns  int64
+	BatchFlushes int64
+	AvgBatchSize float64
+	BaselineLat  sim.Duration
+	DoCephLat    sim.Duration
+	BatchedLat   sim.Duration
+}
+
+// SmallOpSizes are the request sizes of the small-op sweep, below the
+// paper's 1 MB floor where per-op DMA setup dominates.
+var SmallOpSizes = []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10}
+
+// RunSmallOpsSweep measures IOPS for small requests under three arms:
+// Baseline, DoCeph with per-op DMA (the Figure 10 regime, where ~1.6 ms of
+// setup per transfer caps small-op IOPS), and DoCeph with adaptive batching
+// (opts.Batch, Enable forced on), which amortizes one setup across a frame
+// of coalesced ops.
+func RunSmallOpsSweep(opts ExpOptions, sizes []int64) ([]SmallOpComparison, error) {
+	opts = opts.withDefaults()
+	if len(sizes) == 0 {
+		sizes = SmallOpSizes
+	}
+	var out []SmallOpComparison
+	for _, size := range sizes {
+		base, err := runWorkload(Baseline, Link100G, size, BenchConfig{}, opts)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %dKB: %w", size>>10, err)
+		}
+		plain, err := runWorkload(DoCeph, Link100G, size, BenchConfig{}, opts)
+		if err != nil {
+			return nil, fmt.Errorf("doceph %dKB: %w", size>>10, err)
+		}
+		batched, err := runWorkloadCfg(DoCeph, Link100G, size, BenchConfig{}, opts,
+			func(c *ClusterConfig) {
+				c.Bridge.Batch = opts.Batch
+				c.Bridge.Batch.Enable = true
+			})
+		if err != nil {
+			return nil, fmt.Errorf("doceph batched %dKB: %w", size>>10, err)
+		}
+		sc := SmallOpComparison{
+			SizeBytes:    size,
+			BaselineIOPS: base.bench.IOPS(),
+			DoCephIOPS:   plain.bench.IOPS(),
+			BatchedIOPS:  batched.bench.IOPS(),
+			BaselineUtil: base.hostUtil,
+			DoCephUtil:   plain.hostUtil,
+			BatchedUtil:  batched.hostUtil,
+			BatchedTxns:  batched.batchedTxns,
+			BatchFlushes: batched.batchFlushes,
+			BaselineLat:  base.bench.AvgLatency,
+			DoCephLat:    plain.bench.AvgLatency,
+			BatchedLat:   batched.bench.AvgLatency,
+		}
+		if sc.DoCephIOPS > 0 {
+			sc.BatchGainPct = (sc.BatchedIOPS/sc.DoCephIOPS - 1) * 100
+		}
+		if sc.BatchFlushes > 0 {
+			sc.AvgBatchSize = float64(sc.BatchedTxns) / float64(sc.BatchFlushes)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// SmallOpsTable renders the small-op sweep.
+func SmallOpsTable(rows []SmallOpComparison) *report.Table {
+	t := &report.Table{
+		Title: "Small-op sweep: IOPS, Baseline vs DoCeph vs DoCeph+batching",
+		Header: []string{"size", "Baseline IOPS", "DoCeph IOPS", "batched IOPS",
+			"batch gain", "avg batch", "Baseline CPU", "DoCeph CPU", "batched CPU"},
+	}
+	for _, r := range rows {
+		t.AddRow(report.KB(r.SizeBytes), report.F2(r.BaselineIOPS),
+			report.F2(r.DoCephIOPS), report.F2(r.BatchedIOPS),
+			fmt.Sprintf("%+.0f%%", r.BatchGainPct), report.F2(r.AvgBatchSize),
+			report.Pct(r.BaselineUtil), report.Pct(r.DoCephUtil),
+			report.Pct(r.BatchedUtil))
+	}
+	t.AddNote("per-op DMA setup (~1.6ms) caps unbatched DoCeph IOPS at small sizes (Fig. 10 gap); batching amortizes one setup+doorbell across a coalesced frame")
 	return t
 }
 

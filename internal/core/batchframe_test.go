@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"doceph/internal/wire"
+)
+
+// frameBytes builds a valid frame over the given (reqID, txnSeq, payload)
+// triples and returns its flat encoding.
+func frameBytes(ops []*batchOp) []byte {
+	return encodeBatchFrame(ops).Bytes()
+}
+
+func testOps(n int, payloadLen int) []*batchOp {
+	ops := make([]*batchOp, 0, n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, &batchOp{
+			reqID:   uint64(100 + i),
+			txnSeq:  uint64(200 + i),
+			payload: seeded(payloadLen, byte(i)),
+		})
+	}
+	return ops
+}
+
+// segmentedBL rebuilds raw as a multi-segment Bufferlist so the decoder's
+// cross-segment gather path is exercised too.
+func segmentedBL(raw []byte, segLen int) *wire.Bufferlist {
+	bl := &wire.Bufferlist{}
+	for len(raw) > 0 {
+		n := segLen
+		if n > len(raw) {
+			n = len(raw)
+		}
+		bl.AppendCopy(raw[:n])
+		raw = raw[n:]
+	}
+	return bl
+}
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, payloadLen int }{
+		{1, 100}, {3, 4 << 10}, {maxBatchOps, 0}, {7, 1},
+	} {
+		ops := testOps(tc.n, tc.payloadLen)
+		raw := frameBytes(ops)
+		for _, segLen := range []int{len(raw) + 1, 13} {
+			entries, err := decodeBatchFrame(segmentedBL(raw, segLen))
+			if err != nil {
+				t.Fatalf("n=%d seg=%d: %v", tc.n, segLen, err)
+			}
+			if len(entries) != tc.n {
+				t.Fatalf("n=%d: decoded %d entries", tc.n, len(entries))
+			}
+			for i, en := range entries {
+				if en.reqID != ops[i].reqID || en.txnSeq != ops[i].txnSeq ||
+					!en.payload.Equal(ops[i].payload) {
+					t.Fatalf("entry %d mismatch", i)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchFrameZeroCopyEncode(t *testing.T) {
+	ops := testOps(4, 8<<10)
+	frame := encodeBatchFrame(ops)
+	// The payload segments must be shared into the frame, not copied: the
+	// frame has at least one segment per payload beyond the header scratch.
+	if frame.Segments() < len(ops) {
+		t.Fatalf("frame has %d segments for %d payloads — payloads were copied",
+			frame.Segments(), len(ops))
+	}
+}
+
+func TestDecodeBatchFrameRejectsMalformed(t *testing.T) {
+	valid := frameBytes(testOps(2, 64))
+	corrupt := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		mut(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"short magic":    valid[:3],
+		"bad magic":      corrupt(func(b []byte) { b[0] ^= 0xff }),
+		"zero count":     corrupt(func(b []byte) { b[4], b[5], b[6], b[7] = 0, 0, 0, 0 }),
+		"huge count":     corrupt(func(b []byte) { b[4], b[5], b[6], b[7] = 0xff, 0xff, 0xff, 0xff }),
+		"count past end": corrupt(func(b []byte) { b[4] = 200 }),
+		"truncated body": valid[:len(valid)-5],
+		"payload len overflow": corrupt(func(b []byte) {
+			// First entry's payloadLen field (offset 8+16).
+			b[24], b[25], b[26], b[27] = 0xff, 0xff, 0xff, 0x7f
+		}),
+		"trailing garbage": append(append([]byte(nil), valid...), 0xde, 0xad),
+	}
+	for name, raw := range cases {
+		for _, segLen := range []int{len(raw) + 1, 5} {
+			if _, err := decodeBatchFrame(segmentedBL(raw, segLen)); err == nil {
+				t.Errorf("%s (seg %d): decoded without error", name, segLen)
+			}
+		}
+	}
+	if _, err := decodeBatchFrame(nil); err == nil {
+		t.Error("nil bufferlist decoded without error")
+	}
+}
+
+func TestTxnDoneBatchRoundTrip(t *testing.T) {
+	in := []txnDoneEntry{
+		{reqID: 1, code: rcOK, hostNanos: 123456},
+		{reqID: 99, code: rcIO, hostNanos: 0},
+		{reqID: 7, code: rcNotFound, hostNanos: -1},
+	}
+	out, err := decodeTxnDoneBatch(encodeTxnDoneBatch(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len=%d", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+	// Malformed variants error.
+	raw := encodeTxnDoneBatch(in).Bytes()
+	for name, bad := range map[string][]byte{
+		"truncated": raw[:len(raw)-3],
+		"empty":     {},
+		"zero":      {0, 0, 0, 0},
+		"huge":      {0xff, 0xff, 0xff, 0xff},
+		"trailing":  append(append([]byte(nil), raw...), 1),
+	} {
+		if _, err := decodeTxnDoneBatch(wire.FromBytes(bad)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// FuzzDecodeBatchFrame asserts the host-side unpack's robustness contract:
+// arbitrary corrupt or truncated frames must return an error — never panic
+// — whether the frame arrives contiguous or scattered across tiny segments,
+// and anything that decodes must re-encode to an equivalent frame.
+// Run with: go test -fuzz=FuzzDecodeBatchFrame ./internal/core
+func FuzzDecodeBatchFrame(f *testing.F) {
+	// Seed corpus: 1-op frame, a max-fill frame, truncated and corrupt.
+	f.Add(frameBytes(testOps(1, 64)))
+	f.Add(frameBytes(testOps(8, 512)))
+	f.Add(frameBytes(testOps(maxBatchOps, 0)))
+	valid := frameBytes(testOps(2, 32))
+	f.Add(valid[:len(valid)-7])
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xff
+	f.Add(bad)
+	f.Add([]byte{})
+	f.Add([]byte{0x44, 0x43, 0x42, 0x46}) // magic only
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		segLens := []int{len(raw) + 1, 7}
+		if len(raw) < 4<<10 {
+			// Byte-per-segment decode is O(len^2)-ish in segment count;
+			// only worth it on small inputs.
+			segLens = append(segLens, 1)
+		}
+		for _, segLen := range segLens {
+			entries, err := decodeBatchFrame(segmentedBL(raw, segLen))
+			if err != nil {
+				continue
+			}
+			if len(entries) == 0 || len(entries) > maxBatchOps {
+				t.Fatalf("accepted frame with %d entries", len(entries))
+			}
+			// Re-encode what decoded and check it decodes identically.
+			ops := make([]*batchOp, 0, len(entries))
+			var total int
+			for _, en := range entries {
+				total += en.payload.Length()
+				ops = append(ops, &batchOp{reqID: en.reqID, txnSeq: en.txnSeq, payload: en.payload})
+			}
+			if total > len(raw) {
+				t.Fatalf("payload bytes %d exceed input %d", total, len(raw))
+			}
+			again, err := decodeBatchFrame(encodeBatchFrame(ops))
+			if err != nil {
+				t.Fatalf("re-encoded frame failed to decode: %v", err)
+			}
+			if len(again) != len(entries) {
+				t.Fatalf("re-encode changed entry count: %d != %d", len(again), len(entries))
+			}
+		}
+	})
+}

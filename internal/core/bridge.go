@@ -31,6 +31,9 @@ type BridgeConfig struct {
 	// Engine configures both DMA directions.
 	Engine doca.EngineConfig
 	Comm   doca.CommChannelConfig
+	// Batch enables adaptive small-op batching on both sides of the bridge
+	// (proxy coalescing + host notify coalescing). Off by default.
+	Batch BatchConfig
 }
 
 // NewBridge wires a DPU to a host CPU + local store and returns the
@@ -38,6 +41,10 @@ type BridgeConfig struct {
 // DPU-resident OSD should be given as its backend.
 func NewBridge(env *sim.Env, dev *dpu.DPU, hostCPU *sim.CPU,
 	store objstore.Store, cfg BridgeConfig) *Bridge {
+	if cfg.Batch.Enable {
+		cfg.Proxy.Batch = cfg.Batch
+		cfg.Host.Batch = cfg.Batch
+	}
 	thRPCHost := sim.NewThread("host-rpc@"+dev.Name, RPCServerThreadCat)
 	thRPCDPU := sim.NewThread("proxy-rpc@"+dev.Name, ProxyThreadCat)
 	rpcDPU, rpcHost := rpcchan.New(env,

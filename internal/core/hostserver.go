@@ -46,6 +46,10 @@ type HostConfig struct {
 	// buffers are positioned on the host side").
 	ReadStagingBuffers     int
 	ReadStagingBufferBytes int64
+	// Batch configures adaptive batching; on the host side it enables the
+	// coalesced commit-notification RPCs (usually set through
+	// BridgeConfig.Batch).
+	Batch BatchConfig
 }
 
 // DefaultHostConfig returns the host-server defaults.
@@ -88,6 +92,7 @@ func (c HostConfig) withDefaults() HostConfig {
 	if c.ReadStagingBufferBytes == 0 {
 		c.ReadStagingBufferBytes = d.ReadStagingBufferBytes
 	}
+	c.Batch = c.Batch.withDefaults()
 	return c
 }
 
@@ -99,6 +104,13 @@ type HostStats struct {
 	ReadsServed     int64
 	ControlRequests int64
 	PollIterations  int64
+
+	// Batching counters (zero with batching disabled). FrameErrors counts
+	// batch frames the decoder rejected.
+	BatchFrames   int64
+	BatchedOps    int64
+	NotifyBatches int64
+	FrameErrors   int64
 }
 
 // HostServer is the lightweight host-resident service: an event-driven RPC
@@ -128,6 +140,11 @@ type HostServer struct {
 	nextCommit uint64
 	readyTxns  map[uint64]*readyTxn
 	stats      HostStats
+
+	// Notify batcher state (live only when cfg.Batch.Enable; see batch.go):
+	// queued commit notifications awaiting a coalesced opTxnDoneBatch RPC.
+	notifyCond *sim.Cond
+	notifyQ    []txnDoneEntry
 }
 
 type readyTxn struct {
@@ -176,6 +193,11 @@ func NewHostServer(env *sim.Env, hostCPU *sim.CPU, store objstore.Store,
 	rpcEnd.Handle(opReadFallback, hs.onReadFallback)
 	rpcEnd.Handle(opOmapGet, hs.onOmapGet)
 	rpcEnd.Handle(opOmapKeys, hs.onOmapKeys)
+	rpcEnd.Handle(opBatchFallback, hs.onBatchFallback)
+	if hs.cfg.Batch.Enable {
+		hs.notifyCond = sim.NewCond(env)
+		env.SpawnDaemon("host-notify-batch", func(p *sim.Proc) { hs.notifyLoop(p) })
+	}
 	// The polling thread's idle burn (PollIdleCycles every PollInterval) is
 	// accounted analytically as a constant background load on one core.
 	idleCores := float64(hs.cfg.PollIdleCycles) /
@@ -215,6 +237,28 @@ func (hs *HostServer) pollLoop(p *sim.Proc) {
 					int64(float64(t.Data.Length())*hs.cfg.DecompressCyclesPerByte))
 			}
 			hs.addSegment(p, hdr.reqID, hdr.txnSeq, hdr.seg, hdr.total, t.Data, hdr.traceCtx)
+		case segTxnBatch:
+			hs.stats.BatchFrames++
+			if t.Data != nil && t.Bytes < int64(t.Data.Length()) {
+				hs.cpu.Exec(p, hs.thPoll,
+					int64(float64(t.Data.Length())*hs.cfg.DecompressCyclesPerByte))
+			}
+			entries, err := decodeBatchFrame(t.Data)
+			if err != nil {
+				hs.stats.FrameErrors++
+				continue
+			}
+			// Unpack and dispatch each op individually: every entry enters
+			// the ordered commit queue as its own single-segment request, so
+			// OSD/commit semantics are identical to the unbatched path.
+			hs.stats.BatchedOps += int64(len(entries))
+			for i, en := range entries {
+				var ctx uint64
+				if i < len(hdr.batchCtxs) {
+					ctx = hdr.batchCtxs[i]
+				}
+				hs.addSegment(p, en.reqID, en.txnSeq, 0, 1, en.payload, ctx)
+			}
 		case segReadReq:
 			req, err := decodeReadReq(t.Data)
 			if err != nil {
@@ -304,10 +348,35 @@ func (hs *HostServer) commit(p *sim.Proc, rt *readyTxn) {
 }
 
 func (hs *HostServer) notifyTxnDone(reqID uint64, code uint16, hostWriteNanos int64) {
+	if hs.notifyCond != nil {
+		// Batching: queue for the notify batcher, which coalesces many
+		// completions into one opTxnDoneBatch RPC.
+		hs.notifyQ = append(hs.notifyQ, txnDoneEntry{reqID: reqID, code: code, hostNanos: hostWriteNanos})
+		hs.notifyCond.Broadcast()
+		return
+	}
 	hs.env.Spawn(fmt.Sprintf("host-notify:%d", reqID), func(p *sim.Proc) {
 		p.SetThread(hs.thPoll)
 		hs.rpc.Notify(p, opTxnDone, encodeTxnDone(reqID, code, hostWriteNanos))
 	})
+}
+
+// onBatchFallback files a whole batch frame arriving over the control plane
+// (the batched submit used during cooldown / after a batch DMA error).
+func (hs *HostServer) onBatchFallback(p *sim.Proc, req *rpcchan.Request,
+	respond func(*wire.Bufferlist, uint16)) {
+	entries, err := decodeBatchFrame(req.Payload)
+	if err != nil {
+		hs.stats.FrameErrors++
+		respond(nil, rcIO)
+		return
+	}
+	respond(nil, rcOK) // receipt ack; durability is signalled per op
+	hs.stats.SegmentsViaRPC += int64(len(entries))
+	hs.stats.BatchedOps += int64(len(entries))
+	for _, en := range entries {
+		hs.addSegment(p, en.reqID, en.txnSeq, 0, 1, en.payload, 0)
+	}
 }
 
 // serveRead executes a read and DMAs the data back to the DPU in <=2 MB

@@ -43,6 +43,13 @@ const (
 	// control plane.
 	opOmapGet
 	opOmapKeys
+	// opBatchFallback carries a whole batch frame (many coalesced small
+	// transactions) over RPC in ONE call — the batched submit used during
+	// cooldown and after a batch DMA error.
+	opBatchFallback
+	// opTxnDoneBatch notifies the DPU of many host commits in ONE RPC (the
+	// batched complete).
+	opTxnDoneBatch
 )
 
 // ErrFrame reports a malformed data-plane frame.
@@ -94,6 +101,7 @@ const (
 	segReadReq                     // DPU -> host: read request descriptor
 	segReadData                    // host -> DPU: read response data
 	segProbe                       // DPU -> host: cooldown health probe
+	segTxnBatch                    // DPU -> host: batch frame of coalesced small transactions
 )
 
 // segHeader is the per-transfer tag: which request a segment belongs to and
@@ -112,6 +120,9 @@ type segHeader struct {
 	// part of the wire header, so the RPC fallback path (encodeSegFallback)
 	// drops it and fallback segments go untraced.
 	traceCtx uint64
+	// batchCtxs carries the per-op trace contexts of a segTxnBatch frame,
+	// in frame entry order (in-memory only, like traceCtx).
+	batchCtxs []uint64
 }
 
 // readReq is the read descriptor shipped to the host on the data plane.

@@ -42,6 +42,9 @@ type ProxyConfig struct {
 	// engine time and DMA-wait) in exchange for accelerator time on the
 	// DPU and decompression CPU on the host (extension; see ablations).
 	EnableCompression bool
+	// Batch configures adaptive small-op batching (off by default; usually
+	// set through BridgeConfig.Batch).
+	Batch BatchConfig
 }
 
 // DefaultProxyConfig returns the proxy defaults used in the experiments.
@@ -72,6 +75,7 @@ func (c ProxyConfig) withDefaults() ProxyConfig {
 	if c.ControlCallCycles == 0 {
 		c.ControlCallCycles = d.ControlCallCycles
 	}
+	c.Batch = c.Batch.withDefaults()
 	return c
 }
 
@@ -104,6 +108,14 @@ type ProxyStats struct {
 	Probes           int64
 	ProbeFailures    int64
 	CooldownEntries  int64
+
+	// Batching counters (all zero with batching disabled). Flush reasons
+	// partition BatchFlushes: byte threshold, queue-idle gap, max-delay.
+	BatchedTxns     int64
+	BatchFlushes    int64
+	BatchFlushBytes int64
+	BatchFlushIdle  int64
+	BatchFlushDelay int64
 }
 
 // Proxy is the DPU-side ProxyObjectStore. It implements objstore.Store, so
@@ -130,6 +142,18 @@ type Proxy struct {
 	nextTxnSeq   uint64
 	pendingTxns  map[uint64]*pendingTxn
 	pendingReads map[uint64]*pendingRead
+
+	// Batcher state (live only when cfg.Batch.Enable; see batch.go).
+	thBatch    *sim.Thread
+	batchCond  *sim.Cond
+	batchQ     []*batchOp
+	batchBytes int64
+	// batchSeq counts arrivals; the flush loop compares it across an
+	// IdleDelay sleep to detect a quiet queue.
+	batchSeq uint64
+	// batchInflight counts batch frames currently on the engine; the flush
+	// loop accumulates while it is non-zero (backpressure).
+	batchInflight int
 
 	// cooldown state (paper §4): dmaHealthy gates the data plane; after
 	// cooldownUntil passes, the next request probes before re-enabling.
@@ -174,7 +198,26 @@ func NewProxy(env *sim.Env, dev *dpu.DPU, rpcEnd *rpcchan.Endpoint,
 	}
 	rpcEnd.Handle(opTxnDone, px.onTxnDone)
 	rpcEnd.Handle(opReadDone, px.onReadDone)
+	rpcEnd.Handle(opTxnDoneBatch, px.onTxnDoneBatch)
 	env.SpawnDaemon("dpu-dma-poll@"+dev.Name, func(p *sim.Proc) { px.downPollLoop(p) })
+	if px.cfg.Batch.Enable {
+		// Clamp the batch byte cap so a worst-case frame (payload + framing
+		// overhead) fits one staging buffer and one engine transfer.
+		lim := dev.Buffers.BufferBytes()
+		if m := engUp.Config().MaxTransferBytes; m < lim {
+			lim = m
+		}
+		lim -= batchFrameOverhead(px.cfg.Batch.MaxOps)
+		if px.cfg.Batch.MaxBatchBytes > lim {
+			px.cfg.Batch.MaxBatchBytes = lim
+		}
+		if px.cfg.Batch.MaxOpBytes > px.cfg.Batch.MaxBatchBytes {
+			px.cfg.Batch.MaxOpBytes = px.cfg.Batch.MaxBatchBytes
+		}
+		px.thBatch = sim.NewThread("proxy-batch@"+dev.Name, ProxyThreadCat)
+		px.batchCond = sim.NewCond(env)
+		env.SpawnDaemon("proxy-batch@"+dev.Name, func(p *sim.Proc) { px.batchLoop(p) })
+	}
 	return px
 }
 
@@ -276,6 +319,17 @@ func (px *Proxy) QueueTransaction(p *sim.Proc, txn *objstore.Transaction) *objst
 	pt := &pendingTxn{done: sim.NewEvent(px.env)}
 	px.pendingTxns[reqID] = pt
 
+	if px.cfg.Batch.Enable && int64(payload.Length()) <= px.cfg.Batch.MaxOpBytes {
+		// Small op: hand it to the batcher, which ships it coalesced with
+		// its neighbours; completion still arrives per op.
+		px.enqueueBatch(p, &batchOp{reqID: reqID, txnSeq: txnSeq, payload: payload, ctx: ctx})
+		px.env.Spawn(fmt.Sprintf("proxy-tx:%d", reqID), func(tp *sim.Proc) {
+			tp.SetThread(px.thProxy)
+			px.awaitTxn(tp, reqID, pt, res)
+		})
+		return res
+	}
+
 	useDMA := px.dmaAllowed(p)
 	if useDMA {
 		px.stats.DataPlaneTxns++
@@ -289,15 +343,20 @@ func (px *Proxy) QueueTransaction(p *sim.Proc, txn *objstore.Transaction) *objst
 		} else {
 			px.shipViaRPC(tp, reqID, txnSeq, payload, 0)
 		}
-		// Wait for the host commit notification.
-		pt.done.Wait(tp)
-		res.Err = codeToErr(pt.code)
-		px.breakdown.Requests++
-		px.breakdown.HostWrite += sim.Duration(pt.hostWriteNano)
-		delete(px.pendingTxns, reqID)
-		res.Done.Fire()
+		px.awaitTxn(tp, reqID, pt, res)
 	})
 	return res
+}
+
+// awaitTxn waits for the host commit notification and completes the
+// caller's Result (shared tail of the batched and per-op paths).
+func (px *Proxy) awaitTxn(tp *sim.Proc, reqID uint64, pt *pendingTxn, res *objstore.Result) {
+	pt.done.Wait(tp)
+	res.Err = codeToErr(pt.code)
+	px.breakdown.Requests++
+	px.breakdown.HostWrite += sim.Duration(pt.hostWriteNano)
+	delete(px.pendingTxns, reqID)
+	res.Done.Fire()
 }
 
 // shipViaDMA cuts payload into segments and pipelines stage+transfer. On a

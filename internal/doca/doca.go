@@ -189,6 +189,9 @@ type Transfer struct {
 	Bytes     int64
 	Data      *wire.Bufferlist
 	Src, Dst  *MemRegion
+	// Ops is the number of logical operations coalesced into this transfer
+	// (batch frames); zero means one. Accounting only.
+	Ops int
 	// Tag carries caller context to the completion poller.
 	Tag interface{}
 	// TraceCtx is the submitting operation's trace span context (raw
@@ -215,6 +218,10 @@ func (t *Transfer) CopyTime() sim.Duration { return t.CompletedAt.Sub(t.StartedA
 // EngineStats counts engine activity.
 type EngineStats struct {
 	Transfers int64
+	// OpsMoved counts logical operations carried: equal to Transfers
+	// without batching, larger with it (OpsMoved/Transfers is the achieved
+	// coalescing factor at the engine).
+	OpsMoved  int64
 	Bytes     int64
 	Errors    int64
 	TotalWait sim.Duration
@@ -358,6 +365,11 @@ func (e *Engine) run(p *sim.Proc, ch *dmaChannel) {
 			p.Wait(copyTime)
 			e.stats.Transfers++
 			e.stats.Bytes += t.Bytes
+			if t.Ops > 1 {
+				e.stats.OpsMoved += int64(t.Ops)
+			} else {
+				e.stats.OpsMoved++
+			}
 		}
 		t.CompletedAt = p.Now()
 		e.stats.TotalWait += t.Wait()

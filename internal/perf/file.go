@@ -23,11 +23,14 @@ type File struct {
 
 // Guard compares a fresh (tracing-disabled) run against the recorded
 // current numbers in the bench file and errors if events/sec collapsed
-// below minRatio of the record. The loose ratio absorbs machine-to-machine
-// and smoke-vs-full sweep variance; the guard exists to catch gross
-// regressions — e.g. instrumentation hooks that stopped being free when
-// disabled. A missing file or record is not an error (nothing to compare).
-func Guard(path string, rep Report, minRatio float64) error {
+// below minRatio of the record, or — when maxAllocsRatio > 0 — if allocs/op
+// grew above maxAllocsRatio times the record. The loose ratios absorb
+// machine-to-machine and smoke-vs-full sweep variance; the guard exists to
+// catch gross regressions: instrumentation hooks that stopped being free
+// when disabled, or a queueing layer that silently reintroduced per-op
+// allocations the zero-copy data plane had eliminated. A missing file or
+// record is not an error (nothing to compare).
+func Guard(path string, rep Report, minRatio, maxAllocsRatio float64) error {
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil
@@ -45,6 +48,11 @@ func Guard(path string, rep Report, minRatio float64) error {
 	if rep.EventsPerSec < f.Current.EventsPerSec*minRatio {
 		return fmt.Errorf("perf regression: %.0f events/s is below %.0f%% of the recorded %.0f (see %s)",
 			rep.EventsPerSec, minRatio*100, f.Current.EventsPerSec, path)
+	}
+	if maxAllocsRatio > 0 && f.Current.AllocsPerOp > 0 &&
+		rep.AllocsPerOp > f.Current.AllocsPerOp*maxAllocsRatio {
+		return fmt.Errorf("alloc regression: %.1f allocs/op is above %.1fx the recorded %.1f (see %s)",
+			rep.AllocsPerOp, maxAllocsRatio, f.Current.AllocsPerOp, path)
 	}
 	return nil
 }

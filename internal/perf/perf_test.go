@@ -196,25 +196,35 @@ func TestGuard(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 
 	// Nothing recorded yet: nothing to compare.
-	if err := Guard(path, Report{EventsPerSec: 1}, 0.3); err != nil {
+	if err := Guard(path, Report{EventsPerSec: 1}, 0.3, 2); err != nil {
 		t.Errorf("missing file must pass: %v", err)
 	}
 
-	if _, err := UpdateFile(path, Report{EventsPerSec: 1000}, false); err != nil {
+	if _, err := UpdateFile(path, Report{EventsPerSec: 1000, AllocsPerOp: 50}, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := Guard(path, Report{EventsPerSec: 400}, 0.3); err != nil {
+	if err := Guard(path, Report{EventsPerSec: 400, AllocsPerOp: 60}, 0.3, 2); err != nil {
 		t.Errorf("run above the floor rejected: %v", err)
 	}
-	err := Guard(path, Report{EventsPerSec: 200}, 0.3)
+	err := Guard(path, Report{EventsPerSec: 200}, 0.3, 2)
 	if err == nil || !strings.Contains(err.Error(), "perf regression") {
 		t.Errorf("collapsed run accepted: %v", err)
+	}
+
+	// The allocs/op ceiling: events/sec fine, allocations ballooned.
+	err = Guard(path, Report{EventsPerSec: 1000, AllocsPerOp: 150}, 0.3, 2)
+	if err == nil || !strings.Contains(err.Error(), "alloc regression") {
+		t.Errorf("alloc blow-up accepted: %v", err)
+	}
+	// Ceiling disabled with maxAllocsRatio 0.
+	if err := Guard(path, Report{EventsPerSec: 1000, AllocsPerOp: 150}, 0.3, 0); err != nil {
+		t.Errorf("disabled alloc ceiling must pass: %v", err)
 	}
 
 	if err := os.WriteFile(path, []byte("{bad"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := Guard(path, Report{EventsPerSec: 1000}, 0.3); err == nil {
+	if err := Guard(path, Report{EventsPerSec: 1000}, 0.3, 2); err == nil {
 		t.Error("corrupt guard file must error, not silently pass")
 	}
 }

@@ -42,6 +42,10 @@ func benchPayload(size int64) *wire.Bufferlist {
 	return bl
 }
 
+// Payload returns the shared, immutable benchmark payload used for writes
+// of the given size, so tests can verify stored content op-for-op.
+func Payload(size int64) *wire.Bufferlist { return benchPayload(size) }
+
 // Op selects the workload pattern.
 type Op int
 
@@ -59,8 +63,16 @@ type Config struct {
 	Threads int
 	// ObjectBytes is the request size (paper: 1/4/8/16 MB).
 	ObjectBytes int64
-	// Duration is the measured interval after warmup.
+	// Duration is the measured interval after warmup. Ignored when
+	// OpsPerThread is set.
 	Duration sim.Duration
+	// OpsPerThread switches the run from fixed-duration to fixed-work:
+	// each worker issues exactly this many operations and the run ends
+	// when the last one completes. The op set (object names, sizes,
+	// read/write split) then depends only on the config — not on timing —
+	// which is what lets metamorphic tests compare two runs of the same
+	// workload under different transports op-for-op.
+	OpsPerThread int
 	// Warmup is discarded from all statistics; stats windows on the
 	// cluster should be reset at its end via OnWarmupEnd.
 	Warmup sim.Duration
@@ -167,6 +179,8 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 		perSecBy     []int64
 		perSecLat    []sim.Duration
 		benchErr     error
+		workersLeft  = cfg.Threads
+		lastEnd      sim.Time
 	)
 	record := func(start, end sim.Time, bytes int64) {
 		if !measuring || stopped {
@@ -217,13 +231,27 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 			if nPrepop == 0 {
 				nPrepop = cfg.Threads * 4
 			}
-			for i := 0; !stopped && benchErr == nil; i++ {
+			for i := 0; benchErr == nil; i++ {
+				if cfg.OpsPerThread > 0 {
+					if i >= cfg.OpsPerThread {
+						break
+					}
+				} else if stopped {
+					break
+				}
 				start := p.Now()
 				var err error
 				var bytes int64
 				doRead := cfg.Op == Read
 				if cfg.Op == Mixed {
-					doRead = env.Rand().Intn(100) < cfg.ReadPercent
+					if cfg.OpsPerThread > 0 {
+						// Fixed-work runs derive the read/write split from
+						// (worker, i) so the op set is identical no matter
+						// how the transport schedules the workers.
+						doRead = (worker*7919+i*104729)%100 < cfg.ReadPercent
+					} else {
+						doRead = env.Rand().Intn(100) < cfg.ReadPercent
+					}
 				}
 				if !doRead {
 					obj := fmt.Sprintf("%s_w%d_%d", cfg.Prefix, worker, i)
@@ -244,6 +272,13 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 				}
 				record(start, p.Now(), bytes)
 			}
+			if cfg.OpsPerThread > 0 {
+				workersLeft--
+				if workersLeft == 0 {
+					lastEnd = p.Now()
+					stopped = true
+				}
+			}
 		})
 	}
 
@@ -255,6 +290,9 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 		measureStart = p.Now()
 		if cfg.OnWarmupEnd != nil {
 			cfg.OnWarmupEnd()
+		}
+		if cfg.OpsPerThread > 0 {
+			return // fixed-work runs end when the last worker finishes
 		}
 		p.Wait(cfg.Duration)
 		stopped = true
@@ -271,7 +309,11 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 		return res, benchErr
 	}
 
-	res.Window = cfg.Duration
+	if cfg.OpsPerThread > 0 {
+		res.Window = lastEnd.Sub(measureStart)
+	} else {
+		res.Window = cfg.Duration
+	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		var sum sim.Duration

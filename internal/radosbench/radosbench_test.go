@@ -82,3 +82,29 @@ func TestRunSmallWrite(t *testing.T) {
 		t.Errorf("derived rates empty: %v", res)
 	}
 }
+
+// TestRunFixedWork pins the OpsPerThread contract: exactly Threads *
+// OpsPerThread operations complete regardless of timing, and the window is
+// measured rather than configured.
+func TestRunFixedWork(t *testing.T) {
+	cl := cluster.New(cluster.Config{Mode: cluster.Baseline, Seed: 7})
+	defer cl.Shutdown()
+	res, err := Run(cl.Env, cl.Client, Config{
+		Op:           Write,
+		Threads:      3,
+		ObjectBytes:  64 << 10,
+		OpsPerThread: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(3 * 5); res.Ops != want {
+		t.Fatalf("ops = %d, want %d", res.Ops, want)
+	}
+	if res.Bytes != res.Ops*(64<<10) {
+		t.Errorf("bytes = %d, want %d", res.Bytes, res.Ops*(64<<10))
+	}
+	if res.Window <= 0 {
+		t.Errorf("window = %v", res.Window)
+	}
+}

@@ -91,3 +91,6 @@ func F4(f float64) string { return fmt.Sprintf("%.4f", f) }
 
 // MB formats bytes as mebibytes.
 func MB(b int64) string { return fmt.Sprintf("%dMB", b>>20) }
+
+// KB formats bytes as kibibytes.
+func KB(b int64) string { return fmt.Sprintf("%dKB", b>>10) }

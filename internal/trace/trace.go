@@ -192,9 +192,11 @@ var stageRank = map[string]int{
 	StageSerialize:   8,
 	StageDMAStage:    9,
 	StageDMA:         10,
-	StageHostCommit:  11,
-	StageAIO:         12,
-	StageKV:          13,
+	StageBatchStage:  11,
+	StageBatchDMA:    12,
+	StageHostCommit:  13,
+	StageAIO:         14,
+	StageKV:          15,
 }
 
 // Canonical stage names used by the instrumentation.
@@ -210,7 +212,12 @@ const (
 	StageSerialize   = "proxy-serialize"
 	StageDMAStage    = "dma-stage"
 	StageDMA         = "dma"
-	StageHostCommit  = "host-commit"
+	// StageBatchStage / StageBatchDMA are the batched-path analogues of
+	// dma-stage/dma: per-op staging into the shared batch frame and the
+	// op's ride on the coalesced transfer.
+	StageBatchStage = "batch.stage"
+	StageBatchDMA   = "batch.dma"
+	StageHostCommit = "host-commit"
 	// StageAIO is the bstore_aio data stage (checksum + direct blob
 	// writes); StageKV is the bstore_kv stage (WAL + metadata batch
 	// commit, deferred payloads riding the WAL).
