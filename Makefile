@@ -39,6 +39,8 @@ quick:
 # Simulator throughput harness: runs the radosbench sweep and writes
 # events/sec, ns/op and allocs/op to BENCH_sim.json (compared against the
 # recorded pre-optimization baseline). `-rebaseline` resets the baseline.
+# Sweep cells run on one worker per core with deterministic ordered output;
+# `-workers 1` forces the serial sweep (per-scenario alloc attribution).
 bench:
 	go run ./cmd/simbench -out BENCH_sim.json
 
@@ -50,7 +52,8 @@ bench-smoke:
 	go run ./cmd/simbench -smoke -guard BENCH_sim.json
 
 # Per-package statement-coverage floors for the offload-critical packages
-# (core, doca, osd); see scripts/covergate.sh for the recorded floors.
+# (core, doca, osd, messenger, sim, perf); see scripts/covergate.sh for
+# the recorded floors.
 cover:
 	./scripts/covergate.sh
 

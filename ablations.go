@@ -80,13 +80,15 @@ func RunAblations(opts ExpOptions) ([]AblationResult, error) {
 		}},
 	}
 
-	var out []AblationResult
-	for _, v := range variants {
+	out := make([]AblationResult, len(variants))
+	err := runParallel(len(variants), func(i int) error {
+		v := variants[i]
 		cfg := ClusterConfig{Mode: DoCeph, Seed: opts.Seed}
 		if v.mut != nil {
 			v.mut(&cfg)
 		}
 		cl := NewCluster(cfg)
+		defer cl.Shutdown()
 		if v.inject > 0 {
 			for _, n := range cl.Nodes {
 				n.Bridge.EngUp.FailEvery = v.inject
@@ -97,8 +99,7 @@ func RunAblations(opts ExpOptions) ([]AblationResult, error) {
 			Duration: opts.Duration, Warmup: opts.Warmup,
 		})
 		if err != nil {
-			cl.Shutdown()
-			return nil, fmt.Errorf("ablation %q: %w", v.name, err)
+			return fmt.Errorf("ablation %q: %w", v.name, err)
 		}
 		res := AblationResult{
 			Name:       v.name,
@@ -115,8 +116,11 @@ func RunAblations(opts ExpOptions) ([]AblationResult, error) {
 			res.BatchedTxns += st.BatchedTxns
 			res.BatchFlushes += st.BatchFlushes
 		}
-		cl.Shutdown()
-		out = append(out, res)
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

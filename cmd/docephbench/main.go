@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, smallops, ablation, stability, scale, chaos")
+	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, smallops, mq, ablation, stability, scale, chaos")
 	quick := flag.Bool("quick", false, "short runs (8s window) instead of the paper's 60s")
 	seconds := flag.Int("seconds", 0, "override the measured window length in seconds")
 	threads := flag.Int("threads", 16, "concurrent bench clients")
@@ -33,6 +33,9 @@ func main() {
 	batchOpBytes := flag.Int64("batch-op-bytes", 0, "smallops: largest op eligible for batching (0 = default 256KB)")
 	batchDelayUs := flag.Int64("batch-delay-us", 0, "smallops: max per-op batching delay in µs (0 = default 400)")
 	batchIdleUs := flag.Int64("batch-idle-us", 0, "smallops: queue-idle flush gap in µs (0 = default 40)")
+	dmaQueues := flag.Int("dma-queues", 0, "DPU DMA engine queues on DoCeph arms (0 = default 1, the serial engine)")
+	opShards := flag.Int("op-shards", 0, "OSD op-queue shards (0 = default 1)")
+	msgrLanes := flag.Int("msgr-lanes", 0, "messenger lanes per connection (0 = follow -dma-queues)")
 	flag.Parse()
 
 	opts := doceph.FullOptions()
@@ -50,6 +53,9 @@ func main() {
 		MaxDelay:      doceph.Duration(*batchDelayUs) * doceph.Microsecond,
 		IdleDelay:     doceph.Duration(*batchIdleUs) * doceph.Microsecond,
 	}
+	opts.DMAQueues = *dmaQueues
+	opts.OpShards = *opShards
+	opts.MsgrLanes = *msgrLanes
 
 	// -trace alone means "just the traced run": keep the full sweep only if
 	// the user also asked for a specific experiment.
@@ -124,6 +130,18 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(doceph.SmallOpsTable(rows))
+	}
+
+	// The multi-queue ablation is opt-in (not part of "all"): like smallops
+	// it is an extension probing the serial-engine ceiling below the
+	// paper's 1MB floor.
+	if strings.EqualFold(*exp, "mq") {
+		fmt.Println("running multi-queue ablation (batched DoCeph, 1/2/4/8 queues, 4-64KB writes)...")
+		rows, err := doceph.RunMultiQueueSweep(opts, nil, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.MultiQueueTable(rows))
 	}
 
 	if want("read") {

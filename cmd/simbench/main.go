@@ -15,6 +15,9 @@
 //	go run ./cmd/simbench -smoke          # short sweep, no file written
 //	go run ./cmd/simbench -smoke -guard BENCH_sim.json
 //	                                      # also fail on a gross perf regression
+//	go run ./cmd/simbench -workers 1      # serial sweep with per-scenario
+//	                                      # alloc attribution (default runs
+//	                                      # scenarios on parallel workers)
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 		guard       = flag.String("guard", "", "fail if events/sec falls below -guard-ratio of this file's current record")
 		guardRatio  = flag.Float64("guard-ratio", 0.3, "minimum fraction of the recorded events/sec the run must reach")
 		guardAllocs = flag.Float64("guard-allocs-ratio", 2.0, "maximum multiple of the recorded allocs/op the run may reach (0 disables)")
+		workers     = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial with per-scenario alloc attribution)")
 	)
 	flag.Parse()
 
@@ -45,7 +49,7 @@ func main() {
 	if *smoke {
 		sweep = perf.SmokeSweep()
 	}
-	rep, err := perf.RunSweep(sweep)
+	rep, err := perf.RunSweepWorkers(sweep, *workers)
 	if err != nil {
 		fail(err)
 	}

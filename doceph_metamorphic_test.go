@@ -39,12 +39,18 @@ const (
 
 // runMetamorphic executes the fixed workload and reads every written object
 // back through the client, plus one ghost read of an object that was never
-// written (the error half of the reply-set identity).
-func runMetamorphic(t *testing.T, mode cluster.Mode, size int64, batch bool) metaOutcome {
+// written (the error half of the reply-set identity). Extra mutators let the
+// multi-queue arm reshape the transport (queues, shards, lanes) on top of
+// the batch toggle.
+func runMetamorphic(t *testing.T, mode cluster.Mode, size int64, batch bool,
+	mut ...func(*cluster.Config)) metaOutcome {
 	t.Helper()
 	cfg := cluster.Config{Mode: mode, Seed: 42, Trace: true}
 	if batch {
 		cfg.Bridge.Batch.Enable = true
+	}
+	for _, m := range mut {
+		m(&cfg)
 	}
 	cl := cluster.New(cfg)
 	defer cl.Shutdown()

@@ -2,6 +2,9 @@ package doceph
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"doceph/internal/bluestore"
 	"doceph/internal/core"
@@ -22,6 +25,24 @@ type ExpOptions struct {
 	// on (RunSmallOpsSweep's third arm). Enable is forced on there; zero
 	// fields take DefaultBatchConfig values.
 	Batch BatchConfig
+	// DMAQueues sets the DPU DMA engine queue count on every DoCeph arm
+	// (0 keeps the default serial engine, queues=1).
+	DMAQueues int
+	// OpShards sets the OSD op-queue shard count on every arm (0 keeps the
+	// default single queue).
+	OpShards int
+	// MsgrLanes sets the per-connection messenger lane count (multi-QP
+	// transport). 0 follows DMAQueues: a multi-queue DoCeph deployment
+	// provisions one messenger lane per DMA queue, the QP-per-queue model.
+	MsgrLanes int
+}
+
+// lanes resolves the effective messenger lane count.
+func (o ExpOptions) lanes() int {
+	if o.MsgrLanes > 0 {
+		return o.MsgrLanes
+	}
+	return o.DMAQueues
 }
 
 // FullOptions mirrors the paper's methodology (60 s runs, 16 clients).
@@ -64,6 +85,23 @@ type runResult struct {
 	// Batching counters, summed over nodes (zero on Baseline / unbatched).
 	batchedTxns  int64
 	batchFlushes int64
+	// Upstream DMA engine accounting, summed over nodes (zero on Baseline):
+	// engBusy is the total queue service time, engQueues the per-node queue
+	// count, engNodes the number of bridges — together they give the engine
+	// occupancy over a run window.
+	engBusy   sim.Duration
+	engQueues int
+	engNodes  int
+}
+
+// engineOccupancy is the fraction of total queue capacity the upstream
+// engines spent servicing transfers over window.
+func (r runResult) engineOccupancy(window sim.Duration) float64 {
+	den := float64(r.engQueues) * float64(r.engNodes) * float64(window)
+	if den <= 0 {
+		return 0
+	}
+	return float64(r.engBusy) / den
 }
 
 // runWorkload builds a fresh cluster and executes one benchmark on it.
@@ -77,6 +115,9 @@ func runWorkload(mode Mode, linkBps float64, size int64, op BenchConfig, opts Ex
 func runWorkloadCfg(mode Mode, linkBps float64, size int64, op BenchConfig,
 	opts ExpOptions, mut func(*ClusterConfig)) (runResult, error) {
 	cfg := ClusterConfig{Mode: mode, LinkBytesPerSec: linkBps, Seed: opts.Seed}
+	cfg.Bridge.Engine.Queues = opts.DMAQueues
+	cfg.OSD.OpShards = opts.OpShards
+	cfg.Messenger.Lanes = opts.lanes()
 	if mut != nil {
 		mut(&cfg)
 	}
@@ -107,9 +148,51 @@ func runWorkloadCfg(mode Mode, linkBps float64, size int64, op BenchConfig,
 			st := n.Bridge.Proxy.Stats()
 			r.batchedTxns += st.BatchedTxns
 			r.batchFlushes += st.BatchFlushes
+			r.engBusy += n.Bridge.EngUp.Stats().Busy
+			r.engQueues = n.Bridge.EngUp.NumQueues()
+			r.engNodes++
 		}
 	}
 	return r, nil
+}
+
+// runParallel executes n independent simulation cells on up to GOMAXPROCS
+// OS goroutines. Every cell builds its own cluster (its own sim.Env and
+// seeded RNG), so results are bit-identical to the sequential order no
+// matter how the host scheduler interleaves them; callers store results by
+// index, keeping output ordering deterministic. The lowest-index error is
+// returned so failure reporting is deterministic too.
+func runParallel(n int, cell func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -140,17 +223,19 @@ type MessengerProfileResult struct {
 func RunMessengerProfile(opts ExpOptions) (MessengerProfileResult, error) {
 	opts = opts.withDefaults()
 	var out MessengerProfileResult
-	for _, link := range []struct {
+	links := []struct {
 		name string
 		bps  float64
 		dst  *LinkProfile
 	}{
 		{"1Gbps", Link1G, &out.OneG},
 		{"100Gbps", Link100G, &out.HundredG},
-	} {
+	}
+	err := runParallel(len(links), func(i int) error {
+		link := links[i]
 		r, err := runWorkload(Baseline, link.bps, 4<<20, BenchConfig{}, opts)
 		if err != nil {
-			return out, fmt.Errorf("profile %s: %w", link.name, err)
+			return fmt.Errorf("profile %s: %w", link.name, err)
 		}
 		*link.dst = LinkProfile{
 			LinkName:       link.name,
@@ -162,8 +247,9 @@ func RunMessengerProfile(opts ExpOptions) (MessengerProfileResult, error) {
 			MsgrSwitches:   r.msgrSw,
 			ObjSwitches:    r.objSw,
 		}
-	}
-	return out, nil
+		return nil
+	})
+	return out, err
 }
 
 // Fig5Table renders the CPU-share breakdown (paper: messenger ~81%/82.5%,
@@ -246,16 +332,27 @@ func RunSizeSweep(opts ExpOptions, sizes []int64) ([]SizeComparison, error) {
 	if len(sizes) == 0 {
 		sizes = PaperSizes
 	}
+	// Flatten the (size x deployment) grid into independent parallel cells.
+	cells := make([]runResult, 2*len(sizes))
+	err := runParallel(len(cells), func(i int) error {
+		size, arm := sizes[i/2], i%2
+		mode, name := Baseline, "baseline"
+		if arm == 1 {
+			mode, name = DoCeph, "doceph"
+		}
+		r, err := runWorkload(mode, Link100G, size, BenchConfig{}, opts)
+		if err != nil {
+			return fmt.Errorf("%s %dMB: %w", name, size>>20, err)
+		}
+		cells[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []SizeComparison
-	for _, size := range sizes {
-		base, err := runWorkload(Baseline, Link100G, size, BenchConfig{}, opts)
-		if err != nil {
-			return nil, fmt.Errorf("baseline %dMB: %w", size>>20, err)
-		}
-		dc, err := runWorkload(DoCeph, Link100G, size, BenchConfig{}, opts)
-		if err != nil {
-			return nil, fmt.Errorf("doceph %dMB: %w", size>>20, err)
-		}
+	for si, size := range sizes {
+		base, dc := cells[2*si], cells[2*si+1]
 		sc := SizeComparison{
 			SizeBytes:    size,
 			BaselineUtil: base.hostUtil,
@@ -413,24 +510,36 @@ func RunSmallOpsSweep(opts ExpOptions, sizes []int64) ([]SmallOpComparison, erro
 	if len(sizes) == 0 {
 		sizes = SmallOpSizes
 	}
+	// Three arms per size, each an independent parallel cell.
+	cells := make([]runResult, 3*len(sizes))
+	err := runParallel(len(cells), func(i int) error {
+		size, arm := sizes[i/3], i%3
+		var r runResult
+		var err error
+		switch arm {
+		case 0:
+			r, err = runWorkload(Baseline, Link100G, size, BenchConfig{}, opts)
+		case 1:
+			r, err = runWorkload(DoCeph, Link100G, size, BenchConfig{}, opts)
+		default:
+			r, err = runWorkloadCfg(DoCeph, Link100G, size, BenchConfig{}, opts,
+				func(c *ClusterConfig) {
+					c.Bridge.Batch = opts.Batch
+					c.Bridge.Batch.Enable = true
+				})
+		}
+		if err != nil {
+			return fmt.Errorf("smallops arm %d %dKB: %w", arm, size>>10, err)
+		}
+		cells[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []SmallOpComparison
-	for _, size := range sizes {
-		base, err := runWorkload(Baseline, Link100G, size, BenchConfig{}, opts)
-		if err != nil {
-			return nil, fmt.Errorf("baseline %dKB: %w", size>>10, err)
-		}
-		plain, err := runWorkload(DoCeph, Link100G, size, BenchConfig{}, opts)
-		if err != nil {
-			return nil, fmt.Errorf("doceph %dKB: %w", size>>10, err)
-		}
-		batched, err := runWorkloadCfg(DoCeph, Link100G, size, BenchConfig{}, opts,
-			func(c *ClusterConfig) {
-				c.Bridge.Batch = opts.Batch
-				c.Bridge.Batch.Enable = true
-			})
-		if err != nil {
-			return nil, fmt.Errorf("doceph batched %dKB: %w", size>>10, err)
-		}
+	for si, size := range sizes {
+		base, plain, batched := cells[3*si], cells[3*si+1], cells[3*si+2]
 		sc := SmallOpComparison{
 			SizeBytes:    size,
 			BaselineIOPS: base.bench.IOPS(),
@@ -492,17 +601,27 @@ func RunReadSweep(opts ExpOptions, sizes []int64) ([]ReadComparison, error) {
 	if len(sizes) == 0 {
 		sizes = PaperSizes
 	}
-	var out []ReadComparison
-	for _, size := range sizes {
+	cells := make([]runResult, 2*len(sizes))
+	err := runParallel(len(cells), func(i int) error {
+		size, arm := sizes[i/2], i%2
+		mode, name := Baseline, "baseline"
+		if arm == 1 {
+			mode, name = DoCeph, "doceph"
+		}
 		cfg := BenchConfig{Op: ReadWorkload, PrepopulateObjects: opts.Threads * 4}
-		base, err := runWorkload(Baseline, Link100G, size, cfg, opts)
+		r, err := runWorkload(mode, Link100G, size, cfg, opts)
 		if err != nil {
-			return nil, fmt.Errorf("baseline read %dMB: %w", size>>20, err)
+			return fmt.Errorf("%s read %dMB: %w", name, size>>20, err)
 		}
-		dc, err := runWorkload(DoCeph, Link100G, size, cfg, opts)
-		if err != nil {
-			return nil, fmt.Errorf("doceph read %dMB: %w", size>>20, err)
-		}
+		cells[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []ReadComparison
+	for si, size := range sizes {
+		base, dc := cells[2*si], cells[2*si+1]
 		out = append(out, ReadComparison{
 			SizeBytes:    size,
 			BaselineLat:  base.bench.AvgLatency,

@@ -578,6 +578,45 @@ func TraceContext(m Message) uint64 {
 	return 0
 }
 
+// LaneKey returns a stable ordering key for multi-lane transports and
+// whether the message may leave lane 0 at all. Messages addressing one
+// object hash by object name (RADOS ordering is per object per session);
+// PG-scoped traffic hashes by PG id so a PG's replication stream stays
+// FIFO. Everything else — maps, boots, heartbeats, stats — returns false
+// and must ride lane 0, preserving the strict peer-wide ordering those
+// protocols assume.
+func LaneKey(m Message) (uint64, bool) {
+	switch m := m.(type) {
+	case *MOSDOp:
+		return fnv64(m.Object), true
+	case *MOSDOpReply:
+		return fnv64(m.Object), true
+	case *MRepOp:
+		return uint64(m.PGID), true
+	case *MRepOpReply:
+		return uint64(m.PGID), true
+	case *MPGPush:
+		return uint64(m.PGID), true
+	case *MPGPushAck:
+		return uint64(m.PGID), true
+	case *MScrub:
+		return uint64(m.PGID), true
+	case *MScrubReply:
+		return uint64(m.PGID), true
+	}
+	return 0, false
+}
+
+// fnv64 is FNV-1a, inlined so lane steering never allocates.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // payloadOf returns the bulk data field excluded from the scratch sizing
 // hint (it travels as shared segments, not through scratch).
 func payloadOf(m Message) *wire.Bufferlist {

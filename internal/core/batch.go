@@ -137,11 +137,12 @@ func (px *Proxy) batchLoop(p *sim.Proc) {
 				break
 			}
 		}
-		// Backpressure: while a batch transfer is still in flight the engine
-		// could not serve another frame anyway, so keep accumulating instead
-		// of queueing single-op frames behind it. This is what makes the
-		// batch size track the instantaneous queue depth under load.
-		for px.batchInflight > 0 {
+		// Backpressure: with every DMA queue already serving a frame the
+		// engine could not start another anyway, so keep accumulating
+		// instead of queueing single-op frames behind them. This is what
+		// makes the batch size track the instantaneous queue depth under
+		// load; with a multi-queue engine, up to NumQueues frames overlap.
+		for px.batchInflight >= px.engUp.NumQueues() {
 			px.batchCond.Wait(p)
 		}
 		*reason++
@@ -203,20 +204,34 @@ func (px *Proxy) flushBatch(p *sim.Proc) {
 	if px.comp != nil {
 		wireBytes = px.comp.Compress(p, px.dev.CPU, wireBytes)
 	}
+	px.nextReq++
+	batchID := px.nextReq
+	dmaStage := trace.StageBatchDMA
+	qpin := 0
+	if px.engUp.NumQueues() > 1 {
+		// JSQ: claim the shallowest queue now so the frame never queues
+		// behind a busy queue while a sibling sits idle. The reservation
+		// also fixes the per-queue trace stage and the notify shard the
+		// host will use for this frame's commit notifications.
+		qidx := px.engUp.ReserveQueue()
+		qpin = qidx + 1
+		dmaStage = trace.StageBatchDMAQueue(qidx)
+	}
 	ctxs := make([]uint64, len(take))
 	spans := make([]trace.SpanID, len(take))
 	for i, op := range take {
 		ctxs[i] = uint64(op.ctx)
 		if op.ctx != 0 {
-			spans[i] = px.tr.Start(op.ctx, 0, trace.StageBatchDMA, px.dev.Name)
+			spans[i] = px.tr.Start(op.ctx, 0, dmaStage, px.dev.Name)
 			px.tr.AddBytes(spans[i], int64(op.payload.Length()))
 		}
 	}
-	px.nextReq++
-	batchID := px.nextReq
+	// Batch frames always move from the pre-registered staging pool into
+	// the fixed host region: consecutive frames on a queue reuse the
+	// established MRs/descriptors instead of a full setup (§3.3).
 	t := &doca.Transfer{
 		ReqID: batchID, TotalSegs: 1, Bytes: wireBytes, Data: frame, Ops: len(take),
-		Src: px.dpuMR, Dst: px.hostMR,
+		Src: px.dpuMR, Dst: px.hostMR, ReuseSetup: true, Queue: qpin,
 		Tag: segHeader{kind: segTxnBatch, reqID: batchID, total: 1, batchCtxs: ctxs},
 	}
 	dmaStart := p.Now()
@@ -281,19 +296,25 @@ func (px *Proxy) onTxnDoneBatch(p *sim.Proc, req *rpcchan.Request,
 	}
 }
 
-// notifyLoop is the host-side completion batcher (spawned only when
-// batching is enabled): it drains queued commit notifications into
-// opTxnDoneBatch RPCs using the same adaptive idle/max-delay policy as the
-// proxy batcher.
-func (hs *HostServer) notifyLoop(p *sim.Proc) {
+// notifyLoop is one host-side completion batcher shard (spawned only when
+// batching is enabled, one per DMA queue): it drains queued commit
+// notifications into opTxnDoneBatch RPCs using the same adaptive
+// idle/max-delay policy as the proxy batcher.
+func (hs *HostServer) notifyLoop(p *sim.Proc, sh *notifyShard) {
 	p.SetThread(hs.thPoll)
 	cfg := hs.cfg.Batch
+	// lastN is the size of the previous coalesced RPC. When it was a single
+	// entry the shard is in a low-rate regime: waiting IdleDelay for a
+	// companion almost never finds one and just adds latency to the commit
+	// ack, so flush immediately. The first multi-entry flush (completions
+	// arrived back-to-back during the RPC) switches back to accumulating.
+	lastN := 0
 	for {
-		for len(hs.notifyQ) == 0 {
-			hs.notifyCond.Wait(p)
+		for len(sh.q) == 0 {
+			sh.cond.Wait(p)
 		}
 		deadline := p.Now().Add(cfg.MaxDelay)
-		for len(hs.notifyQ) < cfg.NotifyMax {
+		for lastN > 1 && len(sh.q) < cfg.NotifyMax {
 			rem := deadline.Sub(p.Now())
 			if rem <= 0 {
 				break
@@ -302,18 +323,19 @@ func (hs *HostServer) notifyLoop(p *sim.Proc) {
 			if rem < wait {
 				wait = rem
 			}
-			before := len(hs.notifyQ)
+			before := len(sh.q)
 			p.Wait(wait)
-			if len(hs.notifyQ) == before {
+			if len(sh.q) == before {
 				break
 			}
 		}
-		n := len(hs.notifyQ)
+		n := len(sh.q)
 		if n > cfg.NotifyMax {
 			n = cfg.NotifyMax
 		}
-		frame := encodeTxnDoneBatch(hs.notifyQ[:n])
-		hs.notifyQ = hs.notifyQ[n:]
+		lastN = n
+		frame := encodeTxnDoneBatch(sh.q[:n])
+		sh.q = sh.q[n:]
 		hs.stats.NotifyBatches++
 		hs.rpc.Notify(p, opTxnDoneBatch, frame)
 	}

@@ -234,7 +234,7 @@ func TestBatchDisabledSpawnsNothing(t *testing.T) {
 		if px.batchCond != nil || px.thBatch != nil {
 			t.Fatal("batcher state exists with batching disabled")
 		}
-		if r.bridge.Host.notifyCond != nil {
+		if len(r.bridge.Host.notify) != 0 {
 			t.Fatal("notify batcher exists with batching disabled")
 		}
 		if err := commitP(t, p, px,

@@ -24,6 +24,41 @@ func testOps(n int, payloadLen int) []*batchOp {
 	return ops
 }
 
+// mqInterleavedOps builds the op mix a multi-queue flush produces when
+// several requests are in flight at once: nreq requests round-robin through
+// the frame, each contributing perReq ops with its own txnSeq progression
+// and a payload size that differs per request.
+func mqInterleavedOps(nreq, perReq int) []*batchOp {
+	ops := make([]*batchOp, 0, nreq*perReq)
+	seq := make([]uint64, nreq)
+	for round := 0; round < perReq; round++ {
+		for r := 0; r < nreq; r++ {
+			seq[r]++
+			ops = append(ops, &batchOp{
+				reqID:   uint64(1 + r),
+				txnSeq:  seq[r],
+				payload: seeded(32<<r, byte(r*16+round)),
+			})
+		}
+	}
+	return ops
+}
+
+// mqQueueLocalOps builds a frame as one queue of a queues-wide engine would
+// carry it under ReqID-hash steering: every ReqID is congruent to q mod
+// queues, so the frame covers a strided slice of the request space.
+func mqQueueLocalOps(queues, q, n int) []*batchOp {
+	ops := make([]*batchOp, 0, n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, &batchOp{
+			reqID:   uint64(q + (i+1)*queues),
+			txnSeq:  uint64(1 + i),
+			payload: seeded(64+i*96, byte(q*32+i)),
+		})
+	}
+	return ops
+}
+
 // segmentedBL rebuilds raw as a multi-segment Bufferlist so the decoder's
 // cross-segment gather path is exercised too.
 func segmentedBL(raw []byte, segLen int) *wire.Bufferlist {
@@ -157,6 +192,20 @@ func FuzzDecodeBatchFrame(f *testing.F) {
 	f.Add(bad)
 	f.Add([]byte{})
 	f.Add([]byte{0x44, 0x43, 0x42, 0x46}) // magic only
+	// Multi-queue interleavings. With queues > 1 the batcher drains per-queue
+	// flushes whose op mixes look different from the serial stream: a frame
+	// holds ops from several in-flight requests with interleaved txn
+	// sequences and uneven payload sizes, or only the requests that steered
+	// to one queue (ReqIDs congruent mod the queue count), and frames from
+	// different queues land on the wire back to back.
+	f.Add(frameBytes(mqInterleavedOps(4, 3)))
+	f.Add(frameBytes(mqQueueLocalOps(4, 2, 6)))
+	q0 := frameBytes(mqQueueLocalOps(4, 0, 3))
+	q3 := frameBytes(mqQueueLocalOps(4, 3, 3))
+	f.Add(append(append([]byte(nil), q0...), q3...)) // two queue flushes concatenated
+	splice := append([]byte(nil), q0...)
+	copy(splice[len(splice)/2:], q3) // queue frames torn mid-entry
+	f.Add(splice)
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		segLens := []int{len(raw) + 1, 7}
 		if len(raw) < 4<<10 {

@@ -141,14 +141,24 @@ type HostServer struct {
 	readyTxns  map[uint64]*readyTxn
 	stats      HostStats
 
-	// Notify batcher state (live only when cfg.Batch.Enable; see batch.go):
-	// queued commit notifications awaiting a coalesced opTxnDoneBatch RPC.
-	notifyCond *sim.Cond
-	notifyQ    []txnDoneEntry
+	// Notify coalescers (live only when cfg.Batch.Enable; see batch.go):
+	// queued commit notifications awaiting a coalesced opTxnDoneBatch RPC,
+	// one shard per DMA queue so the parallel completion streams don't
+	// funnel through a single batcher.
+	notify []*notifyShard
+}
+
+// notifyShard is one commit-notification coalescer (per DMA queue).
+type notifyShard struct {
+	cond *sim.Cond
+	q    []txnDoneEntry
 }
 
 type readyTxn struct {
 	reqID uint64
+	// queue is the DMA queue index the transaction's frame rode; its commit
+	// notification goes to the matching notify shard.
+	queue int
 	txn   *objstore.Transaction
 	// silent suppresses the commit notification (the error was already
 	// reported; the entry only keeps the sequence moving).
@@ -195,8 +205,16 @@ func NewHostServer(env *sim.Env, hostCPU *sim.CPU, store objstore.Store,
 	rpcEnd.Handle(opOmapKeys, hs.onOmapKeys)
 	rpcEnd.Handle(opBatchFallback, hs.onBatchFallback)
 	if hs.cfg.Batch.Enable {
-		hs.notifyCond = sim.NewCond(env)
-		env.SpawnDaemon("host-notify-batch", func(p *sim.Proc) { hs.notifyLoop(p) })
+		n := engUp.NumQueues()
+		for i := 0; i < n; i++ {
+			sh := &notifyShard{cond: sim.NewCond(env)}
+			hs.notify = append(hs.notify, sh)
+			name := "host-notify-batch"
+			if n > 1 {
+				name = fmt.Sprintf("host-notify-batch:q%d", i)
+			}
+			env.SpawnDaemon(name, func(p *sim.Proc) { hs.notifyLoop(p, sh) })
+		}
 	}
 	// The polling thread's idle burn (PollIdleCycles every PollInterval) is
 	// accounted analytically as a constant background load on one core.
@@ -236,7 +254,8 @@ func (hs *HostServer) pollLoop(p *sim.Proc) {
 				hs.cpu.Exec(p, hs.thPoll,
 					int64(float64(t.Data.Length())*hs.cfg.DecompressCyclesPerByte))
 			}
-			hs.addSegment(p, hdr.reqID, hdr.txnSeq, hdr.seg, hdr.total, t.Data, hdr.traceCtx)
+			hs.addSegment(p, hdr.reqID, hdr.txnSeq, hdr.seg, hdr.total, t.Data, hdr.traceCtx,
+				hs.engUp.QueueFor(hdr.reqID))
 		case segTxnBatch:
 			hs.stats.BatchFrames++
 			if t.Data != nil && t.Bytes < int64(t.Data.Length()) {
@@ -252,12 +271,18 @@ func (hs *HostServer) pollLoop(p *sim.Proc) {
 			// the ordered commit queue as its own single-segment request, so
 			// OSD/commit semantics are identical to the unbatched path.
 			hs.stats.BatchedOps += int64(len(entries))
+			// Route every op in the frame to the notify shard of the queue
+			// the frame actually rode (JSQ-pinned or hash-steered).
+			qidx := t.Queue - 1
+			if qidx < 0 {
+				qidx = hs.engUp.QueueFor(t.ReqID)
+			}
 			for i, en := range entries {
 				var ctx uint64
 				if i < len(hdr.batchCtxs) {
 					ctx = hdr.batchCtxs[i]
 				}
-				hs.addSegment(p, en.reqID, en.txnSeq, 0, 1, en.payload, ctx)
+				hs.addSegment(p, en.reqID, en.txnSeq, 0, 1, en.payload, ctx, qidx)
 			}
 		case segReadReq:
 			req, err := decodeReadReq(t.Data)
@@ -273,7 +298,7 @@ func (hs *HostServer) pollLoop(p *sim.Proc) {
 
 // addSegment files one transaction segment (from either plane); once the
 // request is complete its transaction joins the ordered commit queue.
-func (hs *HostServer) addSegment(p *sim.Proc, reqID, txnSeq uint64, seg, total int, data *wire.Bufferlist, traceCtx uint64) {
+func (hs *HostServer) addSegment(p *sim.Proc, reqID, txnSeq uint64, seg, total int, data *wire.Bufferlist, traceCtx uint64, queue int) {
 	a, ok := hs.asm[reqID]
 	if !ok {
 		a = &assembly{segs: make(map[int]*wire.Bufferlist), started: p.Now()}
@@ -303,13 +328,13 @@ func (hs *HostServer) addSegment(p *sim.Proc, reqID, txnSeq uint64, seg, total i
 	if err != nil {
 		// Report the failure but keep the commit sequence moving with an
 		// empty transaction in this slot.
-		hs.notifyTxnDone(reqID, rcIO, 0)
-		hs.readyTxns[txnSeq] = &readyTxn{reqID: reqID, txn: &objstore.Transaction{},
+		hs.notifyTxnDone(reqID, rcIO, 0, queue)
+		hs.readyTxns[txnSeq] = &readyTxn{reqID: reqID, queue: queue, txn: &objstore.Transaction{},
 			silent: true, span: hostSp, ready: p.Now()}
 	} else {
 		// The host-commit span parents the local BlueStore's aio/kv spans.
 		txn.TraceCtx = uint64(hostSp)
-		hs.readyTxns[txnSeq] = &readyTxn{reqID: reqID, txn: txn, span: hostSp, ready: p.Now()}
+		hs.readyTxns[txnSeq] = &readyTxn{reqID: reqID, queue: queue, txn: txn, span: hostSp, ready: p.Now()}
 	}
 	for {
 		rt, ok := hs.readyTxns[hs.nextCommit]
@@ -343,16 +368,21 @@ func (hs *HostServer) commit(p *sim.Proc, rt *readyTxn) {
 		if hostWrite <= 0 {
 			hostWrite = cp.Now().Sub(start)
 		}
-		hs.notifyTxnDone(reqID, errToCode(unwrap(res.Err)), int64(hostWrite))
+		hs.notifyTxnDone(reqID, errToCode(unwrap(res.Err)), int64(hostWrite), rt.queue)
 	})
 }
 
-func (hs *HostServer) notifyTxnDone(reqID uint64, code uint16, hostWriteNanos int64) {
-	if hs.notifyCond != nil {
-		// Batching: queue for the notify batcher, which coalesces many
-		// completions into one opTxnDoneBatch RPC.
-		hs.notifyQ = append(hs.notifyQ, txnDoneEntry{reqID: reqID, code: code, hostNanos: hostWriteNanos})
-		hs.notifyCond.Broadcast()
+func (hs *HostServer) notifyTxnDone(reqID uint64, code uint16, hostWriteNanos int64, queue int) {
+	if len(hs.notify) > 0 {
+		// Batching: queue for the notify coalescer of the DMA queue the
+		// request's frame rode, which folds many completions into one
+		// opTxnDoneBatch RPC.
+		if queue < 0 || queue >= len(hs.notify) {
+			queue = 0
+		}
+		sh := hs.notify[queue]
+		sh.q = append(sh.q, txnDoneEntry{reqID: reqID, code: code, hostNanos: hostWriteNanos})
+		sh.cond.Broadcast()
 		return
 	}
 	hs.env.Spawn(fmt.Sprintf("host-notify:%d", reqID), func(p *sim.Proc) {
@@ -375,7 +405,8 @@ func (hs *HostServer) onBatchFallback(p *sim.Proc, req *rpcchan.Request,
 	hs.stats.SegmentsViaRPC += int64(len(entries))
 	hs.stats.BatchedOps += int64(len(entries))
 	for _, en := range entries {
-		hs.addSegment(p, en.reqID, en.txnSeq, 0, 1, en.payload, 0)
+		hs.addSegment(p, en.reqID, en.txnSeq, 0, 1, en.payload, 0,
+			hs.engUp.QueueFor(en.reqID))
 	}
 }
 
@@ -517,7 +548,8 @@ func (hs *HostServer) onSegFallback(p *sim.Proc, req *rpcchan.Request,
 	}
 	hs.stats.SegmentsViaRPC++
 	respond(nil, rcOK) // receipt ack; durability is signalled via opTxnDone
-	hs.addSegment(p, reqID, txnSeq, seg, total, payload, 0)
+	hs.addSegment(p, reqID, txnSeq, seg, total, payload, 0,
+		hs.engUp.QueueFor(reqID))
 }
 
 // onReadFallback serves a whole read over RPC (cooldown path).

@@ -421,7 +421,11 @@ func (px *Proxy) shipViaDMA(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Buf
 		px.tr.Finish(stageSp)
 		var dmaSp trace.SpanID
 		if ctx != 0 {
-			dmaSp = px.tr.Start(ctx, 0, trace.StageDMA, px.dev.Name)
+			dmaStage := trace.StageDMA
+			if px.engUp.NumQueues() > 1 {
+				dmaStage = trace.StageDMAQueue(px.engUp.QueueFor(reqID))
+			}
+			dmaSp = px.tr.Start(ctx, 0, dmaStage, px.dev.Name)
 			px.tr.AddBytes(dmaSp, wireBytes)
 		}
 		t := &doca.Transfer{

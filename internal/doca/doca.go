@@ -133,12 +133,21 @@ type EngineConfig struct {
 	// (engine and disk) lock into artificial lockstep. Negative disables
 	// jitter entirely (exact-timing tests).
 	JitterPct float64
-	// Channels is the number of parallel DMA queue pairs. BlueField-3
-	// exposes several; the paper's deployment behaves like one (its
-	// serial-transfer analysis in §5.4), so 1 is the default. Requests are
-	// pinned to channels by id, preserving per-request ordering and the
-	// ReuseSetupTime amortization.
+	// Queues is the number of parallel DMA queues. BlueField-3 exposes
+	// several; the paper's deployment behaves like one (its
+	// serial-transfer analysis in §5.4), so 1 is the default. Requests
+	// are pinned to queues by id, preserving per-request segment ordering
+	// and the ReuseSetupTime amortization (queue-pair affinity).
+	Queues int
+	// Channels is the deprecated alias for Queues, honored when Queues is
+	// zero.
 	Channels int
+	// CopySlots bounds how many copy phases may occupy the PCIe path at
+	// once when Queues > 1: descriptor setup and doorbells proceed
+	// independently per queue, but the data movement itself shares link
+	// bandwidth. Zero defaults to 2; negative removes the bound. Ignored
+	// with one queue (the single executor already serializes).
+	CopySlots int
 }
 
 // DefaultEngineConfig returns BlueField-3-like DMA parameters.
@@ -173,8 +182,15 @@ func (c EngineConfig) withDefaults() EngineConfig {
 	if c.JitterPct == 0 {
 		c.JitterPct = d.JitterPct
 	}
-	if c.Channels == 0 {
-		c.Channels = 1
+	if c.Queues == 0 {
+		c.Queues = c.Channels
+	}
+	if c.Queues == 0 {
+		c.Queues = 1
+	}
+	c.Channels = c.Queues
+	if c.CopySlots == 0 {
+		c.CopySlots = 2
 	}
 	return c
 }
@@ -192,6 +208,19 @@ type Transfer struct {
 	// Ops is the number of logical operations coalesced into this transfer
 	// (batch frames); zero means one. Accounting only.
 	Ops int
+	// ReuseSetup marks a transfer whose memory regions and descriptors are
+	// already established at submit time — batch frames moved out of the
+	// pre-registered staging pool into the fixed host region (§3.3's
+	// "reusing pre-established memory regions"). The engine charges
+	// ReuseSetupTime instead of SetupTime when the queue's previous
+	// transfer was also marked, extending the same amortization the
+	// per-request segment path gets to consecutive batch frames.
+	ReuseSetup bool
+	// Queue pins the transfer to queue Queue-1 when positive (a slot
+	// reserved earlier via ReserveQueue); zero steers by ReqID hash. Only
+	// single-segment transfers may be pinned — multi-segment requests rely
+	// on hash steering for their per-request queue-pair affinity.
+	Queue int
 	// Tag carries caller context to the completion poller.
 	Tag interface{}
 	// TraceCtx is the submitting operation's trace span context (raw
@@ -226,18 +255,39 @@ type EngineStats struct {
 	Errors    int64
 	TotalWait sim.Duration
 	TotalCopy sim.Duration
+	// Busy is the summed service time across all queues (setup + copy,
+	// including shared-bus arbitration). Busy / (Queues * elapsed) is the
+	// engine occupancy.
+	Busy sim.Duration
 }
 
-// Engine is one DMA engine: a serial executor with per-request affinity —
-// pending segments of the request the engine just served are executed first
+// QueueStat is the per-queue slice of the engine counters, for occupancy
+// and load-balance analysis of the multi-queue configuration.
+type QueueStat struct {
+	Transfers int64
+	OpsMoved  int64
+	Bytes     int64
+	Errors    int64
+	// Busy is the time this queue spent servicing transfers.
+	Busy sim.Duration
+	// MaxDepth is the high-water mark of queued + in-flight transfers.
+	MaxDepth int
+}
+
+// Engine is one DMA engine with N independent queues (N=1: a serial
+// executor, the paper's deployment). Each queue has per-request affinity —
+// pending segments of the request the queue just served are executed first
 // (hardware WQE batching per queue pair), which is what lets the
-// ReuseSetupTime amortization take effect under concurrency — plus a
-// completion queue consumed by the host's polling thread.
+// ReuseSetupTime amortization take effect under concurrency. With several
+// queues, setup/doorbell work overlaps freely while copy phases contend
+// for CopySlots shared PCIe bus slots. A single completion queue is
+// consumed by the host's polling thread.
 type Engine struct {
 	env *sim.Env
 	cfg EngineConfig
 
-	channels    []*dmaChannel
+	queues      []*dmaQueue
+	bus         *sim.Semaphore // nil with one queue or unbounded CopySlots
 	completions *sim.Queue[*Transfer]
 
 	// failNext makes the next n submitted transfers fail (error-injection
@@ -253,25 +303,71 @@ type Engine struct {
 	stats EngineStats
 }
 
-type dmaChannel struct {
+type dmaQueue struct {
 	pending []*Transfer
 	cond    *sim.Cond
+	depth   int // queued + in-flight
+	// lastReuse records whether the previous transfer was a
+	// ReuseSetup frame (descriptor/MR state still hot on this queue pair).
+	lastReuse bool
+	stats     QueueStat
 }
 
-// NewEngine creates an engine and spawns its execution process.
+// NewEngine creates an engine and spawns one execution process per queue.
 func NewEngine(env *sim.Env, name string, cfg EngineConfig) *Engine {
 	e := &Engine{
 		env:         env,
 		cfg:         cfg.withDefaults(),
 		completions: sim.NewQueue[*Transfer](env),
 	}
-	for i := 0; i < e.cfg.Channels; i++ {
-		ch := &dmaChannel{cond: sim.NewCond(env)}
-		e.channels = append(e.channels, ch)
+	if e.cfg.Queues > 1 && e.cfg.CopySlots > 0 {
+		e.bus = sim.NewSemaphore(env, e.cfg.CopySlots)
+	}
+	for i := 0; i < e.cfg.Queues; i++ {
+		q := &dmaQueue{cond: sim.NewCond(env)}
+		e.queues = append(e.queues, q)
 		env.SpawnDaemon(fmt.Sprintf("dma-engine:%s/ch%d", name, i),
-			func(p *sim.Proc) { e.run(p, ch) })
+			func(p *sim.Proc) { e.run(p, q) })
 	}
 	return e
+}
+
+// NumQueues returns the number of parallel DMA queues.
+func (e *Engine) NumQueues() int { return len(e.queues) }
+
+// QueueFor returns the queue index a request id is pinned to. All segments
+// of a request (and its commit notifications) ride the same queue.
+func (e *Engine) QueueFor(reqID uint64) int { return int(reqID % uint64(len(e.queues))) }
+
+// ReserveQueue picks the shallowest queue (join-shortest-queue; ties break
+// to the lowest index, keeping the choice deterministic) and reserves a
+// depth slot on it. The caller pins the eventual transfer with
+// Transfer.Queue = idx+1; the reservation is released when that transfer
+// completes or its Submit fails validation. JSQ steering is what keeps
+// single-segment batch frames from queueing behind a busy queue while
+// siblings sit idle — hash steering can't see instantaneous depth.
+func (e *Engine) ReserveQueue() int {
+	idx := 0
+	for i := 1; i < len(e.queues); i++ {
+		if e.queues[i].depth < e.queues[idx].depth {
+			idx = i
+		}
+	}
+	q := e.queues[idx]
+	q.depth++
+	if q.depth > q.stats.MaxDepth {
+		q.stats.MaxDepth = q.depth
+	}
+	return idx
+}
+
+// QueueStats returns a copy of the per-queue counters.
+func (e *Engine) QueueStats() []QueueStat {
+	out := make([]QueueStat, len(e.queues))
+	for i, q := range e.queues {
+		out[i] = q.stats
+	}
+	return out
 }
 
 // Config returns the engine configuration (post-defaulting).
@@ -291,9 +387,11 @@ func (e *Engine) SetFailProb(prob float64) { e.failProb = prob }
 // on cpu. It returns immediately; wait on t.Done or consume Completions.
 func (e *Engine) Submit(p *sim.Proc, cpu *sim.CPU, t *Transfer) error {
 	if t.Bytes > e.cfg.MaxTransferBytes {
+		e.unreserve(t)
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, t.Bytes, e.cfg.MaxTransferBytes)
 	}
 	if t.Src == nil || t.Dst == nil || !t.Src.Exported() || !t.Dst.Exported() {
+		e.unreserve(t)
 		return ErrNotExported
 	}
 	cpu.ExecSelf(p, e.cfg.SubmitCycles)
@@ -308,73 +406,117 @@ func (e *Engine) Submit(p *sim.Proc, cpu *sim.CPU, t *Transfer) error {
 	} else if e.failProb > 0 && e.env.Rand().Float64() < e.failProb {
 		t.forceFail = true
 	}
-	ch := e.channels[int(t.ReqID)%len(e.channels)]
-	ch.pending = append(ch.pending, t)
-	ch.cond.Broadcast()
+	var q *dmaQueue
+	if t.Queue > 0 && t.Queue <= len(e.queues) {
+		// Pinned: the depth slot was reserved by ReserveQueue.
+		q = e.queues[t.Queue-1]
+	} else {
+		q = e.queues[e.QueueFor(t.ReqID)]
+		q.depth++
+		if q.depth > q.stats.MaxDepth {
+			q.stats.MaxDepth = q.depth
+		}
+	}
+	q.pending = append(q.pending, t)
+	q.cond.Broadcast()
 	return nil
 }
 
-// next pops the channel's next transfer, preferring a pending segment of
-// the request the channel last executed (queue-pair affinity).
-func (ch *dmaChannel) next(p *sim.Proc, lastReq uint64, haveLast bool) *Transfer {
-	for len(ch.pending) == 0 {
-		ch.cond.Wait(p)
+// unreserve releases the depth slot of a pinned transfer whose Submit
+// failed validation (the run loop never sees it).
+func (e *Engine) unreserve(t *Transfer) {
+	if t.Queue > 0 && t.Queue <= len(e.queues) {
+		e.queues[t.Queue-1].depth--
+	}
+}
+
+// next pops the queue's next transfer, preferring a pending segment of
+// the request the queue last executed (queue-pair affinity).
+func (q *dmaQueue) next(p *sim.Proc, lastReq uint64, haveLast bool) *Transfer {
+	for len(q.pending) == 0 {
+		q.cond.Wait(p)
 	}
 	idx := 0
 	if haveLast {
-		for i, t := range ch.pending {
+		for i, t := range q.pending {
 			if t.ReqID == lastReq {
 				idx = i
 				break
 			}
 		}
 	}
-	t := ch.pending[idx]
-	ch.pending = append(ch.pending[:idx], ch.pending[idx+1:]...)
+	t := q.pending[idx]
+	q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
 	return t
 }
 
 // Completions is the queue the host-side polling thread consumes.
 func (e *Engine) Completions() *sim.Queue[*Transfer] { return e.completions }
 
-func (e *Engine) run(p *sim.Proc, ch *dmaChannel) {
+func (e *Engine) run(p *sim.Proc, q *dmaQueue) {
 	var lastReq uint64
 	var haveLast bool
 	for {
-		t := ch.next(p, lastReq, haveLast)
+		t := q.next(p, lastReq, haveLast)
 		t.StartedAt = p.Now()
 		fail := t.forceFail
 		setup := e.cfg.SetupTime
 		if haveLast && t.ReqID == lastReq && t.Seg > 0 {
 			setup = e.cfg.ReuseSetupTime
+		} else if t.ReuseSetup && q.lastReuse {
+			setup = e.cfg.ReuseSetupTime
 		}
+		q.lastReuse = t.ReuseSetup
 		lastReq, haveLast = t.ReqID, true
 		copyTime := setup +
 			sim.Duration(float64(t.Bytes)/e.cfg.BytesPerSec*float64(sim.Second))
 		if e.cfg.JitterPct > 0 {
 			f := 1 + e.cfg.JitterPct/100*(2*e.env.Rand().Float64()-1)
+			setup = sim.Duration(float64(setup) * f)
 			copyTime = sim.Duration(float64(copyTime) * f)
 		}
-		if fail {
+		switch {
+		case fail:
 			// A failed transfer burns part of its slot before the engine
-			// reports the error.
+			// reports the error (the copy never reaches the bus).
 			p.Wait(copyTime / 2)
 			t.Err = ErrTransferFailed
 			e.stats.Errors++
-		} else {
+			q.stats.Errors++
+		case e.bus == nil:
+			// Single queue (or unbounded CopySlots): the executor itself
+			// serializes, no bus arbitration needed.
 			p.Wait(copyTime)
-			e.stats.Transfers++
-			e.stats.Bytes += t.Bytes
-			if t.Ops > 1 {
-				e.stats.OpsMoved += int64(t.Ops)
-			} else {
-				e.stats.OpsMoved++
-			}
+			e.noteSuccess(q, t)
+		default:
+			// Descriptor setup and doorbell proceed per queue; the data
+			// movement contends for the shared PCIe bus slots.
+			p.Wait(setup)
+			e.bus.Acquire(p, 1)
+			p.Wait(copyTime - setup)
+			e.bus.Release(1)
+			e.noteSuccess(q, t)
 		}
 		t.CompletedAt = p.Now()
+		q.depth--
 		e.stats.TotalWait += t.Wait()
 		e.stats.TotalCopy += t.CopyTime()
+		e.stats.Busy += t.CopyTime()
+		q.stats.Busy += t.CopyTime()
 		e.completions.Push(t)
 		t.Done.Fire()
 	}
+}
+
+func (e *Engine) noteSuccess(q *dmaQueue, t *Transfer) {
+	ops := int64(1)
+	if t.Ops > 1 {
+		ops = int64(t.Ops)
+	}
+	e.stats.Transfers++
+	e.stats.Bytes += t.Bytes
+	e.stats.OpsMoved += ops
+	q.stats.Transfers++
+	q.stats.Bytes += t.Bytes
+	q.stats.OpsMoved += ops
 }

@@ -288,3 +288,127 @@ func TestChannelsPreservePerRequestOrder(t *testing.T) {
 		}
 	})
 }
+
+func TestReserveQueueJSQAndUnreserve(t *testing.T) {
+	r := newDMARig(EngineConfig{Queues: 4})
+	// Empty queues: JSQ fills 0,1,2,3 (ties break to the lowest index),
+	// then wraps back to 0 once every queue holds one reservation.
+	for i, want := range []int{0, 1, 2, 3, 0} {
+		if got := r.eng.ReserveQueue(); got != want {
+			t.Fatalf("reservation %d: queue %d, want %d", i, got, want)
+		}
+	}
+	// A pinned submit that fails validation must release its depth slot:
+	// queue 1 now holds one reservation fewer than its siblings, so JSQ
+	// must pick it next.
+	r.run(t, func(p *sim.Proc) {
+		bad := &Transfer{Bytes: 3 << 20, Src: r.src, Dst: r.dst, Queue: 2}
+		if err := r.eng.Submit(p, r.dpuCPU, bad); !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("err=%v", err)
+		}
+		if got := r.eng.ReserveQueue(); got != 1 {
+			t.Fatalf("after unreserve: queue %d, want 1", got)
+		}
+	})
+}
+
+func TestPinnedTransferRidesReservedQueue(t *testing.T) {
+	r := newDMARig(EngineConfig{Queues: 4, JitterPct: -1})
+	r.run(t, func(p *sim.Proc) {
+		r.cc.Negotiate(p, r.src)
+		r.cc.Negotiate(p, r.dst)
+		idx := r.eng.ReserveQueue()
+		if idx != 0 {
+			t.Fatalf("first reservation on queue %d", idx)
+		}
+		// ReqID 1 would hash-steer to queue 1; the pin must win.
+		tr := &Transfer{ReqID: 1, Bytes: 64 << 10, Src: r.src, Dst: r.dst,
+			Queue: idx + 1}
+		if err := r.eng.Submit(p, r.dpuCPU, tr); err != nil {
+			t.Fatal(err)
+		}
+		tr.Done.Wait(p)
+		qs := r.eng.QueueStats()
+		if qs[0].Transfers != 1 || qs[1].Transfers != 0 {
+			t.Fatalf("queue stats %+v: pinned transfer did not ride queue 0", qs)
+		}
+		if qs[0].MaxDepth != 1 {
+			t.Fatalf("MaxDepth=%d, want 1", qs[0].MaxDepth)
+		}
+	})
+}
+
+func TestReuseSetupAmortizedAcrossFrames(t *testing.T) {
+	r := newDMARig(EngineConfig{Queues: 1, BytesPerSec: 4e9, JitterPct: -1})
+	cfg := r.eng.Config()
+	submit := func(p *sim.Proc, req uint64, reuse bool) *Transfer {
+		tr := &Transfer{ReqID: req, Bytes: 64 << 10, Src: r.src, Dst: r.dst,
+			ReuseSetup: reuse}
+		if err := r.eng.Submit(p, r.dpuCPU, tr); err != nil {
+			t.Fatal(err)
+		}
+		tr.Done.Wait(p)
+		return tr
+	}
+	r.run(t, func(p *sim.Proc) {
+		r.cc.Negotiate(p, r.src)
+		r.cc.Negotiate(p, r.dst)
+		first := submit(p, 1, true)  // cold queue: full setup
+		second := submit(p, 2, true) // previous frame was ReuseSetup: amortized
+		third := submit(p, 3, false) // plain transfer breaks the chain
+		fourth := submit(p, 4, true) // chain broken: full setup again
+		saved := cfg.SetupTime - cfg.ReuseSetupTime
+		if d := first.CopyTime() - second.CopyTime(); d != saved {
+			t.Fatalf("amortization saved %v, want %v", d, saved)
+		}
+		if fourth.CopyTime() != first.CopyTime() {
+			t.Fatalf("chain not reset by plain transfer: %v vs %v",
+				fourth.CopyTime(), first.CopyTime())
+		}
+		_ = third
+	})
+}
+
+func TestQueueStatsSumToEngineStats(t *testing.T) {
+	r := newDMARig(EngineConfig{Queues: 4})
+	r.run(t, func(p *sim.Proc) {
+		r.cc.Negotiate(p, r.src)
+		r.cc.Negotiate(p, r.dst)
+		var trs []*Transfer
+		for req := uint64(1); req <= 12; req++ {
+			tr := &Transfer{ReqID: req, Bytes: 32 << 10, Src: r.src, Dst: r.dst,
+				Ops: 2}
+			if err := r.eng.Submit(p, r.dpuCPU, tr); err != nil {
+				t.Fatal(err)
+			}
+			trs = append(trs, tr)
+		}
+		for _, tr := range trs {
+			tr.Done.Wait(p)
+		}
+		var transfers, ops, bytes int64
+		var busy sim.Duration
+		used := 0
+		for _, qs := range r.eng.QueueStats() {
+			transfers += qs.Transfers
+			ops += qs.OpsMoved
+			bytes += qs.Bytes
+			busy += qs.Busy
+			if qs.Transfers > 0 {
+				used++
+			}
+		}
+		st := r.eng.Stats()
+		if transfers != st.Transfers || ops != st.OpsMoved ||
+			bytes != st.Bytes || busy != st.Busy {
+			t.Fatalf("per-queue sums (%d/%d/%d/%v) != engine stats (%d/%d/%d/%v)",
+				transfers, ops, bytes, busy, st.Transfers, st.OpsMoved, st.Bytes, st.Busy)
+		}
+		if st.Transfers != 12 || st.OpsMoved != 24 {
+			t.Fatalf("stats=%+v", st)
+		}
+		if used < 2 {
+			t.Fatalf("only %d queues carried transfers", used)
+		}
+	})
+}

@@ -27,8 +27,20 @@ const EnvelopeBytes = 64
 // Config carries the messenger tunables and CPU cost model. Zero values are
 // replaced by defaults in New.
 type Config struct {
-	// Workers is the number of msgr-worker event-loop threads.
+	// Workers is the number of msgr-worker event-loop threads. When Lanes
+	// exceeds it, the pool grows to Lanes so every lane of a connection can
+	// map to a distinct worker.
 	Workers int
+	// Lanes is the number of parallel ordered lanes per connection (the
+	// multi-QP transport of DPU-offloaded messengers: LineFS/Xenic-style
+	// designs open several queue pairs per peer so independent streams
+	// don't serialize behind one event loop). Messages hash to a lane by
+	// their ordering key — object name for client ops, PG id for
+	// replication — so per-object and per-PG FIFO survive; traffic with no
+	// key (maps, boots, heartbeats) stays on lane 0, which preserves the
+	// peer-wide order those protocols assume. 1 (the default) is a single
+	// ordered connection, byte-identical to the pre-lane messenger.
+	Lanes int
 	// TCPSegmentBytes is the data moved per send/recv syscall.
 	TCPSegmentBytes int64
 	// SendSyscallCycles / RecvSyscallCycles are charged per syscall.
@@ -89,6 +101,12 @@ func (c Config) withDefaults() Config {
 	d := DefaultConfig()
 	if c.Workers == 0 {
 		c.Workers = d.Workers
+	}
+	if c.Lanes <= 0 {
+		c.Lanes = 1
+	}
+	if c.Workers < c.Lanes {
+		c.Workers = c.Lanes
 	}
 	if c.TCPSegmentBytes == 0 {
 		c.TCPSegmentBytes = d.TCPSegmentBytes
@@ -209,7 +227,19 @@ type worker struct {
 	q  *sim.Queue[workItem]
 }
 
+// conn is the state for one peer: Lanes independent ordered lanes, each
+// with its own worker, wire process and sequence pair. Lane count can grow
+// on the receive side when the peer runs more lanes than we do.
 type conn struct {
+	peer string
+	// base is the worker-pool offset lane 0 maps to; lane i runs on
+	// workers[(base+i) % len(workers)].
+	base  int
+	lanes []*connLane
+}
+
+// connLane is one ordered lane of a connection.
+type connLane struct {
 	worker *worker
 	wireq  *sim.Queue[frame]
 	// sendSeq stamps outbound frames; recvSeq verifies inbound order.
@@ -217,8 +247,8 @@ type conn struct {
 	// drops triggers a session reset on the sending wire process, which
 	// backs off and redelivers that same frame before sending the next
 	// (Ceph's msgr2 reset + replay of unacked messages). The receive-side
-	// invariant therefore still holds — a violated sequence means the
-	// transport itself broke and panics loudly.
+	// invariant therefore still holds per lane — a violated sequence means
+	// the transport itself broke and panics loudly.
 	sendSeq uint64
 	recvSeq uint64
 }
@@ -231,6 +261,7 @@ type workItem struct {
 
 type frame struct {
 	src   string
+	lane  int
 	seq   uint64
 	msg   cephmsg.Message
 	bytes int64
@@ -305,9 +336,15 @@ func (m *Messenger) Send(dst string, msg cephmsg.Message) {
 			f.enq = m.env.Now()
 		}
 	}
-	c.sendSeq++
-	f.seq = c.sendSeq
-	c.worker.q.Push(workItem{peer: dst, frame: f})
+	if m.cfg.Lanes > 1 {
+		if key, ok := cephmsg.LaneKey(msg); ok {
+			f.lane = int(key % uint64(m.cfg.Lanes))
+		}
+	}
+	ln := c.lanes[f.lane]
+	ln.sendSeq++
+	f.seq = ln.sendSeq
+	ln.worker.q.Push(workItem{peer: dst, frame: f})
 }
 
 func (m *Messenger) makeFrame(msg cephmsg.Message) frame {
@@ -320,25 +357,42 @@ func (m *Messenger) makeFrame(msg cephmsg.Message) frame {
 	return f
 }
 
-// connTo lazily creates the connection state (owning worker + wire process)
-// for peer dst.
+// connTo lazily creates the connection state (owning workers + one wire
+// process per lane) for peer dst.
 func (m *Messenger) connTo(dst string) *conn {
 	if c, ok := m.conns[dst]; ok {
 		return c
 	}
-	peer := m.registry.Lookup(dst)
-	if peer == nil {
+	if m.registry.Lookup(dst) == nil {
 		panic(fmt.Sprintf("messenger %s: unknown destination %q", m.name, dst))
 	}
-	c := &conn{
-		worker: m.workers[m.nextWorker],
-		wireq:  sim.NewQueue[frame](m.env),
-	}
+	c := &conn{peer: dst, base: m.nextWorker}
 	m.nextWorker = (m.nextWorker + 1) % len(m.workers)
 	m.conns[dst] = c
-	m.env.SpawnDaemon(fmt.Sprintf("wire:%s->%s", m.name, dst), func(p *sim.Proc) {
+	for i := 0; i < m.cfg.Lanes; i++ {
+		m.addLane(c)
+	}
+	return c
+}
+
+// addLane appends one lane to c and spawns its wire process. Lane 0 keeps
+// the historical process name so single-lane runs are unchanged.
+func (m *Messenger) addLane(c *conn) *connLane {
+	lane := len(c.lanes)
+	ln := &connLane{
+		worker: m.workers[(c.base+lane)%len(m.workers)],
+		wireq:  sim.NewQueue[frame](m.env),
+	}
+	c.lanes = append(c.lanes, ln)
+	name := fmt.Sprintf("wire:%s->%s", m.name, c.peer)
+	if lane > 0 {
+		name = fmt.Sprintf("wire:%s->%s#%d", m.name, c.peer, lane)
+	}
+	dst := c.peer
+	m.env.SpawnDaemon(name, func(p *sim.Proc) {
+		peer := m.registry.Lookup(dst)
 		for {
-			f := c.wireq.Pop(p)
+			f := ln.wireq.Pop(p)
 			if f.span != 0 {
 				m.tr.AddQueueWait(f.span, p.Now().Sub(f.enq))
 			}
@@ -355,7 +409,7 @@ func (m *Messenger) connTo(dst string) *conn {
 				}
 				// The frame was lost in flight: reset the session, back
 				// off, reconnect and redeliver the same frame so the
-				// per-connection FIFO order survives the loss.
+				// per-lane FIFO order survives the loss.
 				m.stats.SessionResets++
 				p.Wait(backoff)
 				if backoff *= 2; backoff > m.cfg.ReconnectBackoffMax {
@@ -365,23 +419,29 @@ func (m *Messenger) connTo(dst string) *conn {
 			}
 		}
 	})
-	return c
+	return ln
 }
 
 // deliver hands an arrived frame to the owning worker of the reverse
-// connection, enforcing the per-connection sequence invariant.
+// connection's lane, enforcing the per-lane sequence invariant. A peer
+// running more lanes than we do grows our side on demand, so asymmetric
+// lane configurations interoperate.
 func (m *Messenger) deliver(f frame) {
 	c := m.connTo(f.src)
-	if f.seq != c.recvSeq+1 {
-		panic(fmt.Sprintf("messenger %s: frame from %s out of order: seq %d after %d",
-			m.name, f.src, f.seq, c.recvSeq))
+	for f.lane >= len(c.lanes) {
+		m.addLane(c)
 	}
-	c.recvSeq = f.seq
+	ln := c.lanes[f.lane]
+	if f.seq != ln.recvSeq+1 {
+		panic(fmt.Sprintf("messenger %s: frame from %s out of order: lane %d seq %d after %d",
+			m.name, f.src, f.lane, f.seq, ln.recvSeq))
+	}
+	ln.recvSeq = f.seq
 	if m.tr.Enabled() && f.traceCtx != 0 {
 		f.span = m.tr.Start(trace.SpanID(f.traceCtx), 0, trace.StageMsgrRecv, m.name)
 		f.enq = m.env.Now()
 	}
-	c.worker.q.Push(workItem{recv: true, peer: f.src, frame: f})
+	ln.worker.q.Push(workItem{recv: true, peer: f.src, frame: f})
 }
 
 // workerLoop is one msgr-worker event loop: it pays the send-side encode +
@@ -451,6 +511,6 @@ func (m *Messenger) workerLoop(p *sim.Proc, w *worker) {
 		m.cpu.NoteSwitches(w.th, m.cfg.SwitchesPerSend+f.bytes/m.cfg.BytesPerSwitch)
 		m.stats.Sent++
 		m.stats.BytesSent += f.bytes
-		m.conns[it.peer].wireq.Push(f)
+		m.conns[it.peer].lanes[f.lane].wireq.Push(f)
 	}
 }

@@ -1,6 +1,7 @@
 package messenger
 
 import (
+	"fmt"
 	"testing"
 
 	"doceph/internal/cephmsg"
@@ -251,7 +252,7 @@ func TestWorkersRoundRobinAcrossPeers(t *testing.T) {
 	env.Shutdown()
 	workers := map[*worker]bool{}
 	for _, c := range hub.conns {
-		workers[c.worker] = true
+		workers[c.lanes[0].worker] = true
 	}
 	if len(workers) != 2 {
 		t.Fatalf("connections used %d workers, want 2", len(workers))
@@ -324,5 +325,154 @@ func TestVoluntarySwitchesScaleWithBytes(t *testing.T) {
 	// model); a 4 KiB send only pays the fixed wakeups.
 	if big < small+10 {
 		t.Fatalf("switches did not scale with size: %d vs %d", small, big)
+	}
+}
+
+func TestLanesPreservePerObjectFIFO(t *testing.T) {
+	r := newRig(Config{Lanes: 4})
+	got := map[string][]uint64{}
+	r.b.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) {
+		op := m.(*cephmsg.MOSDOp)
+		got[op.Object] = append(got[op.Object], op.Tid)
+	})
+	objects := []string{"obj-a", "obj-b", "obj-c", "obj-d", "obj-e"}
+	r.env.Spawn("starter", func(p *sim.Proc) {
+		// Interleave objects round-robin with growing payloads so lanes
+		// finish at different times; per-object order must still hold.
+		for i := uint64(1); i <= 30; i++ {
+			obj := objects[int(i)%len(objects)]
+			r.a.Send("ent.b", &cephmsg.MOSDOp{Tid: i, Object: obj, Op: cephmsg.OpWrite,
+				Data: wire.FromBytes(make([]byte, 1000*i))})
+		}
+	})
+	r.run(t, sim.Second)
+	total := 0
+	for obj, tids := range got {
+		total += len(tids)
+		for i := 1; i < len(tids); i++ {
+			if tids[i] < tids[i-1] {
+				t.Fatalf("%s: per-object order broken: %v", obj, tids)
+			}
+		}
+	}
+	if total != 30 {
+		t.Fatalf("delivered %d of 30", total)
+	}
+	// With five objects hashed over four lanes, more than one lane must
+	// have carried traffic.
+	used := 0
+	for _, ln := range r.a.conns["ent.b"].lanes {
+		if ln.sendSeq > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("only %d lanes carried traffic", used)
+	}
+}
+
+func TestKeylessTrafficStaysOnLaneZero(t *testing.T) {
+	r := newRig(Config{Lanes: 4})
+	delivered := 0
+	r.b.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) { delivered++ })
+	r.env.Spawn("starter", func(p *sim.Proc) {
+		// Pings and map traffic carry no ordering key: peer-wide order must
+		// be preserved, so they must all ride lane 0.
+		for i := 0; i < 8; i++ {
+			r.a.Send("ent.b", &cephmsg.MPing{Src: "ent.a", Stamp: int64(i)})
+		}
+	})
+	r.run(t, sim.Second)
+	if delivered != 8 {
+		t.Fatalf("delivered %d of 8", delivered)
+	}
+	lanes := r.a.conns["ent.b"].lanes
+	if lanes[0].sendSeq != 8 {
+		t.Fatalf("lane 0 sent %d frames, want 8", lanes[0].sendSeq)
+	}
+	for i := 1; i < len(lanes); i++ {
+		if lanes[i].sendSeq != 0 {
+			t.Fatalf("keyless frame leaked onto lane %d", i)
+		}
+	}
+}
+
+func TestLaneSteeringMatchesLaneKey(t *testing.T) {
+	r := newRig(Config{Lanes: 4})
+	r.b.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) {})
+	obj := "steered-object"
+	key, ok := cephmsg.LaneKey(&cephmsg.MOSDOp{Object: obj})
+	if !ok {
+		t.Fatal("MOSDOp has no lane key")
+	}
+	want := int(key % 4)
+	r.env.Spawn("starter", func(p *sim.Proc) {
+		for i := uint64(1); i <= 5; i++ {
+			r.a.Send("ent.b", &cephmsg.MOSDOp{Tid: i, Object: obj, Op: cephmsg.OpWrite,
+				Data: wire.FromBytes(make([]byte, 4096))})
+		}
+	})
+	r.run(t, sim.Second)
+	for i, ln := range r.a.conns["ent.b"].lanes {
+		wantSeq := uint64(0)
+		if i == want {
+			wantSeq = 5
+		}
+		if ln.sendSeq != wantSeq {
+			t.Fatalf("lane %d sent %d frames, want %d (key lane %d)",
+				i, ln.sendSeq, wantSeq, want)
+		}
+	}
+}
+
+func TestAsymmetricLaneCountsGrowOnDemand(t *testing.T) {
+	// Sender runs 4 lanes, receiver was built with 1: deliver must grow the
+	// receive-side connection to match and keep every lane's FIFO intact.
+	env := sim.NewEnv(1)
+	fabric := sim.NewFabric(env, "eth", 5*sim.Microsecond)
+	fabric.AddNode("nodeA", 12.5e9)
+	fabric.AddNode("nodeB", 12.5e9)
+	reg := NewRegistry()
+	cpu := sim.NewCPU(env, "cpu", 8, 3.0, 2000)
+	a := New(env, reg, fabric, cpu, "ent.a", "nodeA", Config{Lanes: 4})
+	b := New(env, reg, fabric, cpu, "ent.b", "nodeB", Config{})
+	delivered := 0
+	b.SetDispatcher(func(p *sim.Proc, src string, m cephmsg.Message) { delivered++ })
+	env.Spawn("starter", func(p *sim.Proc) {
+		for i := uint64(1); i <= 20; i++ {
+			a.Send("ent.b", &cephmsg.MOSDOp{Tid: i, Object: fmt.Sprintf("o%d", i),
+				Op: cephmsg.OpWrite, Data: wire.FromBytes(make([]byte, 4096))})
+		}
+	})
+	if err := env.RunUntil(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	if delivered != 20 {
+		t.Fatalf("delivered %d of 20", delivered)
+	}
+	if n := len(b.conns["ent.a"].lanes); n < 2 {
+		t.Fatalf("receiver grew only %d lanes", n)
+	}
+}
+
+func TestLaneKeyGroupsByOrderingDomain(t *testing.T) {
+	// Same object: same key. Replication traffic keys by PG. Keyless
+	// messages (maps, pings) must report no key at all.
+	k1, ok1 := cephmsg.LaneKey(&cephmsg.MOSDOp{Object: "x"})
+	k2, ok2 := cephmsg.LaneKey(&cephmsg.MOSDOpReply{Object: "x"})
+	if !ok1 || !ok2 || k1 != k2 {
+		t.Fatalf("op/reply keys differ for one object: %d/%v vs %d/%v", k1, ok1, k2, ok2)
+	}
+	r1, rok1 := cephmsg.LaneKey(&cephmsg.MRepOp{PGID: 9})
+	r2, rok2 := cephmsg.LaneKey(&cephmsg.MRepOpReply{PGID: 9})
+	if !rok1 || !rok2 || r1 != r2 || r1 != 9 {
+		t.Fatalf("rep-op keys: %d/%v vs %d/%v", r1, rok1, r2, rok2)
+	}
+	if _, ok := cephmsg.LaneKey(&cephmsg.MPing{}); ok {
+		t.Fatal("MPing reported a lane key")
+	}
+	if _, ok := cephmsg.LaneKey(&cephmsg.MOSDMap{}); ok {
+		t.Fatal("MOSDMap reported a lane key")
 	}
 }

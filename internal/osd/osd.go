@@ -32,6 +32,12 @@ const ThreadCat = "tp_osd_tp"
 type Config struct {
 	// OpWorkers is the tp_osd_tp worker-pool size.
 	OpWorkers int
+	// OpShards is the number of op-queue shards (Ceph's osd_op_num_shards):
+	// PGs hash to shards, each shard is one FIFO queue, and the worker pool
+	// is divided among them — so ops of one PG stay strictly ordered within
+	// their shard while independent PGs dispatch in parallel. Default 1
+	// keeps the single shared queue; clamped to OpWorkers.
+	OpShards int
 	// OpPrepCycles is charged per client op (decode context, PG mapping,
 	// op tracking).
 	OpPrepCycles int64
@@ -83,6 +89,12 @@ func (c Config) withDefaults() Config {
 	d := DefaultConfig()
 	if c.OpWorkers == 0 {
 		c.OpWorkers = d.OpWorkers
+	}
+	if c.OpShards == 0 {
+		c.OpShards = 1
+	}
+	if c.OpShards > c.OpWorkers {
+		c.OpShards = c.OpWorkers
 	}
 	if c.OpPrepCycles == 0 {
 		c.OpPrepCycles = d.OpPrepCycles
@@ -144,8 +156,10 @@ type OSD struct {
 	msgr             *messenger.Messenger
 	store            objstore.Store
 
-	curMap  *osdmap.Map
-	opq     *sim.Queue[opItem]
+	curMap *osdmap.Map
+	// opqs are the op-queue shards (one with OpShards=1, the seed shape);
+	// dispatch routes by PG so per-PG ordering holds within a shard.
+	opqs    []*sim.Queue[opItem]
 	pgLocks map[uint32]*sim.Semaphore
 	created map[uint32]bool
 
@@ -216,7 +230,6 @@ func New(env *sim.Env, cpu *sim.CPU, id int32, msgr *messenger.Messenger,
 	o := &OSD{
 		env: env, cpu: cpu, cfg: cfg.withDefaults(), id: id, name: Name(id),
 		msgr: msgr, store: store, curMap: m,
-		opq:          sim.NewQueue[opItem](env),
 		pgLocks:      make(map[uint32]*sim.Semaphore),
 		created:      make(map[uint32]bool),
 		pending:      make(map[uint64]*repWait),
@@ -230,11 +243,16 @@ func New(env *sim.Env, cpu *sim.CPU, id int32, msgr *messenger.Messenger,
 	o.repCompleterName = "rep-completer:" + o.name
 	o.ready = sim.NewEvent(env)
 	msgr.SetDispatcher(o.dispatch)
+	o.opqs = make([]*sim.Queue[opItem], o.cfg.OpShards)
+	for i := range o.opqs {
+		o.opqs[i] = sim.NewQueue[opItem](env)
+	}
 	for i := 0; i < o.cfg.OpWorkers; i++ {
 		th := sim.NewThread(fmt.Sprintf("tp_osd_tp-%d@%s", i, o.name), ThreadCat)
+		q := o.opqs[i%len(o.opqs)]
 		env.SpawnDaemon(th.Name, func(p *sim.Proc) {
 			p.SetThread(th)
-			o.workerLoop(p)
+			o.workerLoop(p, q)
 		})
 	}
 	if o.cfg.HeartbeatInterval > 0 {
@@ -332,7 +350,7 @@ func (o *OSD) dispatch(p *sim.Proc, src string, m cephmsg.Message) {
 				it.enq = o.env.Now()
 			}
 		}
-		o.opq.Push(it)
+		o.opqs[o.opShard(m)].Push(it)
 	case *cephmsg.MPGPushAck:
 		o.handlePGPushAck(msg)
 	case *cephmsg.MScrubReply:
@@ -352,12 +370,33 @@ func (o *OSD) dispatch(p *sim.Proc, src string, m cephmsg.Message) {
 	}
 }
 
-// workerLoop is one tp_osd_tp thread. Workers start serving once the PG
-// collections exist (Ceph: a PG serves I/O only after creation/peering).
-func (o *OSD) workerLoop(p *sim.Proc) {
+// opShard maps a heavy op to its queue shard by PG, so every op of a PG
+// rides the same FIFO shard (Ceph's osd_op_num_shards hashing).
+func (o *OSD) opShard(m cephmsg.Message) int {
+	if len(o.opqs) == 1 {
+		return 0
+	}
+	var pg uint32
+	switch mm := m.(type) {
+	case *cephmsg.MOSDOp:
+		pg = o.curMap.PGForObject(mm.Object)
+	case *cephmsg.MRepOp:
+		pg = mm.PGID
+	case *cephmsg.MPGPush:
+		pg = mm.PGID
+	case *cephmsg.MScrub:
+		pg = mm.PGID
+	}
+	return int(pg % uint32(len(o.opqs)))
+}
+
+// workerLoop is one tp_osd_tp thread serving one queue shard. Workers
+// start serving once the PG collections exist (Ceph: a PG serves I/O only
+// after creation/peering).
+func (o *OSD) workerLoop(p *sim.Proc, q *sim.Queue[opItem]) {
 	o.ready.Wait(p)
 	for {
-		it := o.opq.Pop(p)
+		it := q.Pop(p)
 		if it.span != 0 {
 			o.tr.AddQueueWait(it.span, p.Now().Sub(it.enq))
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"doceph/internal/bluestore"
+	"doceph/internal/cephmsg"
 	"doceph/internal/crush"
 	"doceph/internal/messenger"
 	"doceph/internal/mon"
@@ -294,6 +295,100 @@ func TestWrongPrimaryRedirect(t *testing.T) {
 		}
 		if tc.osds[0].Stats().WrongPrimary != 0 {
 			t.Fatal("unexpected wrong-primary before the probe")
+		}
+	})
+}
+
+func TestOpShardsDefaultAndClamp(t *testing.T) {
+	if got := (Config{}).withDefaults().OpShards; got != 1 {
+		t.Fatalf("default OpShards=%d, want 1", got)
+	}
+	// More shards than workers would leave shards with no server; the
+	// config clamps instead.
+	if got := (Config{OpWorkers: 2, OpShards: 8}).withDefaults().OpShards; got != 2 {
+		t.Fatalf("clamped OpShards=%d, want 2", got)
+	}
+	if got := (Config{OpWorkers: 8, OpShards: 4}).withDefaults().OpShards; got != 4 {
+		t.Fatalf("OpShards=%d, want 4", got)
+	}
+}
+
+func TestOpShardRoutesByPG(t *testing.T) {
+	tc := newTestClusterCfg(t, 1, 1, Config{OpWorkers: 8, OpShards: 4})
+	tc.run(t, func(p *sim.Proc) {
+		o := tc.osds[0]
+		if got := len(o.opqs); got != 4 {
+			t.Fatalf("shards=%d, want 4", got)
+		}
+		// Every message type of one PG must ride the same shard: client op
+		// (PG derived from the object), replication sub-op, PG push and
+		// scrub all keyed by the PG id.
+		for _, obj := range []string{"alpha", "beta", "gamma", "delta"} {
+			pg := o.curMap.PGForObject(obj)
+			want := int(pg % 4)
+			if got := o.opShard(&cephmsg.MOSDOp{Object: obj}); got != want {
+				t.Fatalf("%s: client op shard %d, want %d", obj, got, want)
+			}
+			for _, m := range []cephmsg.Message{
+				&cephmsg.MRepOp{PGID: pg},
+				&cephmsg.MPGPush{PGID: pg},
+				&cephmsg.MScrub{PGID: pg},
+			} {
+				if got := o.opShard(m); got != want {
+					t.Fatalf("%s: %T shard %d, want %d", obj, m, got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestShardedDispatchPreservesSemantics(t *testing.T) {
+	tc := newTestClusterCfg(t, 2, 2, Config{OpWorkers: 8, OpShards: 4})
+	tc.run(t, func(p *sim.Proc) {
+		// Concurrent writers across many PGs, then read everything back.
+		const writers, objs = 4, 6
+		done := 0
+		for w := 0; w < writers; w++ {
+			w := w
+			tc.env.Spawn(fmt.Sprintf("writer%d", w), func(wp *sim.Proc) {
+				wp.SetThread(sim.NewThread(fmt.Sprintf("writer%d", w), "client"))
+				for i := 0; i < objs; i++ {
+					obj := fmt.Sprintf("shard-obj-%d-%d", w, i)
+					if err := tc.client.Write(wp, obj, payload(64<<10, byte(w*objs+i))); err != nil {
+						t.Errorf("write %s: %v", obj, err)
+					}
+				}
+				done++
+			})
+		}
+		for done < writers {
+			p.Wait(10 * sim.Millisecond)
+		}
+		for w := 0; w < writers; w++ {
+			for i := 0; i < objs; i++ {
+				obj := fmt.Sprintf("shard-obj-%d-%d", w, i)
+				got, err := tc.client.Read(p, obj, 0, 0)
+				if err != nil {
+					t.Fatalf("read %s: %v", obj, err)
+				}
+				if !got.Equal(payload(64<<10, byte(w*objs+i))) {
+					t.Fatalf("%s: read-back mismatch", obj)
+				}
+			}
+		}
+		// Per-PG ordering end to end: sequential overwrites of one object
+		// must leave the last payload.
+		for v := 0; v < 3; v++ {
+			if err := tc.client.Write(p, "versioned", payload(32<<10, byte(100+v))); err != nil {
+				t.Fatalf("overwrite %d: %v", v, err)
+			}
+		}
+		got, err := tc.client.Read(p, "versioned", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(payload(32<<10, 102)) {
+			t.Fatal("overwrite order broken: stale payload read back")
 		}
 	})
 }

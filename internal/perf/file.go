@@ -24,12 +24,17 @@ type File struct {
 // Guard compares a fresh (tracing-disabled) run against the recorded
 // current numbers in the bench file and errors if events/sec collapsed
 // below minRatio of the record, or — when maxAllocsRatio > 0 — if allocs/op
-// grew above maxAllocsRatio times the record. The loose ratios absorb
-// machine-to-machine and smoke-vs-full sweep variance; the guard exists to
-// catch gross regressions: instrumentation hooks that stopped being free
-// when disabled, or a queueing layer that silently reintroduced per-op
-// allocations the zero-copy data plane had eliminated. A missing file or
-// record is not an error (nothing to compare).
+// grew above maxAllocsRatio times the record. The same two gates are then
+// applied per scenario (matched by name), so a regression confined to one
+// transport shape — the multi-queue scenario regressing while the big
+// serial transfers hide it in the aggregate — still fails. The loose ratios
+// absorb machine-to-machine and smoke-vs-full sweep variance; the guard
+// exists to catch gross regressions: instrumentation hooks that stopped
+// being free when disabled, or a queueing layer that silently reintroduced
+// per-op allocations the zero-copy data plane had eliminated. A missing
+// file, record or scenario is not an error (nothing to compare), and
+// zero-valued fields on either side are skipped (the parallel sweep does
+// not attribute per-scenario allocations).
 func Guard(path string, rep Report, minRatio, maxAllocsRatio float64) error {
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -53,6 +58,26 @@ func Guard(path string, rep Report, minRatio, maxAllocsRatio float64) error {
 		rep.AllocsPerOp > f.Current.AllocsPerOp*maxAllocsRatio {
 		return fmt.Errorf("alloc regression: %.1f allocs/op is above %.1fx the recorded %.1f (see %s)",
 			rep.AllocsPerOp, maxAllocsRatio, f.Current.AllocsPerOp, path)
+	}
+	recorded := make(map[string]Measurement, len(f.Current.Scenarios))
+	for _, m := range f.Current.Scenarios {
+		recorded[m.Name] = m
+	}
+	for _, m := range rep.Scenarios {
+		rec, ok := recorded[m.Name]
+		if !ok {
+			continue
+		}
+		if rec.EventsPerSec > 0 && m.EventsPerSec > 0 &&
+			m.EventsPerSec < rec.EventsPerSec*minRatio {
+			return fmt.Errorf("perf regression in %s: %.0f events/s is below %.0f%% of the recorded %.0f (see %s)",
+				m.Name, m.EventsPerSec, minRatio*100, rec.EventsPerSec, path)
+		}
+		if maxAllocsRatio > 0 && rec.AllocsPerOp > 0 && m.AllocsPerOp > 0 &&
+			m.AllocsPerOp > rec.AllocsPerOp*maxAllocsRatio {
+			return fmt.Errorf("alloc regression in %s: %.1f allocs/op is above %.1fx the recorded %.1f (see %s)",
+				m.Name, m.AllocsPerOp, maxAllocsRatio, rec.AllocsPerOp, path)
+		}
 	}
 	return nil
 }

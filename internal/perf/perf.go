@@ -9,6 +9,8 @@ package perf
 import (
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"doceph/internal/cluster"
@@ -17,7 +19,8 @@ import (
 )
 
 // Scenario is one cell of the sweep: a cluster mode and workload shape run
-// at a fixed seed.
+// at a fixed seed. The transport knobs (queues, shards, lanes, batching)
+// default to the serial shape; the multi-queue scenario sets all four.
 type Scenario struct {
 	Name        string       `json:"name"`
 	Mode        cluster.Mode `json:"mode"`
@@ -26,26 +29,41 @@ type Scenario struct {
 	DurationSec int          `json:"duration_sec"`
 	WarmupSec   int          `json:"warmup_sec"`
 	Seed        int64        `json:"seed"`
+
+	// DMAQueues / OpShards / MsgrLanes / Batch reshape the DoCeph transport
+	// (multi-queue DMA engine, sharded OSD dispatch, messenger lanes,
+	// adaptive batching). Zero/false keeps the serial defaults.
+	DMAQueues int  `json:"dma_queues,omitempty"`
+	OpShards  int  `json:"op_shards,omitempty"`
+	MsgrLanes int  `json:"msgr_lanes,omitempty"`
+	Batch     bool `json:"batch,omitempty"`
 }
 
 // DefaultSweep is the radosbench sweep `make bench` runs: both deployment
-// modes at two paper object sizes. Small enough to finish in seconds of
-// wall clock, large enough that the kernel and data plane dominate.
+// modes at two paper object sizes, plus the batched multi-queue small-op
+// shape so the parallel transport paths are tracked like the serial ones.
+// Small enough to finish in seconds of wall clock, large enough that the
+// kernel and data plane dominate.
 func DefaultSweep() []Scenario {
 	return []Scenario{
 		{Name: "baseline-1M", Mode: cluster.Baseline, ObjectBytes: 1 << 20, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42},
 		{Name: "baseline-4M", Mode: cluster.Baseline, ObjectBytes: 4 << 20, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42},
 		{Name: "doceph-1M", Mode: cluster.DoCeph, ObjectBytes: 1 << 20, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42},
 		{Name: "doceph-4M", Mode: cluster.DoCeph, ObjectBytes: 4 << 20, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42},
+		{Name: "doceph-mq4-64K", Mode: cluster.DoCeph, ObjectBytes: 64 << 10, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42,
+			DMAQueues: 4, OpShards: 4, MsgrLanes: 4, Batch: true},
 	}
 }
 
 // SmokeSweep is the short variant wired into `make all`: one scenario per
-// mode, enough to catch a gross perf or determinism regression fast.
+// mode plus the multi-queue shape, enough to catch a gross perf or
+// determinism regression fast.
 func SmokeSweep() []Scenario {
 	return []Scenario{
 		{Name: "baseline-1M", Mode: cluster.Baseline, ObjectBytes: 1 << 20, Threads: 8, DurationSec: 2, WarmupSec: 1, Seed: 42},
 		{Name: "doceph-1M", Mode: cluster.DoCeph, ObjectBytes: 1 << 20, Threads: 8, DurationSec: 2, WarmupSec: 1, Seed: 42},
+		{Name: "doceph-mq4-64K", Mode: cluster.DoCeph, ObjectBytes: 64 << 10, Threads: 8, DurationSec: 2, WarmupSec: 1, Seed: 42,
+			DMAQueues: 4, OpShards: 4, MsgrLanes: 4, Batch: true},
 	}
 }
 
@@ -97,7 +115,21 @@ func (sc Scenario) Validate() error {
 	if sc.WarmupSec < 0 {
 		return fmt.Errorf("perf: scenario %q: warmup_sec must be non-negative, got %d", sc.Name, sc.WarmupSec)
 	}
+	if sc.DMAQueues < 0 || sc.OpShards < 0 || sc.MsgrLanes < 0 {
+		return fmt.Errorf("perf: scenario %q: transport knobs must be non-negative", sc.Name)
+	}
 	return nil
+}
+
+// clusterConfig maps the scenario onto the cluster, including the
+// multi-queue transport knobs.
+func (sc Scenario) clusterConfig() cluster.Config {
+	cfg := cluster.Config{Mode: sc.Mode, Seed: sc.Seed}
+	cfg.Bridge.Engine.Queues = sc.DMAQueues
+	cfg.Bridge.Batch.Enable = sc.Batch
+	cfg.OSD.OpShards = sc.OpShards
+	cfg.Messenger.Lanes = sc.MsgrLanes
+	return cfg
 }
 
 // RunScenario builds a fresh cluster, runs the workload and measures the
@@ -108,7 +140,26 @@ func RunScenario(sc Scenario) (Measurement, error) {
 	if err := sc.Validate(); err != nil {
 		return Measurement{}, err
 	}
-	cl := cluster.New(cluster.Config{Mode: sc.Mode, Seed: sc.Seed})
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	m, err := runScenario(sc)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if m.Ops > 0 {
+		m.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(m.Ops)
+		m.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(m.Ops)
+	}
+	return m, nil
+}
+
+// runScenario is the measurement core without the allocation accounting:
+// heap counters are process-global, so under the parallel sweep they are
+// read once around the whole sweep instead of around each scenario.
+func runScenario(sc Scenario) (Measurement, error) {
+	cl := cluster.New(sc.clusterConfig())
 	defer cl.Shutdown()
 
 	cfg := radosbench.Config{
@@ -118,20 +169,12 @@ func RunScenario(sc Scenario) (Measurement, error) {
 		Warmup:      sim.Duration(sc.WarmupSec) * sim.Second,
 		OnWarmupEnd: cl.ResetHostStats,
 	}
-
-	runtime.GC()
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
 	start := time.Now()
-
 	res, err := radosbench.Run(cl.Env, cl.Client, cfg)
-
 	wall := time.Since(start)
-	runtime.ReadMemStats(&after)
 	if err != nil {
 		return Measurement{}, err
 	}
-
 	m := Measurement{
 		Name:      sc.Name,
 		Ops:       res.Ops,
@@ -143,34 +186,103 @@ func RunScenario(sc Scenario) (Measurement, error) {
 	}
 	if res.Ops > 0 {
 		m.NsPerOp = float64(wall.Nanoseconds()) / float64(res.Ops)
-		m.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(res.Ops)
-		m.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Ops)
 	}
 	return m, nil
 }
 
-// RunSweep runs every scenario and aggregates.
+// RunSweep runs the sweep on one worker goroutine per spare core (capped at
+// the scenario count) and aggregates. Results are returned in sweep order
+// regardless of completion order, and the simulated numbers are identical
+// to a serial run — each scenario is its own isolated simulation.
 func RunSweep(sweep []Scenario) (Report, error) {
+	return RunSweepWorkers(sweep, 0)
+}
+
+// RunSweepWorkers is RunSweep with an explicit worker count (0 means
+// GOMAXPROCS). With one worker the sweep runs serially and per-scenario
+// allocation counters are filled in; with more, per-scenario AllocsPerOp
+// and BytesPerOp are left zero (heap counters are process-global and
+// cannot be attributed across concurrent scenarios) and only the
+// sweep-level aggregate is measured, from one counter delta around the
+// whole sweep.
+func RunSweepWorkers(sweep []Scenario, workers int) (Report, error) {
 	var rep Report
-	var totalEvents uint64
-	var totalWallNs, totalOps int64
-	var totalAllocs float64
 	for _, sc := range sweep {
-		m, err := RunScenario(sc)
-		if err != nil {
+		if err := sc.Validate(); err != nil {
 			return rep, err
 		}
-		rep.Scenarios = append(rep.Scenarios, m)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sweep) {
+		workers = len(sweep)
+	}
+
+	measurements := make([]Measurement, len(sweep))
+	errs := make([]error, len(sweep))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if workers <= 1 {
+		for i, sc := range sweep {
+			// Serial sweep: the counter delta around each scenario is
+			// attributable to it alone.
+			var b, a runtime.MemStats
+			runtime.ReadMemStats(&b)
+			measurements[i], errs[i] = runScenario(sc)
+			runtime.ReadMemStats(&a)
+			if ops := measurements[i].Ops; errs[i] == nil && ops > 0 {
+				measurements[i].AllocsPerOp = float64(a.Mallocs-b.Mallocs) / float64(ops)
+				measurements[i].BytesPerOp = float64(a.TotalAlloc-b.TotalAlloc) / float64(ops)
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(sweep) {
+						return
+					}
+					measurements[i], errs[i] = runScenario(sweep[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	runtime.ReadMemStats(&after)
+
+	var totalEvents uint64
+	var totalWallNs, totalOps int64
+	for i, m := range measurements {
+		if errs[i] != nil {
+			return rep, errs[i]
+		}
 		totalEvents += m.SimEvents
 		totalWallNs += m.WallNs
 		totalOps += m.Ops
-		totalAllocs += m.AllocsPerOp * float64(m.Ops)
 	}
+	rep.Scenarios = measurements
 	if totalWallNs > 0 {
 		rep.EventsPerSec = float64(totalEvents) / (float64(totalWallNs) / 1e9)
 	}
 	if totalOps > 0 {
-		rep.AllocsPerOp = totalAllocs / float64(totalOps)
+		if workers <= 1 {
+			// Keep the serial aggregate the exact op-weighted mean of the
+			// per-scenario rows.
+			var totalAllocs float64
+			for _, m := range measurements {
+				totalAllocs += m.AllocsPerOp * float64(m.Ops)
+			}
+			rep.AllocsPerOp = totalAllocs / float64(totalOps)
+		} else {
+			rep.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(totalOps)
+		}
 		rep.NsPerOp = float64(totalWallNs) / float64(totalOps)
 	}
 	return rep, nil

@@ -87,7 +87,7 @@ func TestRunSweepAggregation(t *testing.T) {
 	b := validScenario()
 	b.Name = "t2"
 	b.Mode = cluster.DoCeph
-	rep, err := RunSweep([]Scenario{a, b})
+	rep, err := RunSweepWorkers([]Scenario{a, b}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,5 +247,103 @@ func TestUpdateFileRefusesCorruptHistory(t *testing.T) {
 	}
 	if string(after) != string(corrupt) {
 		t.Error("UpdateFile modified the file despite erroring")
+	}
+}
+
+// TestRunSweepParallelMatchesSerial pins the parallel runner's contract:
+// simulated results (ops, kernel events) are bit-identical to a serial run
+// — each scenario is an isolated simulation — and rows come back in sweep
+// order. Per-scenario allocation attribution is a serial-only feature; the
+// parallel sweep must leave those fields zero and still fill the aggregate.
+func TestRunSweepParallelMatchesSerial(t *testing.T) {
+	a := validScenario()
+	b := validScenario()
+	b.Name = "t-mq"
+	b.Mode = cluster.DoCeph
+	b.DMAQueues = 2
+	b.OpShards = 2
+	b.MsgrLanes = 2
+	b.Batch = true
+	sweep := []Scenario{a, b}
+	serial, err := RunSweepWorkers(sweep, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSweepWorkers(sweep, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Scenarios) != 2 || par.Scenarios[0].Name != "t" || par.Scenarios[1].Name != "t-mq" {
+		t.Fatalf("parallel rows out of order: %+v", par.Scenarios)
+	}
+	for i := range sweep {
+		s, p := serial.Scenarios[i], par.Scenarios[i]
+		if s.Ops != p.Ops || s.SimEvents != p.SimEvents {
+			t.Errorf("%s: simulated results changed under parallelism: ops %d/%d events %d/%d",
+				s.Name, s.Ops, p.Ops, s.SimEvents, p.SimEvents)
+		}
+		if p.AllocsPerOp != 0 || p.BytesPerOp != 0 {
+			t.Errorf("%s: parallel sweep attributed per-scenario allocations: %+v", p.Name, p)
+		}
+		if s.AllocsPerOp <= 0 {
+			t.Errorf("%s: serial sweep did not attribute allocations", s.Name)
+		}
+	}
+	if par.AllocsPerOp <= 0 {
+		t.Errorf("parallel aggregate allocs/op not measured: %+v", par)
+	}
+}
+
+// TestGuardPerScenario: a collapse confined to one scenario must fail the
+// guard even when the aggregate stays healthy, and unmeasured (zero)
+// alloc fields must be skipped rather than compared.
+func TestGuardPerScenario(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rec := Report{
+		EventsPerSec: 1000, AllocsPerOp: 50,
+		Scenarios: []Measurement{
+			{Name: "big", EventsPerSec: 900, AllocsPerOp: 40},
+			{Name: "mq", EventsPerSec: 800, AllocsPerOp: 60},
+		},
+	}
+	if _, err := UpdateFile(path, rec, false); err != nil {
+		t.Fatal(err)
+	}
+	healthy := Report{
+		EventsPerSec: 950, AllocsPerOp: 55,
+		Scenarios: []Measurement{
+			{Name: "big", EventsPerSec: 850, AllocsPerOp: 45},
+			{Name: "mq", EventsPerSec: 700, AllocsPerOp: 65},
+		},
+	}
+	if err := Guard(path, healthy, 0.3, 2); err != nil {
+		t.Errorf("healthy per-scenario run rejected: %v", err)
+	}
+	collapsed := healthy
+	collapsed.Scenarios = []Measurement{
+		{Name: "big", EventsPerSec: 850, AllocsPerOp: 45},
+		{Name: "mq", EventsPerSec: 100, AllocsPerOp: 65},
+	}
+	err := Guard(path, collapsed, 0.3, 2)
+	if err == nil || !strings.Contains(err.Error(), "mq") {
+		t.Errorf("per-scenario collapse accepted: %v", err)
+	}
+	bloated := healthy
+	bloated.Scenarios = []Measurement{
+		{Name: "big", EventsPerSec: 850, AllocsPerOp: 45},
+		{Name: "mq", EventsPerSec: 700, AllocsPerOp: 200},
+	}
+	err = Guard(path, bloated, 0.3, 2)
+	if err == nil || !strings.Contains(err.Error(), "mq") {
+		t.Errorf("per-scenario alloc blow-up accepted: %v", err)
+	}
+	// Zero on either side (parallel sweep, unknown scenario): skipped.
+	unmeasured := healthy
+	unmeasured.Scenarios = []Measurement{
+		{Name: "big", EventsPerSec: 850},
+		{Name: "new-scenario", EventsPerSec: 1, AllocsPerOp: 999},
+	}
+	if err := Guard(path, unmeasured, 0.3, 2); err != nil {
+		t.Errorf("unmeasured fields compared: %v", err)
 	}
 }

@@ -15,7 +15,9 @@
 package trace
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 
 	"doceph/internal/sim"
 )
@@ -179,7 +181,9 @@ type StageStat struct {
 }
 
 // stageRank orders stages along the request path for stable, readable
-// aggregate tables. Unknown stages sort after, alphabetically.
+// aggregate tables. Per-queue DMA stages ("dma.q<N>", "batch.dma.q<N>")
+// share their base stage's rank and order alphabetically within it; other
+// unknown stages sort after, alphabetically.
 var stageRank = map[string]int{
 	StageOp:          0,
 	StageMsgrSend:    1,
@@ -197,6 +201,21 @@ var stageRank = map[string]int{
 	StageHostCommit:  13,
 	StageAIO:         14,
 	StageKV:          15,
+}
+
+// rankOf resolves a stage's path rank, mapping per-queue DMA stages onto
+// their base stage's slot.
+func rankOf(stage string) (int, bool) {
+	if r, ok := stageRank[stage]; ok {
+		return r, true
+	}
+	if strings.HasPrefix(stage, StageBatchDMA+".q") {
+		return stageRank[StageBatchDMA], true
+	}
+	if strings.HasPrefix(stage, StageDMA+".q") {
+		return stageRank[StageDMA], true
+	}
+	return 0, false
 }
 
 // Canonical stage names used by the instrumentation.
@@ -225,6 +244,38 @@ const (
 	StageKV  = "bstore-kv"
 )
 
+// Per-queue DMA stage names ("dma.q<N>", "batch.dma.q<N>"), used instead
+// of StageDMA/StageBatchDMA when the engine runs more than one queue so
+// the aggregate tables expose per-queue occupancy. Precomputed for the
+// realistic queue counts to keep the hot path allocation-free.
+var (
+	dmaQueueStages      [16]string
+	batchDMAQueueStages [16]string
+)
+
+func init() {
+	for q := range dmaQueueStages {
+		dmaQueueStages[q] = fmt.Sprintf("%s.q%d", StageDMA, q)
+		batchDMAQueueStages[q] = fmt.Sprintf("%s.q%d", StageBatchDMA, q)
+	}
+}
+
+// StageDMAQueue returns the per-queue variant of StageDMA.
+func StageDMAQueue(q int) string {
+	if q >= 0 && q < len(dmaQueueStages) {
+		return dmaQueueStages[q]
+	}
+	return fmt.Sprintf("%s.q%d", StageDMA, q)
+}
+
+// StageBatchDMAQueue returns the per-queue variant of StageBatchDMA.
+func StageBatchDMAQueue(q int) string {
+	if q >= 0 && q < len(batchDMAQueueStages) {
+		return batchDMAQueueStages[q]
+	}
+	return fmt.Sprintf("%s.q%d", StageBatchDMA, q)
+}
+
 // Aggregate folds finished spans into per-(stage, resource) rows, ordered
 // along the request path. Deterministic input order yields deterministic
 // output.
@@ -248,8 +299,8 @@ func Aggregate(spans []Span) []StageStat {
 		st.Bytes += s.Bytes
 	}
 	sort.Slice(order, func(i, j int) bool {
-		ri, iKnown := stageRank[order[i].stage]
-		rj, jKnown := stageRank[order[j].stage]
+		ri, iKnown := rankOf(order[i].stage)
+		rj, jKnown := rankOf(order[j].stage)
 		switch {
 		case iKnown && jKnown && ri != rj:
 			return ri < rj

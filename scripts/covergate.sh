@@ -1,9 +1,11 @@
 #!/bin/sh
 # Coverage gate: fails if any gated package's statement coverage drops
 # below its recorded floor. Floors were measured when the batching test
-# layer landed (core 86.4%, doca 74.8%, osd 74.7%) and set ~5 points
-# below to absorb small refactors; raise them when coverage improves, never
-# lower them to make a PR pass.
+# layer landed (core 86.4%, doca 74.8%, osd 74.7%) and re-measured when the
+# multi-queue transport landed (core 85.9%, doca 82.3%, osd 75.4%,
+# messenger 79.8%, sim 84.5%, perf 91.3%); each is set ~5 points below to
+# absorb small refactors. Raise floors when coverage improves, never lower
+# them to make a PR pass.
 set -eu
 
 fail=0
@@ -27,7 +29,10 @@ gate() {
 }
 
 gate ./internal/core 81
-gate ./internal/doca 70
+gate ./internal/doca 77
 gate ./internal/osd 70
+gate ./internal/messenger 75
+gate ./internal/sim 80
+gate ./internal/perf 85
 
 exit $fail

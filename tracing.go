@@ -77,7 +77,12 @@ func RunTraceBreakdown(opts ExpOptions, size int64) (TraceBreakdownResult, error
 // runTraced builds a traced cluster, runs one write benchmark and folds
 // the span set into the run summary.
 func runTraced(mode Mode, size int64, opts ExpOptions) (TracedRun, error) {
-	cl := NewCluster(ClusterConfig{Mode: mode, Seed: opts.Seed, Trace: true})
+	cfg := ClusterConfig{Mode: mode, Seed: opts.Seed, Trace: true}
+	cfg.Bridge.Engine.Queues = opts.DMAQueues
+	cfg.OSD.OpShards = opts.OpShards
+	cfg.Messenger.Lanes = opts.lanes()
+	cfg.Bridge.Batch = opts.Batch
+	cl := NewCluster(cfg)
 	defer cl.Shutdown()
 	bench, err := RunBench(cl, BenchConfig{
 		Threads: opts.Threads, ObjectBytes: size,
