@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test test-race race chaos-smoke bench bench-smoke cover microbench results quick examples vet fmt trace
+.PHONY: all build test test-race race chaos-smoke selfheal-smoke bench bench-smoke cover microbench results quick examples vet fmt trace
 
 all: build vet test test-race chaos-smoke bench-smoke cover
 
@@ -27,6 +27,13 @@ race: test-race
 # integrity-checked. Exercises the fault-injection path end to end.
 chaos-smoke:
 	go run ./cmd/docephbench -exp chaos -seconds 20 -threads 4
+
+# Self-healing path under the race detector: OSD crash + DPU fault through
+# the circuit breaker, degraded writes and recovery QoS, plus the ablation.
+# 30 s is the experiment floor (the crash window must outlast the 5 s
+# heartbeat grace), so this is the shortest honest run.
+selfheal-smoke:
+	go run -race ./cmd/docephbench -exp selfheal -seconds 30 -threads 4
 
 # The paper's full methodology (60 s windows): every table and figure.
 results:

@@ -169,7 +169,9 @@ func runChaosMode(mode Mode, opts ChaosOptions, plan FaultPlan) (ChaosModeResult
 	res := ChaosModeResult{Mode: mode.String()}
 
 	inj := faultinject.New(cl.Env, cl.FaultTargets())
-	inj.Run(plan)
+	if err := inj.Run(plan); err != nil {
+		return res, fmt.Errorf("fault plan rejected: %w", err)
+	}
 
 	payload := make([]byte, opts.ObjectBytes)
 	for i := range payload {

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, smallops, mq, ablation, stability, scale, chaos")
+	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, smallops, mq, ablation, stability, scale, chaos, selfheal")
 	quick := flag.Bool("quick", false, "short runs (8s window) instead of the paper's 60s")
 	seconds := flag.Int("seconds", 0, "override the measured window length in seconds")
 	threads := flag.Int("threads", 16, "concurrent bench clients")
@@ -36,6 +36,12 @@ func main() {
 	dmaQueues := flag.Int("dma-queues", 0, "DPU DMA engine queues on DoCeph arms (0 = default 1, the serial engine)")
 	opShards := flag.Int("op-shards", 0, "OSD op-queue shards (0 = default 1)")
 	msgrLanes := flag.Int("msgr-lanes", 0, "messenger lanes per connection (0 = follow -dma-queues)")
+	minSize := flag.Int("min-size", 0, "selfheal: write-quorum floor, PGs accept degraded writes down to this many replicas (0 = experiment default 1)")
+	recoveryMaxPGs := flag.Int("recovery-max-pgs", 0, "selfheal: concurrent backfill reservations per OSD (0 = experiment default 2)")
+	recoveryBps := flag.Float64("recovery-bps", 0, "selfheal: recovery bandwidth budget per OSD in bytes/s (0 = experiment default 64e6)")
+	dpuBreaker := flag.Bool("dpu-breaker", true, "selfheal: enable the DPU-offload circuit breaker (host-path failover)")
+	dpuBreakerThreshold := flag.Int("dpu-breaker-threshold", 0, "selfheal: DMA failures inside the window that trip the breaker (0 = default)")
+	dpuBreakerOpenMs := flag.Int64("dpu-breaker-open-ms", 0, "selfheal: breaker open timeout before probing, in ms (0 = duration-scaled default)")
 	flag.Parse()
 
 	opts := doceph.FullOptions()
@@ -185,6 +191,45 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(doceph.ChaosTable(r))
+	}
+
+	// Selfheal is opt-in (not part of "all"): it is a robustness experiment
+	// driving the compound OSD-crash + DPU-fault schedule through the
+	// circuit breaker, degraded-mode writes and recovery QoS, then ablating
+	// breaker x QoS on the DoCeph arm.
+	if strings.EqualFold(*exp, "selfheal") {
+		fmt.Println("running self-healing experiment (OSD crash + DPU fault, baseline vs DoCeph)...")
+		sopts := doceph.SelfHealOptions{
+			Duration:       opts.Duration,
+			Threads:        opts.Threads,
+			Seed:           opts.Seed,
+			MinSize:        *minSize,
+			RecoveryMaxPGs: *recoveryMaxPGs,
+			RecoveryBps:    *recoveryBps,
+			DisableBreaker: !*dpuBreaker,
+		}
+		if *dpuBreakerThreshold > 0 || *dpuBreakerOpenMs > 0 {
+			b := doceph.DefaultBreakerConfig()
+			b.Enable = true
+			if *dpuBreakerThreshold > 0 {
+				b.FailureThreshold = *dpuBreakerThreshold
+			}
+			if *dpuBreakerOpenMs > 0 {
+				b.OpenTimeout = doceph.Duration(*dpuBreakerOpenMs) * doceph.Millisecond
+			}
+			sopts.Breaker = b
+		}
+		r, err := doceph.RunSelfHeal(sopts, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.SelfHealTable(r))
+		fmt.Println("running self-healing ablation (DoCeph, breaker x QoS)...")
+		rows, err := doceph.RunSelfHealAblation(sopts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.SelfHealAblationTable(rows))
 	}
 
 	// Tracing is opt-in (not part of "all"): it is an observability view,

@@ -172,6 +172,7 @@ const (
 	ResNotPrimary int32 = -2  // client must refresh its map and retry
 	ResNotFound   int32 = -61 // object does not exist
 	ResError      int32 = -5  // backend I/O error
+	ResNoQuorum   int32 = -11 // PG below min_size: retry after recovery (EAGAIN)
 )
 
 // MOSDOpReply answers an MOSDOp.

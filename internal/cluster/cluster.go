@@ -57,6 +57,12 @@ type Config struct {
 	PGs          uint32
 	Seed         int64
 
+	// MinSize is the Ceph-style write quorum floor (osdmap.Map.MinSize):
+	// PGs accept degraded writes down to MinSize acting members and reject
+	// them with ResNoQuorum below that. Zero (the default) disables the
+	// gate, preserving the legacy accept-always behaviour.
+	MinSize int
+
 	// LinkBytesPerSec is the Ethernet line rate (12.5e9 = 100 Gbps,
 	// 0.125e9 = 1 Gbps).
 	LinkBytesPerSec float64
@@ -175,6 +181,7 @@ func New(cfg Config) *Cluster {
 
 	crushMap := crush.BuildUniform(cfg.StorageNodes, 1, 1.0)
 	baseMap := osdmap.New(crushMap, cfg.PGs, cfg.Replicas)
+	baseMap.MinSize = cfg.MinSize
 
 	cl := &Cluster{Env: env, Fabric: fabric, Registry: reg, cfg: cfg}
 	if cfg.Trace {

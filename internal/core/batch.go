@@ -261,6 +261,9 @@ func (px *Proxy) flushBatch(p *sim.Proc) {
 		px.breakdown.DMA += t.CopyTime()
 		if w := t.CompletedAt.Sub(dmaStart) - t.CopyTime(); w > 0 {
 			px.breakdown.DMAWait += w
+			if t.Err == nil {
+				px.noteDMAWait(sp, w)
+			}
 		}
 		if t.Err != nil {
 			px.enterCooldown(sp)

@@ -34,6 +34,9 @@ type BridgeConfig struct {
 	// Batch enables adaptive small-op batching on both sides of the bridge
 	// (proxy coalescing + host notify coalescing). Off by default.
 	Batch BatchConfig
+	// Breaker enables the per-bridge DPU health circuit breaker with
+	// host-path failover. Off by default.
+	Breaker dpu.BreakerConfig
 }
 
 // NewBridge wires a DPU to a host CPU + local store and returns the
@@ -44,6 +47,9 @@ func NewBridge(env *sim.Env, dev *dpu.DPU, hostCPU *sim.CPU,
 	if cfg.Batch.Enable {
 		cfg.Proxy.Batch = cfg.Batch
 		cfg.Host.Batch = cfg.Batch
+	}
+	if cfg.Breaker.Enable {
+		cfg.Proxy.Breaker = cfg.Breaker
 	}
 	thRPCHost := sim.NewThread("host-rpc@"+dev.Name, RPCServerThreadCat)
 	thRPCDPU := sim.NewThread("proxy-rpc@"+dev.Name, ProxyThreadCat)

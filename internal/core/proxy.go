@@ -45,6 +45,13 @@ type ProxyConfig struct {
 	// Batch configures adaptive small-op batching (off by default; usually
 	// set through BridgeConfig.Batch).
 	Batch BatchConfig
+	// Breaker configures the DPU health circuit breaker (off by default;
+	// usually set through BridgeConfig.Breaker). When enabled it replaces
+	// the single-failure cooldown gate: isolated DMA errors below the
+	// threshold keep the data plane on, a failure burst opens the breaker
+	// and fails the session over to the host RPC path, and probe successes
+	// re-enroll it.
+	Breaker dpu.BreakerConfig
 }
 
 // DefaultProxyConfig returns the proxy defaults used in the experiments.
@@ -157,8 +164,10 @@ type Proxy struct {
 
 	// cooldown state (paper §4): dmaHealthy gates the data plane; after
 	// cooldownUntil passes, the next request probes before re-enabling.
+	// With the circuit breaker enabled, br supersedes both fields.
 	dmaHealthy    bool
 	cooldownUntil sim.Time
+	br            *dpu.Breaker
 
 	breakdown Breakdown
 	stats     ProxyStats
@@ -195,6 +204,9 @@ func NewProxy(env *sim.Env, dev *dpu.DPU, rpcEnd *rpcchan.Endpoint,
 	}
 	if px.cfg.EnableCompression {
 		px.comp = doca.NewCompressionEngine(env, doca.CompressionEngineConfig{})
+	}
+	if px.cfg.Breaker.Enable {
+		px.br = dpu.NewBreaker(px.cfg.Breaker)
 	}
 	rpcEnd.Handle(opTxnDone, px.onTxnDone)
 	rpcEnd.Handle(opReadDone, px.onReadDone)
@@ -235,7 +247,15 @@ func (px *Proxy) BreakdownSnapshot() Breakdown { return px.breakdown }
 func (px *Proxy) ResetBreakdown() { px.breakdown = Breakdown{} }
 
 // DMAHealthy reports whether the data plane currently uses DMA.
-func (px *Proxy) DMAHealthy() bool { return px.dmaHealthy }
+func (px *Proxy) DMAHealthy() bool {
+	if px.br != nil {
+		return px.br.State() == dpu.BreakerClosed
+	}
+	return px.dmaHealthy
+}
+
+// Breaker returns the circuit breaker, or nil when it is disabled.
+func (px *Proxy) Breaker() *dpu.Breaker { return px.br }
 
 // Compression returns the DPU compression accelerator, or nil when
 // transport compression is disabled.
@@ -252,8 +272,12 @@ func (px *Proxy) ensureRegions(p *sim.Proc) {
 }
 
 // dmaAllowed implements the cooldown gate: healthy -> yes; in cooldown ->
-// no; cooldown expired -> run a probe transfer and decide.
+// no; cooldown expired -> run a probe transfer and decide. With the circuit
+// breaker enabled the decision is delegated to its state machine instead.
 func (px *Proxy) dmaAllowed(p *sim.Proc) bool {
+	if px.br != nil {
+		return px.breakerAllowed(p)
+	}
 	if px.dmaHealthy {
 		return true
 	}
@@ -281,11 +305,58 @@ func (px *Proxy) dmaAllowed(p *sim.Proc) bool {
 }
 
 func (px *Proxy) enterCooldown(p *sim.Proc) {
+	if px.br != nil {
+		// Breaker mode: a single error is a data point, not a verdict —
+		// DMA stays on until the failure rate crosses the threshold.
+		px.br.RecordFailure(p.Now())
+		return
+	}
 	if px.dmaHealthy {
 		px.stats.CooldownEntries++
 	}
 	px.dmaHealthy = false
 	px.cooldownUntil = p.Now().Add(px.cfg.CooldownPeriod)
+}
+
+// breakerAllowed asks the breaker what to do with this request, running the
+// probe transfer itself when one is admitted (half-open re-enrollment).
+func (px *Proxy) breakerAllowed(p *sim.Proc) bool {
+	switch px.br.Decide(p.Now()) {
+	case dpu.BreakerAllow:
+		return true
+	case dpu.BreakerProbe:
+		px.stats.Probes++
+		px.ensureRegions(p)
+		t := &doca.Transfer{Bytes: px.cfg.ProbeBytes, Src: px.dpuMR, Dst: px.hostMR,
+			Tag: segHeader{kind: segProbe}}
+		err := px.engUp.Submit(p, px.dev.CPU, t)
+		if err == nil {
+			t.Done.Wait(p)
+			err = t.Err
+		}
+		if err != nil {
+			px.stats.ProbeFailures++
+			px.br.RecordProbe(p.Now(), false)
+			return false
+		}
+		px.br.RecordProbe(p.Now(), true)
+		// The probe that completes the success streak closes the breaker
+		// and its request rides DMA; earlier probes stay on the fallback.
+		return px.br.State() == dpu.BreakerClosed
+	default:
+		return false
+	}
+}
+
+// noteDMAWait feeds stall detection: a request whose non-copy wait exceeds
+// the breaker's StallThreshold counts toward opening like an error.
+func (px *Proxy) noteDMAWait(p *sim.Proc, wait sim.Duration) {
+	if px.br == nil {
+		return
+	}
+	if st := px.br.Config().StallThreshold; st > 0 && wait > st {
+		px.br.RecordStall(p.Now())
+	}
 }
 
 // QueueTransaction implements objstore.Store: the write data plane. The
@@ -474,6 +545,9 @@ func (px *Proxy) shipViaDMA(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Buf
 	px.breakdown.DMA += copySum
 	if wait := dmaEnd.Sub(dmaStart) - copySum; wait > 0 {
 		px.breakdown.DMAWait += wait
+		if !anyErr {
+			px.noteDMAWait(p, wait)
+		}
 	}
 	if anyErr {
 		// Preserve completed segments ("previously completed segments are

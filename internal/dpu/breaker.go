@@ -1,0 +1,272 @@
+package dpu
+
+import "doceph/internal/sim"
+
+// BreakerState is the circuit-breaker position: Closed means the DMA data
+// plane is trusted, Open means traffic is failed over to the host RPC path,
+// HalfOpen means probe transfers are testing whether the DPU recovered.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerDecision is what the data path should do with the next request.
+type BreakerDecision int
+
+const (
+	// BreakerAllow: use the DMA data plane.
+	BreakerAllow BreakerDecision = iota
+	// BreakerDeny: route over the host RPC fallback path.
+	BreakerDeny
+	// BreakerProbe: run one small probe transfer before deciding; the
+	// caller must report the outcome via RecordProbe. The probe slot is
+	// reserved at decision time, so concurrent requests are denied until
+	// the probe resolves and ProbeInterval passes.
+	BreakerProbe
+)
+
+// BreakerConfig tunes the per-bridge DPU health circuit breaker. Off by
+// default: with Enable false no breaker is constructed and the proxy keeps
+// its legacy single-failure cooldown behaviour, so existing golden runs stay
+// bit-identical. All other fields take defaults when zero.
+type BreakerConfig struct {
+	// Enable turns the breaker on (usually set through BridgeConfig.Breaker).
+	Enable bool
+	// Window is the rolling interval over which data-path failures and
+	// stalls are counted against FailureThreshold.
+	Window sim.Duration
+	// FailureThreshold opens the breaker once this many failures (errors +
+	// stalls) land inside Window. Unlike the legacy cooldown, isolated
+	// failures below the threshold keep DMA enabled.
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before transitioning
+	// to half-open and admitting probe traffic.
+	OpenTimeout sim.Duration
+	// ProbeInterval is the minimum spacing between half-open probes.
+	ProbeInterval sim.Duration
+	// CloseProbes is the number of consecutive successful probes required
+	// to close the breaker and re-enroll the session onto the DPU.
+	CloseProbes int
+	// StallThreshold classifies a DMA request whose non-copy wait exceeds
+	// it as a stall, which counts toward FailureThreshold like an error.
+	// Zero disables stall detection.
+	StallThreshold sim.Duration
+}
+
+// DefaultBreakerConfig returns the defaults used when Enable is set.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Window:           10 * sim.Second,
+		FailureThreshold: 5,
+		OpenTimeout:      5 * sim.Second,
+		ProbeInterval:    sim.Second,
+		CloseProbes:      3,
+	}
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	d := DefaultBreakerConfig()
+	if c.Window == 0 {
+		c.Window = d.Window
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = d.FailureThreshold
+	}
+	if c.OpenTimeout == 0 {
+		c.OpenTimeout = d.OpenTimeout
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = d.ProbeInterval
+	}
+	if c.CloseProbes <= 0 {
+		c.CloseProbes = d.CloseProbes
+	}
+	return c
+}
+
+// BreakerStats counts breaker activity.
+type BreakerStats struct {
+	Failures       int64 // data-path errors recorded
+	Stalls         int64 // stall-classified requests recorded
+	Rejections     int64 // requests denied DMA (open / awaiting probe slot)
+	ProbeSuccesses int64
+	ProbeFailures  int64
+	Opens          int64 // transitions into Open
+	HalfOpens      int64 // transitions into HalfOpen
+	Closes         int64 // transitions back into Closed
+}
+
+// BreakerTransition is one recorded state change.
+type BreakerTransition struct {
+	At   sim.Time
+	From BreakerState
+	To   BreakerState
+}
+
+// maxTransitions bounds the recorded history; a breaker flapping past this
+// keeps counting in Stats but stops appending (chaos runs see a handful).
+const maxTransitions = 256
+
+// Breaker is a deterministic circuit breaker driven entirely by caller-
+// supplied virtual-clock instants — it owns no goroutines and never reads a
+// wall clock, so its trajectory is a pure function of the event sequence.
+type Breaker struct {
+	cfg      BreakerConfig
+	state    BreakerState
+	failures []sim.Time // failure instants within the rolling window
+	openedAt sim.Time
+	// probeAt reserves the in-flight or most recent probe slot; the next
+	// probe is admitted once ProbeInterval has passed since it.
+	probeAt     sim.Time
+	probeArmed  bool // false until the first half-open probe fires
+	streak      int  // consecutive successful probes while half-open
+	stats       BreakerStats
+	transitions []BreakerTransition
+}
+
+// NewBreaker returns a closed breaker (cfg zero fields take defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Config returns the post-defaulting configuration.
+func (b *Breaker) Config() BreakerConfig { return b.cfg }
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Stats returns a copy of the counters.
+func (b *Breaker) Stats() BreakerStats { return b.stats }
+
+// Transitions returns the recorded state-change history in order.
+func (b *Breaker) Transitions() []BreakerTransition {
+	out := make([]BreakerTransition, len(b.transitions))
+	copy(out, b.transitions)
+	return out
+}
+
+func (b *Breaker) transition(now sim.Time, to BreakerState) {
+	if len(b.transitions) < maxTransitions {
+		b.transitions = append(b.transitions, BreakerTransition{At: now, From: b.state, To: to})
+	}
+	b.state = to
+	switch to {
+	case BreakerOpen:
+		b.stats.Opens++
+		b.openedAt = now
+		b.failures = b.failures[:0]
+	case BreakerHalfOpen:
+		b.stats.HalfOpens++
+		b.streak = 0
+		b.probeArmed = false
+	case BreakerClosed:
+		b.stats.Closes++
+		b.failures = b.failures[:0]
+	}
+}
+
+// prune drops failures that slid out of the rolling window.
+func (b *Breaker) prune(now sim.Time) {
+	cut := 0
+	for cut < len(b.failures) && now.Sub(b.failures[cut]) > b.cfg.Window {
+		cut++
+	}
+	if cut > 0 {
+		b.failures = append(b.failures[:0], b.failures[cut:]...)
+	}
+}
+
+// Decide returns what the data path should do with a request arriving at
+// now. A BreakerProbe return reserves the probe slot: until the caller
+// resolves it with RecordProbe and ProbeInterval elapses, concurrent
+// requests are denied rather than piling probes onto a sick device.
+func (b *Breaker) Decide(now sim.Time) BreakerDecision {
+	switch b.state {
+	case BreakerClosed:
+		return BreakerAllow
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cfg.OpenTimeout {
+			b.stats.Rejections++
+			return BreakerDeny
+		}
+		b.transition(now, BreakerHalfOpen)
+		b.probeArmed = true
+		b.probeAt = now
+		return BreakerProbe
+	default: // BreakerHalfOpen
+		if b.probeArmed && now.Sub(b.probeAt) < b.cfg.ProbeInterval {
+			b.stats.Rejections++
+			return BreakerDeny
+		}
+		b.probeArmed = true
+		b.probeAt = now
+		return BreakerProbe
+	}
+}
+
+// RecordProbe resolves a probe admitted by Decide: a failure reopens the
+// breaker immediately; CloseProbes consecutive successes close it.
+func (b *Breaker) RecordProbe(now sim.Time, ok bool) {
+	b.probeAt = now
+	if !ok {
+		b.stats.ProbeFailures++
+		if b.state != BreakerOpen {
+			b.transition(now, BreakerOpen)
+		} else {
+			b.openedAt = now
+		}
+		return
+	}
+	b.stats.ProbeSuccesses++
+	if b.state != BreakerHalfOpen {
+		return
+	}
+	b.streak++
+	if b.streak >= b.cfg.CloseProbes {
+		b.transition(now, BreakerClosed)
+	}
+}
+
+// RecordFailure notes a data-path DMA error at now. While closed it counts
+// toward FailureThreshold inside the rolling window; while half-open any
+// traffic failure reopens the breaker; while open it refreshes nothing (the
+// path is already failed over).
+func (b *Breaker) RecordFailure(now sim.Time) {
+	b.stats.Failures++
+	b.noteFailure(now)
+}
+
+// RecordStall notes a stall-classified request (non-copy wait beyond
+// StallThreshold); it weighs the same as an error.
+func (b *Breaker) RecordStall(now sim.Time) {
+	b.stats.Stalls++
+	b.noteFailure(now)
+}
+
+func (b *Breaker) noteFailure(now sim.Time) {
+	switch b.state {
+	case BreakerClosed:
+		b.prune(now)
+		b.failures = append(b.failures, now)
+		if len(b.failures) >= b.cfg.FailureThreshold {
+			b.transition(now, BreakerOpen)
+		}
+	case BreakerHalfOpen:
+		b.transition(now, BreakerOpen)
+	}
+}

@@ -1,0 +1,188 @@
+package dpu
+
+import (
+	"testing"
+
+	"doceph/internal/sim"
+)
+
+func at(d sim.Duration) sim.Time { return sim.Time(0).Add(d) }
+
+// TestBreakerOpensAtThreshold: failures below the threshold keep DMA
+// allowed; the Nth failure inside the window opens the breaker.
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enable: true, Window: 10 * sim.Second, FailureThreshold: 3})
+	for i := 0; i < 2; i++ {
+		b.RecordFailure(at(sim.Duration(i) * sim.Second))
+		if got := b.Decide(at(sim.Duration(i) * sim.Second)); got != BreakerAllow {
+			t.Fatalf("after %d failures: decision %v, want allow", i+1, got)
+		}
+	}
+	b.RecordFailure(at(2 * sim.Second))
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after threshold failures, want open", b.State())
+	}
+	if got := b.Decide(at(3 * sim.Second)); got != BreakerDeny {
+		t.Fatalf("decision %v while open, want deny", got)
+	}
+	if s := b.Stats(); s.Opens != 1 || s.Failures != 3 || s.Rejections != 1 {
+		t.Fatalf("stats %+v, want 1 open / 3 failures / 1 rejection", s)
+	}
+}
+
+// TestBreakerWindowExpiry: failures spread wider than the rolling window
+// never accumulate to the threshold.
+func TestBreakerWindowExpiry(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enable: true, Window: sim.Second, FailureThreshold: 3})
+	for i := 0; i < 10; i++ {
+		b.RecordFailure(at(sim.Duration(i) * 2 * sim.Second))
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v with spread-out failures, want closed", b.State())
+	}
+}
+
+// TestBreakerHalfOpenProbeCadence: after OpenTimeout the first request is
+// admitted as a probe, concurrent requests are denied while the probe slot
+// is reserved, and successive probes respect ProbeInterval until CloseProbes
+// successes close the breaker.
+func TestBreakerHalfOpenProbeCadence(t *testing.T) {
+	cfg := BreakerConfig{Enable: true, Window: 10 * sim.Second, FailureThreshold: 1,
+		OpenTimeout: 5 * sim.Second, ProbeInterval: sim.Second, CloseProbes: 2}
+	b := NewBreaker(cfg)
+	b.RecordFailure(at(0))
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	if got := b.Decide(at(4 * sim.Second)); got != BreakerDeny {
+		t.Fatalf("decision %v before OpenTimeout, want deny", got)
+	}
+	if got := b.Decide(at(5 * sim.Second)); got != BreakerProbe {
+		t.Fatalf("decision %v at OpenTimeout, want probe", got)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after probe admission, want half-open", b.State())
+	}
+	// Probe slot reserved: a concurrent request must not probe too.
+	if got := b.Decide(at(5*sim.Second + 100*sim.Millisecond)); got != BreakerDeny {
+		t.Fatalf("decision %v with probe in flight, want deny", got)
+	}
+	b.RecordProbe(at(5*sim.Second+200*sim.Millisecond), true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after 1/2 probe successes, want half-open", b.State())
+	}
+	// Next probe only after ProbeInterval from the last resolution.
+	if got := b.Decide(at(6 * sim.Second)); got != BreakerDeny {
+		t.Fatalf("decision %v inside ProbeInterval, want deny", got)
+	}
+	if got := b.Decide(at(6*sim.Second + 200*sim.Millisecond)); got != BreakerProbe {
+		t.Fatalf("decision %v after ProbeInterval, want probe", got)
+	}
+	b.RecordProbe(at(6*sim.Second+300*sim.Millisecond), true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after %d probe successes, want closed", b.State(), cfg.CloseProbes)
+	}
+	if got := b.Decide(at(7 * sim.Second)); got != BreakerAllow {
+		t.Fatalf("decision %v after close, want allow", got)
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed half-open probe reopens the
+// breaker and restarts the OpenTimeout clock; the success streak resets.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enable: true, FailureThreshold: 1,
+		OpenTimeout: 2 * sim.Second, ProbeInterval: sim.Second, CloseProbes: 2})
+	b.RecordFailure(at(0))
+	if got := b.Decide(at(2 * sim.Second)); got != BreakerProbe {
+		t.Fatalf("decision %v, want probe", got)
+	}
+	b.RecordProbe(at(2*sim.Second+100*sim.Millisecond), true) // streak 1/2
+	if got := b.Decide(at(4 * sim.Second)); got != BreakerProbe {
+		t.Fatalf("decision %v, want probe", got)
+	}
+	b.RecordProbe(at(4*sim.Second+100*sim.Millisecond), false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after probe failure, want open", b.State())
+	}
+	// OpenTimeout restarts from the failed probe.
+	if got := b.Decide(at(5 * sim.Second)); got != BreakerDeny {
+		t.Fatalf("decision %v inside restarted OpenTimeout, want deny", got)
+	}
+	if got := b.Decide(at(6*sim.Second + 200*sim.Millisecond)); got != BreakerProbe {
+		t.Fatalf("decision %v after restarted OpenTimeout, want probe", got)
+	}
+	// The streak restarted: one success must not close.
+	b.RecordProbe(at(6*sim.Second+300*sim.Millisecond), true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after reset streak success, want half-open", b.State())
+	}
+}
+
+// TestBreakerHalfOpenTrafficFailure: a data-path failure (not a probe)
+// while half-open also reopens the breaker.
+func TestBreakerHalfOpenTrafficFailure(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enable: true, FailureThreshold: 1,
+		OpenTimeout: sim.Second, CloseProbes: 3})
+	b.RecordFailure(at(0))
+	if got := b.Decide(at(sim.Second)); got != BreakerProbe {
+		t.Fatalf("decision %v, want probe", got)
+	}
+	b.RecordFailure(at(sim.Second + 500*sim.Millisecond))
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after half-open traffic failure, want open", b.State())
+	}
+}
+
+// TestBreakerStallCountsAsFailure: stalls share the failure budget.
+func TestBreakerStallCountsAsFailure(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enable: true, Window: 10 * sim.Second, FailureThreshold: 2})
+	b.RecordStall(at(sim.Second))
+	b.RecordFailure(at(2 * sim.Second))
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after stall+failure, want open", b.State())
+	}
+	if s := b.Stats(); s.Stalls != 1 || s.Failures != 1 {
+		t.Fatalf("stats %+v, want 1 stall / 1 failure", s)
+	}
+}
+
+// TestBreakerTransitionsRecorded: the full open -> half-open -> closed
+// history is observable in order with the causal instants.
+func TestBreakerTransitionsRecorded(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enable: true, FailureThreshold: 1,
+		OpenTimeout: sim.Second, CloseProbes: 1})
+	b.RecordFailure(at(sim.Second))
+	b.Decide(at(2 * sim.Second))
+	b.RecordProbe(at(2*sim.Second+100*sim.Millisecond), true)
+	trs := b.Transitions()
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(trs) != len(want) {
+		t.Fatalf("%d transitions, want %d: %+v", len(trs), len(want), trs)
+	}
+	for i, tr := range trs {
+		if tr.To != want[i] {
+			t.Fatalf("transition %d is %v->%v, want ->%v", i, tr.From, tr.To, want[i])
+		}
+		if i > 0 && trs[i-1].At > tr.At {
+			t.Fatalf("transition instants out of order: %+v", trs)
+		}
+	}
+	if s := b.Stats(); s.Opens != 1 || s.HalfOpens != 1 || s.Closes != 1 {
+		t.Fatalf("stats %+v, want one of each transition", s)
+	}
+}
+
+// TestBreakerDefaults: zero config fields take documented defaults.
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enable: true})
+	cfg := b.Config()
+	d := DefaultBreakerConfig()
+	if cfg.Window != d.Window || cfg.FailureThreshold != d.FailureThreshold ||
+		cfg.OpenTimeout != d.OpenTimeout || cfg.ProbeInterval != d.ProbeInterval ||
+		cfg.CloseProbes != d.CloseProbes {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.StallThreshold != 0 {
+		t.Fatalf("StallThreshold defaulted to %v; zero must stay disabled", cfg.StallThreshold)
+	}
+}

@@ -98,6 +98,68 @@ func (p *Plan) Add(e Event) *Plan {
 	return p
 }
 
+// nodeScoped lists the kinds that act on a named node (everything except
+// OSDCrash, which targets Event.OSD).
+func nodeScoped(k Kind) bool { return k != OSDCrash }
+
+// Validate checks the plan's structural invariants before anything is
+// scheduled: event times and windows must not be negative, kinds must be
+// known, node-scoped events need a target name, and each kind's parameters
+// must be in range. A nil error means the plan is schedulable on any
+// deployment (whether a given fault then binds to a live target is a
+// per-deployment question — see Injector.Run).
+func (p Plan) Validate() error {
+	for i, ev := range p.Events {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("plan %q event %d (%s): %s",
+				p.Name, i, ev.Kind, fmt.Sprintf(format, args...))
+		}
+		if _, known := kindNames[ev.Kind]; !known {
+			return fmt.Errorf("plan %q event %d: unknown fault kind %d",
+				p.Name, i, int(ev.Kind))
+		}
+		if ev.At < 0 {
+			return fail("negative start offset %v", ev.At)
+		}
+		if ev.Duration < 0 {
+			return fail("negative window %v", ev.Duration)
+		}
+		if nodeScoped(ev.Kind) && ev.Node == "" {
+			return fail("missing target node")
+		}
+		switch ev.Kind {
+		case Drop, WriteError, DMAError:
+			if ev.Prob < 0 || ev.Prob > 1 {
+				return fail("probability %v outside [0, 1]", ev.Prob)
+			}
+		case Bandwidth:
+			if ev.Factor <= 0 || ev.Factor > 1 {
+				return fail("bandwidth factor %v outside (0, 1]", ev.Factor)
+			}
+		case Latency, SlowIO, CommStall:
+			if ev.Extra <= 0 {
+				return fail("requires a positive Extra latency, got %v", ev.Extra)
+			}
+		case Partition:
+			if ev.Group < 0 {
+				return fail("negative partition group %d", ev.Group)
+			}
+		case BitRot:
+			if ev.Count < 0 {
+				return fail("negative object count %d", ev.Count)
+			}
+		case OSDCrash:
+			if ev.OSD < 0 {
+				return fail("negative OSD id %d", ev.OSD)
+			}
+			if ev.Duration == 0 {
+				return fail("requires a restart window (zero Duration would crash forever)")
+			}
+		}
+	}
+	return nil
+}
+
 // Targets binds a plan's symbolic names to live simulation objects. Any nil
 // or missing target simply makes the corresponding fault kinds no-ops (a
 // Baseline cluster has no DMA engines, for example).
@@ -132,11 +194,50 @@ func New(env *sim.Env, t Targets) *Injector {
 // applied event, "bit_rot_objects" counts corrupted objects.
 func (in *Injector) Counters() *telemetry.Counters { return in.counters }
 
-// Run schedules every event of plan relative to the current virtual time.
-// Each event runs on its own daemon process: it sleeps until Event.At,
-// applies the fault, and — for windowed faults — sleeps Event.Duration and
-// reverts it.
-func (in *Injector) Run(plan Plan) {
+// Run validates plan and schedules every event relative to the current
+// virtual time. Each event runs on its own daemon process: it sleeps until
+// Event.At, applies the fault, and — for windowed faults — sleeps
+// Event.Duration and reverts it.
+//
+// Beyond Plan.Validate's structural checks, Run rejects events that name a
+// target the bound deployment should have but does not: an unknown fabric
+// node, or a node absent from a populated Stores/Engines/Channels/OSDs map.
+// Events aimed at a subsystem this deployment lacks entirely (DMAError on a
+// Baseline cluster, whose Engines map is empty) stay benign no-ops, so one
+// plan still drives both deployments identically. Nothing is scheduled on
+// error.
+func (in *Injector) Run(plan Plan) error {
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	for i, ev := range plan.Events {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("plan %q event %d (%s): %s",
+				plan.Name, i, ev.Kind, fmt.Sprintf(format, args...))
+		}
+		switch ev.Kind {
+		case Drop, Latency, Bandwidth, Partition:
+			if in.t.Fabric != nil && !in.t.Fabric.HasNode(ev.Node) {
+				return fail("unknown fabric node %q", ev.Node)
+			}
+		case SlowIO, WriteError, BitRot:
+			if len(in.t.Stores) > 0 && in.t.Stores[ev.Node] == nil {
+				return fail("no store on node %q", ev.Node)
+			}
+		case DMAError:
+			if len(in.t.Engines) > 0 && len(in.t.Engines[ev.Node]) == 0 {
+				return fail("no DMA engines on node %q", ev.Node)
+			}
+		case CommStall:
+			if len(in.t.Channels) > 0 && in.t.Channels[ev.Node] == nil {
+				return fail("no comm channel on node %q", ev.Node)
+			}
+		case OSDCrash:
+			if len(in.t.OSDs) > 0 && in.t.OSDs[ev.OSD] == nil {
+				return fail("unknown OSD %d", ev.OSD)
+			}
+		}
+	}
 	for i := range plan.Events {
 		ev := plan.Events[i]
 		name := fmt.Sprintf("fault:%s/%d:%s", plan.Name, i, ev.Kind)
@@ -147,6 +248,7 @@ func (in *Injector) Run(plan Plan) {
 			in.apply(p, ev)
 		})
 	}
+	return nil
 }
 
 func (in *Injector) apply(p *sim.Proc, ev Event) {

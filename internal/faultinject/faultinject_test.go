@@ -31,9 +31,11 @@ func runBody(t *testing.T, cl *cluster.Cluster, horizon sim.Duration, body func(
 func TestScrubDetectsInjectedBitRot(t *testing.T) {
 	cl := cluster.New(cluster.Config{Mode: cluster.Baseline, WireEncode: true})
 	inj := faultinject.New(cl.Env, cl.FaultTargets())
-	inj.Run(faultinject.Plan{Name: "rot", Events: []faultinject.Event{
+	if err := inj.Run(faultinject.Plan{Name: "rot", Events: []faultinject.Event{
 		{At: 5 * sim.Second, Kind: faultinject.BitRot, Node: "node1", Count: 3},
-	}})
+	}}); err != nil {
+		t.Fatal(err)
+	}
 
 	payload := func(i int) *wire.Bufferlist {
 		data := make([]byte, 128<<10)
@@ -87,9 +89,11 @@ func TestScrubDetectsInjectedBitRot(t *testing.T) {
 func TestOSDCrashRecoverPlan(t *testing.T) {
 	cl := cluster.New(cluster.Config{Mode: cluster.Baseline})
 	inj := faultinject.New(cl.Env, cl.FaultTargets())
-	inj.Run(faultinject.Plan{Name: "crash", Events: []faultinject.Event{
+	if err := inj.Run(faultinject.Plan{Name: "crash", Events: []faultinject.Event{
 		{At: 2 * sim.Second, Duration: 20 * sim.Second, Kind: faultinject.OSDCrash, OSD: 1},
-	}})
+	}}); err != nil {
+		t.Fatal(err)
+	}
 	runBody(t, cl, 10*60*sim.Second, func(p *sim.Proc) {
 		for i := 0; i < 30; i++ {
 			if err := cl.Client.Write(p, fmt.Sprintf("o-%d", i), wire.FromBytes(make([]byte, 4<<10))); err != nil {
@@ -111,9 +115,11 @@ func TestOSDCrashRecoverPlan(t *testing.T) {
 func TestWindowedFaultReverts(t *testing.T) {
 	cl := cluster.New(cluster.Config{Mode: cluster.Baseline})
 	inj := faultinject.New(cl.Env, cl.FaultTargets())
-	inj.Run(faultinject.Plan{Name: "drop", Events: []faultinject.Event{
+	if err := inj.Run(faultinject.Plan{Name: "drop", Events: []faultinject.Event{
 		{At: sim.Second, Duration: 4 * sim.Second, Kind: faultinject.Drop, Node: "node0", Prob: 1.0},
-	}})
+	}}); err != nil {
+		t.Fatal(err)
+	}
 	runBody(t, cl, 10*60*sim.Second, func(p *sim.Proc) {
 		p.Wait(6 * sim.Second) // heartbeats flow through the whole window
 		during := cl.Fabric.DroppedFrames()

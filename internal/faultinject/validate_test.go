@@ -1,0 +1,164 @@
+package faultinject_test
+
+import (
+	"strings"
+	"testing"
+
+	"doceph/internal/cluster"
+	"doceph/internal/faultinject"
+	"doceph/internal/sim"
+)
+
+// ok is a minimal valid event used as the mutation base of the table.
+func okEvent() faultinject.Event {
+	return faultinject.Event{
+		At: sim.Second, Duration: sim.Second,
+		Kind: faultinject.Drop, Node: "node0", Prob: 0.1,
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*faultinject.Event)
+		wantErr string // "" = valid
+	}{
+		{"baseline event valid", func(e *faultinject.Event) {}, ""},
+		{"negative start", func(e *faultinject.Event) { e.At = -sim.Second }, "negative start"},
+		{"negative window", func(e *faultinject.Event) { e.Duration = -sim.Second }, "negative window"},
+		{"permanent degradation allowed", func(e *faultinject.Event) { e.Duration = 0 }, ""},
+		{"unknown kind", func(e *faultinject.Event) { e.Kind = faultinject.Kind(99) }, "unknown fault kind"},
+		{"missing node", func(e *faultinject.Event) { e.Node = "" }, "missing target node"},
+		{"prob above one", func(e *faultinject.Event) { e.Prob = 1.5 }, "outside [0, 1]"},
+		{"negative prob", func(e *faultinject.Event) { e.Prob = -0.1 }, "outside [0, 1]"},
+		{"write error prob", func(e *faultinject.Event) {
+			e.Kind = faultinject.WriteError
+			e.Prob = 2
+		}, "outside [0, 1]"},
+		{"zero bandwidth factor", func(e *faultinject.Event) {
+			e.Kind = faultinject.Bandwidth
+			e.Factor = 0
+		}, "outside (0, 1]"},
+		{"bandwidth above one", func(e *faultinject.Event) {
+			e.Kind = faultinject.Bandwidth
+			e.Factor = 1.2
+		}, "outside (0, 1]"},
+		{"latency without extra", func(e *faultinject.Event) {
+			e.Kind = faultinject.Latency
+			e.Extra = 0
+		}, "positive Extra"},
+		{"slow io negative extra", func(e *faultinject.Event) {
+			e.Kind = faultinject.SlowIO
+			e.Extra = -sim.Millisecond
+		}, "positive Extra"},
+		{"comm stall valid", func(e *faultinject.Event) {
+			e.Kind = faultinject.CommStall
+			e.Extra = sim.Millisecond
+		}, ""},
+		{"negative partition group", func(e *faultinject.Event) {
+			e.Kind = faultinject.Partition
+			e.Group = -1
+		}, "negative partition group"},
+		{"negative bit rot count", func(e *faultinject.Event) {
+			e.Kind = faultinject.BitRot
+			e.Count = -2
+		}, "negative object count"},
+		{"crash without window", func(e *faultinject.Event) {
+			e.Kind = faultinject.OSDCrash
+			e.Node = ""
+			e.OSD = 1
+			e.Duration = 0
+		}, "restart window"},
+		{"crash negative osd", func(e *faultinject.Event) {
+			e.Kind = faultinject.OSDCrash
+			e.Node = ""
+			e.OSD = -1
+		}, "negative OSD id"},
+		{"crash valid", func(e *faultinject.Event) {
+			e.Kind = faultinject.OSDCrash
+			e.Node = ""
+			e.OSD = 0
+		}, ""},
+	}
+	for _, c := range cases {
+		ev := okEvent()
+		c.mutate(&ev)
+		err := (faultinject.Plan{Name: "t", Events: []faultinject.Event{ev}}).Validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: validation passed, want error containing %q", c.name, c.wantErr)
+		} else if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantErr)
+		}
+	}
+	// An invalid event anywhere in the list fails the whole plan.
+	p := faultinject.Plan{Name: "mixed", Events: []faultinject.Event{
+		okEvent(),
+		{At: -sim.Second, Kind: faultinject.Drop, Node: "node0"},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("plan with one invalid event validated")
+	}
+	if err := (faultinject.Plan{Name: "empty"}).Validate(); err != nil {
+		t.Errorf("empty plan rejected: %v", err)
+	}
+}
+
+// TestRunRejectsUnknownTargets: a structurally valid plan naming targets the
+// deployment should have but does not is refused before anything schedules —
+// while a fault aimed at a subsystem the deployment lacks entirely (DPU
+// faults on Baseline) stays a benign no-op so one plan drives both modes.
+func TestRunRejectsUnknownTargets(t *testing.T) {
+	base := cluster.New(cluster.Config{Mode: cluster.Baseline})
+	defer base.Shutdown()
+	inj := faultinject.New(base.Env, base.FaultTargets())
+
+	reject := func(name string, ev faultinject.Event, want string) {
+		t.Helper()
+		err := inj.Run(faultinject.Plan{Name: name, Events: []faultinject.Event{ev}})
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: err = %v, want mention of %q", name, err, want)
+		}
+	}
+	reject("fabric", faultinject.Event{
+		Kind: faultinject.Drop, Node: "node99", Prob: 0.5,
+	}, "unknown fabric node")
+	reject("store", faultinject.Event{
+		Kind: faultinject.WriteError, Node: "ghost", Prob: 0.5,
+	}, "no store on node")
+	reject("osd", faultinject.Event{
+		Kind: faultinject.OSDCrash, OSD: 42, Duration: sim.Second,
+	}, "unknown OSD")
+
+	// Cross-mode no-op: Baseline has no DMA engines or comm channels, so
+	// DPU faults schedule (and do nothing) rather than erroring.
+	err := inj.Run(faultinject.Plan{Name: "dpu-on-baseline", Events: []faultinject.Event{
+		{Kind: faultinject.DMAError, Node: "node0", Prob: 1, Duration: sim.Second},
+		{Kind: faultinject.CommStall, Node: "node0", Extra: sim.Millisecond, Duration: sim.Second},
+	}})
+	if err != nil {
+		t.Fatalf("DPU fault on Baseline rejected: %v", err)
+	}
+
+	// On DoCeph those same subsystems exist, so a bogus node name errors.
+	dc := cluster.New(cluster.Config{Mode: cluster.DoCeph})
+	defer dc.Shutdown()
+	dinj := faultinject.New(dc.Env, dc.FaultTargets())
+	err = dinj.Run(faultinject.Plan{Name: "dpu-ghost", Events: []faultinject.Event{
+		{Kind: faultinject.DMAError, Node: "ghost", Prob: 1, Duration: sim.Second},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "no DMA engines") {
+		t.Fatalf("unknown engine node: err = %v", err)
+	}
+	err = dinj.Run(faultinject.Plan{Name: "dpu-ok", Events: []faultinject.Event{
+		{Kind: faultinject.DMAError, Node: "node0", Prob: 1, Duration: sim.Second},
+	}})
+	if err != nil {
+		t.Fatalf("valid DoCeph DMA fault rejected: %v", err)
+	}
+}

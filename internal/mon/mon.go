@@ -134,6 +134,23 @@ func (m *Monitor) handleBoot(b *cephmsg.MOSDBoot) {
 	m.MarkUp(b.OSD)
 }
 
+// MarkDown administratively removes an OSD from the map and publishes the
+// new epoch — Ceph's `ceph osd down`, bypassing the heartbeat grace. Used
+// by experiments that need a degraded map faster than failure detection
+// can deliver one; fail the daemon itself first (osd.Fail) so it does not
+// protest the mark with a boot message.
+func (m *Monitor) MarkDown(id int32) {
+	if !m.curMap.IsUp(id) {
+		return
+	}
+	next := m.curMap.Next()
+	next.MarkDown(id)
+	m.curMap = next
+	m.epochBumps++
+	delete(m.reports, id)
+	m.broadcast()
+}
+
 // MarkUp administratively restores an OSD and publishes a new epoch (used
 // by recovery scenarios and tests).
 func (m *Monitor) MarkUp(id int32) {

@@ -14,6 +14,7 @@ package osd
 
 import (
 	"fmt"
+	"sort"
 
 	"doceph/internal/cephmsg"
 	"doceph/internal/messenger"
@@ -59,6 +60,21 @@ type Config struct {
 	// RecoveryDelay throttles backfill between objects so recovery does
 	// not starve client I/O.
 	RecoveryDelay sim.Duration
+	// RecoveryMaxPGs caps how many PGs this OSD backfills concurrently
+	// (Ceph's osd_max_backfills reservation). Zero removes the cap (legacy
+	// behaviour: every eligible PG starts at once).
+	RecoveryMaxPGs int
+	// RecoveryBps token-bucket-paces pushed payload bytes per second across
+	// all of this OSD's backfills (Ceph's osd_recovery_max_active byte
+	// analogue). Zero disables pacing.
+	RecoveryBps float64
+	// RecoveryBackoffDepth is the foreground op-queue watermark: while the
+	// OSD's op queues hold at least this many waiting client ops, backfill
+	// pauses in RecoveryBackoff steps. Zero disables the backoff.
+	RecoveryBackoffDepth int
+	// RecoveryBackoff is the pause between watermark re-checks (defaulted
+	// only when RecoveryBackoffDepth is set).
+	RecoveryBackoff sim.Duration
 	// ScrubInterval spaces periodic deep scrubs; zero disables scrubbing.
 	ScrubInterval sim.Duration
 	// RepOpTimeout bounds how long the primary waits for replica acks
@@ -117,6 +133,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRepRetries == 0 {
 		c.MaxRepRetries = d.MaxRepRetries
 	}
+	if c.RecoveryBackoffDepth > 0 && c.RecoveryBackoff == 0 {
+		c.RecoveryBackoff = 5 * sim.Millisecond
+	}
 	return c
 }
 
@@ -139,6 +158,25 @@ type Stats struct {
 	BytesWritten     int64
 	BytesRead        int64
 	FailureReports   int64
+	// DegradedWrites counts mutations accepted while the PG's acting set was
+	// below the replication factor but at or above min_size.
+	DegradedWrites int64
+	// NoQuorumRejects counts mutations bounced with ResNoQuorum because the
+	// acting set fell below min_size.
+	NoQuorumRejects int64
+	// DegradedPGsHealed counts PGs whose degraded-write ledger entry was
+	// retired when a map change restored the full acting set.
+	DegradedPGsHealed int64
+	// PGsBackfilled counts backfill reservations this OSD ran as pusher.
+	PGsBackfilled int64
+	// RecoveryBytes is the payload volume pushed to backfill targets.
+	RecoveryBytes int64
+	// RecoveryThrottle is virtual time backfill spent blocked in the
+	// RecoveryBps token bucket.
+	RecoveryThrottle sim.Duration
+	// RecoveryBackoffs counts watermark pauses taken because foreground op
+	// queues were at or above RecoveryBackoffDepth.
+	RecoveryBackoffs int64
 }
 
 // OSD is one object storage daemon instance.
@@ -162,6 +200,19 @@ type OSD struct {
 	opqs    []*sim.Queue[opItem]
 	pgLocks map[uint32]*sim.Semaphore
 	created map[uint32]bool
+	// degraded ledgers writes accepted below full replication, per PG, so
+	// operators can see which PGs owe backfill work. Entries are retired by
+	// applyMap once the acting set is whole again (the existing push path
+	// re-replicates the objects). Only populated when the map's MinSize gate
+	// is active.
+	degraded map[uint32]int64
+	// recovSem is the backfill reservation semaphore (nil without
+	// RecoveryMaxPGs). recovTokens/recovLast are the RecoveryBps token
+	// bucket — shared across this OSD's concurrent backfills so the cap is
+	// per OSD, not per PG.
+	recovSem    *sim.Semaphore
+	recovTokens float64
+	recovLast   sim.Time
 
 	nextTid uint64
 	// pending records each outstanding rep-op: which replica it waits on
@@ -232,6 +283,7 @@ func New(env *sim.Env, cpu *sim.CPU, id int32, msgr *messenger.Messenger,
 		msgr: msgr, store: store, curMap: m,
 		pgLocks:      make(map[uint32]*sim.Semaphore),
 		created:      make(map[uint32]bool),
+		degraded:     make(map[uint32]int64),
 		pending:      make(map[uint64]*repWait),
 		pushPending:  make(map[uint64]*sim.Event),
 		scrubPending: make(map[uint64]*scrubCall),
@@ -241,6 +293,9 @@ func New(env *sim.Env, cpu *sim.CPU, id int32, msgr *messenger.Messenger,
 	}
 	o.completerName = "completer:" + o.name
 	o.repCompleterName = "rep-completer:" + o.name
+	if o.cfg.RecoveryMaxPGs > 0 {
+		o.recovSem = sim.NewSemaphore(env, o.cfg.RecoveryMaxPGs)
+	}
 	o.ready = sim.NewEvent(env)
 	msgr.SetDispatcher(o.dispatch)
 	o.opqs = make([]*sim.Queue[opItem], o.cfg.OpShards)
@@ -538,6 +593,24 @@ func (o *OSD) handleClientOp(p *sim.Proc, src string, m *cephmsg.MOSDOp, sp trac
 		o.tr.Finish(sp)
 		return
 	}
+	// min_size write-quorum gate (off when MinSize is zero): mutations need
+	// at least MinSize acting members; between MinSize and Replicas they
+	// proceed degraded and the PG is ledgered for later healing.
+	if ms := o.curMap.MinSize; ms > 0 && mutates(m.Op) {
+		if len(acting) < ms {
+			o.stats.NoQuorumRejects++
+			o.msgr.Send(src, &cephmsg.MOSDOpReply{
+				Tid: m.Tid, Object: m.Object, Op: m.Op,
+				Result: cephmsg.ResNoQuorum, TraceCtx: m.TraceCtx,
+			})
+			o.tr.Finish(sp)
+			return
+		}
+		if len(acting) < o.curMap.Replicas {
+			o.stats.DegradedWrites++
+			o.degraded[pg]++
+		}
+	}
 	switch m.Op {
 	case cephmsg.OpWrite:
 		o.handleWrite(p, src, m, pg, acting, sp)
@@ -552,6 +625,16 @@ func (o *OSD) handleClientOp(p *sim.Proc, src string, m *cephmsg.MOSDOp, sp trac
 	case cephmsg.OpOmapGet, cephmsg.OpOmapKeys:
 		o.handleOmapRead(p, src, m, pg, sp)
 	}
+}
+
+// mutates reports whether a client op alters replicated state and is
+// therefore subject to the min_size write-quorum gate.
+func mutates(op cephmsg.Op) bool {
+	switch op {
+	case cephmsg.OpWrite, cephmsg.OpDelete, cephmsg.OpOmapSet, cephmsg.OpOmapRm:
+		return true
+	}
+	return false
 }
 
 // omapTxn builds the replicated mutation for a client omap op. Touch makes
@@ -910,19 +993,45 @@ func (o *OSD) applyMap(now sim.Time, m *cephmsg.MOSDMap) {
 	}
 	// Abandon rep-op waits on replicas the new map removed: the write
 	// continues degraded on the surviving acting set instead of hanging
-	// the client until its timeout.
+	// the client until its timeout. Completion fires events that wake
+	// blocked writers, so the order must not follow map iteration — two
+	// runs would wake them differently and diverge.
+	var stale []uint64
 	for tid, w := range o.pending {
 		if !next.IsUp(w.target) {
-			o.completeRep(tid)
+			stale = append(stale, tid)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, tid := range stale {
+		o.completeRep(tid)
+	}
+	// Retire degraded-write ledger entries for PGs whose acting set is whole
+	// again: recovery (startRecovery below) pushes the missing objects, so
+	// once placement is restored the PG no longer owes degraded debt.
+	for pg := range o.degraded {
+		if len(next.ActingSet(pg)) >= next.Replicas {
+			delete(o.degraded, pg)
+			o.stats.DegradedPGsHealed++
 		}
 	}
 	o.startRecovery(old, next)
 }
 
+// DegradedLedger snapshots the per-PG count of writes accepted below full
+// replication that have not yet been healed by a map change.
+func (o *OSD) DegradedLedger() map[uint32]int64 {
+	out := make(map[uint32]int64, len(o.degraded))
+	for pg, n := range o.degraded {
+		out[pg] = n
+	}
+	return out
+}
+
 // statsReply snapshots the OSD's counters for the manager.
 func (o *OSD) statsReply(tid uint64) *cephmsg.MStatsReply {
 	s := o.stats
-	return &cephmsg.MStatsReply{
+	r := &cephmsg.MStatsReply{
 		Tid:    tid,
 		Source: o.name,
 		Keys: []string{
@@ -942,6 +1051,22 @@ func (o *OSD) statsReply(tid uint64) *cephmsg.MStatsReply {
 			int64(o.curMap.Epoch),
 		},
 	}
+	// Self-healing counters are appended only when the min_size gate is on:
+	// the mgr polls stats on the virtual clock, so growing the baseline
+	// reply would perturb golden CPU accounting.
+	if o.curMap.MinSize > 0 {
+		r.Keys = append(r.Keys,
+			"degraded_writes", "no_quorum_rejects", "degraded_pgs_healed")
+		r.Values = append(r.Values,
+			s.DegradedWrites, s.NoQuorumRejects, s.DegradedPGsHealed)
+	}
+	if o.cfg.RecoveryMaxPGs > 0 || o.cfg.RecoveryBps > 0 || o.cfg.RecoveryBackoffDepth > 0 {
+		r.Keys = append(r.Keys,
+			"pgs_backfilled", "recovery_bytes", "recovery_throttle_ns", "recovery_backoffs")
+		r.Values = append(r.Values,
+			s.PGsBackfilled, s.RecoveryBytes, int64(s.RecoveryThrottle), s.RecoveryBackoffs)
+	}
+	return r
 }
 
 func parseOSD(entity string) (int32, bool) {

@@ -42,6 +42,13 @@ func newTestClusterCfg(t *testing.T, hosts int, replicas int, ocfg Config) *test
 
 func newTestClusterWith(t *testing.T, hosts int, replicas int, wireEncode bool, ocfg Config) *testCluster {
 	t.Helper()
+	return newTestClusterFull(t, hosts, replicas, 0, wireEncode, ocfg)
+}
+
+// newTestClusterFull additionally sets the map's min_size write-quorum floor
+// (0 keeps the gate off, the legacy shape every other test uses).
+func newTestClusterFull(t *testing.T, hosts, replicas, minSize int, wireEncode bool, ocfg Config) *testCluster {
+	t.Helper()
 	env := sim.NewEnv(7)
 	fabric := sim.NewFabric(env, "eth100g", 5*sim.Microsecond)
 	reg := messenger.NewRegistry()
@@ -49,6 +56,7 @@ func newTestClusterWith(t *testing.T, hosts int, replicas int, wireEncode bool, 
 
 	crushMap := crush.BuildUniform(hosts, 1, 1.0)
 	baseMap := osdmap.New(crushMap, 64, replicas)
+	baseMap.MinSize = minSize
 
 	fabric.AddNode("client-node", 12.5e9)
 	clientCPU := sim.NewCPU(env, "client-cpu", 16, 3.0, 2000)

@@ -17,6 +17,11 @@ type Map struct {
 	PGCount uint32
 	// Replicas is the pool replication factor.
 	Replicas int
+	// MinSize is the Ceph-style write quorum floor: with MinSize > 0 a PG
+	// accepts (degraded) writes while its acting set holds at least MinSize
+	// members and rejects them below that. Zero disables the gate entirely
+	// (legacy behaviour).
+	MinSize int
 	// Crush is the placement hierarchy; each epoch owns an independent
 	// copy so down-marks cannot leak between epochs.
 	Crush *crush.Map
@@ -46,6 +51,7 @@ func (m *Map) Next() *Map {
 		Epoch:    m.Epoch + 1,
 		PGCount:  m.PGCount,
 		Replicas: m.Replicas,
+		MinSize:  m.MinSize,
 		Crush:    m.Crush.Clone(),
 		Down:     down,
 	}

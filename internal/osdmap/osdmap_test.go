@@ -89,6 +89,18 @@ func TestNextAdvancesEpochIndependently(t *testing.T) {
 	}
 }
 
+func TestNextCarriesMinSize(t *testing.T) {
+	m1 := newMap(3, 2)
+	if m1.MinSize != 0 {
+		t.Fatalf("fresh map MinSize = %d, want 0 (gate off)", m1.MinSize)
+	}
+	m1.MinSize = 1
+	m2 := m1.Next().Next()
+	if m2.MinSize != 1 {
+		t.Fatalf("MinSize lost across epochs: %d", m2.MinSize)
+	}
+}
+
 func TestUpOSDsAndMarkUp(t *testing.T) {
 	m := newMap(3, 2)
 	if got := m.UpOSDs(); len(got) != 3 {

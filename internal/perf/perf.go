@@ -37,6 +37,14 @@ type Scenario struct {
 	OpShards  int  `json:"op_shards,omitempty"`
 	MsgrLanes int  `json:"msgr_lanes,omitempty"`
 	Batch     bool `json:"batch,omitempty"`
+
+	// Degraded runs the scenario through the self-healing write path:
+	// osd.1 is administratively down when the workload starts (min_size=1
+	// accepts the degraded writes) and rejoins halfway through the
+	// measured window, so the second half is backfill under the recovery
+	// QoS knobs. This keeps the degraded ledger, recovery pacing and
+	// op-queue backoff on the perf radar, not just the clean path.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // DefaultSweep is the radosbench sweep `make bench` runs: both deployment
@@ -52,6 +60,8 @@ func DefaultSweep() []Scenario {
 		{Name: "doceph-4M", Mode: cluster.DoCeph, ObjectBytes: 4 << 20, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42},
 		{Name: "doceph-mq4-64K", Mode: cluster.DoCeph, ObjectBytes: 64 << 10, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42,
 			DMAQueues: 4, OpShards: 4, MsgrLanes: 4, Batch: true},
+		{Name: "doceph-degraded-4K", Mode: cluster.DoCeph, ObjectBytes: 4 << 10, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42,
+			Degraded: true},
 	}
 }
 
@@ -64,6 +74,8 @@ func SmokeSweep() []Scenario {
 		{Name: "doceph-1M", Mode: cluster.DoCeph, ObjectBytes: 1 << 20, Threads: 8, DurationSec: 2, WarmupSec: 1, Seed: 42},
 		{Name: "doceph-mq4-64K", Mode: cluster.DoCeph, ObjectBytes: 64 << 10, Threads: 8, DurationSec: 2, WarmupSec: 1, Seed: 42,
 			DMAQueues: 4, OpShards: 4, MsgrLanes: 4, Batch: true},
+		{Name: "doceph-degraded-4K", Mode: cluster.DoCeph, ObjectBytes: 4 << 10, Threads: 8, DurationSec: 2, WarmupSec: 1, Seed: 42,
+			Degraded: true},
 	}
 }
 
@@ -129,6 +141,15 @@ func (sc Scenario) clusterConfig() cluster.Config {
 	cfg.Bridge.Batch.Enable = sc.Batch
 	cfg.OSD.OpShards = sc.OpShards
 	cfg.Messenger.Lanes = sc.MsgrLanes
+	if sc.Degraded {
+		// Same shape the selfheal experiment defaults to: accept writes at
+		// one replica, backfill two PGs at a time under a 64 MB/s bucket,
+		// and back off when the foreground queue is four deep.
+		cfg.MinSize = 1
+		cfg.OSD.RecoveryMaxPGs = 2
+		cfg.OSD.RecoveryBps = 64e6
+		cfg.OSD.RecoveryBackoffDepth = 4
+	}
 	return cfg
 }
 
@@ -162,6 +183,22 @@ func runScenario(sc Scenario) (Measurement, error) {
 	cl := cluster.New(sc.clusterConfig())
 	defer cl.Shutdown()
 
+	if sc.Degraded {
+		// Take osd.1 down administratively at t=0 — the heartbeat grace
+		// (5 s) would outlast the whole scenario — and rejoin it halfway
+		// through the measured window so the tail runs real backfill under
+		// the QoS knobs while the bench clients keep writing.
+		rejoin := sim.Duration(sc.WarmupSec)*sim.Second +
+			sim.Duration(sc.DurationSec)*sim.Second/2
+		cl.Env.Spawn("degrade", func(p *sim.Proc) {
+			cl.Nodes[1].OSD.Fail()
+			cl.Mon.MarkDown(1)
+			p.Wait(rejoin)
+			cl.Nodes[1].OSD.Recover()
+			cl.Mon.MarkUp(1)
+		})
+	}
+
 	cfg := radosbench.Config{
 		Threads:     sc.Threads,
 		ObjectBytes: sc.ObjectBytes,
@@ -174,6 +211,22 @@ func runScenario(sc Scenario) (Measurement, error) {
 	wall := time.Since(start)
 	if err != nil {
 		return Measurement{}, err
+	}
+	if sc.Degraded {
+		// The measurement is only meaningful if the degraded machinery
+		// actually ran — a regression that stopped it from engaging would
+		// otherwise quietly benchmark the clean path under this name.
+		var degraded, backfilled int64
+		for _, n := range cl.Nodes {
+			st := n.OSD.Stats()
+			degraded += st.DegradedWrites
+			backfilled += st.PGsBackfilled
+		}
+		if degraded == 0 || backfilled == 0 {
+			return Measurement{}, fmt.Errorf(
+				"perf: scenario %q: degraded path did not engage (degraded_writes=%d pgs_backfilled=%d)",
+				sc.Name, degraded, backfilled)
+		}
 	}
 	m := Measurement{
 		Name:      sc.Name,

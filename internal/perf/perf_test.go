@@ -80,6 +80,22 @@ func TestRunScenarioAccumulates(t *testing.T) {
 	}
 }
 
+// TestRunScenarioDegraded pins the self-healing perf shape: runScenario's
+// engagement check errors out unless the crash/rejoin schedule produced
+// degraded writes and real backfill, so a passing run proves the scenario
+// measures the recovery path, not a silently clean one.
+func TestRunScenarioDegraded(t *testing.T) {
+	sc := Scenario{Name: "degraded", Mode: cluster.DoCeph, ObjectBytes: 4 << 10,
+		Threads: 4, DurationSec: 2, WarmupSec: 1, Seed: 1, Degraded: true}
+	m, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ops <= 0 {
+		t.Fatalf("no ops completed under the degraded schedule: %+v", m)
+	}
+}
+
 // TestRunSweepAggregation recomputes the sweep totals from the per-scenario
 // rows to pin the aggregation arithmetic.
 func TestRunSweepAggregation(t *testing.T) {

@@ -45,6 +45,7 @@ var (
 	ErrIO       = errors.New("rados: backend I/O error")
 	ErrTimeout  = errors.New("rados: request timed out")
 	ErrNoOSD    = errors.New("rados: no primary OSD for object")
+	ErrNoQuorum = errors.New("rados: PG below min_size, write quorum unavailable")
 )
 
 // Config carries client tunables.
@@ -107,6 +108,9 @@ type Stats struct {
 	Redirects    int64
 	StaleReplies int64
 	MapRefreshes int64
+	// NoQuorumWaits counts ResNoQuorum replies (PG below min_size): the
+	// client backs off and retries, waiting for recovery to restore quorum.
+	NoQuorumWaits int64
 }
 
 // Client is one RADOS client instance bound to a messenger entity.
@@ -157,7 +161,7 @@ func (c *Client) Map() *osdmap.Map { return c.curMap }
 func (c *Client) Stats() Stats { return c.stats }
 
 // Telemetry returns the client's counter set (stale_replies, op_retries,
-// op_timeouts, redirects, map_refreshes).
+// op_timeouts, redirects, map_refreshes, no_quorum_waits).
 func (c *Client) Telemetry() *telemetry.Counters { return c.counters }
 
 func (c *Client) dispatch(p *sim.Proc, src string, m cephmsg.Message) {
@@ -241,6 +245,7 @@ func (c *Client) do(p *sim.Proc, op *cephmsg.MOSDOp) (*cephmsg.MOSDOpReply, erro
 		}
 	}
 	sawNoOSD := false
+	sawNoQuorum := false
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			c.stats.Retries++
@@ -277,7 +282,21 @@ func (c *Client) do(p *sim.Proc, op *cephmsg.MOSDOp) (*cephmsg.MOSDOpReply, erro
 			wait()
 			continue
 		}
+		if call.reply.Result == cephmsg.ResNoQuorum {
+			// The PG is below min_size: real Ceph blocks such writes until
+			// the acting set regrows. Back off and retry against a fresher
+			// map; surface a typed error only once retries exhaust.
+			c.stats.NoQuorumWaits++
+			c.counters.Add("no_quorum_waits", 1)
+			sawNoQuorum = true
+			c.refreshMap()
+			wait()
+			continue
+		}
 		return call.reply, nil
+	}
+	if sawNoQuorum {
+		return nil, ErrNoQuorum
 	}
 	if sawNoOSD {
 		return nil, ErrNoOSD

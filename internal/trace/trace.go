@@ -201,6 +201,10 @@ var stageRank = map[string]int{
 	StageHostCommit:  13,
 	StageAIO:         14,
 	StageKV:          15,
+	// Recovery stages rank after the foreground path: background work
+	// reads last in the per-stage table.
+	StageRecovery:     16,
+	StageRecoveryPush: 17,
 }
 
 // rankOf resolves a stage's path rank, mapping per-queue DMA stages onto
@@ -242,6 +246,11 @@ const (
 	// commit, deferred payloads riding the WAL).
 	StageAIO = "bstore-aio"
 	StageKV  = "bstore-kv"
+	// StageRecovery is one PG backfill (root span, one per recovering PG);
+	// StageRecoveryPush is one object push under it. QoS throttle waits are
+	// attributed as queue wait on the backfill span.
+	StageRecovery     = "recovery.backfill"
+	StageRecoveryPush = "recovery.push"
 )
 
 // Per-queue DMA stage names ("dma.q<N>", "batch.dma.q<N>"), used instead

@@ -1,0 +1,476 @@
+package doceph
+
+import (
+	"fmt"
+
+	"doceph/internal/dpu"
+	"doceph/internal/faultinject"
+	"doceph/internal/report"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+// Self-healing experiment: both deployments run the same closed-loop
+// write/verify workload through a compound failure — an OSD crash (degraded
+// acting sets, then recovery traffic) followed by a sustained DPU DMA fault
+// (the offload data path goes dark). The run exercises the whole
+// self-healing stack at once: the circuit breaker trips the DMA session over
+// to the host RPC path and re-enrolls it after probes succeed, min_size
+// keeps degraded writes flowing (and ledgered) while a replica is down, and
+// the recovery QoS knobs keep the post-crash backfill from starving
+// foreground I/O. Everything runs on virtual time from one seed, so a run
+// reproduces bit-identically (asserted by TestSelfHealDeterminism).
+
+// BreakerConfig re-exports the DPU circuit-breaker tunables (see
+// dpu.BreakerConfig).
+type BreakerConfig = dpu.BreakerConfig
+
+// DefaultBreakerConfig re-exports the calibrated breaker defaults (disabled;
+// set Enable to arm them).
+func DefaultBreakerConfig() BreakerConfig { return dpu.DefaultBreakerConfig() }
+
+// SelfHealOptions controls the self-healing run.
+type SelfHealOptions struct {
+	// Duration is the workload length (fault windows scale with it).
+	Duration Duration
+	// Threads is the number of closed-loop client workers.
+	Threads int
+	// ObjectBytes is the write size.
+	ObjectBytes int64
+	// Seed seeds both clusters and every probabilistic fault draw.
+	Seed int64
+	// VerifyEvery makes each worker read back one of its own objects after
+	// every VerifyEvery writes.
+	VerifyEvery int
+
+	// MinSize is the write-quorum floor (default 1: a PG keeps accepting
+	// degraded writes down to a single surviving replica).
+	MinSize int
+	// RecoveryMaxPGs / RecoveryBps / RecoveryBackoffDepth are the recovery
+	// QoS knobs (osd.Config); zero values take the experiment defaults.
+	RecoveryMaxPGs       int
+	RecoveryBps          float64
+	RecoveryBackoffDepth int
+	// Breaker configures the DPU circuit breaker. A zero value takes the
+	// dpu defaults with timeouts scaled to Duration so the open -> half-open
+	// -> closed arc fits inside the run.
+	Breaker BreakerConfig
+
+	// DisableBreaker / DisableQoS switch a mechanism off entirely — the
+	// ablation axes of RunSelfHealAblation.
+	DisableBreaker bool
+	DisableQoS     bool
+}
+
+func (o SelfHealOptions) withDefaults() SelfHealOptions {
+	if o.Duration == 0 {
+		o.Duration = 60 * Second
+	}
+	// The 5 s heartbeat grace sets a physical floor: below ~30 s the plan's
+	// crash window is never even detected and the experiment degenerates,
+	// so short (e.g. -quick) durations are raised to the minimum that
+	// exercises the whole arc.
+	if o.Duration < 30*Second {
+		o.Duration = 30 * Second
+	}
+	if o.Threads == 0 {
+		o.Threads = 8
+	}
+	if o.ObjectBytes == 0 {
+		o.ObjectBytes = 1 << 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.VerifyEvery == 0 {
+		o.VerifyEvery = 4
+	}
+	if o.MinSize == 0 {
+		o.MinSize = 1
+	}
+	if o.RecoveryMaxPGs == 0 {
+		o.RecoveryMaxPGs = 2
+	}
+	if o.RecoveryBps == 0 {
+		o.RecoveryBps = 64e6 // 64 MB/s backfill budget per OSD (~1/8 disk)
+	}
+	if o.RecoveryBackoffDepth == 0 {
+		o.RecoveryBackoffDepth = 4
+	}
+	if !o.Breaker.Enable && !o.DisableBreaker {
+		// Scale the breaker clock to the run so the re-enroll arc (open
+		// timeout + CloseProbes probes) completes inside the clean tail.
+		// At the full 60 s these come out to the dpu package defaults.
+		b := dpu.DefaultBreakerConfig()
+		b.Enable = true
+		b.Window = o.Duration / 6
+		b.OpenTimeout = o.Duration / 12
+		b.ProbeInterval = o.Duration / 60
+		o.Breaker = b
+	}
+	return o
+}
+
+// SelfHealPlan is the compound failure schedule: an OSD crash-and-restart
+// early (degraded writes once the heartbeat grace expires and the monitor
+// publishes the failure, then recovery on rejoin), and a sustained total DMA
+// fault on node0 later (the breaker must open, fail traffic over to the host
+// path, and re-enroll once the window closes). The crash window must
+// comfortably exceed the 5 s heartbeat grace or the failure is never
+// detected; the final ~25% of the run is fault-free so the breaker can walk
+// open -> half-open -> closed and the backfill can proceed under QoS.
+func SelfHealPlan(d Duration) FaultPlan {
+	frac := func(f float64) Duration { return Duration(float64(d) * f) }
+	return FaultPlan{Name: "selfheal", Events: []FaultEvent{
+		{At: frac(0.10), Duration: frac(0.35), Kind: FaultOSDCrash, OSD: 1},
+		{At: frac(0.55), Duration: frac(0.20), Kind: FaultDMAError, Node: "node0", Prob: 1.0},
+	}}
+}
+
+// SelfHealModeResult is one deployment's behaviour under the plan.
+type SelfHealModeResult struct {
+	Mode string
+
+	// Workload outcome.
+	Ops    int64
+	Errors int64
+	// Integrity: inline reads during the faults plus a full post-run pass.
+	IntegrityChecked, IntegrityOK int64
+
+	// Degraded-write machinery (min_size gate).
+	DegradedWrites, NoQuorumRejects, DegradedPGsHealed int64
+	// NoQuorumWaits counts client retry rounds spent below min_size.
+	NoQuorumWaits int64
+
+	// Recovery QoS.
+	ObjectsRecovered, PGsBackfilled, RecoveryBytes, RecoveryBackoffs int64
+	RecoveryThrottle                                                 Duration
+
+	// Circuit breaker (all-node sums; zero on Baseline, which has no DPU).
+	BreakerOpens, BreakerHalfOpens, BreakerCloses int64
+	ProbeSuccesses, ProbeFailures                 int64
+	// FallbackTxns counts transactions the proxy shipped over the host RPC
+	// path; DataPlaneTxns went over DMA.
+	FallbackTxns, DataPlaneTxns int64
+	DMAErrors                   int64
+	// BreakerFinal is node0's breaker state at run end ("" without one).
+	BreakerFinal string
+
+	// Per-second write throughput, clean-second mean, worst in-window
+	// second relative to it, and recovery time after the last window.
+	MBps            []float64
+	CleanMBps       float64
+	DipPct          float64
+	RecoverySeconds float64
+}
+
+// SelfHealResult compares both deployments under the identical plan.
+type SelfHealResult struct {
+	PlanName string
+	Seed     int64
+	Baseline SelfHealModeResult
+	DoCeph   SelfHealModeResult
+}
+
+// RunSelfHeal executes the self-healing workload on both deployments under
+// plan (nil selects SelfHealPlan).
+func RunSelfHeal(opts SelfHealOptions, plan *FaultPlan) (SelfHealResult, error) {
+	opts = opts.withDefaults()
+	pl := SelfHealPlan(opts.Duration)
+	if plan != nil {
+		pl = *plan
+	}
+	out := SelfHealResult{PlanName: pl.Name, Seed: opts.Seed}
+	for _, m := range []struct {
+		mode Mode
+		dst  *SelfHealModeResult
+	}{{Baseline, &out.Baseline}, {DoCeph, &out.DoCeph}} {
+		r, err := runSelfHealMode(m.mode, opts, pl)
+		if err != nil {
+			return out, fmt.Errorf("selfheal %v: %w", m.mode, err)
+		}
+		*m.dst = r
+	}
+	return out, nil
+}
+
+// selfHealClusterConfig maps the options onto a cluster: the min_size floor,
+// the recovery QoS knobs and the bridge breaker (the latter only takes
+// effect on DoCeph nodes).
+func selfHealClusterConfig(mode Mode, opts SelfHealOptions) ClusterConfig {
+	cfg := ClusterConfig{Mode: mode, Seed: opts.Seed, MinSize: opts.MinSize}
+	if !opts.DisableQoS {
+		cfg.OSD.RecoveryMaxPGs = opts.RecoveryMaxPGs
+		cfg.OSD.RecoveryBps = opts.RecoveryBps
+		cfg.OSD.RecoveryBackoffDepth = opts.RecoveryBackoffDepth
+	}
+	if !opts.DisableBreaker {
+		cfg.Bridge.Breaker = opts.Breaker
+	}
+	return cfg
+}
+
+func runSelfHealMode(mode Mode, opts SelfHealOptions, plan FaultPlan) (SelfHealModeResult, error) {
+	cl := NewCluster(selfHealClusterConfig(mode, opts))
+	defer cl.Shutdown()
+	res := SelfHealModeResult{Mode: mode.String()}
+
+	inj := faultinject.New(cl.Env, cl.FaultTargets())
+	if err := inj.Run(plan); err != nil {
+		return res, fmt.Errorf("fault plan rejected: %w", err)
+	}
+
+	payload := make([]byte, opts.ObjectBytes)
+	for i := range payload {
+		payload[i] = byte(i * 2654435761)
+	}
+	wantCRC := wire.FromBytes(payload).CRC32C()
+
+	var (
+		stopped  bool
+		perSecBy []int64
+		written  = make([][]string, opts.Threads)
+	)
+	start := cl.Env.Now()
+	record := func(end sim.Time, bytes int64) {
+		sec := int(end.Sub(start) / sim.Duration(sim.Second))
+		for len(perSecBy) <= sec {
+			perSecBy = append(perSecBy, 0)
+		}
+		perSecBy[sec] += bytes
+	}
+	verify := func(p *sim.Proc, obj string) {
+		bl, err := cl.Client.Read(p, obj, 0, 0)
+		if err != nil {
+			res.Errors++
+			return
+		}
+		res.IntegrityChecked++
+		if bl.CRC32C() == wantCRC {
+			res.IntegrityOK++
+		}
+	}
+
+	workersDone := 0
+	for w := 0; w < opts.Threads; w++ {
+		worker := w
+		cl.Env.Spawn(fmt.Sprintf("selfheal-worker-%d", w), func(p *sim.Proc) {
+			p.SetThread(sim.NewThread(fmt.Sprintf("selfheal-%d", worker), "client"))
+			defer func() { workersDone++ }()
+			for i := 0; !stopped; i++ {
+				obj := fmt.Sprintf("selfheal_w%d_%d", worker, i)
+				res.Ops++
+				if err := cl.Client.Write(p, obj, wire.FromBytes(payload)); err != nil {
+					res.Errors++
+					continue
+				}
+				written[worker] = append(written[worker], obj)
+				record(p.Now(), opts.ObjectBytes)
+				if n := len(written[worker]); n > 0 && n%opts.VerifyEvery == 0 {
+					pick := written[worker][cl.Env.Rand().Intn(n)]
+					res.Ops++
+					verify(p, pick)
+				}
+			}
+		})
+	}
+	cl.Env.Spawn("selfheal-controller", func(p *sim.Proc) {
+		p.Wait(opts.Duration)
+		stopped = true
+	})
+	for !stopped {
+		if err := cl.Env.RunUntil(cl.Env.Now().Add(sim.Second)); err != nil {
+			return res, err
+		}
+	}
+	for workersDone < opts.Threads {
+		if err := cl.Env.RunUntil(cl.Env.Now().Add(sim.Second)); err != nil {
+			return res, err
+		}
+	}
+
+	// Post-run: let the backfill tail drain under its QoS budget, then
+	// verify every object the workload managed to write.
+	verifyDone := false
+	cl.Env.Spawn("selfheal-verify", func(p *sim.Proc) {
+		p.SetThread(sim.NewThread("selfheal-verify", "client"))
+		p.Wait(opts.Duration / 6)
+		for _, objs := range written {
+			for _, obj := range objs {
+				verify(p, obj)
+			}
+		}
+		verifyDone = true
+	})
+	for !verifyDone {
+		if err := cl.Env.RunUntil(cl.Env.Now().Add(5 * sim.Second)); err != nil {
+			return res, err
+		}
+	}
+
+	// Collect counters.
+	res.NoQuorumWaits = cl.Client.Stats().NoQuorumWaits
+	for _, n := range cl.Nodes {
+		os := n.OSD.Stats()
+		res.DegradedWrites += os.DegradedWrites
+		res.NoQuorumRejects += os.NoQuorumRejects
+		res.DegradedPGsHealed += os.DegradedPGsHealed
+		res.ObjectsRecovered += os.ObjectsRecovered
+		res.PGsBackfilled += os.PGsBackfilled
+		res.RecoveryBytes += os.RecoveryBytes
+		res.RecoveryBackoffs += os.RecoveryBackoffs
+		res.RecoveryThrottle += os.RecoveryThrottle
+		if n.Bridge != nil {
+			ps := n.Bridge.Proxy.Stats()
+			res.FallbackTxns += ps.FallbackTxns
+			res.DataPlaneTxns += ps.DataPlaneTxns
+			res.DMAErrors += n.Bridge.EngUp.Stats().Errors + n.Bridge.EngDown.Stats().Errors
+			if br := n.Bridge.Proxy.Breaker(); br != nil {
+				bs := br.Stats()
+				res.BreakerOpens += bs.Opens
+				res.BreakerHalfOpens += bs.HalfOpens
+				res.BreakerCloses += bs.Closes
+				res.ProbeSuccesses += bs.ProbeSuccesses
+				res.ProbeFailures += bs.ProbeFailures
+			}
+		}
+	}
+	if len(cl.Nodes) > 0 && cl.Nodes[0].Bridge != nil {
+		if br := cl.Nodes[0].Bridge.Proxy.Breaker(); br != nil {
+			res.BreakerFinal = br.State().String()
+		}
+	}
+
+	for _, b := range perSecBy {
+		res.MBps = append(res.MBps, float64(b)/1e6)
+	}
+	res.CleanMBps, res.DipPct, res.RecoverySeconds = chaosDipRecovery(res.MBps, plan)
+	return res, nil
+}
+
+// SelfHealTable renders the comparison.
+func SelfHealTable(r SelfHealResult) *report.Table {
+	t := &report.Table{
+		Title:  fmt.Sprintf("Self-healing: plan %q, seed %d — Baseline vs DoCeph", r.PlanName, r.Seed),
+		Header: []string{"metric", "Baseline", "DoCeph"},
+	}
+	row := func(name string, b, d int64) { t.AddRow(name, fmt.Sprint(b), fmt.Sprint(d)) }
+	row("ops issued", r.Baseline.Ops, r.DoCeph.Ops)
+	row("typed errors", r.Baseline.Errors, r.DoCeph.Errors)
+	row("integrity checked", r.Baseline.IntegrityChecked, r.DoCeph.IntegrityChecked)
+	row("integrity ok", r.Baseline.IntegrityOK, r.DoCeph.IntegrityOK)
+	row("degraded writes", r.Baseline.DegradedWrites, r.DoCeph.DegradedWrites)
+	row("no-quorum rejects", r.Baseline.NoQuorumRejects, r.DoCeph.NoQuorumRejects)
+	row("degraded PGs healed", r.Baseline.DegradedPGsHealed, r.DoCeph.DegradedPGsHealed)
+	row("objects recovered", r.Baseline.ObjectsRecovered, r.DoCeph.ObjectsRecovered)
+	row("PGs backfilled", r.Baseline.PGsBackfilled, r.DoCeph.PGsBackfilled)
+	row("recovery bytes", r.Baseline.RecoveryBytes, r.DoCeph.RecoveryBytes)
+	row("recovery backoffs", r.Baseline.RecoveryBackoffs, r.DoCeph.RecoveryBackoffs)
+	t.AddRow("recovery throttle (ms)",
+		fmt.Sprint(int64(r.Baseline.RecoveryThrottle)/1e6),
+		fmt.Sprint(int64(r.DoCeph.RecoveryThrottle)/1e6))
+	row("DMA errors", r.Baseline.DMAErrors, r.DoCeph.DMAErrors)
+	row("breaker opens", r.Baseline.BreakerOpens, r.DoCeph.BreakerOpens)
+	row("breaker half-opens", r.Baseline.BreakerHalfOpens, r.DoCeph.BreakerHalfOpens)
+	row("breaker closes", r.Baseline.BreakerCloses, r.DoCeph.BreakerCloses)
+	row("probe successes", r.Baseline.ProbeSuccesses, r.DoCeph.ProbeSuccesses)
+	row("host-path fallback txns", r.Baseline.FallbackTxns, r.DoCeph.FallbackTxns)
+	t.AddRow("breaker final state", orDash(r.Baseline.BreakerFinal), orDash(r.DoCeph.BreakerFinal))
+	t.AddRow("clean MB/s", report.F2(r.Baseline.CleanMBps), report.F2(r.DoCeph.CleanMBps))
+	t.AddRow("worst dip (% of clean)", report.F2(r.Baseline.DipPct), report.F2(r.DoCeph.DipPct))
+	t.AddRow("recovery (s)", report.F2(r.Baseline.RecoverySeconds), report.F2(r.DoCeph.RecoverySeconds))
+	t.AddNote("identical fault schedule on both deployments: OSD crash + sustained DMA fault")
+	if r.DoCeph.BreakerOpens > 0 && r.DoCeph.BreakerFinal == "closed" {
+		t.AddNote("breaker completed the open -> half-open -> closed arc and re-enrolled DMA")
+	}
+	if r.Baseline.IntegrityChecked == r.Baseline.IntegrityOK &&
+		r.DoCeph.IntegrityChecked == r.DoCeph.IntegrityOK {
+		t.AddNote("payload integrity: 100%% of verified reads matched the written CRC32C")
+	}
+	return t
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// SelfHealAblationRow is one DoCeph run of the breaker x QoS grid.
+type SelfHealAblationRow struct {
+	Variant          string
+	CleanMBps        float64
+	DipPct           float64
+	RecoverySeconds  float64
+	Errors           int64
+	FallbackTxns     int64
+	RecoveryBackoffs int64
+	IntegrityOK      int64
+	IntegrityChecked int64
+	BreakerFinal     string
+}
+
+// RunSelfHealAblation runs the DoCeph deployment through the selfheal plan
+// with each combination of the two mechanisms, plus a fault-free reference
+// row — the marginal value of the breaker and of recovery QoS under the
+// identical failure schedule.
+func RunSelfHealAblation(opts SelfHealOptions) ([]SelfHealAblationRow, error) {
+	opts = opts.withDefaults()
+	plan := SelfHealPlan(opts.Duration)
+	variants := []struct {
+		name         string
+		breaker, qos bool
+		plan         FaultPlan
+	}{
+		{"no faults (reference)", true, true, FaultPlan{Name: "none"}},
+		{"breaker off, QoS off", false, false, plan},
+		{"breaker on,  QoS off", true, false, plan},
+		{"breaker off, QoS on", false, true, plan},
+		{"breaker on,  QoS on", true, true, plan},
+	}
+	var rows []SelfHealAblationRow
+	for _, v := range variants {
+		o := opts
+		o.DisableBreaker = !v.breaker
+		o.DisableQoS = !v.qos
+		if o.DisableBreaker {
+			o.Breaker = BreakerConfig{}
+		}
+		r, err := runSelfHealMode(DoCeph, o, v.plan)
+		if err != nil {
+			return rows, fmt.Errorf("ablation %q: %w", v.name, err)
+		}
+		rows = append(rows, SelfHealAblationRow{
+			Variant:          v.name,
+			CleanMBps:        r.CleanMBps,
+			DipPct:           r.DipPct,
+			RecoverySeconds:  r.RecoverySeconds,
+			Errors:           r.Errors,
+			FallbackTxns:     r.FallbackTxns,
+			RecoveryBackoffs: r.RecoveryBackoffs,
+			IntegrityOK:      r.IntegrityOK,
+			IntegrityChecked: r.IntegrityChecked,
+			BreakerFinal:     r.BreakerFinal,
+		})
+	}
+	return rows, nil
+}
+
+// SelfHealAblationTable renders the breaker x QoS grid.
+func SelfHealAblationTable(rows []SelfHealAblationRow) *report.Table {
+	t := &report.Table{
+		Title: "Self-healing ablation (DoCeph, identical fault schedule)",
+		Header: []string{"variant", "clean MB/s", "dip %", "recovery s",
+			"errors", "fallback txns", "backoffs", "integrity", "breaker"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Variant, report.F2(r.CleanMBps), report.F2(r.DipPct),
+			report.F2(r.RecoverySeconds), fmt.Sprint(r.Errors),
+			fmt.Sprint(r.FallbackTxns), fmt.Sprint(r.RecoveryBackoffs),
+			fmt.Sprintf("%d/%d", r.IntegrityOK, r.IntegrityChecked),
+			orDash(r.BreakerFinal))
+	}
+	t.AddNote("dip %% is the worst in-fault-window second relative to the clean mean (100 = no dip)")
+	return t
+}
