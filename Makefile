@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test test-race race chaos-smoke selfheal-smoke bench bench-smoke cover microbench results quick examples vet fmt trace
+.PHONY: all build test test-race race chaos-smoke selfheal-smoke parallel-kernel-smoke bench bench-smoke cover microbench results quick examples vet fmt trace
 
 all: build vet test test-race chaos-smoke bench-smoke cover
 
@@ -34,6 +34,14 @@ chaos-smoke:
 # heartbeat grace), so this is the shortest honest run.
 selfheal-smoke:
 	go run -race ./cmd/docephbench -exp selfheal -seconds 30 -threads 4
+
+# The partitioned parallel kernel under the race detector: the 32-OSD
+# multi-rack scale-out at 4 kernel workers (plus the serial reference the
+# determinism assertion compares against), short window. Any data race in
+# the barrier/delivery machinery or any simulated-result drift across
+# worker counts fails the run.
+parallel-kernel-smoke:
+	go run -race ./cmd/docephbench -exp scaleout -quick -sim-workers 1,4
 
 # The paper's full methodology (60 s windows): every table and figure.
 results:

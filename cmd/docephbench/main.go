@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, smallops, mq, ablation, stability, scale, chaos, selfheal")
+	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, smallops, mq, ablation, stability, scale, scaleout, chaos, selfheal")
 	quick := flag.Bool("quick", false, "short runs (8s window) instead of the paper's 60s")
 	seconds := flag.Int("seconds", 0, "override the measured window length in seconds")
 	threads := flag.Int("threads", 16, "concurrent bench clients")
@@ -42,6 +42,7 @@ func main() {
 	dpuBreaker := flag.Bool("dpu-breaker", true, "selfheal: enable the DPU-offload circuit breaker (host-path failover)")
 	dpuBreakerThreshold := flag.Int("dpu-breaker-threshold", 0, "selfheal: DMA failures inside the window that trip the breaker (0 = default)")
 	dpuBreakerOpenMs := flag.Int64("dpu-breaker-open-ms", 0, "selfheal: breaker open timeout before probing, in ms (0 = duration-scaled default)")
+	simWorkers := flag.String("sim-workers", "", "scaleout: comma-separated parallel kernel worker counts to compare (default 1,2,4,8)")
 	flag.Parse()
 
 	opts := doceph.FullOptions()
@@ -175,6 +176,35 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(doceph.ScaleTable(rows))
+	}
+
+	// Scaleout is opt-in (not part of "all"): it exercises the partitioned
+	// parallel event kernel on the 32-OSD multi-rack cluster and compares
+	// wall-clock throughput across kernel worker counts; the simulated
+	// results are asserted bit-identical across all of them.
+	if strings.EqualFold(*exp, "scaleout") {
+		fmt.Println("running partitioned scale-out (8 racks x 4 OSDs, parallel kernel)...")
+		sopts := doceph.ScaleOutOptions{Seed: opts.Seed}
+		if *seconds > 0 {
+			sopts.Duration = doceph.Duration(*seconds) * doceph.Second
+		} else if *quick {
+			sopts.Duration = doceph.Second
+			sopts.Warmup = 250 * doceph.Millisecond
+		}
+		if *simWorkers != "" {
+			for _, part := range strings.Split(*simWorkers, ",") {
+				var w int
+				if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &w); err != nil || w <= 0 {
+					fail(fmt.Errorf("bad -sim-workers entry %q", part))
+				}
+				sopts.Workers = append(sopts.Workers, w)
+			}
+		}
+		rows, err := doceph.RunScaleOut(sopts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.ScaleOutTable(rows))
 	}
 
 	// Chaos is opt-in (not part of "all"): it is a robustness experiment,

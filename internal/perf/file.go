@@ -4,6 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 )
 
 // File is the on-disk schema of BENCH_sim.json: a pre-optimization
@@ -80,6 +84,103 @@ func Guard(path string, rep Report, minRatio, maxAllocsRatio float64) error {
 		}
 	}
 	return nil
+}
+
+// GuardParallelSpeedup checks that the partitioned kernel actually scales:
+// for every scenario family with "@wN" worker-suffixed rows it compares the
+// serial row (@w1) against the widest one and requires
+// events/s(widest) >= floor * events/s(serial). The nominal floor
+// (minSpeedup, e.g. 3.0 for the 32-OSD acceptance target) is scaled down to
+// what the host can physically show — min(cores, N) hardware lanes can
+// yield at most that much speedup, so the enforced floor is
+// min(minSpeedup, speedupPerLane*lanes) — and the check is skipped
+// entirely (with the reason in the returned summary) when the scaled floor
+// drops below the measurement noise floor, as on a single-core host where
+// parallel wall-clock speedup does not exist. Simulated fields must be
+// bit-identical across the rows of a family regardless of wall clock; that
+// is enforced unconditionally.
+func GuardParallelSpeedup(rep Report, minSpeedup float64) (string, error) {
+	return guardParallelSpeedup(rep, minSpeedup, runtime.NumCPU())
+}
+
+// speedupPerLane is the fraction of linear scaling the guard demands per
+// usable hardware lane: generous enough to absorb barrier overhead and
+// shared-memory contention, tight enough that a serialized "parallel"
+// kernel (speedup ~1.0) always fails on a multi-core host.
+const speedupPerLane = 0.45
+
+func guardParallelSpeedup(rep Report, minSpeedup float64, cores int) (string, error) {
+	type row struct {
+		workers int
+		m       Measurement
+	}
+	families := make(map[string][]row)
+	for _, m := range rep.Scenarios {
+		i := strings.LastIndex(m.Name, "@w")
+		if i < 0 {
+			continue
+		}
+		n, err := strconv.Atoi(m.Name[i+2:])
+		if err != nil || n <= 0 {
+			continue
+		}
+		base := m.Name[:i]
+		families[base] = append(families[base], row{workers: n, m: m})
+	}
+	if len(families) == 0 {
+		return "parallel-speedup: no @wN scenario rows to compare", nil
+	}
+	names := make([]string, 0, len(families))
+	for base := range families {
+		names = append(names, base)
+	}
+	sort.Strings(names)
+
+	var sum strings.Builder
+	for _, base := range names {
+		rows := families[base]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].workers < rows[j].workers })
+		serial, widest := rows[0], rows[len(rows)-1]
+		// Worker count must not leak into the simulation itself.
+		for _, r := range rows[1:] {
+			if r.m.SimEvents != serial.m.SimEvents || r.m.Ops != serial.m.Ops {
+				return sum.String(), fmt.Errorf(
+					"parallel-speedup: determinism violation in %s: @w%d ran %d events/%d ops, @w%d ran %d/%d — worker count leaked into the simulation",
+					base, serial.workers, serial.m.SimEvents, serial.m.Ops,
+					r.workers, r.m.SimEvents, r.m.Ops)
+			}
+		}
+		if serial.workers != 1 || widest.workers <= serial.workers {
+			fmt.Fprintf(&sum, "parallel-speedup %s: skipped (need @w1 plus a wider row, have %d row(s))\n", base, len(rows))
+			continue
+		}
+		if serial.m.EventsPerSec <= 0 || widest.m.EventsPerSec <= 0 {
+			fmt.Fprintf(&sum, "parallel-speedup %s: skipped (missing events/s)\n", base)
+			continue
+		}
+		speedup := widest.m.EventsPerSec / serial.m.EventsPerSec
+		lanes := cores
+		if widest.workers < lanes {
+			lanes = widest.workers
+		}
+		floor := speedupPerLane * float64(lanes)
+		if minSpeedup < floor {
+			floor = minSpeedup
+		}
+		if floor < 1.05 {
+			fmt.Fprintf(&sum, "parallel-speedup %s: %.2fx at w%d (informational; %d core(s) cannot show parallel speedup, floor %.2f < 1.05 not enforced)\n",
+				base, speedup, widest.workers, cores, floor)
+			continue
+		}
+		if speedup < floor {
+			return sum.String(), fmt.Errorf(
+				"parallel-speedup: %s ran %.2fx at w%d vs w1, below the %.2fx floor (nominal %.2fx scaled to %d core(s))",
+				base, speedup, widest.workers, floor, minSpeedup, cores)
+		}
+		fmt.Fprintf(&sum, "parallel-speedup %s: %.2fx at w%d (floor %.2fx on %d core(s)) ok\n",
+			base, speedup, widest.workers, floor, cores)
+	}
+	return strings.TrimRight(sum.String(), "\n"), nil
 }
 
 // UpdateFile folds rep into the bench file at path and rewrites it. A

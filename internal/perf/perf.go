@@ -9,6 +9,7 @@ package perf
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,16 @@ type Scenario struct {
 	MsgrLanes int  `json:"msgr_lanes,omitempty"`
 	Batch     bool `json:"batch,omitempty"`
 
+	// ScaleOutPods > 0 switches the scenario from the single-cluster
+	// radosbench harness to the partitioned scale-out assembly
+	// (cluster.NewScaleOut): ScaleOutPods racks of OSDsPerPod OSDs each,
+	// executed by the conservative parallel kernel on SimWorkers worker
+	// goroutines (0 or 1 = serial barrier loop). The simulated result is
+	// bit-identical across SimWorkers; only the wall-clock side may move.
+	ScaleOutPods int `json:"scaleout_pods,omitempty"`
+	OSDsPerPod   int `json:"osds_per_pod,omitempty"`
+	SimWorkers   int `json:"sim_workers,omitempty"`
+
 	// Degraded runs the scenario through the self-healing write path:
 	// osd.1 is administratively down when the workload starts (min_size=1
 	// accepts the degraded writes) and rejoins halfway through the
@@ -62,7 +73,62 @@ func DefaultSweep() []Scenario {
 			DMAQueues: 4, OpShards: 4, MsgrLanes: 4, Batch: true},
 		{Name: "doceph-degraded-4K", Mode: cluster.DoCeph, ObjectBytes: 4 << 10, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42,
 			Degraded: true},
+		scaleOut32("doceph-scaleout-32osd", 1, 2),
+		scaleOut32("doceph-scaleout-32osd", 8, 2),
 	}
+}
+
+// scaleOut32 is the 32-OSD partitioned scenario at a given worker count.
+// The name carries the worker suffix so BENCH_sim.json keeps one row per
+// scale and perf.Guard can pin per-scale floors.
+func scaleOut32(base string, workers, durationSec int) Scenario {
+	return Scenario{
+		Name:         fmt.Sprintf("%s@w%d", base, workers),
+		Mode:         cluster.DoCeph,
+		ObjectBytes:  256 << 10,
+		Threads:      4,
+		DurationSec:  durationSec,
+		WarmupSec:    1,
+		Seed:         42,
+		ScaleOutPods: 8,
+		OSDsPerPod:   4,
+		SimWorkers:   workers,
+	}
+}
+
+// ScaleOutWorkerRows rebuilds the scale-out rows of a sweep for an explicit
+// worker-count list (the simbench -sim-workers knob): every scenario whose
+// ScaleOutPods is set is replaced by one copy per requested count, renamed
+// with the matching @wN suffix. Non-scale-out rows pass through untouched.
+func ScaleOutWorkerRows(sweep []Scenario, workers []int) []Scenario {
+	out := make([]Scenario, 0, len(sweep))
+	seen := make(map[string]bool)
+	for _, sc := range sweep {
+		if sc.ScaleOutPods <= 0 {
+			out = append(out, sc)
+			continue
+		}
+		base := scaleOutBase(sc.Name)
+		if seen[base] {
+			continue
+		}
+		seen[base] = true
+		for _, w := range workers {
+			row := sc
+			row.SimWorkers = w
+			row.Name = fmt.Sprintf("%s@w%d", base, w)
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// scaleOutBase strips the "@wN" worker suffix from a scenario name.
+func scaleOutBase(name string) string {
+	if i := strings.LastIndex(name, "@w"); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 // SmokeSweep is the short variant wired into `make all`: one scenario per
@@ -76,6 +142,8 @@ func SmokeSweep() []Scenario {
 			DMAQueues: 4, OpShards: 4, MsgrLanes: 4, Batch: true},
 		{Name: "doceph-degraded-4K", Mode: cluster.DoCeph, ObjectBytes: 4 << 10, Threads: 8, DurationSec: 2, WarmupSec: 1, Seed: 42,
 			Degraded: true},
+		scaleOut32("doceph-scaleout-32osd", 1, 1),
+		scaleOut32("doceph-scaleout-32osd", 4, 1),
 	}
 }
 
@@ -130,6 +198,15 @@ func (sc Scenario) Validate() error {
 	if sc.DMAQueues < 0 || sc.OpShards < 0 || sc.MsgrLanes < 0 {
 		return fmt.Errorf("perf: scenario %q: transport knobs must be non-negative", sc.Name)
 	}
+	if sc.ScaleOutPods < 0 || sc.OSDsPerPod < 0 || sc.SimWorkers < 0 {
+		return fmt.Errorf("perf: scenario %q: scale-out knobs must be non-negative", sc.Name)
+	}
+	if sc.ScaleOutPods == 0 && (sc.OSDsPerPod > 0 || sc.SimWorkers > 0) {
+		return fmt.Errorf("perf: scenario %q: osds_per_pod/sim_workers need scaleout_pods > 0", sc.Name)
+	}
+	if sc.ScaleOutPods > 0 && (sc.DMAQueues > 0 || sc.OpShards > 0 || sc.MsgrLanes > 0 || sc.Batch || sc.Degraded) {
+		return fmt.Errorf("perf: scenario %q: scale-out racks run the default transport; drop the transport/degraded knobs", sc.Name)
+	}
 	return nil
 }
 
@@ -180,6 +257,9 @@ func RunScenario(sc Scenario) (Measurement, error) {
 // heap counters are process-global, so under the parallel sweep they are
 // read once around the whole sweep instead of around each scenario.
 func runScenario(sc Scenario) (Measurement, error) {
+	if sc.ScaleOutPods > 0 {
+		return runScaleOut(sc)
+	}
 	cl := cluster.New(sc.clusterConfig())
 	defer cl.Shutdown()
 
@@ -239,6 +319,47 @@ func runScenario(sc Scenario) (Measurement, error) {
 	}
 	if res.Ops > 0 {
 		m.NsPerOp = float64(wall.Nanoseconds()) / float64(res.Ops)
+	}
+	return m, nil
+}
+
+// runScaleOut measures one partitioned scale-out cell. The simulated side
+// (ops, events) is a pure function of the scenario minus SimWorkers; the
+// wall-clock side is what the per-worker-count rows exist to compare.
+func runScaleOut(sc Scenario) (Measurement, error) {
+	so := cluster.NewScaleOut(cluster.ScaleOutConfig{
+		Pods:        sc.ScaleOutPods,
+		OSDsPerPod:  sc.OSDsPerPod,
+		Mode:        sc.Mode,
+		Seed:        sc.Seed,
+		Threads:     sc.Threads,
+		ObjectBytes: sc.ObjectBytes,
+		Duration:    sim.Duration(sc.DurationSec) * sim.Second,
+		Warmup:      sim.Duration(sc.WarmupSec) * sim.Second,
+	})
+	defer so.Shutdown()
+	start := time.Now()
+	res, err := so.Run(sc.SimWorkers)
+	wall := time.Since(start)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if res.Delivered == 0 {
+		// A scale-out row with no cross-partition traffic would be
+		// benchmarking independent serial runs under a parallel-kernel name.
+		return Measurement{}, fmt.Errorf("perf: scenario %q: no cross-partition messages delivered", sc.Name)
+	}
+	m := Measurement{
+		Name:      sc.Name,
+		Ops:       res.TotalOps,
+		SimEvents: res.Events,
+		WallNs:    wall.Nanoseconds(),
+	}
+	if wall > 0 {
+		m.EventsPerSec = float64(m.SimEvents) / wall.Seconds()
+	}
+	if res.TotalOps > 0 {
+		m.NsPerOp = float64(wall.Nanoseconds()) / float64(res.TotalOps)
 	}
 	return m, nil
 }

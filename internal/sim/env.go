@@ -402,16 +402,48 @@ func (p *Proc) WaitUntil(t Time) {
 // process that is ready at the same time run first.
 func (p *Proc) Yield() { p.Wait(0) }
 
+// PartitionState is the diagnostic snapshot of one partition at the moment
+// a deadlock was detected. Serial runs report a single partition; the
+// partitioned kernel (Group) reports one entry per member, so a stall in a
+// parallel run shows which partition is parked, where its clock stopped and
+// whether cross-partition messages were delivered but never consumed.
+type PartitionState struct {
+	// Name is the partition name ("env" for a serial run).
+	Name string
+	// Now is the partition's local clock when the run stopped.
+	Now Time
+	// Parked lists the non-daemon procs blocked forever, sorted.
+	Parked []string
+	// Daemons counts parked daemon procs (excluded from detection).
+	Daemons int
+	// Pending counts cross-partition messages sitting in this partition's
+	// link inboxes, delivered but never received by any proc.
+	Pending int
+}
+
 // DeadlockError reports that live processes remain but no event can ever
-// wake them.
+// wake them. Partitions carries the per-partition breakdown; Blocked stays
+// the flat list of stuck proc names (prefixed "partition/" in parallel
+// runs) for callers that only want the summary.
 type DeadlockError struct {
-	Time    Time
-	Blocked []string
+	Time       Time
+	Blocked    []string
+	Partitions []PartitionState
 }
 
 func (e DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at %v: %d proc(s) blocked forever: %s",
-		e.Time, len(e.Blocked), strings.Join(e.Blocked, ", "))
+	if len(e.Partitions) <= 1 {
+		return fmt.Sprintf("sim: deadlock at %v: %d proc(s) blocked forever: %s",
+			e.Time, len(e.Blocked), strings.Join(e.Blocked, ", "))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at %v: %d proc(s) blocked forever across %d partitions",
+		e.Time, len(e.Blocked), len(e.Partitions))
+	for _, ps := range e.Partitions {
+		fmt.Fprintf(&b, "\n  partition %s @ %v: parked=[%s] daemons=%d pending-msgs=%d",
+			ps.Name, ps.Now, strings.Join(ps.Parked, ", "), ps.Daemons, ps.Pending)
+	}
+	return b.String()
 }
 
 // Run executes events until no process remains. It returns a DeadlockError
@@ -424,6 +456,25 @@ func (e *Env) Run() error { return e.RunUntil(MaxTime) }
 // reclaim them. A DeadlockError is returned if, before the limit, live
 // processes remain with an empty event queue.
 func (e *Env) RunUntil(limit Time) error {
+	if !e.runWindow(limit) {
+		return nil
+	}
+	parked, daemons := e.blockedState()
+	if len(parked) > 0 {
+		return DeadlockError{Time: e.now, Blocked: parked, Partitions: []PartitionState{
+			{Name: "env", Now: e.now, Parked: parked, Daemons: daemons},
+		}}
+	}
+	return nil
+}
+
+// runWindow executes events with timestamps <= limit and reports whether
+// the heap drained completely (false means live events remain beyond the
+// limit and the clock was advanced to it). Unlike RunUntil it performs no
+// deadlock detection: the partitioned kernel calls it for each safe window,
+// where an empty heap with parked procs just means the partition is waiting
+// for cross-partition messages.
+func (e *Env) runWindow(limit Time) (drained bool) {
 	e.limit = limit
 	for {
 		p := e.next()
@@ -431,29 +482,56 @@ func (e *Env) RunUntil(limit Time) error {
 			if e.heap.len() > 0 {
 				// Next live event is beyond the limit; leave it queued.
 				e.now = limit
-				return nil
+				return false
 			}
-			break
+			return true
 		}
 		p.resume <- resumeMsg{}
 		// Control comes back only when the handoff chain exhausts the heap
 		// or reaches the limit; re-check which on the next iteration.
 		<-e.yield
 	}
-	var blocked []string
+}
+
+// blockedState returns the sorted names of non-daemon procs parked or never
+// started, plus the number of parked daemons.
+func (e *Env) blockedState() (parked []string, daemons int) {
 	for _, p := range e.procs {
-		if p.daemon {
+		if p.state != stateBlocked && p.state != stateNew {
 			continue
 		}
-		if p.state == stateBlocked || p.state == stateNew {
-			blocked = append(blocked, p.name)
+		if p.daemon {
+			daemons++
+			continue
 		}
+		parked = append(parked, p.name)
 	}
-	if len(blocked) > 0 {
-		sort.Strings(blocked)
-		return DeadlockError{Time: e.now, Blocked: blocked}
+	sort.Strings(parked)
+	return parked, daemons
+}
+
+// NextEventTime returns the timestamp of the earliest live event, popping
+// any spent tokens it skims past. ok is false when no live event remains.
+// It must only be called while the environment is not running (between
+// windows or before Run).
+func (e *Env) NextEventTime() (t Time, ok bool) {
+	for e.heap.len() > 0 {
+		if tok := e.heap.a[0].tok; tok.spent {
+			e.heap.pop()
+			e.dropRef(tok)
+			continue
+		}
+		return e.heap.a[0].t, true
 	}
-	return nil
+	return 0, false
+}
+
+// advanceTo moves the clock forward to t without executing anything. The
+// partitioned kernel uses it to align member clocks at the run limit.
+func (e *Env) advanceTo(t Time) {
+	if t > e.now {
+		e.now = t
+	}
 }
 
 // Shutdown force-terminates every process that is still parked or never

@@ -1,0 +1,140 @@
+package doceph
+
+import (
+	"fmt"
+	"time"
+
+	"doceph/internal/cluster"
+	"doceph/internal/report"
+)
+
+// Partitioned scale-out API: the 32-OSD multi-rack cluster running on the
+// conservative parallel event kernel.
+type (
+	// ScaleOutConfig shapes the partitioned multi-rack cluster.
+	ScaleOutConfig = cluster.ScaleOutConfig
+	// ScaleOut is an assembled partitioned cluster.
+	ScaleOut = cluster.ScaleOut
+	// ScaleOutResult is a run's deterministic aggregate.
+	ScaleOutResult = cluster.ScaleOutResult
+)
+
+// NewScaleOut assembles a partitioned multi-rack cluster.
+func NewScaleOut(cfg ScaleOutConfig) *ScaleOut { return cluster.NewScaleOut(cfg) }
+
+// CrossRackLookahead is the model-derived lookahead bound for cross-rack
+// links (see cluster.CrossRackLookahead).
+func CrossRackLookahead(cfg ClusterConfig) Duration { return cluster.CrossRackLookahead(cfg) }
+
+// ScaleOutOptions shapes the scale-out kernel experiment.
+type ScaleOutOptions struct {
+	// Pods x OSDsPerPod racks (defaults 8 x 4: the 32-OSD scenario).
+	Pods       int
+	OSDsPerPod int
+	// Threads is the closed-loop client count per rack (default 4).
+	Threads int
+	// Duration/Warmup bound the workload (defaults 2s / 500ms).
+	Duration Duration
+	Warmup   Duration
+	Seed     int64
+	// Workers are the kernel worker counts to compare (default 1, 2, 4, 8).
+	Workers []int
+}
+
+// ScaleOutRow is one kernel worker count of the scale-out experiment. The
+// simulated columns (ops, MB/s, epochs) are identical on every row by the
+// kernel's determinism contract — RunScaleOut fails if they are not; only
+// the wall-clock columns may move with the worker count.
+type ScaleOutRow struct {
+	Workers      int
+	Ops          int64
+	MBps         float64 // simulated client throughput
+	Epochs       int64   // root-monitor epochs driven by cross-rack beacons
+	Rounds       uint64  // kernel barrier rounds
+	Delivered    uint64  // cross-partition messages
+	WallNs       int64
+	EventsPerSec float64
+	Speedup      float64 // events/s vs the workers=1 row
+}
+
+// RunScaleOut runs the partitioned scale-out scenario once per requested
+// kernel worker count and compares wall-clock throughput. Any simulated
+// field drifting across worker counts is an error, not a table footnote —
+// determinism regardless of parallelism is the kernel's core contract.
+func RunScaleOut(o ScaleOutOptions) ([]ScaleOutRow, error) {
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4, 8}
+	}
+	cfg := ScaleOutConfig{
+		Pods:       o.Pods,
+		OSDsPerPod: o.OSDsPerPod,
+		Mode:       DoCeph,
+		Seed:       o.Seed,
+		Threads:    o.Threads,
+		Duration:   o.Duration,
+		Warmup:     o.Warmup,
+	}
+	var out []ScaleOutRow
+	var first *ScaleOutResult
+	for _, w := range o.Workers {
+		so := NewScaleOut(cfg)
+		start := time.Now()
+		res, err := so.Run(w)
+		wall := time.Since(start)
+		so.Shutdown()
+		if err != nil {
+			return nil, fmt.Errorf("scale-out workers=%d: %w", w, err)
+		}
+		if first == nil {
+			r := res
+			first = &r
+		} else if res.TotalOps != first.TotalOps || res.Events != first.Events ||
+			res.Beacons != first.Beacons || res.Epochs != first.Epochs {
+			return nil, fmt.Errorf(
+				"scale-out determinism violation at workers=%d: ops=%d events=%d beacons=%d epochs=%d, workers=%d ran %d/%d/%d/%d",
+				w, res.TotalOps, res.Events, res.Beacons, res.Epochs,
+				o.Workers[0], first.TotalOps, first.Events, first.Beacons, first.Epochs)
+		}
+		row := ScaleOutRow{
+			Workers:   w,
+			Ops:       res.TotalOps,
+			Epochs:    res.Epochs,
+			Rounds:    res.Rounds,
+			Delivered: res.Delivered,
+			WallNs:    wall.Nanoseconds(),
+		}
+		dur := cfg.Duration
+		if dur == 0 {
+			dur = 2 * Second
+		}
+		row.MBps = float64(res.TotalBytes) / 1e6 / (float64(dur) / float64(Second))
+		if wall > 0 {
+			row.EventsPerSec = float64(res.Events) / wall.Seconds()
+		}
+		if base := out; len(base) > 0 && base[0].EventsPerSec > 0 {
+			row.Speedup = row.EventsPerSec / base[0].EventsPerSec
+		} else if len(out) == 0 {
+			row.Speedup = 1
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ScaleOutTable renders the scale-out kernel comparison.
+func ScaleOutTable(rows []ScaleOutRow) *report.Table {
+	t := &report.Table{
+		Title: "Extension: partitioned parallel kernel, multi-rack scale-out",
+		Header: []string{"kernel workers", "ops", "sim MB/s", "epochs",
+			"barrier rounds", "xpart msgs", "wall ms", "events/s", "speedup"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.Workers), fmt.Sprint(r.Ops), report.F2(r.MBps),
+			fmt.Sprint(r.Epochs), fmt.Sprint(r.Rounds), fmt.Sprint(r.Delivered),
+			fmt.Sprintf("%.1f", float64(r.WallNs)/1e6),
+			fmt.Sprintf("%.0f", r.EventsPerSec), report.F2(r.Speedup))
+	}
+	t.AddNote("simulated columns are bit-identical across worker counts (enforced); only wall clock moves")
+	t.AddNote("wall-clock speedup is bounded by physical cores; see DESIGN.md on the partitioned kernel")
+	return t
+}
