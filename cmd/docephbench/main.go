@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, smallops, mq, ablation, stability, scale, scaleout, chaos, selfheal")
+	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, readpath, smallops, mq, ablation, stability, scale, scaleout, chaos, selfheal")
 	quick := flag.Bool("quick", false, "short runs (8s window) instead of the paper's 60s")
 	seconds := flag.Int("seconds", 0, "override the measured window length in seconds")
 	threads := flag.Int("threads", 16, "concurrent bench clients")
@@ -158,6 +158,24 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(doceph.ReadTable(rows))
+	}
+
+	// Readpath is opt-in (not part of "all"): it is the full read-path
+	// extension — op mixes, queue depth, replica-read balancing and the
+	// DPU-side read cache, plus the RBD-style striped block device.
+	if strings.EqualFold(*exp, "readpath") {
+		fmt.Println("running read-path ablation (op mix x balance x DPU cache x deployment)...")
+		rows, err := doceph.RunReadPathAblation(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.ReadPathTable(rows))
+		fmt.Println("running block-device comparison (striped RBD-style volume)...")
+		brows, err := doceph.RunBlockDeviceComparison(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.BlockDeviceTable(brows))
 	}
 
 	if want("stability") {

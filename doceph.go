@@ -47,6 +47,9 @@ type (
 	BenchConfig = radosbench.Config
 	// BenchResult carries a workload's measurements.
 	BenchResult = radosbench.Result
+	// ClassStats carries per-op-class (read or write) metrics of a mixed
+	// workload.
+	ClassStats = radosbench.ClassStats
 	// BatchConfig tunes the DPU data path's adaptive small-op batching
 	// (off by default; see core.BatchConfig).
 	BatchConfig = core.BatchConfig
@@ -60,6 +63,8 @@ const (
 	WriteWorkload = radosbench.Write
 	// ReadWorkload is the read pattern (paper §5.5 / future work).
 	ReadWorkload = radosbench.Read
+	// MixedWorkload interleaves reads and writes per BenchConfig.ReadPercent.
+	MixedWorkload = radosbench.Mixed
 )
 
 // Time units for configuring workloads.

@@ -89,6 +89,14 @@ const (
 	OpOmapRm
 )
 
+// FlagBalanceReads marks a read the client is willing to have served by
+// any in-acting-set replica, not just the PG primary — the counterpart of
+// Ceph's CEPH_OSD_FLAG_BALANCE_READS. It travels in the high bit of the
+// op byte, so flagged requests are the same wire length as unflagged ones
+// (both the PayloadBytes cost model and real WireEncode framing see
+// identical sizes).
+const FlagBalanceReads uint8 = 0x80
+
 func (o Op) String() string {
 	switch o {
 	case OpWrite:
@@ -133,6 +141,9 @@ type MOSDOp struct {
 	Op     Op
 	Offset uint64
 	Length uint64
+	// Flags carries op modifiers (FlagBalanceReads); packed into the op
+	// byte's high bits on the wire.
+	Flags uint8
 	// Key addresses omap operations; Data carries write payloads and omap
 	// values.
 	Key  string
@@ -153,7 +164,7 @@ func (m *MOSDOp) EncodePayload(e *wire.Encoder) {
 	e.String(m.Src)
 	e.String(m.Pool)
 	e.String(m.Object)
-	e.U8(uint8(m.Op))
+	e.U8(uint8(m.Op) | m.Flags)
 	e.U64(m.Offset)
 	e.U64(m.Length)
 	e.String(m.Key)
@@ -641,11 +652,16 @@ func Decode(bl *wire.Bufferlist) (Message, error) {
 	var m Message
 	switch t {
 	case TOSDOp:
-		m = &MOSDOp{
+		op := &MOSDOp{
 			Tid: d.U64(), Epoch: d.U32(), Src: d.String(), Pool: d.String(),
-			Object: d.String(), Op: Op(d.U8()), Offset: d.U64(), Length: d.U64(),
-			Key: d.String(), Data: d.BufferlistField(),
+			Object: d.String(),
 		}
+		// The op byte carries flags in its high bits (FlagBalanceReads).
+		b := d.U8()
+		op.Op, op.Flags = Op(b&^FlagBalanceReads), b&FlagBalanceReads
+		op.Offset, op.Length = d.U64(), d.U64()
+		op.Key, op.Data = d.String(), d.BufferlistField()
+		m = op
 	case TOSDOpReply:
 		m = &MOSDOpReply{
 			Tid: d.U64(), Object: d.String(), Op: Op(d.U8()),

@@ -82,6 +82,12 @@ type ScaleOutConfig struct {
 	Threads int
 	// ObjectBytes is the write size (default 256 KiB).
 	ObjectBytes int64
+	// ReadPercent mixes reads into each rack's workload: that share of ops
+	// reads back rack-local prepopulated objects, derived from (worker,
+	// op-index) like radosbench's fixed-work split so the op set is a pure
+	// function of the configuration. 0 (the default) keeps the historical
+	// write-only workload with no prepopulation phase.
+	ReadPercent int
 	// Duration is the measured window (default 2s); Warmup precedes it
 	// (default 500ms) and is excluded from the counters.
 	Duration sim.Duration
@@ -290,6 +296,7 @@ func NewScaleOut(cfg ScaleOutConfig) *ScaleOut {
 	deadline := sim.Time(0).Add(cfg.Warmup + cfg.Duration)
 	measureStart := sim.Time(0).Add(cfg.Warmup)
 	payload := benchPayload(cfg.ObjectBytes)
+	nPrepop := cfg.Threads * 4
 	for _, pod := range s.Pods {
 		pod := pod
 		env := pod.Cluster.Env
@@ -299,20 +306,54 @@ func NewScaleOut(cfg ScaleOutConfig) *ScaleOut {
 				pod.Cluster.ResetHostStats()
 			})
 		}
+		// A mixed workload prepopulates rack-local read targets first; the
+		// write-only default spawns none of this machinery, keeping its
+		// event stream (and goldens) untouched.
+		var prepopDone *sim.Event
+		if cfg.ReadPercent > 0 {
+			prepopDone = sim.NewEvent(env)
+			env.Spawn(fmt.Sprintf("bench-prepop-p%d", pod.ID), func(p *sim.Proc) {
+				p.SetThread(sim.NewThread(fmt.Sprintf("bench-prepop-p%d", pod.ID), rados.ThreadCat))
+				for i := 0; i < nPrepop; i++ {
+					obj := fmt.Sprintf("so_p%d_prepop_%d", pod.ID, i)
+					if err := pod.Cluster.Client.Write(p, obj, payload); err != nil {
+						pod.err = fmt.Errorf("pod %d prepopulate: %w", pod.ID, err)
+						break
+					}
+				}
+				prepopDone.Fire()
+			})
+		}
 		for t := 0; t < cfg.Threads; t++ {
 			t := t
 			env.Spawn(fmt.Sprintf("bench-p%d-t%d", pod.ID, t), func(p *sim.Proc) {
 				p.SetThread(sim.NewThread(fmt.Sprintf("bench-p%d-t%d", pod.ID, t), rados.ThreadCat))
+				if prepopDone != nil {
+					prepopDone.Wait(p)
+				}
 				for i := 0; pod.err == nil && p.Now() < deadline; i++ {
 					start := p.Now()
-					obj := fmt.Sprintf("so_p%d_w%d_%d", pod.ID, t, i)
-					if err := pod.Cluster.Client.Write(p, obj, payload); err != nil {
+					var err error
+					bytes := cfg.ObjectBytes
+					// Same fixed (worker, index) split as radosbench's
+					// fixed-work mode: the op set never depends on timing.
+					if cfg.ReadPercent > 0 && (t*7919+i*104729)%100 < cfg.ReadPercent {
+						obj := fmt.Sprintf("so_p%d_prepop_%d", pod.ID, (t*7919+i)%nPrepop)
+						var bl *wire.Bufferlist
+						if bl, err = pod.Cluster.Client.Read(p, obj, 0, 0); err == nil {
+							bytes = int64(bl.Length())
+						}
+					} else {
+						obj := fmt.Sprintf("so_p%d_w%d_%d", pod.ID, t, i)
+						err = pod.Cluster.Client.Write(p, obj, payload)
+					}
+					if err != nil {
 						pod.err = fmt.Errorf("pod %d worker %d: %w", pod.ID, t, err)
 						return
 					}
 					if end := p.Now(); end > measureStart && end <= deadline {
 						pod.ops++
-						pod.bytes += cfg.ObjectBytes
+						pod.bytes += bytes
 						pod.latSum += end.Sub(start)
 					}
 				}

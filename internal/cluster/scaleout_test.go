@@ -85,6 +85,32 @@ func TestScaleOutRunTwiceDeterminism(t *testing.T) {
 	}
 }
 
+// TestScaleOutMixedReadDeterminism runs the 70/30 mixed workload (rack-local
+// prepopulation + fixed read/write split) on the partitioned kernel with 4
+// workers: for every seed, reruns must be bit-identical, and the mix must
+// not change the worker-independence property.
+func TestScaleOutMixedReadDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		cfg := smallScaleOut(seed)
+		cfg.ReadPercent = 70
+		a := scaleOutFingerprint(t, cfg, 4)
+		b := scaleOutFingerprint(t, cfg, 4)
+		if a != b {
+			t.Fatalf("seed=%d: mixed reruns diverged:\n %s\n %s", seed, a, b)
+		}
+		if seed == 1 {
+			if c := scaleOutFingerprint(t, cfg, 1); c != a {
+				t.Fatalf("seed=%d: mixed result depends on worker count:\n w4 %s\n w1 %s", seed, a, c)
+			}
+			// The mix must actually change the trajectory vs write-only, or
+			// this gate is vacuous.
+			if wo := scaleOutFingerprint(t, smallScaleOut(seed), 4); wo == a {
+				t.Fatal("70/30 mix produced the write-only trajectory")
+			}
+		}
+	}
+}
+
 func TestScaleOutSeedsDiffer(t *testing.T) {
 	// Different seeds must actually change the trajectory, or the property
 	// test above is vacuous.

@@ -37,6 +37,9 @@ type BridgeConfig struct {
 	// Breaker enables the per-bridge DPU health circuit breaker with
 	// host-path failover. Off by default.
 	Breaker dpu.BreakerConfig
+	// ReadCache enables the DPU-side object read cache on the proxy. Off
+	// by default.
+	ReadCache dpu.ReadCacheConfig
 }
 
 // NewBridge wires a DPU to a host CPU + local store and returns the
@@ -50,6 +53,9 @@ func NewBridge(env *sim.Env, dev *dpu.DPU, hostCPU *sim.CPU,
 	}
 	if cfg.Breaker.Enable {
 		cfg.Proxy.Breaker = cfg.Breaker
+	}
+	if cfg.ReadCache.Enable {
+		cfg.Proxy.ReadCache = cfg.ReadCache
 	}
 	thRPCHost := sim.NewThread("host-rpc@"+dev.Name, RPCServerThreadCat)
 	thRPCDPU := sim.NewThread("proxy-rpc@"+dev.Name, ProxyThreadCat)

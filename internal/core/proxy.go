@@ -52,6 +52,12 @@ type ProxyConfig struct {
 	// and fails the session over to the host RPC path, and probe successes
 	// re-enroll it.
 	Breaker dpu.BreakerConfig
+	// ReadCache configures the DPU-side object read cache (off by
+	// default): hot full-object reads are answered from DPU DDR with DPU
+	// CPU only — no PCIe crossing, no host CPU. Every mutation the proxy
+	// ships invalidates its object's entry first, so cached content never
+	// goes stale.
+	ReadCache dpu.ReadCacheConfig
 }
 
 // DefaultProxyConfig returns the proxy defaults used in the experiments.
@@ -123,6 +129,11 @@ type ProxyStats struct {
 	BatchFlushBytes int64
 	BatchFlushIdle  int64
 	BatchFlushDelay int64
+
+	// Read-cache counters (all zero with the cache disabled).
+	ReadCacheHits          int64
+	ReadCacheMisses        int64
+	ReadCacheInvalidations int64
 }
 
 // Proxy is the DPU-side ProxyObjectStore. It implements objstore.Store, so
@@ -169,6 +180,9 @@ type Proxy struct {
 	cooldownUntil sim.Time
 	br            *dpu.Breaker
 
+	// rcache serves hot reads from DPU DDR (nil with the cache disabled).
+	rcache *dpu.ReadCache
+
 	breakdown Breakdown
 	stats     ProxyStats
 }
@@ -208,6 +222,9 @@ func NewProxy(env *sim.Env, dev *dpu.DPU, rpcEnd *rpcchan.Endpoint,
 	if px.cfg.Breaker.Enable {
 		px.br = dpu.NewBreaker(px.cfg.Breaker)
 	}
+	if px.cfg.ReadCache.Enable {
+		px.rcache = dpu.NewReadCache(px.cfg.ReadCache)
+	}
 	rpcEnd.Handle(opTxnDone, px.onTxnDone)
 	rpcEnd.Handle(opReadDone, px.onReadDone)
 	rpcEnd.Handle(opTxnDoneBatch, px.onTxnDoneBatch)
@@ -238,7 +255,19 @@ func NewProxy(env *sim.Env, dev *dpu.DPU, rpcEnd *rpcchan.Endpoint,
 func (px *Proxy) SetTracer(tr *trace.Tracer) { px.tr = tr }
 
 // Stats returns a copy of the proxy counters.
-func (px *Proxy) Stats() ProxyStats { return px.stats }
+func (px *Proxy) Stats() ProxyStats {
+	s := px.stats
+	if px.rcache != nil {
+		rs := px.rcache.Stats()
+		s.ReadCacheHits = rs.Hits
+		s.ReadCacheMisses = rs.Misses
+		s.ReadCacheInvalidations = rs.Invalidations
+	}
+	return s
+}
+
+// ReadCache returns the DPU-side read cache, or nil when it is disabled.
+func (px *Proxy) ReadCache() *dpu.ReadCache { return px.rcache }
 
 // BreakdownSnapshot returns the accumulated latency breakdown.
 func (px *Proxy) BreakdownSnapshot() Breakdown { return px.breakdown }
@@ -365,6 +394,7 @@ func (px *Proxy) noteDMAWait(p *sim.Proc, wait sim.Duration) {
 // it; Done fires only after the host acknowledges durability (preserving
 // write-through semantics).
 func (px *Proxy) QueueTransaction(p *sim.Proc, txn *objstore.Transaction) *objstore.Result {
+	px.invalidateCached(txn)
 	res := &objstore.Result{Done: sim.NewEvent(px.env)}
 	ctx := trace.SpanID(txn.TraceCtx)
 	if !px.tr.Enabled() {
@@ -417,6 +447,24 @@ func (px *Proxy) QueueTransaction(p *sim.Proc, txn *objstore.Transaction) *objst
 		px.awaitTxn(tp, reqID, pt, res)
 	})
 	return res
+}
+
+// invalidateCached drops read-cache entries for every object txn mutates,
+// before the transaction ships — both the per-op and batched paths funnel
+// through QueueTransaction, so no mutation can race a stale hit.
+func (px *Proxy) invalidateCached(txn *objstore.Transaction) {
+	if px.rcache == nil {
+		return
+	}
+	for i := range txn.Ops {
+		op := &txn.Ops[i]
+		switch op.Code {
+		case objstore.OpWrite, objstore.OpZero, objstore.OpTruncate, objstore.OpRemove:
+			px.rcache.Invalidate(op.Collection, op.Object)
+		case objstore.OpRmColl:
+			px.rcache.InvalidateCollection(op.Collection)
+		}
+	}
 }
 
 // awaitTxn waits for the host commit notification and completes the
@@ -621,6 +669,14 @@ func (px *Proxy) onTxnDone(p *sim.Proc, req *rpcchan.Request,
 // object data and DMAs it back in <=2 MB segments which the DPU-side
 // poller reassembles.
 func (px *Proxy) Read(p *sim.Proc, coll, obj string, off, length uint64) (*wire.Bufferlist, error) {
+	if px.rcache != nil {
+		if bl, ok := px.rcache.Lookup(coll, obj, off, length); ok {
+			// Served entirely from DPU DDR: DPU CPU for the lookup and
+			// copy-out, no DMA descriptor, no host involvement at all.
+			px.dev.CPU.ExecSelf(p, px.rcache.HitCost(int64(bl.Length())))
+			return bl, nil
+		}
+	}
 	px.nextReq++
 	reqID := px.nextReq
 	pr := &pendingRead{done: sim.NewEvent(px.env), segs: make(map[int]*wire.Bufferlist), total: -1}
@@ -652,9 +708,25 @@ func (px *Proxy) Read(p *sim.Proc, coll, obj string, off, length uint64) (*wire.
 		for i := 0; i < pr.total; i++ {
 			out.AppendBufferlist(pr.segs[i])
 		}
+		px.cacheRead(coll, obj, off, length, out)
 		return out, nil
 	}
-	return px.readViaRPC(p, desc)
+	bl, err := px.readViaRPC(p, desc)
+	if err == nil {
+		px.cacheRead(coll, obj, off, length, bl)
+	}
+	return bl, err
+}
+
+// cacheRead populates the read cache after a successful read. Only
+// full-object reads (offset 0, length 0 = to EOF) reveal the object's
+// complete content, so only those insert; ranged reads still hit against
+// a previously cached full object.
+func (px *Proxy) cacheRead(coll, obj string, off, length uint64, data *wire.Bufferlist) {
+	if px.rcache == nil || off != 0 || length != 0 {
+		return
+	}
+	px.rcache.Insert(coll, obj, data)
 }
 
 func (px *Proxy) readViaRPC(p *sim.Proc, desc *wire.Bufferlist) (*wire.Bufferlist, error) {

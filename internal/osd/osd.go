@@ -177,6 +177,9 @@ type Stats struct {
 	// RecoveryBackoffs counts watermark pauses taken because foreground op
 	// queues were at or above RecoveryBackoffDepth.
 	RecoveryBackoffs int64
+	// BalancedReads counts balance-flagged reads this OSD served as a
+	// non-primary acting-set member.
+	BalancedReads int64
 }
 
 // OSD is one object storage daemon instance.
@@ -588,6 +591,15 @@ func (o *OSD) handleClientOp(p *sim.Proc, src string, m *cephmsg.MOSDOp, sp trac
 	pg := o.curMap.PGForObject(m.Object)
 	acting := o.curMap.ActingSet(pg)
 	if len(acting) == 0 || acting[0] != o.id {
+		// Balance-flagged reads may be served by any acting-set member
+		// (Ceph's CEPH_OSD_FLAG_BALANCE_READS); everything else — and any
+		// read we are not acting for — bounces back to the primary.
+		if m.Op == cephmsg.OpRead && m.Flags&cephmsg.FlagBalanceReads != 0 &&
+			actingMember(acting, o.id) {
+			o.stats.BalancedReads++
+			o.handleRead(p, src, m, pg, sp)
+			return
+		}
 		o.stats.WrongPrimary++
 		o.reply(&wrongPrimaryReply{src: src, m: m})
 		o.tr.Finish(sp)
@@ -625,6 +637,16 @@ func (o *OSD) handleClientOp(p *sim.Proc, src string, m *cephmsg.MOSDOp, sp trac
 	case cephmsg.OpOmapGet, cephmsg.OpOmapKeys:
 		o.handleOmapRead(p, src, m, pg, sp)
 	}
+}
+
+// actingMember reports whether id serves in the acting set.
+func actingMember(acting []int32, id int32) bool {
+	for _, a := range acting {
+		if a == id {
+			return true
+		}
+	}
+	return false
 }
 
 // mutates reports whether a client op alters replicated state and is
@@ -1065,6 +1087,12 @@ func (o *OSD) statsReply(tid uint64) *cephmsg.MStatsReply {
 			"pgs_backfilled", "recovery_bytes", "recovery_throttle_ns", "recovery_backoffs")
 		r.Values = append(r.Values,
 			s.PGsBackfilled, s.RecoveryBytes, int64(s.RecoveryThrottle), s.RecoveryBackoffs)
+	}
+	// Balanced-read serving is appended only once a flagged read has
+	// actually arrived, for the same golden-safety reason as above.
+	if s.BalancedReads > 0 {
+		r.Keys = append(r.Keys, "balanced_reads")
+		r.Values = append(r.Values, s.BalancedReads)
 	}
 	return r
 }

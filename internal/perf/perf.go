@@ -39,6 +39,12 @@ type Scenario struct {
 	MsgrLanes int  `json:"msgr_lanes,omitempty"`
 	Batch     bool `json:"batch,omitempty"`
 
+	// Op selects the workload pattern: "" or "write" (default), "read", or
+	// "mixed" with ReadPercent as the read share. Read and mixed scenarios
+	// prepopulate their read targets before the measured window.
+	Op          string `json:"op,omitempty"`
+	ReadPercent int    `json:"read_percent,omitempty"`
+
 	// ScaleOutPods > 0 switches the scenario from the single-cluster
 	// radosbench harness to the partitioned scale-out assembly
 	// (cluster.NewScaleOut): ScaleOutPods racks of OSDsPerPod OSDs each,
@@ -73,6 +79,10 @@ func DefaultSweep() []Scenario {
 			DMAQueues: 4, OpShards: 4, MsgrLanes: 4, Batch: true},
 		{Name: "doceph-degraded-4K", Mode: cluster.DoCeph, ObjectBytes: 4 << 10, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42,
 			Degraded: true},
+		{Name: "doceph-read-4K", Mode: cluster.DoCeph, ObjectBytes: 4 << 10, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42,
+			Op: "read"},
+		{Name: "doceph-mix70-4K", Mode: cluster.DoCeph, ObjectBytes: 4 << 10, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42,
+			Op: "mixed", ReadPercent: 70},
 		scaleOut32("doceph-scaleout-32osd", 1, 2),
 		scaleOut32("doceph-scaleout-32osd", 8, 2),
 	}
@@ -142,6 +152,10 @@ func SmokeSweep() []Scenario {
 			DMAQueues: 4, OpShards: 4, MsgrLanes: 4, Batch: true},
 		{Name: "doceph-degraded-4K", Mode: cluster.DoCeph, ObjectBytes: 4 << 10, Threads: 8, DurationSec: 2, WarmupSec: 1, Seed: 42,
 			Degraded: true},
+		{Name: "doceph-read-4K", Mode: cluster.DoCeph, ObjectBytes: 4 << 10, Threads: 8, DurationSec: 2, WarmupSec: 1, Seed: 42,
+			Op: "read"},
+		{Name: "doceph-mix70-4K", Mode: cluster.DoCeph, ObjectBytes: 4 << 10, Threads: 8, DurationSec: 2, WarmupSec: 1, Seed: 42,
+			Op: "mixed", ReadPercent: 70},
 		scaleOut32("doceph-scaleout-32osd", 1, 1),
 		scaleOut32("doceph-scaleout-32osd", 4, 1),
 	}
@@ -207,7 +221,33 @@ func (sc Scenario) Validate() error {
 	if sc.ScaleOutPods > 0 && (sc.DMAQueues > 0 || sc.OpShards > 0 || sc.MsgrLanes > 0 || sc.Batch || sc.Degraded) {
 		return fmt.Errorf("perf: scenario %q: scale-out racks run the default transport; drop the transport/degraded knobs", sc.Name)
 	}
+	switch sc.Op {
+	case "", "write", "read", "mixed":
+	default:
+		return fmt.Errorf("perf: scenario %q: unknown op %q (want write, read or mixed)", sc.Name, sc.Op)
+	}
+	if sc.ReadPercent < 0 || sc.ReadPercent > 100 {
+		return fmt.Errorf("perf: scenario %q: read_percent %d out of range", sc.Name, sc.ReadPercent)
+	}
+	if sc.ReadPercent > 0 && sc.Op != "mixed" {
+		return fmt.Errorf("perf: scenario %q: read_percent needs op \"mixed\"", sc.Name)
+	}
+	if sc.ScaleOutPods > 0 && sc.Op != "" {
+		return fmt.Errorf("perf: scenario %q: scale-out racks run the write workload; drop op", sc.Name)
+	}
 	return nil
+}
+
+// opPattern maps the scenario's op string onto the radosbench pattern.
+func (sc Scenario) opPattern() radosbench.Op {
+	switch sc.Op {
+	case "read":
+		return radosbench.Read
+	case "mixed":
+		return radosbench.Mixed
+	default:
+		return radosbench.Write
+	}
 }
 
 // clusterConfig maps the scenario onto the cluster, including the
@@ -284,6 +324,8 @@ func runScenario(sc Scenario) (Measurement, error) {
 		ObjectBytes: sc.ObjectBytes,
 		Duration:    sim.Duration(sc.DurationSec) * sim.Second,
 		Warmup:      sim.Duration(sc.WarmupSec) * sim.Second,
+		Op:          sc.opPattern(),
+		ReadPercent: sc.ReadPercent,
 		OnWarmupEnd: cl.ResetHostStats,
 	}
 	start := time.Now()

@@ -66,6 +66,13 @@ type Config struct {
 	Monitor string
 	// PrepCycles is the client-side cost per op (librados encode, CRC).
 	PrepCycles int64
+	// BalanceReads spreads reads across the whole acting set instead of
+	// pinning them to the PG primary (Ceph's CEPH_OSD_FLAG_BALANCE_READS).
+	// The replica is chosen by a deterministic hash of the object name
+	// over the up acting members; retries fall back to the primary. Off by
+	// default: primary reads are the consistency-conservative choice and
+	// keep existing goldens unchanged.
+	BalanceReads bool
 }
 
 // DefaultConfig returns client defaults.
@@ -111,6 +118,9 @@ type Stats struct {
 	// NoQuorumWaits counts ResNoQuorum replies (PG below min_size): the
 	// client backs off and retries, waiting for recovery to restore quorum.
 	NoQuorumWaits int64
+	// BalancedReads counts reads dispatched to a non-primary replica
+	// (BalanceReads enabled and the hash picked a secondary).
+	BalancedReads int64
 }
 
 // Client is one RADOS client instance bound to a messenger entity.
@@ -263,11 +273,25 @@ func (c *Client) do(p *sim.Proc, op *cephmsg.MOSDOp) (*cephmsg.MOSDOpReply, erro
 			continue
 		}
 		sawNoOSD = false
+		target := primary
+		op.Flags &^= cephmsg.FlagBalanceReads
+		if c.cfg.BalanceReads && op.Op == cephmsg.OpRead && attempt == 0 {
+			// First attempt only: retries fall back to the primary, so a
+			// down or lagging replica costs one timeout, never the op.
+			if t := c.balancedTarget(pg, op.Object); t >= 0 {
+				target = t
+				op.Flags |= cephmsg.FlagBalanceReads
+				if target != primary {
+					c.stats.BalancedReads++
+					c.counters.Add("balanced_reads", 1)
+				}
+			}
+		}
 		c.tr.AddCPU(sp, c.cpu.Name(), c.cpu.Exec(p, c.th, c.cfg.PrepCycles))
 		op.Epoch = c.curMap.Epoch
 		call := &call{done: sim.NewEvent(c.env)}
 		c.inflight[op.Tid] = call
-		c.msgr.Send(osdName(primary), op)
+		c.msgr.Send(osdName(target), op)
 		if !call.done.WaitTimeout(p, c.cfg.OpTimeout) {
 			c.stats.Timeouts++
 			c.counters.Add("op_timeouts", 1)
@@ -302,6 +326,39 @@ func (c *Client) do(p *sim.Proc, op *cephmsg.MOSDOp) (*cephmsg.MOSDOpReply, erro
 		return nil, ErrNoOSD
 	}
 	return nil, ErrTimeout
+}
+
+// balancedTarget picks the acting-set member a flagged read goes to: a
+// deterministic hash of the object name over the up acting members, so the
+// same object always reads from the same replica (cache-friendly) and the
+// load spreads across the set object-by-object. Returns -1 when no acting
+// member is up.
+func (c *Client) balancedTarget(pg uint32, object string) int32 {
+	acting := c.curMap.ActingSet(pg)
+	up := make([]int32, 0, len(acting))
+	for _, id := range acting {
+		if c.curMap.IsUp(id) {
+			up = append(up, id)
+		}
+	}
+	if len(up) == 0 {
+		return -1
+	}
+	// Decorrelate from PGForObject's fnv%PGCount with an avalanche mix.
+	h := fnv64(object)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return up[h%uint64(len(up))]
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 func resultErr(r int32) error {

@@ -73,6 +73,14 @@ type Config struct {
 	// which is what lets metamorphic tests compare two runs of the same
 	// workload under different transports op-for-op.
 	OpsPerThread int
+	// QueueDepth is the number of outstanding operations each worker
+	// keeps in flight (closed loop). The default (0 or 1) is the classic
+	// rados-bench shape: one op per thread at a time. Higher depths spawn
+	// that many issue slots per worker sharing one op-index counter, so
+	// the op set (names, sizes, read/write split) is still a pure
+	// function of the config; only which slot carries which index depends
+	// on scheduling, and the simulation schedules deterministically.
+	QueueDepth int
 	// Warmup is discarded from all statistics; stats windows on the
 	// cluster should be reset at its end via OnWarmupEnd.
 	Warmup sim.Duration
@@ -109,6 +117,52 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// ClassStats carries per-op-class (read or write) metrics over the
+// measured window.
+type ClassStats struct {
+	Ops        int64
+	Bytes      int64
+	AvgLatency sim.Duration
+	MinLatency sim.Duration
+	MaxLatency sim.Duration
+	P50        sim.Duration
+	P99        sim.Duration
+}
+
+// IOPS returns the class's completed operations per second over window.
+func (c ClassStats) IOPS(window sim.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.Ops) / window.Seconds()
+}
+
+// ThroughputBps returns the class's bytes per second over window.
+func (c ClassStats) ThroughputBps(window sim.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.Bytes) / window.Seconds()
+}
+
+func classStats(lats []sim.Duration, ops, bytes int64) ClassStats {
+	cs := ClassStats{Ops: ops, Bytes: bytes}
+	if len(lats) == 0 {
+		return cs
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum sim.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	cs.AvgLatency = sum / sim.Duration(len(lats))
+	cs.MinLatency = lats[0]
+	cs.MaxLatency = lats[len(lats)-1]
+	cs.P50 = lats[len(lats)/2]
+	cs.P99 = lats[len(lats)*99/100]
+	return cs
+}
+
 // SecondSample is one per-second instrumentation row.
 type SecondSample struct {
 	Second int
@@ -131,6 +185,11 @@ type Result struct {
 	MaxLatency sim.Duration
 	P50        sim.Duration
 	P99        sim.Duration
+
+	// ReadStats/WriteStats split the window's metrics by op class, so
+	// mixed workloads report per-class latency percentiles and IOPS.
+	ReadStats  ClassStats
+	WriteStats ClassStats
 
 	PerSecond []SecondSample
 }
@@ -170,19 +229,26 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 	// is deterministic per size, so it is memoized across runs too.
 	payload := benchPayload(cfg.ObjectBytes)
 
+	qd := cfg.QueueDepth
+	if qd < 1 {
+		qd = 1
+	}
+
 	var (
 		measuring    bool
 		stopped      bool
 		measureStart sim.Time
 		lats         []sim.Duration
+		readLats     []sim.Duration
+		writeLats    []sim.Duration
 		perSecOps    []int64
 		perSecBy     []int64
 		perSecLat    []sim.Duration
 		benchErr     error
-		workersLeft  = cfg.Threads
+		workersLeft  = cfg.Threads * qd
 		lastEnd      sim.Time
 	)
-	record := func(start, end sim.Time, bytes int64) {
+	record := func(start, end sim.Time, bytes int64, read bool) {
 		if !measuring || stopped {
 			return
 		}
@@ -190,6 +256,15 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 		lats = append(lats, lat)
 		res.Ops++
 		res.Bytes += bytes
+		if read {
+			readLats = append(readLats, lat)
+			res.ReadStats.Ops++
+			res.ReadStats.Bytes += bytes
+		} else {
+			writeLats = append(writeLats, lat)
+			res.WriteStats.Ops++
+			res.WriteStats.Bytes += bytes
+		}
 		sec := int(end.Sub(measureStart) / sim.Duration(sim.Second))
 		for len(perSecOps) <= sec {
 			perSecOps = append(perSecOps, 0)
@@ -224,62 +299,76 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 
 	for w := 0; w < cfg.Threads; w++ {
 		worker := w
-		env.Spawn(fmt.Sprintf("bench-worker-%d", w), func(p *sim.Proc) {
-			p.SetThread(sim.NewThread(fmt.Sprintf("bench-%d", worker), rados.ThreadCat))
-			prepopDone.Wait(p)
-			nPrepop := cfg.PrepopulateObjects
-			if nPrepop == 0 {
-				nPrepop = cfg.Threads * 4
+		// All of a worker's issue slots share one op-index counter, so the
+		// op set is a function of (worker, index) regardless of depth. The
+		// event loop is cooperative, so the counter needs no locking.
+		next := 0
+		for q := 0; q < qd; q++ {
+			procName := fmt.Sprintf("bench-worker-%d", worker)
+			threadName := fmt.Sprintf("bench-%d", worker)
+			if q > 0 {
+				procName = fmt.Sprintf("bench-worker-%d-q%d", worker, q)
+				threadName = fmt.Sprintf("bench-%d.%d", worker, q)
 			}
-			for i := 0; benchErr == nil; i++ {
-				if cfg.OpsPerThread > 0 {
-					if i >= cfg.OpsPerThread {
+			env.Spawn(procName, func(p *sim.Proc) {
+				p.SetThread(sim.NewThread(threadName, rados.ThreadCat))
+				prepopDone.Wait(p)
+				nPrepop := cfg.PrepopulateObjects
+				if nPrepop == 0 {
+					nPrepop = cfg.Threads * 4
+				}
+				for benchErr == nil {
+					i := next
+					if cfg.OpsPerThread > 0 {
+						if i >= cfg.OpsPerThread {
+							break
+						}
+					} else if stopped {
 						break
 					}
-				} else if stopped {
-					break
-				}
-				start := p.Now()
-				var err error
-				var bytes int64
-				doRead := cfg.Op == Read
-				if cfg.Op == Mixed {
-					if cfg.OpsPerThread > 0 {
-						// Fixed-work runs derive the read/write split from
-						// (worker, i) so the op set is identical no matter
-						// how the transport schedules the workers.
-						doRead = (worker*7919+i*104729)%100 < cfg.ReadPercent
+					next++
+					start := p.Now()
+					var err error
+					var bytes int64
+					doRead := cfg.Op == Read
+					if cfg.Op == Mixed {
+						if cfg.OpsPerThread > 0 {
+							// Fixed-work runs derive the read/write split from
+							// (worker, i) so the op set is identical no matter
+							// how the transport schedules the workers.
+							doRead = (worker*7919+i*104729)%100 < cfg.ReadPercent
+						} else {
+							doRead = env.Rand().Intn(100) < cfg.ReadPercent
+						}
+					}
+					if !doRead {
+						obj := fmt.Sprintf("%s_w%d_%d", cfg.Prefix, worker, i)
+						err = client.Write(p, obj, payload)
+						bytes = cfg.ObjectBytes
 					} else {
-						doRead = env.Rand().Intn(100) < cfg.ReadPercent
+						obj := fmt.Sprintf("%s_prepop_%d", cfg.Prefix,
+							(worker*7919+i)%nPrepop)
+						var bl *wire.Bufferlist
+						bl, err = client.Read(p, obj, 0, 0)
+						if err == nil {
+							bytes = int64(bl.Length())
+						}
+					}
+					if err != nil {
+						benchErr = fmt.Errorf("radosbench: worker %d: %w", worker, err)
+						return
+					}
+					record(start, p.Now(), bytes, doRead)
+				}
+				if cfg.OpsPerThread > 0 {
+					workersLeft--
+					if workersLeft == 0 {
+						lastEnd = p.Now()
+						stopped = true
 					}
 				}
-				if !doRead {
-					obj := fmt.Sprintf("%s_w%d_%d", cfg.Prefix, worker, i)
-					err = client.Write(p, obj, payload)
-					bytes = cfg.ObjectBytes
-				} else {
-					obj := fmt.Sprintf("%s_prepop_%d", cfg.Prefix,
-						(worker*7919+i)%nPrepop)
-					var bl *wire.Bufferlist
-					bl, err = client.Read(p, obj, 0, 0)
-					if err == nil {
-						bytes = int64(bl.Length())
-					}
-				}
-				if err != nil {
-					benchErr = fmt.Errorf("radosbench: worker %d: %w", worker, err)
-					return
-				}
-				record(start, p.Now(), bytes)
-			}
-			if cfg.OpsPerThread > 0 {
-				workersLeft--
-				if workersLeft == 0 {
-					lastEnd = p.Now()
-					stopped = true
-				}
-			}
-		})
+			})
+		}
 	}
 
 	// Controller: flips the measurement window.
@@ -326,6 +415,8 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 		res.P50 = lats[len(lats)/2]
 		res.P99 = lats[len(lats)*99/100]
 	}
+	res.ReadStats = classStats(readLats, res.ReadStats.Ops, res.ReadStats.Bytes)
+	res.WriteStats = classStats(writeLats, res.WriteStats.Ops, res.WriteStats.Bytes)
 	for s := range perSecOps {
 		smp := SecondSample{Second: s, Ops: perSecOps[s], Bytes: perSecBy[s]}
 		if perSecOps[s] > 0 {

@@ -1,0 +1,292 @@
+package rbd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"doceph/internal/cluster"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+func runOnCluster(t *testing.T, mode cluster.Mode, body func(p *sim.Proc, cl *cluster.Cluster)) {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Mode: mode})
+	done := false
+	cl.Env.Spawn("rbd-test", func(p *sim.Proc) {
+		p.SetThread(sim.NewThread("rbd-test", "client"))
+		body(p, cl)
+		done = true
+	})
+	err := cl.Env.RunUntil(sim.Time(10 * 60 * sim.Second))
+	if !done {
+		t.Fatalf("body did not finish: %v", err)
+	}
+	cl.Shutdown()
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int(seed) + i*37)
+	}
+	return b
+}
+
+func TestDeviceCreateOpenRemove(t *testing.T) {
+	runOnCluster(t, cluster.Baseline, func(p *sim.Proc, cl *cluster.Cluster) {
+		dev, err := Create(p, cl.Client, "d1", 8<<20, DeviceConfig{ObjectBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev.Name() != "d1" || dev.Size() != 8<<20 || dev.ObjectBytes() != 1<<20 {
+			t.Fatalf("geometry: %s %d/%d", dev.Name(), dev.Size(), dev.ObjectBytes())
+		}
+		if _, err := Create(p, cl.Client, "d1", 1<<20, DeviceConfig{}); !errors.Is(err, ErrExists) {
+			t.Fatalf("duplicate create: %v", err)
+		}
+		re, err := Open(p, cl.Client, "d1", DeviceConfig{})
+		if err != nil || re.Size() != 8<<20 {
+			t.Fatalf("reopen: err=%v", err)
+		}
+		if err := Remove(p, cl.Client, "d1"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(p, cl.Client, "d1", DeviceConfig{}); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("open after remove: %v", err)
+		}
+	})
+}
+
+func TestDeviceBoundsAndZeroLength(t *testing.T) {
+	runOnCluster(t, cluster.Baseline, func(p *sim.Proc, cl *cluster.Cluster) {
+		dev, err := Create(p, cl.Client, "b", 1<<20, DeviceConfig{ObjectBytes: 256 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dev.ReadAt(p, 1<<20, 0)
+		if err != nil || got.Length() != 0 {
+			t.Fatalf("zero-length read at EOF: len=%d err=%v", got.Length(), err)
+		}
+		if _, err := dev.ReadAt(p, 1<<20, 1); !errors.Is(err, ErrOutOfBounds) {
+			t.Fatalf("read past EOF: %v", err)
+		}
+		if _, err := dev.ReadAt(p, -1, 4); !errors.Is(err, ErrOutOfBounds) {
+			t.Fatalf("negative read: %v", err)
+		}
+		if err := dev.WriteAt(p, wire.FromBytes(make([]byte, 8)), 1<<20-4); !errors.Is(err, ErrOutOfBounds) {
+			t.Fatalf("write past EOF: %v", err)
+		}
+	})
+}
+
+// TestCacheServesExactContent is the cache's correctness core: reads
+// through the cache are byte-identical to the uncached device for a
+// mix of aligned, straddling and sub-page ranges, and the second pass of
+// each is served without touching the cluster.
+func TestCacheServesExactContent(t *testing.T) {
+	runOnCluster(t, cluster.DoCeph, func(p *sim.Proc, cl *cluster.Cluster) {
+		const page = 4 << 10
+		dev, err := Create(p, cl.Client, "cc", 4<<20, DeviceConfig{
+			ObjectBytes: 1 << 20,
+			Cache:       CacheConfig{Enable: true, PageBytes: page},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		content := pattern(2<<20, 11)
+		if err := dev.WriteAt(p, wire.FromBytes(content), 0); err != nil {
+			t.Fatal(err)
+		}
+		ranges := []struct{ off, n int64 }{
+			{0, page},                // page-aligned
+			{page / 2, page},         // straddles a page boundary
+			{3 * page, 3 * page},     // multi-page
+			{1<<20 - page, 2 * page}, // straddles an object boundary
+			{5*page + 17, 100},       // sub-page interior
+		}
+		for _, rg := range ranges {
+			before := dev.Stats().CacheHits
+			got, err := dev.ReadAt(p, rg.off, rg.n)
+			if err != nil {
+				t.Fatalf("read [%d,%d): %v", rg.off, rg.off+rg.n, err)
+			}
+			if !bytes.Equal(got.Bytes(), content[rg.off:rg.off+rg.n]) {
+				t.Fatalf("range [%d,%d): content mismatch", rg.off, rg.off+rg.n)
+			}
+			// The write-through update cached the whole written range, so
+			// every one of these first reads already hits.
+			if dev.Stats().CacheHits != before+1 {
+				t.Fatalf("range [%d,%d): expected cache hit (hits %d -> %d)",
+					rg.off, rg.off+rg.n, before, dev.Stats().CacheHits)
+			}
+		}
+	})
+}
+
+// TestCachePopulatesFromReads exercises the miss->populate->hit cycle on
+// data the cache has never seen written (a freshly opened device).
+func TestCachePopulatesFromReads(t *testing.T) {
+	runOnCluster(t, cluster.DoCeph, func(p *sim.Proc, cl *cluster.Cluster) {
+		const page = 4 << 10
+		// Write through an uncached device, then reopen with the cache on:
+		// the cache starts cold.
+		plain, err := Create(p, cl.Client, "pp", 1<<20, DeviceConfig{ObjectBytes: 256 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		content := pattern(1<<20, 23)
+		if err := plain.WriteAt(p, wire.FromBytes(content), 0); err != nil {
+			t.Fatal(err)
+		}
+		dev, err := Open(p, cl.Client, "pp", DeviceConfig{
+			ObjectBytes: 256 << 10,
+			Cache:       CacheConfig{Enable: true, PageBytes: page},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First read misses and populates; second is all-cached.
+		for pass := 0; pass < 2; pass++ {
+			got, err := dev.ReadAt(p, 2*page, 4*page)
+			if err != nil || !bytes.Equal(got.Bytes(), content[2*page:6*page]) {
+				t.Fatalf("pass %d: mismatch err=%v", pass, err)
+			}
+		}
+		st := dev.Stats()
+		if st.CacheMisses != 1 || st.CacheHits != 1 {
+			t.Fatalf("hit/miss: %+v", st)
+		}
+		// A sub-page read inside the populated range also hits.
+		if got, err := dev.ReadAt(p, 3*page+7, 99); err != nil ||
+			!bytes.Equal(got.Bytes(), content[3*page+7:3*page+106]) {
+			t.Fatalf("sub-page cached read: err=%v", err)
+		}
+		if dev.Stats().CacheHits != 2 {
+			t.Fatalf("sub-page read missed: %+v", dev.Stats())
+		}
+		// A read partially outside the cached pages misses but stays exact.
+		if got, err := dev.ReadAt(p, 5*page, 4*page); err != nil ||
+			!bytes.Equal(got.Bytes(), content[5*page:9*page]) {
+			t.Fatalf("partially cached read: err=%v", err)
+		}
+	})
+}
+
+// TestCacheWriteThroughCoherence: overwriting cached data through the same
+// device must never serve stale bytes.
+func TestCacheWriteThroughCoherence(t *testing.T) {
+	runOnCluster(t, cluster.DoCeph, func(p *sim.Proc, cl *cluster.Cluster) {
+		const page = 4 << 10
+		dev, err := Create(p, cl.Client, "wc", 1<<20, DeviceConfig{
+			ObjectBytes: 256 << 10,
+			Cache:       CacheConfig{Enable: true, PageBytes: page},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1 := pattern(8*page, 1)
+		if err := dev.WriteAt(p, wire.FromBytes(v1), 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dev.ReadAt(p, 0, 8*page); err != nil {
+			t.Fatal(err)
+		}
+		// Overwrite a sub-page slice in the middle (patches the cached page)
+		// and a full page (re-stores it).
+		v2 := pattern(100, 2)
+		if err := dev.WriteAt(p, wire.FromBytes(v2), 3*page+50); err != nil {
+			t.Fatal(err)
+		}
+		v3 := pattern(page, 3)
+		if err := dev.WriteAt(p, wire.FromBytes(v3), 5*page); err != nil {
+			t.Fatal(err)
+		}
+		want := append([]byte(nil), v1...)
+		copy(want[3*page+50:], v2)
+		copy(want[5*page:], v3)
+		got, err := dev.ReadAt(p, 0, 8*page)
+		if err != nil || !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("post-overwrite read stale or failed: err=%v", err)
+		}
+		// That read should still have been a pure cache hit.
+		if st := dev.Stats(); st.CacheMisses != 0 {
+			t.Fatalf("unexpected misses: %+v", st)
+		}
+	})
+}
+
+// TestCacheEvictionBounded: the cache never exceeds its capacity and
+// evicted ranges fall back to the cluster with exact content.
+func TestCacheEvictionBounded(t *testing.T) {
+	runOnCluster(t, cluster.DoCeph, func(p *sim.Proc, cl *cluster.Cluster) {
+		const page = 4 << 10
+		const capBytes = 8 * page
+		dev, err := Create(p, cl.Client, "ev", 1<<20, DeviceConfig{
+			ObjectBytes: 256 << 10,
+			Cache:       CacheConfig{Enable: true, PageBytes: page, CapacityBytes: capBytes},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		content := pattern(64*page, 7)
+		if err := dev.WriteAt(p, wire.FromBytes(content), 0); err != nil {
+			t.Fatal(err)
+		}
+		if got := dev.Stats().CachedBytes; got > capBytes {
+			t.Fatalf("cache over capacity after write: %d > %d", got, capBytes)
+		}
+		// Touch everything; evicted pages re-fetch and re-populate without
+		// ever crossing the bound or corrupting data.
+		for i := int64(0); i < 64; i++ {
+			got, err := dev.ReadAt(p, i*page, page)
+			if err != nil || !bytes.Equal(got.Bytes(), content[i*page:(i+1)*page]) {
+				t.Fatalf("page %d: err=%v", i, err)
+			}
+			if b := dev.Stats().CachedBytes; b > capBytes {
+				t.Fatalf("cache over capacity at page %d: %d", i, b)
+			}
+		}
+		if st := dev.Stats(); st.CacheMisses == 0 {
+			t.Fatalf("eviction sweep never missed: %+v", st)
+		}
+		// The most recently populated page is still resident.
+		before := dev.Stats().CacheHits
+		if _, err := dev.ReadAt(p, 63*page, page); err != nil {
+			t.Fatal(err)
+		}
+		if dev.Stats().CacheHits != before+1 {
+			t.Fatalf("freshly populated page evicted: %+v", dev.Stats())
+		}
+	})
+}
+
+// TestSparseReadsThroughCache: zero-filled holes are logically real
+// content and may be cached; both passes must agree.
+func TestSparseReadsThroughCache(t *testing.T) {
+	runOnCluster(t, cluster.Baseline, func(p *sim.Proc, cl *cluster.Cluster) {
+		const page = 4 << 10
+		dev, err := Create(p, cl.Client, "sp", 1<<20, DeviceConfig{
+			ObjectBytes: 256 << 10,
+			Cache:       CacheConfig{Enable: true, PageBytes: page},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.WriteAt(p, wire.FromBytes(pattern(100, 9)), 10*page); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 4*page)
+		copy(want[2*page:], pattern(100, 9))
+		for pass := 0; pass < 2; pass++ {
+			got, err := dev.ReadAt(p, 8*page, 4*page)
+			if err != nil || !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("pass %d sparse read: err=%v", pass, err)
+			}
+		}
+		if st := dev.Stats(); st.CacheHits != 1 {
+			t.Fatalf("second sparse read did not hit: %+v", st)
+		}
+	})
+}

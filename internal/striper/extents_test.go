@@ -1,0 +1,193 @@
+package striper
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"doceph/internal/cluster"
+	"doceph/internal/sim"
+	"doceph/internal/wire"
+)
+
+func TestMapExtentsBoundaries(t *testing.T) {
+	cases := []struct {
+		name             string
+		off, length, obj int64
+		want             []Extent
+	}{
+		{name: "zero length", off: 7, length: 0, obj: 100, want: nil},
+		{name: "within one object", off: 10, length: 20, obj: 100,
+			want: []Extent{{Index: 0, ObjOff: 10, BufOff: 0, Length: 20}}},
+		{name: "exactly one object", off: 100, length: 100, obj: 100,
+			want: []Extent{{Index: 1, ObjOff: 0, BufOff: 0, Length: 100}}},
+		{name: "ends on boundary", off: 50, length: 50, obj: 100,
+			want: []Extent{{Index: 0, ObjOff: 50, BufOff: 0, Length: 50}}},
+		{name: "starts on boundary", off: 100, length: 1, obj: 100,
+			want: []Extent{{Index: 1, ObjOff: 0, BufOff: 0, Length: 1}}},
+		{name: "straddles one boundary", off: 90, length: 20, obj: 100,
+			want: []Extent{
+				{Index: 0, ObjOff: 90, BufOff: 0, Length: 10},
+				{Index: 1, ObjOff: 0, BufOff: 10, Length: 10}}},
+		{name: "spans three objects", off: 150, length: 200, obj: 100,
+			want: []Extent{
+				{Index: 1, ObjOff: 50, BufOff: 0, Length: 50},
+				{Index: 2, ObjOff: 0, BufOff: 50, Length: 100},
+				{Index: 3, ObjOff: 0, BufOff: 150, Length: 50}}},
+		{name: "single-byte object size", off: 2, length: 3, obj: 1,
+			want: []Extent{
+				{Index: 2, ObjOff: 0, BufOff: 0, Length: 1},
+				{Index: 3, ObjOff: 0, BufOff: 1, Length: 1},
+				{Index: 4, ObjOff: 0, BufOff: 2, Length: 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := MapExtents(tc.off, tc.length, tc.obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("extent %d: got %+v, want %+v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestMapExtentsRejectsBadInput(t *testing.T) {
+	for _, tc := range []struct{ off, length, obj int64 }{
+		{0, 1, 0},                // zero object size
+		{0, 1, -4},               // negative object size
+		{-1, 1, 100},             // negative offset
+		{0, -1, 100},             // negative length
+		{1 << 62, 1 << 62, 1024}, // offset+length overflow
+		{(1 << 62) - 1, 2, 4096}, // straddles the overflow guard
+	} {
+		if _, err := MapExtents(tc.off, tc.length, tc.obj); err == nil {
+			t.Errorf("MapExtents(%d, %d, %d): expected error", tc.off, tc.length, tc.obj)
+		}
+	}
+}
+
+// FuzzMapExtents asserts the mapper's structural contract on arbitrary
+// geometry: either a clean error, or a partition of [off, off+length) —
+// contiguous in buffer space, monotone in object space, every extent
+// inside its object, with lengths summing to the request.
+func FuzzMapExtents(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(1))
+	f.Add(int64(0), int64(4096), int64(4<<20))
+	f.Add(int64(4<<20-1), int64(2), int64(4<<20))
+	f.Add(int64(90), int64(20), int64(100))
+	f.Add(int64(150), int64(200), int64(100))
+	f.Add(int64(-1), int64(10), int64(100))
+	f.Add(int64(10), int64(-1), int64(100))
+	f.Add(int64(0), int64(10), int64(0))
+	f.Add(int64(1<<62), int64(1<<62), int64(1024))
+	f.Add(int64(7), int64(3), int64(1))
+	f.Fuzz(func(t *testing.T, off, length, objectBytes int64) {
+		exts, err := MapExtents(off, length, objectBytes)
+		if err != nil {
+			if objectBytes > 0 && off >= 0 && length >= 0 && off <= (1<<62)-length {
+				t.Fatalf("error on valid input (%d, %d, %d): %v", off, length, objectBytes, err)
+			}
+			return
+		}
+		if objectBytes <= 0 || off < 0 || length < 0 {
+			t.Fatalf("accepted invalid input (%d, %d, %d)", off, length, objectBytes)
+		}
+		if length == 0 {
+			if len(exts) != 0 {
+				t.Fatalf("zero length produced extents: %v", exts)
+			}
+			return
+		}
+		var sum int64
+		pos, lastIdx := int64(0), int64(-1)
+		for i, e := range exts {
+			if e.BufOff != pos {
+				t.Fatalf("extent %d: buffer gap at %d (want %d)", i, e.BufOff, pos)
+			}
+			if e.Length <= 0 || e.ObjOff < 0 || e.ObjOff+e.Length > objectBytes {
+				t.Fatalf("extent %d out of object bounds: %+v (obj %d)", i, e, objectBytes)
+			}
+			if e.Index <= lastIdx {
+				t.Fatalf("extent %d: object index not increasing: %+v after %d", i, e, lastIdx)
+			}
+			if want := (off + e.BufOff) / objectBytes; e.Index != want {
+				t.Fatalf("extent %d: index %d, want %d", i, e.Index, want)
+			}
+			if want := (off + e.BufOff) % objectBytes; e.ObjOff != want {
+				t.Fatalf("extent %d: object offset %d, want %d", i, e.ObjOff, want)
+			}
+			lastIdx = e.Index
+			pos += e.Length
+			sum += e.Length
+		}
+		if sum != length {
+			t.Fatalf("extents cover %d bytes, want %d", sum, length)
+		}
+	})
+}
+
+// TestReadTailOfPartialStripe covers the short-object zero-fill path: the
+// image's last stripe object holds fewer bytes than a full stripe, and a
+// read past its written extent must come back zero-padded, not short.
+func TestReadTailOfPartialStripe(t *testing.T) {
+	runOnCluster(t, cluster.DoCeph, func(p *sim.Proc, cl *cluster.Cluster) {
+		img, err := Create(p, cl.Client, "tail", 3<<20, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The final object gets only 100 bytes; read the whole last stripe.
+		if err := img.WriteAt(p, wire.FromBytes(pattern(100, 3)), 2<<20); err != nil {
+			t.Fatal(err)
+		}
+		got, err := img.ReadAt(p, 2<<20, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := got.Bytes()
+		if len(flat) != 1<<20 {
+			t.Fatalf("short read: %d", len(flat))
+		}
+		if !bytes.Equal(flat[:100], pattern(100, 3)) {
+			t.Fatal("written tail mismatch")
+		}
+		for i := 100; i < 1<<20; i++ {
+			if flat[i] != 0 {
+				t.Fatalf("non-zero pad at %d", i)
+			}
+		}
+	})
+}
+
+// TestZeroLengthAndEdgeReads covers degenerate ranges: zero-length reads
+// anywhere in bounds (including exactly at EOF) succeed empty, and any
+// range leaking past EOF is rejected.
+func TestZeroLengthAndEdgeReads(t *testing.T) {
+	runOnCluster(t, cluster.Baseline, func(p *sim.Proc, cl *cluster.Cluster) {
+		img, err := Create(p, cl.Client, "edge", 2<<20, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, off := range []int64{0, 1<<20 - 1, 1 << 20, 2 << 20} {
+			got, err := img.ReadAt(p, off, 0)
+			if err != nil || got.Length() != 0 {
+				t.Fatalf("zero-length read at %d: len=%d err=%v", off, got.Length(), err)
+			}
+		}
+		if _, err := img.ReadAt(p, 2<<20, 1); !errors.Is(err, ErrOutOfBounds) {
+			t.Fatalf("read at EOF: %v", err)
+		}
+		if _, err := img.ReadAt(p, 2<<20+1, 0); !errors.Is(err, ErrOutOfBounds) {
+			t.Fatalf("zero-length read past EOF: %v", err)
+		}
+		if err := img.WriteAt(p, wire.FromBytes([]byte{1}), 2<<20); !errors.Is(err, ErrOutOfBounds) {
+			t.Fatalf("write at EOF: %v", err)
+		}
+	})
+}

@@ -26,6 +26,52 @@ var (
 // headerMagic guards header decodes.
 const headerMagic = 0x5242444D // "RBDM"
 
+// Extent maps one contiguous slice of a logical byte range onto one
+// backing stripe object.
+type Extent struct {
+	// Index is the stripe object index (object name dataName(name, Index)).
+	Index int64
+	// ObjOff is the byte offset inside that object.
+	ObjOff int64
+	// BufOff is the byte offset inside the caller's buffer.
+	BufOff int64
+	// Length is the extent length in bytes.
+	Length int64
+}
+
+// MapExtents splits the logical range [off, off+length) of an image
+// striped over objectBytes-sized objects into per-object extents, ordered
+// by ascending BufOff. It is a pure function of its arguments (the fuzz
+// target of the stripe math): zero length yields no extents, negative
+// offsets/lengths and non-positive object sizes are rejected.
+func MapExtents(off, length, objectBytes int64) ([]Extent, error) {
+	if objectBytes <= 0 {
+		return nil, fmt.Errorf("striper: non-positive object size %d", objectBytes)
+	}
+	if off < 0 || length < 0 {
+		return nil, fmt.Errorf("striper: negative range %d+%d", off, length)
+	}
+	if length == 0 {
+		return nil, nil
+	}
+	if off > (1<<62)-length {
+		return nil, fmt.Errorf("striper: range %d+%d overflows", off, length)
+	}
+	exts := make([]Extent, 0, length/objectBytes+2)
+	pos := int64(0)
+	for pos < length {
+		idx := (off + pos) / objectBytes
+		objOff := (off + pos) % objectBytes
+		chunk := objectBytes - objOff
+		if chunk > length-pos {
+			chunk = length - pos
+		}
+		exts = append(exts, Extent{Index: idx, ObjOff: objOff, BufOff: pos, Length: chunk})
+		pos += chunk
+	}
+	return exts, nil
+}
+
 // DefaultObjectBytes is librbd's default 4 MiB object size.
 const DefaultObjectBytes = 4 << 20
 
@@ -139,19 +185,15 @@ func (im *Image) WriteAt(p *sim.Proc, data *wire.Bufferlist, off int64) error {
 	if off < 0 || off+n > im.sizeBytes {
 		return ErrOutOfBounds
 	}
-	pos := int64(0)
-	for pos < n {
-		idx := (off + pos) / im.objectBytes
-		objOff := (off + pos) % im.objectBytes
-		chunk := im.objectBytes - objOff
-		if chunk > n-pos {
-			chunk = n - pos
+	exts, err := MapExtents(off, n, im.objectBytes)
+	if err != nil {
+		return err
+	}
+	for _, e := range exts {
+		sub := data.SubList(int(e.BufOff), int(e.Length))
+		if err := im.client.WriteAt(p, dataName(im.name, e.Index), uint64(e.ObjOff), sub); err != nil {
+			return fmt.Errorf("striper: object %d: %w", e.Index, err)
 		}
-		sub := data.SubList(int(pos), int(chunk))
-		if err := im.client.WriteAt(p, dataName(im.name, idx), uint64(objOff), sub); err != nil {
-			return fmt.Errorf("striper: object %d: %w", idx, err)
-		}
-		pos += chunk
 	}
 	return nil
 }
@@ -162,29 +204,25 @@ func (im *Image) ReadAt(p *sim.Proc, off, length int64) (*wire.Bufferlist, error
 	if off < 0 || length < 0 || off+length > im.sizeBytes {
 		return nil, ErrOutOfBounds
 	}
+	exts, err := MapExtents(off, length, im.objectBytes)
+	if err != nil {
+		return nil, err
+	}
 	out := &wire.Bufferlist{}
-	pos := int64(0)
-	for pos < length {
-		idx := (off + pos) / im.objectBytes
-		objOff := (off + pos) % im.objectBytes
-		chunk := im.objectBytes - objOff
-		if chunk > length-pos {
-			chunk = length - pos
-		}
-		bl, err := im.client.Read(p, dataName(im.name, idx), uint64(objOff), uint64(chunk))
+	for _, e := range exts {
+		bl, err := im.client.Read(p, dataName(im.name, e.Index), uint64(e.ObjOff), uint64(e.Length))
 		switch {
 		case errors.Is(err, rados.ErrNotFound):
-			out.Append(make([]byte, chunk))
+			out.Append(make([]byte, e.Length))
 		case err != nil:
-			return nil, fmt.Errorf("striper: object %d: %w", idx, err)
+			return nil, fmt.Errorf("striper: object %d: %w", e.Index, err)
 		default:
 			out.AppendBufferlist(bl)
-			if short := chunk - int64(bl.Length()); short > 0 {
+			if short := e.Length - int64(bl.Length()); short > 0 {
 				// Object exists but is shorter than the stripe: zero-fill.
 				out.Append(make([]byte, short))
 			}
 		}
-		pos += chunk
 	}
 	return out, nil
 }
