@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test test-race race chaos-smoke selfheal-smoke parallel-kernel-smoke readpath-smoke bench bench-smoke cover microbench results quick examples vet fmt trace
+.PHONY: all build test test-race race chaos-smoke selfheal-smoke parallel-kernel-smoke readpath-smoke scaleout128-smoke bench bench-smoke cover microbench results quick examples vet fmt trace
 
 all: build vet test test-race chaos-smoke bench-smoke cover
 
@@ -42,6 +42,13 @@ selfheal-smoke:
 # worker counts fails the run.
 parallel-kernel-smoke:
 	go run -race ./cmd/docephbench -exp scaleout -quick -sim-workers 1,4
+
+# The 128-OSD multi-rack cluster under the race detector: the popularity
+# ablation (uniform/Zipf/hotspot x balance-reads) with imbalance metrics,
+# plus the worker-count determinism sweep on the Zipf arm (byte-identical
+# results enforced inside the experiment), reduced windows.
+scaleout128-smoke:
+	go run -race ./cmd/docephbench -exp scaleout128 -quick -sim-workers 1,4
 
 # The read path under the race detector: the op-mix ablation (read/70:30/
 # 50:50 x replica-read balancing x DPU read cache x deployment, plus the

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, readpath, smallops, mq, ablation, stability, scale, scaleout, chaos, selfheal")
+	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, readpath, smallops, mq, ablation, stability, scale, scaleout, scaleout128, chaos, selfheal")
 	quick := flag.Bool("quick", false, "short runs (8s window) instead of the paper's 60s")
 	seconds := flag.Int("seconds", 0, "override the measured window length in seconds")
 	threads := flag.Int("threads", 16, "concurrent bench clients")
@@ -42,7 +42,7 @@ func main() {
 	dpuBreaker := flag.Bool("dpu-breaker", true, "selfheal: enable the DPU-offload circuit breaker (host-path failover)")
 	dpuBreakerThreshold := flag.Int("dpu-breaker-threshold", 0, "selfheal: DMA failures inside the window that trip the breaker (0 = default)")
 	dpuBreakerOpenMs := flag.Int64("dpu-breaker-open-ms", 0, "selfheal: breaker open timeout before probing, in ms (0 = duration-scaled default)")
-	simWorkers := flag.String("sim-workers", "", "scaleout: comma-separated parallel kernel worker counts to compare (default 1,2,4,8)")
+	simWorkers := flag.String("sim-workers", "", "scaleout/scaleout128: comma-separated parallel kernel worker counts to compare (default 1,2,4,8)")
 	flag.Parse()
 
 	opts := doceph.FullOptions()
@@ -223,6 +223,35 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(doceph.ScaleOutTable(rows))
+	}
+
+	// Scaleout128 is opt-in (not part of "all"): the 128-OSD, 16-rack CRUSH
+	// cluster under uniform vs Zipf vs hotspot popularity x balance-reads,
+	// with imbalance metrics per arm and a worker-count determinism sweep on
+	// the Zipf arm.
+	if strings.EqualFold(*exp, "scaleout128") {
+		fmt.Println("running 128-OSD scale-out (16 racks x 8 OSDs, popularity x balance-reads)...")
+		sopts := doceph.ScaleOut128Options{Seed: opts.Seed}
+		if *seconds > 0 {
+			sopts.Duration = doceph.Duration(*seconds) * doceph.Second
+		} else if *quick {
+			sopts.Duration = 500 * doceph.Millisecond
+			sopts.Warmup = 250 * doceph.Millisecond
+		}
+		if *simWorkers != "" {
+			for _, part := range strings.Split(*simWorkers, ",") {
+				var w int
+				if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &w); err != nil || w <= 0 {
+					fail(fmt.Errorf("bad -sim-workers entry %q", part))
+				}
+				sopts.Workers = append(sopts.Workers, w)
+			}
+		}
+		rows, err := doceph.RunScaleOut128(sopts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.ScaleOut128Table(rows))
 	}
 
 	// Chaos is opt-in (not part of "all"): it is a robustness experiment,

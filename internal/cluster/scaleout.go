@@ -13,8 +13,11 @@ package cluster
 import (
 	"fmt"
 
+	"doceph/internal/crush"
 	"doceph/internal/doca"
+	"doceph/internal/osdmap"
 	"doceph/internal/rados"
+	"doceph/internal/radosbench"
 	"doceph/internal/sim"
 	"doceph/internal/wire"
 )
@@ -98,6 +101,30 @@ type ScaleOutConfig struct {
 	// CrossRackLatency overrides the pod<->coordinator link latency — the
 	// lookahead window (default CrossRackLookahead of the rack config).
 	CrossRackLatency sim.Duration
+
+	// Popularity switches the workload to a catalog-driven object-popularity
+	// model (uniform, Zipf or N-hot). A global rack-aware CRUSH map
+	// (crush.BuildRacks over all Pods x OSDsPerPod devices, failure domain =
+	// rack) homes each catalog object to the rack owning its global PG's
+	// primary, and every rack's clients then draw from their rack's share of
+	// the catalog under the model — so real CRUSH drives workload routing
+	// while the data plane stays rack-local (the partition constraint).
+	// Popularity.Objects sizes the global catalog (default 8 x total OSDs).
+	// PopNone (the default) keeps the historical workload and event stream.
+	Popularity radosbench.Popularity
+	// GlobalPGs is the PG count of the global homing map (default 2 x total
+	// OSDs); GlobalReplicas its replica count (default min(3, Pods)). They
+	// shape catalog homing only — rack pools keep their own PGs/Replicas.
+	GlobalPGs      uint32
+	GlobalReplicas int
+	// BalanceReads flags reads CEPH_OSD_FLAG_BALANCE_READS so any rack-local
+	// acting-set member may serve them, flattening hot primaries.
+	BalanceReads bool
+	// CollectImbalance gathers per-OSD/per-PG served-op counts and per-tick
+	// OSD queue-depth samples into the result (raw arrays; perf computes the
+	// max/mean and p99:p50 figures). Sampling rides the existing rack-agent
+	// beacon tick, so it adds no events and results stay worker-independent.
+	CollectImbalance bool
 }
 
 func (c ScaleOutConfig) withDefaults() ScaleOutConfig {
@@ -134,6 +161,21 @@ func (c ScaleOutConfig) withDefaults() ScaleOutConfig {
 	if c.CrossRackLatency == 0 {
 		c.CrossRackLatency = CrossRackLookahead(c.rackConfig(0))
 	}
+	if c.Popularity.Kind != radosbench.PopNone {
+		c.Popularity = c.Popularity.WithDefaults()
+		if c.Popularity.Objects == 0 {
+			c.Popularity.Objects = 8 * c.Pods * c.OSDsPerPod
+		}
+		if c.GlobalPGs == 0 {
+			c.GlobalPGs = 2 * uint32(c.Pods*c.OSDsPerPod)
+		}
+		if c.GlobalReplicas == 0 {
+			c.GlobalReplicas = 3
+			if c.Pods < 3 {
+				c.GlobalReplicas = c.Pods
+			}
+		}
+	}
 	return c
 }
 
@@ -145,7 +187,35 @@ func (c ScaleOutConfig) rackConfig(pod int) Config {
 		Replicas:     c.Replicas,
 		PGs:          c.PGs,
 		Seed:         c.Seed + int64(pod+1)<<32,
+		Client:       rados.Config{BalanceReads: c.BalanceReads},
 	}
+}
+
+// buildCatalogs homes the global object catalog to racks through the
+// rack-aware CRUSH hierarchy: object name → global PG → primary OSD → rack
+// (device ids are rack-major, so rack = id / OSDsPerPod). Catalog index is
+// popularity rank (object 0 hottest); each rack's slice preserves global
+// rank order, so rack-local draws keep the configured skew shape.
+func (c ScaleOutConfig) buildCatalogs() [][]string {
+	gm := osdmap.New(crush.BuildRacks(c.Pods, c.OSDsPerPod, 1, 1.0),
+		c.GlobalPGs, c.GlobalReplicas)
+	cats := make([][]string, c.Pods)
+	for i := 0; i < c.Popularity.Objects; i++ {
+		name := fmt.Sprintf("so_obj_%d", i)
+		prim := gm.Primary(gm.PGForObject(name))
+		if prim < 0 {
+			panic(fmt.Sprintf("cluster: catalog object %s has no primary", name))
+		}
+		rack := int(prim) / c.OSDsPerPod
+		cats[rack] = append(cats[rack], name)
+	}
+	for r, cat := range cats {
+		if len(cat) == 0 {
+			panic(fmt.Sprintf("cluster: rack %d drew an empty catalog — "+
+				"grow Popularity.Objects (%d over %d racks)", r, c.Popularity.Objects, c.Pods))
+		}
+	}
+	return cats
 }
 
 // benchPayload builds the immutable workload payload: the same pure
@@ -189,6 +259,9 @@ type Pod struct {
 	acks    int64
 	epoch   int64
 	err     error
+	// qdepth holds per-beacon-tick OSD queue-depth samples (node order,
+	// tick-major), populated only under CollectImbalance.
+	qdepth []int64
 }
 
 // ScaleOut is an assembled partitioned cluster ready to Run.
@@ -232,6 +305,18 @@ type ScaleOutResult struct {
 	Rounds     uint64      `json:"rounds"`
 	Windows    uint64      `json:"windows"`
 	Delivered  uint64      `json:"delivered"`
+
+	// Raw imbalance material, populated only under CollectImbalance
+	// (omitted from JSON otherwise, so legacy fingerprints are unchanged).
+	// Indexing: OSD arrays by global OSD id (partition-plan order), PGOps
+	// by pod*PGs+localPG, QueueDepthSamples pooled over (tick, OSD).
+	// perf.ComputeImbalance turns these into the max/mean and p99:p50
+	// figures.
+	OSDOps            []int64 `json:"osd_ops,omitempty"`
+	OSDReads          []int64 `json:"osd_reads,omitempty"`
+	OSDBalancedReads  []int64 `json:"osd_balanced_reads,omitempty"`
+	PGOps             []int64 `json:"pg_ops,omitempty"`
+	QueueDepthSamples []int64 `json:"queue_depth_samples,omitempty"`
 }
 
 // AvgLatency returns the mean op latency over the measured window.
@@ -297,25 +382,53 @@ func NewScaleOut(cfg ScaleOutConfig) *ScaleOut {
 	measureStart := sim.Time(0).Add(cfg.Warmup)
 	payload := benchPayload(cfg.ObjectBytes)
 	nPrepop := cfg.Threads * 4
+	// Catalog-driven mode: home the global catalog to racks through the
+	// rack-aware CRUSH map and give each rack a generator over its share.
+	var catalogs [][]string
+	var gens []*radosbench.PopGen
+	if cfg.Popularity.Kind != radosbench.PopNone {
+		catalogs = cfg.buildCatalogs()
+		gens = make([]*radosbench.PopGen, cfg.Pods)
+		for i, cat := range catalogs {
+			g, err := radosbench.NewPopGen(cfg.Popularity, len(cat))
+			if err != nil {
+				panic(fmt.Sprintf("cluster: popularity generator: %v", err))
+			}
+			gens[i] = g
+		}
+	}
 	for _, pod := range s.Pods {
 		pod := pod
 		env := pod.Cluster.Env
+		var catalog []string
+		var gen *radosbench.PopGen
+		if gens != nil {
+			catalog, gen = catalogs[pod.ID], gens[pod.ID]
+		}
 		if cfg.Warmup > 0 {
 			env.Spawn(fmt.Sprintf("warmup-reset-p%d", pod.ID), func(p *sim.Proc) {
 				p.Wait(cfg.Warmup)
 				pod.Cluster.ResetHostStats()
 			})
 		}
-		// A mixed workload prepopulates rack-local read targets first; the
-		// write-only default spawns none of this machinery, keeping its
-		// event stream (and goldens) untouched.
+		// A mixed workload prepopulates rack-local read targets first — the
+		// rack's catalog share in popularity mode, the legacy per-thread
+		// stride set otherwise. The write-only default spawns none of this
+		// machinery, keeping its event stream (and goldens) untouched.
 		var prepopDone *sim.Event
 		if cfg.ReadPercent > 0 {
 			prepopDone = sim.NewEvent(env)
 			env.Spawn(fmt.Sprintf("bench-prepop-p%d", pod.ID), func(p *sim.Proc) {
 				p.SetThread(sim.NewThread(fmt.Sprintf("bench-prepop-p%d", pod.ID), rados.ThreadCat))
-				for i := 0; i < nPrepop; i++ {
+				n := nPrepop
+				if catalog != nil {
+					n = len(catalog)
+				}
+				for i := 0; i < n; i++ {
 					obj := fmt.Sprintf("so_p%d_prepop_%d", pod.ID, i)
+					if catalog != nil {
+						obj = catalog[i]
+					}
 					if err := pod.Cluster.Client.Write(p, obj, payload); err != nil {
 						pod.err = fmt.Errorf("pod %d prepopulate: %w", pod.ID, err)
 						break
@@ -337,7 +450,23 @@ func NewScaleOut(cfg ScaleOutConfig) *ScaleOut {
 					bytes := cfg.ObjectBytes
 					// Same fixed (worker, index) split as radosbench's
 					// fixed-work mode: the op set never depends on timing.
-					if cfg.ReadPercent > 0 && (t*7919+i*104729)%100 < cfg.ReadPercent {
+					doRead := cfg.ReadPercent > 0 && (t*7919+i*104729)%100 < cfg.ReadPercent
+					if gen != nil {
+						// Catalog-driven op: the target is a pure function
+						// of (seed, pod, thread, op index) — reads and
+						// writes both land on the popularity-ranked
+						// catalog, so skew shapes write-primary load too.
+						stream := uint64(pod.ID)<<48 ^ uint64(t)<<32 ^ uint64(uint32(i))
+						obj := catalog[gen.Pick(cfg.Seed, stream)]
+						if doRead {
+							var bl *wire.Bufferlist
+							if bl, err = pod.Cluster.Client.Read(p, obj, 0, 0); err == nil {
+								bytes = int64(bl.Length())
+							}
+						} else {
+							err = pod.Cluster.Client.Write(p, obj, payload)
+						}
+					} else if doRead {
 						obj := fmt.Sprintf("so_p%d_prepop_%d", pod.ID, (t*7919+i)%nPrepop)
 						var bl *wire.Bufferlist
 						if bl, err = pod.Cluster.Client.Read(p, obj, 0, 0); err == nil {
@@ -364,6 +493,14 @@ func NewScaleOut(cfg ScaleOutConfig) *ScaleOut {
 				p.Wait(cfg.BeaconPeriod)
 				if p.Now() >= deadline {
 					return
+				}
+				if cfg.CollectImbalance && p.Now() > measureStart {
+					// Backlog snapshot on the agent's own tick: node-order
+					// deterministic and event-free, so worker count cannot
+					// perturb it.
+					for _, n := range pod.Cluster.Nodes {
+						pod.qdepth = append(pod.qdepth, int64(n.OSD.QueueDepth()))
+					}
 				}
 				pod.Up.Send(p, Beacon{Pod: pod.ID, Ops: pod.ops, Sent: p.Now()})
 				pod.beacons++
@@ -409,7 +546,33 @@ func (s *ScaleOut) Run(workers int) (ScaleOutResult, error) {
 		res.TotalOps += pod.ops
 		res.TotalBytes += pod.bytes
 	}
+	if s.Cfg.CollectImbalance {
+		s.collectImbalance(&res)
+	}
 	return res, nil
+}
+
+// collectImbalance harvests the raw per-OSD/per-PG counters and queue-depth
+// samples from every rack into the result's global-index arrays.
+func (s *ScaleOut) collectImbalance(res *ScaleOutResult) {
+	totalOSDs := s.Cfg.Pods * s.Cfg.OSDsPerPod
+	res.OSDOps = make([]int64, totalOSDs)
+	res.OSDReads = make([]int64, totalOSDs)
+	res.OSDBalancedReads = make([]int64, totalOSDs)
+	res.PGOps = make([]int64, s.Cfg.Pods*int(s.Cfg.PGs))
+	for _, pod := range s.Pods {
+		for local, node := range pod.Cluster.Nodes {
+			g := int(pod.OSDs[local])
+			st := node.OSD.Stats()
+			res.OSDReads[g] = st.ClientReads
+			res.OSDBalancedReads[g] = st.BalancedReads
+			for pg, n := range node.OSD.PGOps() {
+				res.PGOps[pod.ID*int(s.Cfg.PGs)+int(pg)] += n
+				res.OSDOps[g] += n
+			}
+		}
+		res.QueueDepthSamples = append(res.QueueDepthSamples, pod.qdepth...)
+	}
 }
 
 // Shutdown reclaims every partition's simulation goroutines.

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+
+	"doceph/internal/radosbench"
+	"doceph/internal/sim"
+)
+
+// zipf128ScaleOut is the full 16-rack x 8-OSD scenario from -exp scaleout128,
+// shrunk in duration only: Zipf popularity over the CRUSH-homed catalog,
+// replica-read balancing on, imbalance arrays collected. Everything that
+// could plausibly leak worker-count nondeterminism (popularity draws,
+// balanced-read routing, queue-depth sampling) is switched on.
+func zipf128ScaleOut(seed int64) ScaleOutConfig {
+	return ScaleOutConfig{
+		Pods:        16,
+		OSDsPerPod:  8,
+		Mode:        DoCeph,
+		Seed:        seed,
+		Threads:     2,
+		ObjectBytes: 64 << 10,
+		ReadPercent: 70,
+		// Prepopulating the 1024-object catalog takes ~200ms of sim time at
+		// this scale; the duration must clear it or no reads ever issue.
+		Duration:         300 * sim.Millisecond,
+		Warmup:           50 * sim.Millisecond,
+		BeaconPeriod:     10 * sim.Millisecond,
+		Popularity:       radosbench.Popularity{Kind: radosbench.PopZipf},
+		BalanceReads:     true,
+		CollectImbalance: true,
+	}
+}
+
+// TestScaleOut128ZipfBitIdenticalAcrossWorkersAndGOMAXPROCS is the scale-out
+// determinism sweep: the 128-OSD Zipf run is a pure function of (config,
+// seed) — bit-identical across worker counts {1,2,4,8}, GOMAXPROCS {1,N},
+// and reruns, for several seeds.
+func TestScaleOut128ZipfBitIdenticalAcrossWorkersAndGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("128-OSD property sweep is slow")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	maxprocs := []int{1, runtime.NumCPU()}
+	if maxprocs[1] == 1 {
+		maxprocs = maxprocs[:1]
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := zipf128ScaleOut(seed)
+		runtime.GOMAXPROCS(prev)
+		want := scaleOutFingerprint(t, cfg, 1)
+		// Run-twice: same config, same workers, fresh assembly.
+		if again := scaleOutFingerprint(t, cfg, 1); again != want {
+			t.Fatalf("seed=%d: rerun diverged:\n %s\n %s", seed, want, again)
+		}
+		for _, mp := range maxprocs {
+			runtime.GOMAXPROCS(mp)
+			for _, workers := range []int{1, 2, 4, 8} {
+				if got := scaleOutFingerprint(t, cfg, workers); got != want {
+					t.Fatalf("seed=%d workers=%d GOMAXPROCS=%d diverged:\n got %s\nwant %s",
+						seed, workers, mp, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScaleOutPopularityDeterminismSmall is the always-run (short-mode) slice
+// of the sweep: a 4x2 cluster with the same Zipf + balance-reads + imbalance
+// collection stack must be bit-identical across worker counts and reruns.
+func TestScaleOutPopularityDeterminismSmall(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := smallScaleOut(seed)
+		cfg.ReadPercent = 70
+		cfg.Popularity = radosbench.Popularity{Kind: radosbench.PopZipf}
+		cfg.BalanceReads = true
+		cfg.CollectImbalance = true
+		a := scaleOutFingerprint(t, cfg, 4)
+		if b := scaleOutFingerprint(t, cfg, 4); b != a {
+			t.Fatalf("seed=%d: reruns diverged:\n %s\n %s", seed, a, b)
+		}
+		if c := scaleOutFingerprint(t, cfg, 1); c != a {
+			t.Fatalf("seed=%d: result depends on worker count:\n w4 %s\n w1 %s", seed, a, c)
+		}
+	}
+}
+
+// TestScaleOutPopularityChangesTrajectory guards against the popularity
+// knobs silently not engaging: Zipf vs uniform vs hotspot vs legacy must all
+// yield distinct trajectories, or the determinism sweep above is vacuous.
+func TestScaleOutPopularityChangesTrajectory(t *testing.T) {
+	base := smallScaleOut(3)
+	base.ReadPercent = 70
+	// Collect the per-OSD/PG arrays: aggregate totals alone can coincide
+	// between popularity shapes on a cluster this small.
+	base.CollectImbalance = true
+	variant := func(kind radosbench.PopKind) string {
+		cfg := base
+		cfg.Popularity = radosbench.Popularity{Kind: kind}
+		return scaleOutFingerprint(t, cfg, 2)
+	}
+	legacy := scaleOutFingerprint(t, base, 2)
+	uniform := variant(radosbench.PopUniform)
+	zipf := variant(radosbench.PopZipf)
+	hotspot := variant(radosbench.PopHotspot)
+	fps := map[string]string{"legacy": legacy, "uniform": uniform, "zipf": zipf, "hotspot": hotspot}
+	seen := map[string]string{}
+	for name, fp := range fps {
+		if other, dup := seen[fp]; dup {
+			t.Fatalf("%s and %s produced identical trajectories", name, other)
+		}
+		seen[fp] = name
+	}
+}
+
+// TestScaleOut128CollectsImbalance checks the tentpole's observability
+// contract on the real 128-OSD shape: every OSD slot is present, ops landed
+// on them, per-PG counts line up with the per-rack PG count, queue-depth
+// samples were taken, and balanced reads actually happened.
+func TestScaleOut128CollectsImbalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("128-OSD run is slow")
+	}
+	cfg := zipf128ScaleOut(42)
+	so := NewScaleOut(cfg)
+	defer so.Shutdown()
+	res, err := so.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OSDOps) != 128 || len(res.OSDReads) != 128 || len(res.OSDBalancedReads) != 128 {
+		t.Fatalf("OSD arrays: ops=%d reads=%d balanced=%d, want 128 each",
+			len(res.OSDOps), len(res.OSDReads), len(res.OSDBalancedReads))
+	}
+	wantPGs := 16 * int(so.Cfg.PGs)
+	if len(res.PGOps) != wantPGs {
+		t.Fatalf("PG array: %d, want %d", len(res.PGOps), wantPGs)
+	}
+	if len(res.QueueDepthSamples) == 0 {
+		t.Fatal("no queue-depth samples collected")
+	}
+	var ops, balanced int64
+	for _, n := range res.OSDOps {
+		ops += n
+	}
+	for _, n := range res.OSDBalancedReads {
+		balanced += n
+	}
+	if ops == 0 {
+		t.Fatal("no per-OSD ops attributed")
+	}
+	if balanced == 0 {
+		t.Fatal("balance-reads on but no balanced reads served")
+	}
+}

@@ -6,6 +6,7 @@
 package crush
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -315,7 +316,7 @@ func (m *Map) Clone() *Map {
 	for id, b := range m.buckets {
 		items := make([]ItemID, len(b.Items))
 		copy(items, b.Items)
-		c.buckets[id] = &Bucket{ID: b.ID, Name: b.Name, Type: b.Type, Items: items}
+		c.buckets[id] = &Bucket{ID: b.ID, Name: b.Name, Type: b.Type, Alg: b.Alg, Items: items}
 	}
 	for id, d := range m.devices {
 		dd := *d
@@ -343,6 +344,139 @@ func BuildUniform(hosts, osdsPerHost int, weight float64) *Map {
 		}
 	}
 	return m
+}
+
+// BuildRacks constructs a three-level rack-aware map: one root, racks rack
+// buckets, each holding hostsPerRack host buckets of osdsPerHost devices of
+// the given weight. Device ids are assigned rack-major starting at 0, so
+// consecutive ids share a rack. Because the rack level is the first interior
+// level below the root, Select's failure-domain constraint places every
+// replica of a PG on a distinct rack.
+func BuildRacks(racks, hostsPerRack, osdsPerHost int, weight float64) *Map {
+	m := NewMap()
+	root := &Bucket{ID: -1, Name: "default", Type: "root"}
+	_ = m.AddBucket(root)
+	next := ItemID(0)
+	for r := 0; r < racks; r++ {
+		rb := &Bucket{ID: ItemID(-2 - r), Name: fmt.Sprintf("rack%d", r), Type: "rack"}
+		_ = m.AddBucket(rb)
+		root.Items = append(root.Items, rb.ID)
+		for h := 0; h < hostsPerRack; h++ {
+			hb := &Bucket{
+				ID:   ItemID(-2 - racks - r*hostsPerRack - h),
+				Name: fmt.Sprintf("rack%d-host%d", r, h),
+				Type: "host",
+			}
+			_ = m.AddBucket(hb)
+			rb.Items = append(rb.Items, hb.ID)
+			for o := 0; o < osdsPerHost; o++ {
+				_ = m.AddDevice(&Device{ID: next, Weight: weight})
+				hb.Items = append(hb.Items, next)
+				next++
+			}
+		}
+	}
+	return m
+}
+
+// DomainOf returns the id of the bucket of the given type on the path from
+// the root to device dev, or InvalidItem if dev is not reachable under a
+// bucket of that type. It is how callers map an OSD back to its rack (or
+// host) without assuming anything about id arithmetic.
+func (m *Map) DomainOf(dev ItemID, btype string) ItemID {
+	root := m.buckets[m.root]
+	if root == nil {
+		return InvalidItem
+	}
+	return m.domainSearch(root, dev, btype, InvalidItem)
+}
+
+func (m *Map) domainSearch(b *Bucket, dev ItemID, btype string, cur ItemID) ItemID {
+	if b.Type == btype {
+		cur = b.ID
+	}
+	for _, item := range b.Items {
+		if item == dev {
+			return cur
+		}
+		if item < 0 {
+			if child := m.buckets[item]; child != nil {
+				if found := m.domainSearch(child, dev, btype, cur); found != InvalidItem || m.contains(child, dev) {
+					return found
+				}
+			}
+		}
+	}
+	return InvalidItem
+}
+
+// contains reports whether dev lives anywhere under bucket b.
+func (m *Map) contains(b *Bucket, dev ItemID) bool {
+	for _, item := range b.Items {
+		if item == dev {
+			return true
+		}
+		if item < 0 {
+			if child := m.buckets[item]; child != nil && m.contains(child, dev) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mapJSON is the deterministic wire form of a Map: buckets and devices are
+// serialized as id-sorted slices, never as Go maps, so marshalling the same
+// hierarchy always yields the same bytes and placement cannot pick up
+// map-iteration nondeterminism through a serialize/deserialize cycle.
+type mapJSON struct {
+	Root          ItemID    `json:"root"`
+	ChooseRetries int       `json:"choose_retries"`
+	Buckets       []*Bucket `json:"buckets"`
+	Devices       []*Device `json:"devices"`
+}
+
+// MarshalJSON encodes the hierarchy deterministically (buckets and devices
+// in ascending id order).
+func (m *Map) MarshalJSON() ([]byte, error) {
+	j := mapJSON{Root: m.root, ChooseRetries: m.ChooseRetries}
+	for _, b := range m.buckets {
+		j.Buckets = append(j.Buckets, b)
+	}
+	sort.Slice(j.Buckets, func(i, k int) bool { return j.Buckets[i].ID < j.Buckets[k].ID })
+	for _, d := range m.devices {
+		j.Devices = append(j.Devices, d)
+	}
+	sort.Slice(j.Devices, func(i, k int) bool { return j.Devices[i].ID < j.Devices[k].ID })
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON rebuilds the hierarchy from its wire form.
+func (m *Map) UnmarshalJSON(data []byte) error {
+	var j mapJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	m.root = j.Root
+	m.ChooseRetries = j.ChooseRetries
+	m.buckets = make(map[ItemID]*Bucket, len(j.Buckets))
+	m.devices = make(map[ItemID]*Device, len(j.Devices))
+	for _, b := range j.Buckets {
+		if _, dup := m.buckets[b.ID]; dup {
+			return fmt.Errorf("crush: duplicate bucket id %d in encoded map", b.ID)
+		}
+		m.buckets[b.ID] = b
+	}
+	for _, d := range j.Devices {
+		if _, dup := m.devices[d.ID]; dup {
+			return fmt.Errorf("crush: duplicate device id %d in encoded map", d.ID)
+		}
+		m.devices[d.ID] = d
+	}
+	if m.root != InvalidItem && m.buckets[m.root] == nil {
+		return fmt.Errorf("crush: encoded root %d has no bucket", m.root)
+	}
+	return nil
 }
 
 // hash3 is a Jenkins-style 3-word integer mix, the same family CRUSH's

@@ -234,7 +234,11 @@ type OSD struct {
 	ready  *sim.Event
 	failed bool
 	stats  Stats
-	tr     *trace.Tracer
+	// pgOps counts client ops served per PG (including balanced reads),
+	// the raw material for the scale-out load-imbalance metrics. Pure
+	// bookkeeping: it adds no events and never alters simulated timing.
+	pgOps map[uint32]int64
+	tr    *trace.Tracer
 }
 
 type opItem struct {
@@ -293,6 +297,7 @@ func New(env *sim.Env, cpu *sim.CPU, id int32, msgr *messenger.Messenger,
 		thFin:        sim.NewThread(fmt.Sprintf("fn_osd-%d", id), ThreadCat),
 		lastSeen:     make(map[int32]sim.Time),
 		reported:     make(map[int32]bool),
+		pgOps:        make(map[uint32]int64),
 	}
 	o.completerName = "completer:" + o.name
 	o.repCompleterName = "rep-completer:" + o.name
@@ -382,6 +387,26 @@ func (o *OSD) SetTracer(tr *trace.Tracer) { o.tr = tr }
 
 // Stats returns a copy of the activity counters.
 func (o *OSD) Stats() Stats { return o.stats }
+
+// PGOps returns a copy of the per-PG served-op counters (client ops this
+// OSD actually executed, balanced reads included; bounced ops are not).
+func (o *OSD) PGOps() map[uint32]int64 {
+	out := make(map[uint32]int64, len(o.pgOps))
+	for pg, n := range o.pgOps {
+		out[pg] = n
+	}
+	return out
+}
+
+// QueueDepth returns the ops currently waiting in the op-queue shards — a
+// point-in-time backlog sample for queue-depth imbalance metrics.
+func (o *OSD) QueueDepth() int {
+	n := 0
+	for _, q := range o.opqs {
+		n += q.Len()
+	}
+	return n
+}
 
 // Map returns the OSD's current cluster map.
 func (o *OSD) Map() *osdmap.Map { return o.curMap }
@@ -597,6 +622,7 @@ func (o *OSD) handleClientOp(p *sim.Proc, src string, m *cephmsg.MOSDOp, sp trac
 		if m.Op == cephmsg.OpRead && m.Flags&cephmsg.FlagBalanceReads != 0 &&
 			actingMember(acting, o.id) {
 			o.stats.BalancedReads++
+			o.pgOps[pg]++
 			o.handleRead(p, src, m, pg, sp)
 			return
 		}
@@ -623,6 +649,7 @@ func (o *OSD) handleClientOp(p *sim.Proc, src string, m *cephmsg.MOSDOp, sp trac
 			o.degraded[pg]++
 		}
 	}
+	o.pgOps[pg]++
 	switch m.Op {
 	case cephmsg.OpWrite:
 		o.handleWrite(p, src, m, pg, acting, sp)

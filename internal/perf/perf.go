@@ -55,6 +55,13 @@ type Scenario struct {
 	OSDsPerPod   int `json:"osds_per_pod,omitempty"`
 	SimWorkers   int `json:"sim_workers,omitempty"`
 
+	// Workload selects the scale-out object-popularity model ("uniform",
+	// "zipf" or "hotspot"; "" keeps the legacy per-thread stride). With a
+	// workload set, ReadPercent mixes catalog reads in and BalanceReads
+	// spreads them across rack-local acting sets. Scale-out only.
+	Workload     string `json:"workload,omitempty"`
+	BalanceReads bool   `json:"balance_reads,omitempty"`
+
 	// Degraded runs the scenario through the self-healing write path:
 	// osd.1 is administratively down when the workload starts (min_size=1
 	// accepts the degraded writes) and rejoins halfway through the
@@ -85,6 +92,8 @@ func DefaultSweep() []Scenario {
 			Op: "mixed", ReadPercent: 70},
 		scaleOut32("doceph-scaleout-32osd", 1, 2),
 		scaleOut32("doceph-scaleout-32osd", 8, 2),
+		scaleOut128("doceph-scaleout-128osd", 1, 1),
+		scaleOut128("doceph-scaleout-128osd", 8, 1),
 	}
 }
 
@@ -103,6 +112,28 @@ func scaleOut32(base string, workers, durationSec int) Scenario {
 		ScaleOutPods: 8,
 		OSDsPerPod:   4,
 		SimWorkers:   workers,
+	}
+}
+
+// scaleOut128 is the 128-OSD (16 racks x 8 OSDs) partitioned scenario: a
+// Zipf-skewed 70/30 read mix with replica-read balancing on, so the rows
+// track the parallel kernel under the hot-PG shape production fears rather
+// than a uniform write flood.
+func scaleOut128(base string, workers, durationSec int) Scenario {
+	return Scenario{
+		Name:         fmt.Sprintf("%s@w%d", base, workers),
+		Mode:         cluster.DoCeph,
+		ObjectBytes:  64 << 10,
+		Threads:      2,
+		DurationSec:  durationSec,
+		WarmupSec:    1,
+		Seed:         42,
+		ScaleOutPods: 16,
+		OSDsPerPod:   8,
+		SimWorkers:   workers,
+		Workload:     "zipf",
+		ReadPercent:  70,
+		BalanceReads: true,
 	}
 }
 
@@ -158,6 +189,8 @@ func SmokeSweep() []Scenario {
 			Op: "mixed", ReadPercent: 70},
 		scaleOut32("doceph-scaleout-32osd", 1, 1),
 		scaleOut32("doceph-scaleout-32osd", 4, 1),
+		scaleOut128("doceph-scaleout-128osd", 1, 1),
+		scaleOut128("doceph-scaleout-128osd", 4, 1),
 	}
 }
 
@@ -229,11 +262,17 @@ func (sc Scenario) Validate() error {
 	if sc.ReadPercent < 0 || sc.ReadPercent > 100 {
 		return fmt.Errorf("perf: scenario %q: read_percent %d out of range", sc.Name, sc.ReadPercent)
 	}
-	if sc.ReadPercent > 0 && sc.Op != "mixed" {
+	if sc.ReadPercent > 0 && sc.Op != "mixed" && sc.ScaleOutPods == 0 {
 		return fmt.Errorf("perf: scenario %q: read_percent needs op \"mixed\"", sc.Name)
 	}
 	if sc.ScaleOutPods > 0 && sc.Op != "" {
 		return fmt.Errorf("perf: scenario %q: scale-out racks run the write workload; drop op", sc.Name)
+	}
+	if _, err := radosbench.ParsePopKind(sc.Workload); err != nil {
+		return fmt.Errorf("perf: scenario %q: %v", sc.Name, err)
+	}
+	if (sc.Workload != "" || sc.BalanceReads) && sc.ScaleOutPods == 0 {
+		return fmt.Errorf("perf: scenario %q: workload/balance_reads need scaleout_pods > 0", sc.Name)
 	}
 	return nil
 }
@@ -369,15 +408,25 @@ func runScenario(sc Scenario) (Measurement, error) {
 // (ops, events) is a pure function of the scenario minus SimWorkers; the
 // wall-clock side is what the per-worker-count rows exist to compare.
 func runScaleOut(sc Scenario) (Measurement, error) {
+	kind, err := radosbench.ParsePopKind(sc.Workload)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("perf: scenario %q: %v", sc.Name, err)
+	}
 	so := cluster.NewScaleOut(cluster.ScaleOutConfig{
-		Pods:        sc.ScaleOutPods,
-		OSDsPerPod:  sc.OSDsPerPod,
-		Mode:        sc.Mode,
-		Seed:        sc.Seed,
-		Threads:     sc.Threads,
-		ObjectBytes: sc.ObjectBytes,
-		Duration:    sim.Duration(sc.DurationSec) * sim.Second,
-		Warmup:      sim.Duration(sc.WarmupSec) * sim.Second,
+		Pods:         sc.ScaleOutPods,
+		OSDsPerPod:   sc.OSDsPerPod,
+		Mode:         sc.Mode,
+		Seed:         sc.Seed,
+		Threads:      sc.Threads,
+		ObjectBytes:  sc.ObjectBytes,
+		ReadPercent:  sc.ReadPercent,
+		Duration:     sim.Duration(sc.DurationSec) * sim.Second,
+		Warmup:       sim.Duration(sc.WarmupSec) * sim.Second,
+		Popularity:   radosbench.Popularity{Kind: kind},
+		BalanceReads: sc.BalanceReads,
+		// Popularity rows collect the imbalance arrays so the engagement
+		// self-check below can prove the skewed path actually ran.
+		CollectImbalance: kind != radosbench.PopNone,
 	})
 	defer so.Shutdown()
 	start := time.Now()
@@ -390,6 +439,18 @@ func runScaleOut(sc Scenario) (Measurement, error) {
 		// A scale-out row with no cross-partition traffic would be
 		// benchmarking independent serial runs under a parallel-kernel name.
 		return Measurement{}, fmt.Errorf("perf: scenario %q: no cross-partition messages delivered", sc.Name)
+	}
+	if kind != radosbench.PopNone {
+		// Same guard for the skewed path: a regression that silently fell
+		// back to the legacy stride would benchmark the wrong workload
+		// under this row's name.
+		im := ComputeImbalance(res)
+		if im.MaxMeanOSDShare == 0 {
+			return Measurement{}, fmt.Errorf("perf: scenario %q: no per-OSD ops collected", sc.Name)
+		}
+		if sc.BalanceReads && im.BalancedReadShare == 0 {
+			return Measurement{}, fmt.Errorf("perf: scenario %q: balance-reads did not engage", sc.Name)
+		}
 	}
 	m := Measurement{
 		Name:      sc.Name,

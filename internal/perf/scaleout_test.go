@@ -60,14 +60,23 @@ func TestDefaultAndSmokeSweepsCarryScaleOutRows(t *testing.T) {
 				t.Fatal(err)
 			}
 			if sc.ScaleOutPods > 0 {
-				if sc.ScaleOutPods*sc.OSDsPerPod != 32 {
-					t.Fatalf("%s: %dx%d OSDs, want 32", sc.Name, sc.ScaleOutPods, sc.OSDsPerPod)
+				if n := sc.ScaleOutPods * sc.OSDsPerPod; n != 32 && n != 128 {
+					t.Fatalf("%s: %dx%d OSDs, want 32 or 128", sc.Name, sc.ScaleOutPods, sc.OSDsPerPod)
 				}
 				found = append(found, sc.Name)
 			}
 		}
-		if len(found) < 2 || !strings.HasSuffix(found[0], "@w1") {
+		if len(found) < 4 || !strings.HasSuffix(found[0], "@w1") {
 			t.Fatalf("scale-out rows missing or unsorted: %v", found)
+		}
+		var got128 bool
+		for _, name := range found {
+			if strings.Contains(name, "128osd") {
+				got128 = true
+			}
+		}
+		if !got128 {
+			t.Fatalf("128-OSD rows missing: %v", found)
 		}
 	}
 }
@@ -83,7 +92,10 @@ func TestScaleOutWorkerRows(t *testing.T) {
 			}
 		}
 	}
-	want := []string{"doceph-scaleout-32osd@w1", "doceph-scaleout-32osd@w2", "doceph-scaleout-32osd@w8"}
+	want := []string{
+		"doceph-scaleout-32osd@w1", "doceph-scaleout-32osd@w2", "doceph-scaleout-32osd@w8",
+		"doceph-scaleout-128osd@w1", "doceph-scaleout-128osd@w2", "doceph-scaleout-128osd@w8",
+	}
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("got %v want %v", got, want)
 	}

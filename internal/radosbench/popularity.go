@@ -1,0 +1,207 @@
+// Object-popularity models for skewed workloads: a seeded Zipf(s)
+// rank-frequency generator and an N-hot-objects mode. Both are pure
+// functions of (configuration, seed, stream position) — no generator state
+// advances between draws — so an op's target object depends only on which
+// op it is, never on scheduling. That is the property that lets the
+// partitioned parallel kernel run skewed workloads bit-identically at any
+// worker count, and what the statistical tests in popularity_test.go pin.
+package radosbench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PopKind selects the object-popularity model.
+type PopKind int
+
+// Popularity kinds. PopNone (the zero value) means "no popularity model":
+// harnesses keep their historical object-selection behaviour.
+const (
+	PopNone PopKind = iota
+	// PopUniform draws objects uniformly from the catalog — the control
+	// arm skewed runs are compared against.
+	PopUniform
+	// PopZipf draws rank r with probability proportional to 1/(r+1)^s.
+	PopZipf
+	// PopHotspot puts HotFraction of the mass uniformly on the HotObjects
+	// hottest ranks and the remainder uniformly on the rest.
+	PopHotspot
+)
+
+func (k PopKind) String() string {
+	switch k {
+	case PopUniform:
+		return "uniform"
+	case PopZipf:
+		return "zipf"
+	case PopHotspot:
+		return "hotspot"
+	default:
+		return "none"
+	}
+}
+
+// ParsePopKind maps the experiment-flag spelling onto a kind.
+func ParsePopKind(s string) (PopKind, error) {
+	switch s {
+	case "", "none":
+		return PopNone, nil
+	case "uniform":
+		return PopUniform, nil
+	case "zipf":
+		return PopZipf, nil
+	case "hotspot":
+		return PopHotspot, nil
+	default:
+		return PopNone, fmt.Errorf("radosbench: unknown popularity kind %q (want none, uniform, zipf or hotspot)", s)
+	}
+}
+
+// Popularity configures an object-popularity model. The zero value (PopNone)
+// disables it.
+type Popularity struct {
+	Kind PopKind
+	// Objects is the catalog size the model draws from. Harnesses that
+	// know their own catalog (radosbench's prepopulated set, a rack's
+	// share of a global catalog) size the generator themselves and ignore
+	// this field.
+	Objects int
+	// ZipfS is the Zipf exponent s (the magnitude of the rank-frequency
+	// log-log slope; default 1.1).
+	ZipfS float64
+	// HotObjects is the hot-set size of the N-hot mode (default 8).
+	HotObjects int
+	// HotFraction is the probability mass on the hot set (default 0.9).
+	HotFraction float64
+}
+
+// WithDefaults fills zero fields with the model defaults.
+func (p Popularity) WithDefaults() Popularity {
+	if p.ZipfS == 0 {
+		p.ZipfS = 1.1
+	}
+	if p.HotObjects == 0 {
+		p.HotObjects = 8
+	}
+	if p.HotFraction == 0 {
+		p.HotFraction = 0.9
+	}
+	return p
+}
+
+// Validate rejects shapes the generator cannot honour.
+func (p Popularity) Validate() error {
+	p = p.WithDefaults()
+	switch p.Kind {
+	case PopNone, PopUniform, PopZipf, PopHotspot:
+	default:
+		return fmt.Errorf("radosbench: unknown popularity kind %d", p.Kind)
+	}
+	if p.Objects < 0 {
+		return fmt.Errorf("radosbench: popularity objects must be non-negative, got %d", p.Objects)
+	}
+	if p.Kind == PopZipf && p.ZipfS <= 0 {
+		return fmt.Errorf("radosbench: zipf exponent must be positive, got %g", p.ZipfS)
+	}
+	if p.Kind == PopHotspot {
+		if p.HotObjects <= 0 {
+			return fmt.Errorf("radosbench: hotspot needs a positive hot-set size, got %d", p.HotObjects)
+		}
+		if p.HotFraction <= 0 || p.HotFraction > 1 {
+			return fmt.Errorf("radosbench: hot fraction %g out of (0,1]", p.HotFraction)
+		}
+	}
+	return nil
+}
+
+// PopGen maps uniform variates onto object ranks under a Popularity model
+// over a catalog of n objects. Construction is O(n); each draw is a binary
+// search over the precomputed cumulative mass. A PopGen is immutable after
+// construction and safe for concurrent use.
+type PopGen struct {
+	p   Popularity
+	n   int
+	cum []float64
+}
+
+// NewPopGen builds a generator over a catalog of n objects. Rank 0 is the
+// hottest object.
+func NewPopGen(p Popularity, n int) (*PopGen, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Kind == PopNone {
+		return nil, fmt.Errorf("radosbench: PopNone has no generator")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("radosbench: popularity catalog must be non-empty, got %d", n)
+	}
+	g := &PopGen{p: p, n: n, cum: make([]float64, n)}
+	sum := 0.0
+	for r := 0; r < n; r++ {
+		sum += g.weight(r)
+		g.cum[r] = sum
+	}
+	return g, nil
+}
+
+// weight is rank r's unnormalized probability mass.
+func (g *PopGen) weight(r int) float64 {
+	switch g.p.Kind {
+	case PopZipf:
+		return math.Pow(float64(r+1), -g.p.ZipfS)
+	case PopHotspot:
+		hot := g.p.HotObjects
+		if hot >= g.n {
+			return 1 // a hot set covering the catalog is uniform
+		}
+		if r < hot {
+			return g.p.HotFraction / float64(hot)
+		}
+		return (1 - g.p.HotFraction) / float64(g.n-hot)
+	default: // PopUniform
+		return 1
+	}
+}
+
+// N returns the catalog size.
+func (g *PopGen) N() int { return g.n }
+
+// Rank maps a uniform variate u in [0,1) onto an object rank: the smallest
+// rank whose cumulative mass exceeds u's share of the total.
+func (g *PopGen) Rank(u float64) int {
+	target := u * g.cum[g.n-1]
+	r := sort.SearchFloat64s(g.cum, target)
+	// SearchFloat64s finds the first cum >= target; an exact hit belongs to
+	// the next rank (cum[r] is the *inclusive* upper edge of rank r).
+	if r < g.n-1 && g.cum[r] == target {
+		r++
+	}
+	if r >= g.n {
+		r = g.n - 1
+	}
+	return r
+}
+
+// Pick returns the object rank for stream position stream under seed: a
+// pure function of (model, seed, stream), which is what makes skewed
+// workloads schedulable on the parallel kernel without losing determinism.
+func (g *PopGen) Pick(seed int64, stream uint64) int {
+	return g.Rank(UnitHash(seed, stream))
+}
+
+// UnitHash maps (seed, stream) onto a uniform variate in [0,1) with a
+// splitmix64-style finalizer. Streams should encode the draw's identity
+// (worker id, op index, ...) so distinct draws get independent variates.
+func UnitHash(seed int64, stream uint64) float64 {
+	x := stream + uint64(seed)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,219 @@
+package radosbench
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestParsePopKind(t *testing.T) {
+	cases := map[string]PopKind{"": PopNone, "none": PopNone, "uniform": PopUniform, "zipf": PopZipf, "hotspot": PopHotspot}
+	for s, want := range cases {
+		got, err := ParsePopKind(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePopKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParsePopKind("pareto"); err == nil {
+		t.Fatalf("unknown kind accepted")
+	}
+}
+
+func TestPopularityValidate(t *testing.T) {
+	bad := []Popularity{
+		{Kind: PopZipf, ZipfS: -1},
+		{Kind: PopHotspot, HotObjects: -3},
+		{Kind: PopHotspot, HotFraction: 1.5},
+		{Kind: PopUniform, Objects: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: invalid popularity accepted: %+v", i, p)
+		}
+	}
+	if err := (Popularity{Kind: PopZipf}).Validate(); err != nil {
+		t.Fatalf("defaulted zipf rejected: %v", err)
+	}
+	if _, err := NewPopGen(Popularity{Kind: PopNone}, 10); err == nil {
+		t.Fatalf("PopNone generator constructed")
+	}
+	if _, err := NewPopGen(Popularity{Kind: PopUniform}, 0); err == nil {
+		t.Fatalf("empty catalog accepted")
+	}
+}
+
+// TestPopGenSeededDeterminism: same (model, seed, stream) → same rank, and
+// the generator is stateless — interleaving or reordering draws cannot
+// change any individual draw. This is the property the parallel kernel's
+// bit-identical guarantee rests on.
+func TestPopGenSeededDeterminism(t *testing.T) {
+	for _, p := range []Popularity{{Kind: PopUniform}, {Kind: PopZipf, ZipfS: 1.1}, {Kind: PopHotspot, HotObjects: 8, HotFraction: 0.9}} {
+		g1, err := NewPopGen(p, 1024)
+		if err != nil {
+			t.Fatalf("%v: %v", p.Kind, err)
+		}
+		g2, err := NewPopGen(p, 1024)
+		if err != nil {
+			t.Fatalf("%v: %v", p.Kind, err)
+		}
+		const n = 4096
+		forward := make([]int, n)
+		for i := 0; i < n; i++ {
+			forward[i] = g1.Pick(42, uint64(i))
+		}
+		// Replay backwards on an independent generator instance.
+		for i := n - 1; i >= 0; i-- {
+			if got := g2.Pick(42, uint64(i)); got != forward[i] {
+				t.Fatalf("%v: stream %d drew %d backwards, %d forwards", p.Kind, i, got, forward[i])
+			}
+		}
+		// A different seed must produce a different sequence.
+		same := 0
+		for i := 0; i < n; i++ {
+			if g1.Pick(43, uint64(i)) == forward[i] {
+				same++
+			}
+		}
+		if same == n {
+			t.Fatalf("%v: seeds 42 and 43 produced identical sequences", p.Kind)
+		}
+	}
+}
+
+// TestZipfRankFrequencySlope: fit the empirical log(freq) vs log(rank+1)
+// slope over the head of the distribution and require it within tolerance
+// of -s for several exponents.
+func TestZipfRankFrequencySlope(t *testing.T) {
+	for _, s := range []float64{0.8, 1.1, 1.4} {
+		g, err := NewPopGen(Popularity{Kind: PopZipf, ZipfS: s}, 512)
+		if err != nil {
+			t.Fatalf("s=%g: %v", s, err)
+		}
+		counts := make([]float64, g.N())
+		const draws = 400000
+		for i := 0; i < draws; i++ {
+			counts[g.Pick(7, uint64(i))]++
+		}
+		// Empirical frequencies are already in rank order by construction
+		// (rank 0 hottest), but sort defensively: the fit wants the
+		// rank-frequency curve, not the identity ordering.
+		sort.Sort(sort.Reverse(sort.Float64Slice(counts)))
+		// Least-squares slope over the head (ranks 0..63), where counts are
+		// large enough for sampling noise to be small.
+		var sx, sy, sxx, sxy float64
+		n := 0.0
+		for r := 0; r < 64; r++ {
+			if counts[r] == 0 {
+				t.Fatalf("s=%g: head rank %d drew zero times in %d draws", s, r, draws)
+			}
+			x, y := math.Log(float64(r+1)), math.Log(counts[r])
+			sx, sy, sxx, sxy = sx+x, sy+y, sxx+x*x, sxy+x*y
+			n++
+		}
+		slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+		if math.Abs(slope+s) > 0.05 {
+			t.Fatalf("s=%g: empirical rank-frequency slope %.4f, want %.4f ± 0.05", s, slope, -s)
+		}
+	}
+}
+
+// TestHotspotMass: the N-hot mode must put HotFraction of the draws on the
+// configured hot set, within sampling tolerance, and spread the hot mass
+// roughly uniformly inside the set.
+func TestHotspotMass(t *testing.T) {
+	for _, tc := range []struct {
+		hot  int
+		frac float64
+	}{{8, 0.9}, {16, 0.5}, {4, 0.99}} {
+		g, err := NewPopGen(Popularity{Kind: PopHotspot, HotObjects: tc.hot, HotFraction: tc.frac}, 1024)
+		if err != nil {
+			t.Fatalf("hot=%d: %v", tc.hot, err)
+		}
+		const draws = 200000
+		hotDraws := 0
+		perRank := make([]int, tc.hot)
+		for i := 0; i < draws; i++ {
+			r := g.Pick(11, uint64(i))
+			if r < tc.hot {
+				hotDraws++
+				perRank[r]++
+			}
+		}
+		got := float64(hotDraws) / draws
+		if math.Abs(got-tc.frac) > 0.01 {
+			t.Fatalf("hot=%d frac=%g: hot-set mass %.4f, want %.4f ± 0.01", tc.hot, tc.frac, got, tc.frac)
+		}
+		want := float64(hotDraws) / float64(tc.hot)
+		for r, c := range perRank {
+			if math.Abs(float64(c)-want) > 0.15*want {
+				t.Fatalf("hot=%d: rank %d drew %d times, want ≈%.0f (±15%%)", tc.hot, r, c, want)
+			}
+		}
+	}
+}
+
+// TestHotspotDegenerateCoversCatalog: a hot set at least as large as the
+// catalog degrades to uniform rather than dividing by zero.
+func TestHotspotDegenerateCoversCatalog(t *testing.T) {
+	g, err := NewPopGen(Popularity{Kind: PopHotspot, HotObjects: 64, HotFraction: 0.9}, 16)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	counts := make([]int, 16)
+	const draws = 64000
+	for i := 0; i < draws; i++ {
+		counts[g.Pick(3, uint64(i))]++
+	}
+	want := float64(draws) / 16
+	for r, c := range counts {
+		if math.Abs(float64(c)-want) > 0.15*want {
+			t.Fatalf("rank %d drew %d times, want ≈%.0f", r, c, want)
+		}
+	}
+}
+
+// TestUniformHashIsUniform: coarse goodness-of-fit on UnitHash — 64 equal
+// bins, each within 10% of the expected count, and the full [0,1) range hit.
+func TestUniformHashIsUniform(t *testing.T) {
+	const bins, draws = 64, 640000
+	counts := make([]int, bins)
+	minU, maxU := 1.0, 0.0
+	for i := 0; i < draws; i++ {
+		u := UnitHash(99, uint64(i))
+		if u < 0 || u >= 1 {
+			t.Fatalf("UnitHash out of [0,1): %g", u)
+		}
+		if u < minU {
+			minU = u
+		}
+		if u > maxU {
+			maxU = u
+		}
+		counts[int(u*bins)]++
+	}
+	want := float64(draws) / bins
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 0.1*want {
+			t.Fatalf("bin %d has %d draws, want ≈%.0f (±10%%)", b, c, want)
+		}
+	}
+	if minU > 0.001 || maxU < 0.999 {
+		t.Fatalf("UnitHash range [%g, %g] does not cover [0,1)", minU, maxU)
+	}
+}
+
+func TestRankEdgeCases(t *testing.T) {
+	g, err := NewPopGen(Popularity{Kind: PopUniform}, 4)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if r := g.Rank(0); r != 0 {
+		t.Fatalf("Rank(0) = %d, want 0", r)
+	}
+	if r := g.Rank(math.Nextafter(1, 0)); r != 3 {
+		t.Fatalf("Rank(1-ε) = %d, want 3", r)
+	}
+	if g.N() != 4 {
+		t.Fatalf("N() = %d", g.N())
+	}
+}

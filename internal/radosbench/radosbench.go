@@ -93,6 +93,14 @@ type Config struct {
 	PrepopulateObjects int
 	// Prefix names the benchmark objects.
 	Prefix string
+	// Popularity skews read-target selection over the prepopulated set:
+	// prepop object i is popularity rank i (rank 0 hottest). The zero value
+	// (PopNone) keeps the historical uniform (worker, index) stride. Draws
+	// are pure functions of (PopSeed, worker, op index), so fixed-work runs
+	// stay comparable op-for-op.
+	Popularity Popularity
+	// PopSeed seeds the popularity draws (default 1).
+	PopSeed int64
 	// OnWarmupEnd is invoked at the warmup/measurement boundary (reset
 	// cluster CPU windows here).
 	OnWarmupEnd func()
@@ -113,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Op == Mixed && c.ReadPercent == 0 {
 		c.ReadPercent = 70
+	}
+	if c.Popularity.Kind != PopNone && c.PopSeed == 0 {
+		c.PopSeed = 1
 	}
 	return c
 }
@@ -234,6 +245,18 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 		qd = 1
 	}
 
+	var popGen *PopGen
+	if cfg.Popularity.Kind != PopNone {
+		n := cfg.PrepopulateObjects
+		if n == 0 {
+			n = cfg.Threads * 4
+		}
+		var err error
+		if popGen, err = NewPopGen(cfg.Popularity, n); err != nil {
+			return res, err
+		}
+	}
+
 	var (
 		measuring    bool
 		stopped      bool
@@ -346,8 +369,12 @@ func Run(env *sim.Env, client *rados.Client, cfg Config) (Result, error) {
 						err = client.Write(p, obj, payload)
 						bytes = cfg.ObjectBytes
 					} else {
-						obj := fmt.Sprintf("%s_prepop_%d", cfg.Prefix,
-							(worker*7919+i)%nPrepop)
+						idx := (worker*7919 + i) % nPrepop
+						if popGen != nil {
+							idx = popGen.Pick(cfg.PopSeed,
+								uint64(worker)<<32|uint64(uint32(i)))
+						}
+						obj := fmt.Sprintf("%s_prepop_%d", cfg.Prefix, idx)
 						var bl *wire.Bufferlist
 						bl, err = client.Read(p, obj, 0, 0)
 						if err == nil {

@@ -1,0 +1,183 @@
+package doceph
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"doceph/internal/cluster"
+	"doceph/internal/perf"
+	"doceph/internal/radosbench"
+	"doceph/internal/report"
+)
+
+// ScaleOut128Options shapes the 128-OSD multi-rack experiment: the
+// popularity ablation (uniform vs Zipf vs hotspot x balance-reads) plus a
+// kernel worker-count sweep on the Zipf arm.
+type ScaleOut128Options struct {
+	// Pods x OSDsPerPod racks (defaults 16 x 8: the 128-OSD scenario).
+	Pods       int
+	OSDsPerPod int
+	// Threads is the closed-loop client count per rack (default 2).
+	Threads int
+	// ObjectBytes is the op size (default 64 KiB).
+	ObjectBytes int64
+	// ReadPercent is the read share of every arm (default 70).
+	ReadPercent int
+	// Duration/Warmup bound the workload (defaults 1s / 500ms).
+	Duration Duration
+	Warmup   Duration
+	Seed     int64
+	// Workers are the kernel worker counts the Zipf arm is re-run at to
+	// prove bit-identical results (default 1, 2, 4, 8). The ablation arms
+	// run at Workers[0].
+	Workers []int
+}
+
+func (o ScaleOut128Options) withDefaults() ScaleOut128Options {
+	if o.Pods == 0 {
+		o.Pods = 16
+	}
+	if o.OSDsPerPod == 0 {
+		o.OSDsPerPod = 8
+	}
+	if o.Threads == 0 {
+		o.Threads = 2
+	}
+	if o.ObjectBytes == 0 {
+		o.ObjectBytes = 64 << 10
+	}
+	if o.ReadPercent == 0 {
+		o.ReadPercent = 70
+	}
+	if o.Duration == 0 {
+		o.Duration = Second
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 500 * Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4, 8}
+	}
+	return o
+}
+
+// ScaleOut128Row is one arm of the 128-OSD experiment: a workload shape,
+// its simulated throughput, and the load-imbalance figures.
+type ScaleOut128Row struct {
+	Workload string
+	Balance  bool
+	Workers  int
+	Ops      int64
+	MBps     float64
+	Imb      perf.Imbalance
+	WallNs   int64
+}
+
+func (o ScaleOut128Options) config(kind radosbench.PopKind, balance bool) cluster.ScaleOutConfig {
+	return cluster.ScaleOutConfig{
+		Pods:             o.Pods,
+		OSDsPerPod:       o.OSDsPerPod,
+		Mode:             DoCeph,
+		Seed:             o.Seed,
+		Threads:          o.Threads,
+		ObjectBytes:      o.ObjectBytes,
+		ReadPercent:      o.ReadPercent,
+		Duration:         o.Duration,
+		Warmup:           o.Warmup,
+		Popularity:       radosbench.Popularity{Kind: kind},
+		BalanceReads:     balance,
+		CollectImbalance: true,
+	}
+}
+
+// RunScaleOut128 runs the 128-OSD multi-rack ablation — uniform vs Zipf vs
+// hotspot popularity, balance-reads off vs on — and then re-runs the
+// Zipf+balance arm at every requested kernel worker count, requiring the
+// full result (throughput, imbalance arrays, queue-depth samples) to be
+// byte-identical across counts. A drift is an error, not a table footnote.
+func RunScaleOut128(o ScaleOut128Options) ([]ScaleOut128Row, error) {
+	o = o.withDefaults()
+	kinds := []radosbench.PopKind{radosbench.PopUniform, radosbench.PopZipf, radosbench.PopHotspot}
+	var out []ScaleOut128Row
+	run := func(kind radosbench.PopKind, balance bool, workers int) (ScaleOut128Row, []byte, error) {
+		so := cluster.NewScaleOut(o.config(kind, balance))
+		start := time.Now()
+		res, err := so.Run(workers)
+		wall := time.Since(start)
+		so.Shutdown()
+		if err != nil {
+			return ScaleOut128Row{}, nil, fmt.Errorf("scaleout128 %s balance=%v workers=%d: %w",
+				kind, balance, workers, err)
+		}
+		fp, err := json.Marshal(res)
+		if err != nil {
+			return ScaleOut128Row{}, nil, err
+		}
+		row := ScaleOut128Row{
+			Workload: kind.String(),
+			Balance:  balance,
+			Workers:  workers,
+			Ops:      res.TotalOps,
+			MBps:     float64(res.TotalBytes) / 1e6 / o.Duration.Seconds(),
+			Imb:      perf.ComputeImbalance(res),
+			WallNs:   wall.Nanoseconds(),
+		}
+		return row, fp, nil
+	}
+	for _, kind := range kinds {
+		for _, balance := range []bool{false, true} {
+			row, _, err := run(kind, balance, o.Workers[0])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, row)
+		}
+	}
+	// Worker-count determinism sweep on the Zipf+balance arm: the full
+	// result marshals to the same bytes at every count.
+	var firstFP []byte
+	for _, w := range o.Workers {
+		row, fp, err := run(radosbench.PopZipf, true, w)
+		if err != nil {
+			return nil, err
+		}
+		if firstFP == nil {
+			firstFP = fp
+		} else if string(fp) != string(firstFP) {
+			return nil, fmt.Errorf(
+				"scaleout128 determinism violation: workers=%d result differs from workers=%d",
+				w, o.Workers[0])
+		}
+		if w != o.Workers[0] {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// ScaleOut128Table renders the 128-OSD ablation.
+func ScaleOut128Table(rows []ScaleOut128Row) *report.Table {
+	t := &report.Table{
+		Title: "Extension: 128-OSD multi-rack CRUSH cluster, popularity x balance-reads",
+		Header: []string{"workload", "balance", "workers", "ops", "sim MB/s",
+			"osd max/mean", "pg max/mean", "qd p99:p50", "hot-read share", "balanced", "wall ms"},
+	}
+	for _, r := range rows {
+		balance := "off"
+		if r.Balance {
+			balance = "on"
+		}
+		t.AddRow(r.Workload, balance, fmt.Sprint(r.Workers), fmt.Sprint(r.Ops),
+			report.F2(r.MBps), report.F2(r.Imb.MaxMeanOSDShare), report.F2(r.Imb.MaxMeanPGShare),
+			report.F2(r.Imb.QueueDepthP99P50), fmt.Sprintf("%.3f", r.Imb.HotReadShare),
+			fmt.Sprintf("%.3f", r.Imb.BalancedReadShare),
+			fmt.Sprintf("%.1f", float64(r.WallNs)/1e6))
+	}
+	t.AddNote("16 racks x 8 OSDs; catalog homed by rack-aware CRUSH (failure domain = rack); reads 70%%")
+	t.AddNote("extra worker rows re-run the zipf+balance arm; full results are byte-identical across counts (enforced)")
+	return t
+}

@@ -6,7 +6,8 @@
 # messenger 79.8%, sim 84.5%, perf 91.3%) and again when the self-healing
 # layer landed (osd 77.7%, faultinject 63.2%), and again when the
 # partitioned parallel kernel landed (sim 88.0%, perf 91.5%), and again
-# when the read path opened (rbd 89.3%, striper 85.7%, radosbench 78.2%);
+# when the read path opened (rbd 89.3%, striper 85.7%, radosbench 78.2%),
+# and again when the 128-OSD scale-out landed (cluster 89.5%, crush 97.0%);
 # each is set ~5 points below to absorb small refactors. Raise floors when
 # coverage improves, never lower them to make a PR pass.
 set -eu
@@ -41,5 +42,7 @@ gate ./internal/perf 85
 gate ./internal/rbd 84
 gate ./internal/striper 80
 gate ./internal/radosbench 73
+gate ./internal/cluster 84
+gate ./internal/crush 92
 
 exit $fail
