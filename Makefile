@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test test-race race chaos-smoke selfheal-smoke parallel-kernel-smoke readpath-smoke scaleout128-smoke bench bench-smoke cover microbench results quick examples vet fmt trace
+.PHONY: all build test test-race race chaos-smoke selfheal-smoke parallel-kernel-smoke readpath-smoke scaleout128-smoke streaming-smoke bench bench-smoke cover microbench results quick examples vet fmt trace
 
 all: build vet test test-race chaos-smoke bench-smoke cover
 
@@ -56,6 +56,12 @@ scaleout128-smoke:
 # readback, quick windows against both deployments.
 readpath-smoke:
 	go run -race ./cmd/docephbench -exp readpath -quick -threads 4
+
+# The streaming data plane under the race detector: the store-and-forward
+# vs chunk-pipelining ablation (4-64MB objects x credit windows x both
+# deployments), with the engagement self-checks enforced by the runner.
+streaming-smoke:
+	go run -race ./cmd/docephbench -exp streaming -quick -threads 4
 
 # The paper's full methodology (60 s windows): every table and figure.
 results:

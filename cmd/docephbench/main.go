@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, readpath, smallops, mq, ablation, stability, scale, scaleout, scaleout128, chaos, selfheal")
+	exp := flag.String("exp", "all", "experiment to run: all, fig5, fig6, table2, fig7, fig8, fig9, fig10, table3, read, readpath, smallops, mq, streaming, ablation, stability, scale, scaleout, scaleout128, chaos, selfheal")
 	quick := flag.Bool("quick", false, "short runs (8s window) instead of the paper's 60s")
 	seconds := flag.Int("seconds", 0, "override the measured window length in seconds")
 	threads := flag.Int("threads", 16, "concurrent bench clients")
@@ -176,6 +176,18 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(doceph.BlockDeviceTable(brows))
+	}
+
+	// Streaming is opt-in (not part of "all"): it ablates the flow-controlled
+	// chunk-pipelined data plane against store-and-forward for large objects,
+	// across credit-window sizes on both deployments.
+	if strings.EqualFold(*exp, "streaming") {
+		fmt.Println("running streaming ablation (store-and-forward vs chunk pipelining, 4-64MB writes)...")
+		rows, err := doceph.RunStreamingAblation(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(doceph.StreamingTable(rows))
 	}
 
 	if want("stability") {

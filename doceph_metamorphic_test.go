@@ -26,10 +26,12 @@ type metaOutcome struct {
 	objCRC   map[string]uint32
 	objLen   map[string]int
 	ghostErr string
-	// what batching MAY change, kept for the assertions about the
-	// batched arm itself:
-	batchedTxns int64
-	stages      map[string]bool
+	// what batching/streaming MAY change, kept for the assertions about
+	// the optimized arm itself:
+	batchedTxns  int64
+	streamWrites int64
+	peakStaging  int64
+	stages       map[string]bool
 }
 
 const (
@@ -112,8 +114,13 @@ func runMetamorphic(t *testing.T, mode cluster.Mode, size int64, batch bool,
 		out.stages[s.Stage] = true
 	}
 	for _, n := range cl.Nodes {
+		out.streamWrites += n.OSD.Stats().StreamWrites
 		if n.Bridge != nil {
-			out.batchedTxns += n.Bridge.Proxy.Stats().BatchedTxns
+			st := n.Bridge.Proxy.Stats()
+			out.batchedTxns += st.BatchedTxns
+			if st.PeakStagingBytes > out.peakStaging {
+				out.peakStaging = st.PeakStagingBytes
+			}
 		}
 	}
 	return out

@@ -1,0 +1,184 @@
+package doceph
+
+import (
+	"fmt"
+	"testing"
+
+	"doceph/internal/cluster"
+	"doceph/internal/radosbench"
+	"doceph/internal/sim"
+	"doceph/internal/trace"
+)
+
+// The metamorphic property of the streaming data plane: like batching, it
+// is a pure transport optimization. For a fixed workload, turning streaming
+// on may change WHEN bytes move (chunk pipelining vs store-and-forward) but
+// never WHAT is stored or replied — every object byte-identical, every
+// reply identical, the trace structurally sound. The suite spans the bypass
+// boundary (2MB == one chunk, never streamed) and two streamed sizes, under
+// both deployments.
+
+func withStreaming(c *cluster.Config) { c.Messenger.Stream.Enable = true }
+
+func TestMetamorphicStreamingPreservesSemantics(t *testing.T) {
+	sizes := []int64{2 << 20, 4 << 20, 8 << 20}
+	for _, mode := range []cluster.Mode{cluster.Baseline, cluster.DoCeph} {
+		for _, size := range sizes {
+			mode, size := mode, size
+			t.Run(fmt.Sprintf("%v_%dKB", mode, size>>10), func(t *testing.T) {
+				t.Parallel()
+				off := runMetamorphic(t, mode, size, false)
+				on := runMetamorphic(t, mode, size, false, withStreaming)
+
+				// Reply sets: same op count, same ghost-read error.
+				if off.ops != on.ops {
+					t.Errorf("op count changed: %d vs %d", off.ops, on.ops)
+				}
+				if off.ghostErr == "" || off.ghostErr != on.ghostErr {
+					t.Errorf("ghost-read error changed: %q vs %q", off.ghostErr, on.ghostErr)
+				}
+
+				// Stored objects byte-identical between arms AND equal to the
+				// submitted payload.
+				want := radosbench.Payload(size)
+				if len(on.objCRC) != metaThreads*metaOps || len(off.objCRC) != len(on.objCRC) {
+					t.Fatalf("object sets differ: %d vs %d", len(off.objCRC), len(on.objCRC))
+				}
+				for obj, crc := range off.objCRC {
+					if on.objCRC[obj] != crc {
+						t.Errorf("%s: stored bytes changed with streaming: %08x vs %08x",
+							obj, crc, on.objCRC[obj])
+					}
+					if crc != want.CRC32C() || int64(off.objLen[obj]) != size {
+						t.Errorf("%s: stored object corrupt (len %d, crc %08x)",
+							obj, off.objLen[obj], crc)
+					}
+				}
+
+				// Engagement: above one chunk the streamed arm must actually
+				// stream (and emit the stream trace stages); at the bypass
+				// boundary and in the off arm it must not.
+				if off.streamWrites != 0 {
+					t.Errorf("store-and-forward arm recorded %d streamed writes", off.streamWrites)
+				}
+				if off.stages[trace.StageStreamWindow] || off.stages[trace.StageStreamStage] {
+					t.Error("stream spans present with streaming off")
+				}
+				if size > 2<<20 {
+					if on.streamWrites == 0 {
+						t.Error("no streamed writes in the streaming arm")
+					}
+					if !on.stages[trace.StageStreamWindow] || !on.stages[trace.StageStreamStage] {
+						t.Errorf("stream spans missing in streaming arm: %v", on.stages)
+					}
+				} else if on.streamWrites != 0 {
+					t.Errorf("one-chunk objects must bypass streaming, got %d streamed writes",
+						on.streamWrites)
+				}
+			})
+		}
+	}
+}
+
+// TestStreamingBoundsPeakStaging pins the headline memory claim: with
+// store-and-forward the DPU stages a large object's segments roughly at
+// object granularity, while streaming keeps the staging high-water mark
+// bounded by the credit window (window x chunk per stream), far below the
+// object size.
+func TestStreamingBoundsPeakStaging(t *testing.T) {
+	// One closed-loop writer, so the per-node high-water mark reflects one
+	// stream's staging, not cross-op concurrency.
+	const size = 16 << 20
+	run := func(stream bool) (peak, streamed int64) {
+		cfg := cluster.Config{Mode: cluster.DoCeph, Seed: 42}
+		cfg.Messenger.Stream.Enable = stream
+		cfg.Messenger.Stream.Window = 2
+		cl := cluster.New(cfg)
+		defer cl.Shutdown()
+		if _, err := RunBench(cl, BenchConfig{
+			Threads: 1, ObjectBytes: size, OpsPerThread: 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range cl.Nodes {
+			streamed += n.OSD.Stats().StreamWrites
+			if st := n.Bridge.Proxy.Stats(); st.PeakStagingBytes > peak {
+				peak = st.PeakStagingBytes
+			}
+		}
+		return peak, streamed
+	}
+	offPeak, offStreamed := run(false)
+	onPeak, onStreamed := run(true)
+	if offPeak == 0 || onPeak == 0 {
+		t.Fatalf("staging high-water not recorded: off=%d on=%d", offPeak, onPeak)
+	}
+	if offStreamed != 0 {
+		t.Fatalf("store-and-forward arm streamed %d writes", offStreamed)
+	}
+	if onStreamed == 0 {
+		t.Fatal("streaming did not engage")
+	}
+	// Store-and-forward must stage roughly a whole object's worth of
+	// segments; streaming must stay bounded by the credit window — far
+	// below the object size.
+	if offPeak < size/2 {
+		t.Errorf("store-and-forward peak staging %d suspiciously low for %d-byte objects",
+			offPeak, size)
+	}
+	if onPeak >= size/2 {
+		t.Errorf("streaming peak staging %d not bounded (object %d bytes)", onPeak, size)
+	}
+	if onPeak >= offPeak {
+		t.Errorf("streaming peak staging %d did not improve on store-and-forward %d",
+			onPeak, offPeak)
+	}
+	t.Logf("peak staging: store-and-forward %d, streaming %d (object %d)",
+		offPeak, onPeak, size)
+}
+
+// TestMultiSeedDeterminismStreaming is the run-twice determinism gate with
+// the streaming data plane live: pump procs, per-chunk transactions,
+// credit-on-commit completers and replica chunk fan-out all run under
+// virtual time, so two identical runs must agree on every headline metric
+// and the byte-exact trace across a seed sweep.
+func TestMultiSeedDeterminismStreaming(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 42}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			run := func() (int64, int64, uint64, string) {
+				cfg := cluster.Config{Mode: cluster.DoCeph, Seed: seed, Trace: true}
+				cfg.Messenger.Stream.Enable = true
+				cl := cluster.New(cfg)
+				defer cl.Shutdown()
+				res, err := RunBench(cl, BenchConfig{
+					Threads: 4, ObjectBytes: 4 << 20,
+					Duration: sim.Second, Warmup: 200 * sim.Millisecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				spans := cl.Tracer.Spans()
+				if err := trace.CheckInvariants(spans); err != nil {
+					t.Errorf("trace invariants: %v", err)
+				}
+				var streamed int64
+				for _, n := range cl.Nodes {
+					streamed += n.OSD.Stats().StreamWrites
+				}
+				if streamed == 0 {
+					t.Error("no writes streamed")
+				}
+				return res.Ops, int64(res.AvgLatency), cl.Env.Events(), chromeHash(spans)
+			}
+			o1, l1, e1, h1 := run()
+			o2, l2, e2, h2 := run()
+			if o1 != o2 || l1 != l2 || e1 != e2 || h1 != h2 {
+				t.Errorf("streamed run not deterministic: ops %d/%d lat %d/%d events %d/%d trace %s/%s",
+					o1, o2, l1, l2, e1, e2, h1, h2)
+			}
+		})
+	}
+}

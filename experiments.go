@@ -92,6 +92,10 @@ type runResult struct {
 	engBusy   sim.Duration
 	engQueues int
 	engNodes  int
+	// Streaming counters: streamed client writes summed over OSDs, and the
+	// max per-node DPU staging high-water mark (zero on Baseline).
+	streamWrites int64
+	peakStaging  int64
 }
 
 // engineOccupancy is the fraction of total queue capacity the upstream
@@ -144,10 +148,14 @@ func runWorkloadCfg(mode Mode, linkBps float64, size int64, op BenchConfig,
 		breakdown: cl.ProxyBreakdownMerged(),
 	}
 	for _, n := range cl.Nodes {
+		r.streamWrites += n.OSD.Stats().StreamWrites
 		if n.Bridge != nil {
 			st := n.Bridge.Proxy.Stats()
 			r.batchedTxns += st.BatchedTxns
 			r.batchFlushes += st.BatchFlushes
+			if st.PeakStagingBytes > r.peakStaging {
+				r.peakStaging = st.PeakStagingBytes
+			}
 			r.engBusy += n.Bridge.EngUp.Stats().Busy
 			r.engQueues = n.Bridge.EngUp.NumQueues()
 			r.engNodes++

@@ -32,6 +32,13 @@ const (
 	TStatsReply Type = 0x070E // osd -> mgr statistics report
 	TGetMap     Type = 0x070F // client/osd -> monitor map refresh request
 	TOSDBoot    Type = 0x0710 // osd -> monitor "I am alive" announcement
+	// Stream framing (see stream.go): flow-controlled chunked transfer of
+	// large write payloads.
+	TStreamOpen   Type = 0x0711 // sender -> receiver: start a chunked transfer
+	TStreamChunk  Type = 0x0712 // sender -> receiver: one ordered payload chunk
+	TStreamEnd    Type = 0x0713 // sender -> receiver: stream complete
+	TStreamCredit Type = 0x0714 // receiver -> sender: flow-control credit return
+	TStreamAbort  Type = 0x0715 // sender -> receiver: discard partial stream
 )
 
 func (t Type) String() string {
@@ -68,6 +75,16 @@ func (t Type) String() string {
 		return "get_map"
 	case TOSDBoot:
 		return "osd_boot"
+	case TStreamOpen:
+		return "stream_open"
+	case TStreamChunk:
+		return "stream_chunk"
+	case TStreamEnd:
+		return "stream_end"
+	case TStreamCredit:
+		return "stream_credit"
+	case TStreamAbort:
+		return "stream_abort"
 	}
 	return fmt.Sprintf("type(%#04x)", uint16(t))
 }
@@ -586,6 +603,10 @@ func TraceContext(m Message) uint64 {
 		return m.TraceCtx
 	case *MRepOpReply:
 		return m.TraceCtx
+	case *MStreamOpen:
+		return m.TraceCtx
+	case *MStreamChunk:
+		return m.TraceCtx
 	}
 	return 0
 }
@@ -615,6 +636,19 @@ func LaneKey(m Message) (uint64, bool) {
 		return uint64(m.PGID), true
 	case *MScrubReply:
 		return uint64(m.PGID), true
+	// Stream frames echo the ordering key of the op they carry, so every
+	// frame of one stream stays on one lane (per-stream FIFO), and credits
+	// flow back on the matching reverse lane.
+	case *MStreamOpen:
+		return m.Lane, true
+	case *MStreamChunk:
+		return m.Lane, true
+	case *MStreamEnd:
+		return m.Lane, true
+	case *MStreamCredit:
+		return m.Lane, true
+	case *MStreamAbort:
+		return m.Lane, true
 	}
 	return 0, false
 }
@@ -641,13 +675,21 @@ func payloadOf(m Message) *wire.Bufferlist {
 		return m.Data
 	case *MPGPush:
 		return m.Data
+	case *MStreamChunk:
+		return m.Data
 	}
 	return nil
 }
 
 // Decode parses a message previously produced by Encode.
 func Decode(bl *wire.Bufferlist) (Message, error) {
-	d := wire.NewDecoderBL(bl)
+	return decodeMsg(wire.NewDecoderBL(bl), 0)
+}
+
+// decodeMsg parses one tag+payload frame from d. depth guards the one
+// level of nesting MStreamOpen introduces (its inner op is a nested frame;
+// an inner frame may not itself be a stream message).
+func decodeMsg(d *wire.Decoder, depth int) (Message, error) {
 	t := Type(d.U16())
 	var m Message
 	switch t {
@@ -722,6 +764,24 @@ func Decode(bl *wire.Bufferlist) (Message, error) {
 		m = &MGetMap{Epoch: d.U32()}
 	case TOSDBoot:
 		m = &MOSDBoot{OSD: int32(d.U32()), Epoch: d.U32()}
+	case TStreamOpen:
+		if depth > 0 {
+			return nil, fmt.Errorf("cephmsg: nested stream open")
+		}
+		so, err := decodeStreamOpen(d, depth)
+		if err != nil {
+			return nil, err
+		}
+		m = so
+	case TStreamChunk:
+		m = &MStreamChunk{StreamID: d.U64(), Seq: d.U32(), Lane: d.U64(),
+			Data: d.BufferlistField()}
+	case TStreamEnd:
+		m = &MStreamEnd{StreamID: d.U64(), Chunks: d.U32(), Lane: d.U64()}
+	case TStreamCredit:
+		m = &MStreamCredit{StreamID: d.U64(), Credits: d.U32(), Lane: d.U64()}
+	case TStreamAbort:
+		m = &MStreamAbort{StreamID: d.U64(), Lane: d.U64()}
 	default:
 		return nil, fmt.Errorf("cephmsg: unknown message type %#04x", uint16(t))
 	}

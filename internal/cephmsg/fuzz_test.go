@@ -52,6 +52,15 @@ func fuzzSeeds() []Message {
 			Values: []int64{42}},
 		&MGetMap{Epoch: 7},
 		&MOSDBoot{OSD: 1, Epoch: 7},
+		// Stream framing. The open's inner op must carry no inline payload
+		// (the strict decoder rejects smuggled data; bulk travels in chunks).
+		&MStreamOpen{StreamID: 21, Total: 32, ChunkBytes: 16, Window: 2, Lane: 5,
+			Inner: &MOSDOp{Tid: 21, Epoch: 2, Src: "client.0", Pool: "p",
+				Object: "obj-3", Op: OpWrite, Length: 32}},
+		&MStreamChunk{StreamID: 21, Seq: 0, Lane: 5, Data: payload},
+		&MStreamEnd{StreamID: 21, Chunks: 2, Lane: 5},
+		&MStreamCredit{StreamID: 21, Credits: 1, Lane: 5},
+		&MStreamAbort{StreamID: 21, Lane: 5},
 	}
 }
 
@@ -77,6 +86,80 @@ func FuzzDecode(f *testing.F) {
 			}
 			// Whatever decodes must re-encode without panicking.
 			Encode(m)
+		}
+	})
+}
+
+// FuzzStreamAssembler drives the stream protocol state machine with an
+// arbitrary frame script — interleaved streams, torn (short/oversized)
+// chunks, out-of-order sequences, credit violations, ends and aborts for
+// streams in any state. The contract under fuzz: never panic, report every
+// violation as an error, keep the open-stream count bounded, and only
+// return a fully-sized payload from a successful End.
+// Run with: go test -fuzz=FuzzStreamAssembler ./internal/cephmsg
+//
+// Script encoding, 4 bytes per op: {opcode, streamID, argA, argB}.
+//
+//	opcode%6: 0=open(total=argA*8, chunk=argB, window=argA%4+1)
+//	          1=chunk(seq=argA, size=argB)  2=end(chunks=argA)
+//	          3=credit(n=argA)              4=abort      5=re-open dup
+func FuzzStreamAssembler(f *testing.F) {
+	// Clean open → in-order chunks → end.
+	f.Add([]byte{
+		0, 1, 2, 8, // open id1 total=16 chunk=8 window=2
+		1, 1, 0, 8, // chunk seq0 size8
+		3, 1, 1, 0, // credit 1
+		1, 1, 1, 8, // chunk seq1 size8
+		2, 1, 2, 0, // end chunks=2
+	})
+	// Interleaved streams with a credit violation on one of them.
+	f.Add([]byte{
+		0, 1, 2, 8,
+		0, 2, 2, 8,
+		1, 1, 0, 8,
+		1, 2, 0, 8,
+		1, 1, 1, 8, // id1 window exhausted: violation
+		4, 2, 0, 0, // abort id2
+	})
+	// Torn chunks: short, oversized, wrong seq, end with wrong count.
+	f.Add([]byte{
+		0, 3, 4, 16,
+		1, 3, 0, 0, // zero-size chunk
+		1, 3, 0, 17, // oversized chunk
+		1, 3, 2, 16, // out-of-order seq
+		2, 3, 7, 0, // end with bogus count
+	})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		a := NewAssembler()
+		a.MaxStreams = 8
+		accumulate := len(script)%2 == 0
+		for i := 0; i+4 <= len(script); i += 4 {
+			op, id := script[i]%6, uint64(script[i+1]%4)
+			argA, argB := script[i+2], script[i+3]
+			switch op {
+			case 0, 5:
+				a.Open(&MStreamOpen{
+					StreamID: id, Total: int64(argA) * 8, ChunkBytes: int64(argB),
+					Window: uint32(argA%4) + 1,
+					Inner:  &MOSDOp{Tid: id, Object: "o", Op: OpWrite},
+				}, accumulate)
+			case 1:
+				data := make([]byte, int(argB))
+				a.Chunk(&MStreamChunk{StreamID: id, Seq: uint32(argA),
+					Data: wire.FromBytes(data)})
+			case 2:
+				inner, err := a.End(&MStreamEnd{StreamID: id, Chunks: uint32(argA)})
+				if err == nil && inner == nil {
+					t.Fatal("End returned nil inner with nil error")
+				}
+			case 3:
+				a.Credit(id, uint32(argA))
+			case 4:
+				a.Abort(id)
+			}
+			if a.Active() > a.MaxStreams {
+				t.Fatalf("open streams %d exceed bound %d", a.Active(), a.MaxStreams)
+			}
 		}
 	})
 }

@@ -1,0 +1,247 @@
+package cephmsg
+
+import (
+	"strings"
+	"testing"
+
+	"doceph/internal/wire"
+)
+
+func streamOpen(id uint64, total, chunk int64, window uint32) *MStreamOpen {
+	return &MStreamOpen{
+		StreamID: id, Total: total, ChunkBytes: chunk, Window: window, Lane: 3,
+		Inner: &MOSDOp{Tid: 11, Object: "obj", Op: OpWrite, Length: uint64(total)},
+	}
+}
+
+func chunkOf(id uint64, seq uint32, n int) *MStreamChunk {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(seq)
+	}
+	return &MStreamChunk{StreamID: id, Seq: seq, Lane: 3, Data: wire.FromBytes(b)}
+}
+
+func TestStreamMessagesRoundTrip(t *testing.T) {
+	msgs := []Message{
+		streamOpen(5, 1<<22, 1<<20, 4),
+		chunkOf(5, 0, 4096),
+		&MStreamEnd{StreamID: 5, Chunks: 4, Lane: 3},
+		&MStreamCredit{StreamID: 5, Credits: 2, Lane: 3},
+		&MStreamAbort{StreamID: 5, Lane: 3},
+	}
+	for _, m := range msgs {
+		bl := Encode(m)
+		// PayloadBytes is the modeled wire size; for the flat stream frames
+		// (everything but the open, whose inner op models header overhead)
+		// it matches the actual encoding exactly.
+		if _, isOpen := m.(*MStreamOpen); !isOpen {
+			if got := int64(bl.Length()); got != m.PayloadBytes()+2 {
+				t.Errorf("%v: encoded %d bytes, PayloadBytes says %d+2",
+					m.MsgType(), got, m.PayloadBytes())
+			}
+		}
+		back, err := Decode(bl)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.MsgType(), err)
+		}
+		if back.MsgType() != m.MsgType() {
+			t.Fatalf("round-trip changed type: %v -> %v", m.MsgType(), back.MsgType())
+		}
+	}
+	// Field fidelity for the interesting one: the open with its nested op.
+	back, err := Decode(Encode(streamOpen(7, 1<<24, 1<<20, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := back.(*MStreamOpen)
+	if so.StreamID != 7 || so.Total != 1<<24 || so.ChunkBytes != 1<<20 ||
+		so.Window != 8 || so.Lane != 3 {
+		t.Fatalf("open fields: %+v", so)
+	}
+	inner := so.Inner.(*MOSDOp)
+	if inner.Tid != 11 || inner.Object != "obj" || inner.Op != OpWrite {
+		t.Fatalf("inner fields: %+v", inner)
+	}
+}
+
+func TestStreamOpenDecodeRejections(t *testing.T) {
+	// Nested stream-open inside a stream-open.
+	nested := &MStreamOpen{
+		StreamID: 1, Total: 8, ChunkBytes: 8, Window: 1, Inner: streamOpen(2, 8, 8, 1),
+	}
+	if _, err := Decode(Encode(nested)); err == nil ||
+		!strings.Contains(err.Error(), "nested") {
+		t.Fatalf("nested open: err=%v", err)
+	}
+	// Non-streamable inner (a read op).
+	read := &MStreamOpen{StreamID: 1, Total: 8, ChunkBytes: 8, Window: 1,
+		Inner: &MOSDOp{Tid: 1, Object: "o", Op: OpRead}}
+	if _, err := Decode(Encode(read)); err == nil ||
+		!strings.Contains(err.Error(), "non-streamable") {
+		t.Fatalf("read inner: err=%v", err)
+	}
+	// Inline payload smuggled past the chunk accounting.
+	smuggle := &MStreamOpen{StreamID: 1, Total: 8, ChunkBytes: 8, Window: 1,
+		Inner: &MOSDOp{Tid: 1, Object: "o", Op: OpWrite, Data: wire.FromBytes([]byte("xx"))}}
+	if _, err := Decode(Encode(smuggle)); err == nil ||
+		!strings.Contains(err.Error(), "inline payload") {
+		t.Fatalf("inline payload: err=%v", err)
+	}
+}
+
+func TestStreamLaneKeyGroupsWholeStream(t *testing.T) {
+	msgs := []Message{
+		streamOpen(9, 64, 32, 2),
+		chunkOf(9, 0, 32),
+		&MStreamEnd{StreamID: 9, Chunks: 2, Lane: 3},
+		&MStreamCredit{StreamID: 9, Credits: 1, Lane: 3},
+		&MStreamAbort{StreamID: 9, Lane: 3},
+	}
+	for _, m := range msgs {
+		key, ok := LaneKey(m)
+		if !ok || key != 3 {
+			t.Fatalf("%v: LaneKey=(%d,%v), want (3,true)", m.MsgType(), key, ok)
+		}
+	}
+}
+
+func TestAssemblerReassembles(t *testing.T) {
+	a := NewAssembler()
+	if err := a.Open(streamOpen(1, 100, 40, 2), true); err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{40, 40, 20}
+	for seq, n := range sizes {
+		if _, err := a.Chunk(chunkOf(1, uint32(seq), n)); err != nil {
+			t.Fatalf("chunk %d: %v", seq, err)
+		}
+		if err := a.Credit(1, 1); err != nil {
+			t.Fatalf("credit %d: %v", seq, err)
+		}
+	}
+	inner, err := a.End(&MStreamEnd{StreamID: 1, Chunks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := inner.(*MOSDOp)
+	if op.Data == nil || op.Data.Length() != 100 {
+		t.Fatalf("reassembled %v bytes, want 100", op.Data)
+	}
+	if a.Active() != 0 {
+		t.Fatalf("stream leaked: %d active", a.Active())
+	}
+}
+
+func TestAssemblerSinkModeReturnsBareInner(t *testing.T) {
+	a := NewAssembler()
+	open := streamOpen(2, 50, 50, 1)
+	if err := a.Open(open, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Chunk(chunkOf(2, 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Credit(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	inner, err := a.End(&MStreamEnd{StreamID: 2, Chunks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner != open.Inner {
+		t.Fatal("sink mode must return the inner op as opened")
+	}
+	if got := inner.(*MOSDOp).Data; got != nil {
+		t.Fatalf("sink-mode inner grew a payload: %d bytes", got.Length())
+	}
+}
+
+func TestAssemblerViolations(t *testing.T) {
+	a := NewAssembler()
+	// Bad opens.
+	if err := a.Open(streamOpen(1, -1, 10, 1), true); err == nil {
+		t.Fatal("negative total accepted")
+	}
+	if err := a.Open(streamOpen(1, 10, 0, 1), true); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+	if err := a.Open(streamOpen(1, 10, 10, 0), true); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	// Valid open, then protocol violations.
+	if err := a.Open(streamOpen(1, 100, 40, 1), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Open(streamOpen(1, 100, 40, 1), true); err == nil {
+		t.Fatal("duplicate open accepted")
+	}
+	if _, err := a.Chunk(chunkOf(99, 0, 10)); err == nil {
+		t.Fatal("chunk for unopened stream accepted")
+	}
+	if _, err := a.Chunk(chunkOf(1, 1, 10)); err == nil {
+		t.Fatal("out-of-order chunk accepted")
+	}
+	if _, err := a.Chunk(chunkOf(1, 0, 41)); err == nil {
+		t.Fatal("oversized chunk accepted")
+	}
+	if _, err := a.Chunk(chunkOf(1, 0, 40)); err != nil {
+		t.Fatal(err)
+	}
+	// Window 1 exhausted, no credit returned: next chunk violates.
+	if _, err := a.Chunk(chunkOf(1, 1, 40)); err == nil ||
+		!strings.Contains(err.Error(), "credit violation") {
+		t.Fatalf("credit violation not caught: %v", err)
+	}
+	// Over-credit on an open stream.
+	if err := a.Credit(1, 5); err == nil {
+		t.Fatal("over-credit accepted")
+	}
+	if err := a.Credit(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Chunk(chunkOf(1, 1, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Credit(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Ends that lie about counts or bytes.
+	if _, err := a.End(&MStreamEnd{StreamID: 1, Chunks: 5}); err == nil {
+		t.Fatal("wrong chunk count accepted")
+	}
+	if _, err := a.End(&MStreamEnd{StreamID: 1, Chunks: 2}); err == nil {
+		t.Fatal("short stream accepted (80 of 100 bytes)")
+	}
+	// Overrun past Total.
+	if _, err := a.Chunk(chunkOf(1, 2, 40)); err == nil ||
+		!strings.Contains(err.Error(), "overrun") {
+		t.Fatalf("overrun not caught: %v", err)
+	}
+	// Abort drops the stream; credits after it are no-ops.
+	if _, open := a.Abort(1); !open {
+		t.Fatal("abort of open stream reported not-open")
+	}
+	if _, open := a.Abort(1); open {
+		t.Fatal("double abort reported open")
+	}
+	if err := a.Credit(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Active() != 0 {
+		t.Fatalf("streams leaked: %d", a.Active())
+	}
+}
+
+func TestAssemblerMaxStreams(t *testing.T) {
+	a := NewAssembler()
+	a.MaxStreams = 4
+	for id := uint64(1); id <= 4; id++ {
+		if err := a.Open(streamOpen(id, 10, 10, 1), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Open(streamOpen(5, 10, 10, 1), false); err == nil {
+		t.Fatal("stream beyond MaxStreams accepted")
+	}
+}

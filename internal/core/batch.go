@@ -184,6 +184,7 @@ func (px *Proxy) flushBatch(p *sim.Proc) {
 	// DMA-capable buffer. The per-op copy cost is unchanged (staging is
 	// linear in bytes); what the batch removes is the per-op setup.
 	px.dev.Buffers.Acquire(p)
+	px.noteStage(bytes)
 	px.ensureRegions(p)
 	for _, op := range take {
 		n := int64(op.payload.Length())
@@ -242,6 +243,7 @@ func (px *Proxy) flushBatch(p *sim.Proc) {
 			px.tr.Finish(sp)
 		}
 		px.dev.Buffers.Release()
+		px.noteUnstage(bytes)
 		px.enterCooldown(p)
 		px.stats.FallbackSegments += int64(len(take))
 		px.shipBatchViaRPC(p, take)
@@ -258,6 +260,7 @@ func (px *Proxy) flushBatch(p *sim.Proc) {
 			px.tr.Finish(s)
 		}
 		px.dev.Buffers.Release()
+		px.noteUnstage(bytes)
 		px.breakdown.DMA += t.CopyTime()
 		if w := t.CompletedAt.Sub(dmaStart) - t.CopyTime(); w > 0 {
 			px.breakdown.DMAWait += w

@@ -475,3 +475,40 @@ func TestProxyOmapOverControlPlane(t *testing.T) {
 		}
 	})
 }
+
+// TestProxyPeakStagingHighWater pins the staging-occupancy accounting: a
+// single sub-segment write stages exactly its payload (the high-water mark
+// equals the write size), and a segmented write never stages more than the
+// whole object — segments are released as their DMA completes, so the mark
+// is a true occupancy peak, not a cumulative byte counter.
+func TestProxyPeakStagingHighWater(t *testing.T) {
+	r := newCoreRig(BridgeConfig{})
+	r.run(t, func(p *sim.Proc) {
+		px := r.bridge.Proxy
+		const n = 300_000
+		txn := (&objstore.Transaction{}).MkColl("pg.9").Write("pg.9", "o", 0, seeded(n, 9))
+		if err := commitP(t, p, px, txn); err != nil {
+			t.Fatal(err)
+		}
+		// The staged segment carries the payload plus a few bytes of
+		// encoded-transaction framing.
+		if got := px.Stats().PeakStagingBytes; got < n || got > n+1024 {
+			t.Errorf("peak staging after one %d-byte write = %d", n, got)
+		}
+	})
+
+	r2 := newCoreRig(BridgeConfig{})
+	r2.run(t, func(p *sim.Proc) {
+		px := r2.bridge.Proxy
+		const size = 5 << 20 // 3 DMA segments
+		txn := (&objstore.Transaction{}).MkColl("pg.9").Write("pg.9", "big", 0, seeded(size, 10))
+		if err := commitP(t, p, px, txn); err != nil {
+			t.Fatal(err)
+		}
+		peak := px.Stats().PeakStagingBytes
+		if peak < 2<<20 || peak > size+1024 {
+			t.Errorf("segmented peak staging = %d, want within [one segment, object size] = [%d, %d]",
+				peak, 2<<20, size)
+		}
+	})
+}

@@ -134,6 +134,13 @@ type ProxyStats struct {
 	ReadCacheHits          int64
 	ReadCacheMisses        int64
 	ReadCacheInvalidations int64
+
+	// PeakStagingBytes is the high-water mark of payload bytes held in DMA
+	// staging buffers at any one instant (per-segment buffers and batch
+	// frames alike). With flow-controlled streaming the ceiling tracks
+	// window x chunk, not object size — the bounded-memory claim the
+	// streaming ablation checks.
+	PeakStagingBytes int64
 }
 
 // Proxy is the DPU-side ProxyObjectStore. It implements objstore.Store, so
@@ -185,7 +192,21 @@ type Proxy struct {
 
 	breakdown Breakdown
 	stats     ProxyStats
+	// stagingBytes is the current occupancy behind stats.PeakStagingBytes.
+	stagingBytes int64
 }
+
+// noteStage/noteUnstage maintain the staging-buffer high-water mark around
+// every Buffers.Acquire/Release pair. Single-threaded per proxy event, so
+// plain arithmetic suffices.
+func (px *Proxy) noteStage(n int64) {
+	px.stagingBytes += n
+	if px.stagingBytes > px.stats.PeakStagingBytes {
+		px.stats.PeakStagingBytes = px.stagingBytes
+	}
+}
+
+func (px *Proxy) noteUnstage(n int64) { px.stagingBytes -= n }
 
 type pendingTxn struct {
 	done          *sim.Event
@@ -437,10 +458,11 @@ func (px *Proxy) QueueTransaction(p *sim.Proc, txn *objstore.Transaction) *objst
 	} else {
 		px.stats.FallbackTxns++
 	}
+	streamReuse := txn.StreamReuse
 	px.env.Spawn(fmt.Sprintf("proxy-tx:%d", reqID), func(tp *sim.Proc) {
 		tp.SetThread(px.thProxy)
 		if useDMA {
-			px.shipViaDMA(tp, reqID, txnSeq, payload, ctx)
+			px.shipViaDMA(tp, reqID, txnSeq, payload, ctx, streamReuse)
 		} else {
 			px.shipViaRPC(tp, reqID, txnSeq, payload, 0)
 		}
@@ -481,8 +503,11 @@ func (px *Proxy) awaitTxn(tp *sim.Proc, reqID uint64, pt *pendingTxn, res *objst
 // shipViaDMA cuts payload into segments and pipelines stage+transfer. On a
 // segment error the completed segments are preserved and the rest falls
 // back to RPC (paper §4). ctx, when non-zero, parents per-segment
-// dma-stage/dma spans and rides the segment tags to the host.
-func (px *Proxy) shipViaDMA(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Bufferlist, ctx trace.SpanID) {
+// dma-stage/dma spans and rides the segment tags to the host. streamReuse
+// marks every segment as region-reusing (stream chunks move through the
+// same pre-registered staging pool, like consecutive batch frames), so
+// back-to-back chunks of a stream pay the amortized setup.
+func (px *Proxy) shipViaDMA(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Bufferlist, ctx trace.SpanID, streamReuse bool) {
 	segBytes := px.dev.Buffers.BufferBytes()
 	if max := px.engUp.Config().MaxTransferBytes; segBytes > max {
 		segBytes = max
@@ -520,6 +545,7 @@ func (px *Proxy) shipViaDMA(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Buf
 		}
 		acq := p.Now()
 		px.dev.Buffers.Acquire(p)
+		px.noteStage(n)
 		px.tr.AddQueueWait(stageSp, p.Now().Sub(acq))
 		px.tr.AddCPU(stageSp, px.dev.CPU.Name(),
 			px.dev.CPU.Exec(p, px.thProxy, int64(float64(n)*px.cfg.StageCyclesPerByte)))
@@ -550,12 +576,14 @@ func (px *Proxy) shipViaDMA(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Buf
 		t := &doca.Transfer{
 			ReqID: reqID, Seg: i, TotalSegs: total, Bytes: wireBytes, Data: data,
 			Src: px.dpuMR, Dst: px.hostMR, TraceCtx: uint64(ctx),
+			ReuseSetup: streamReuse,
 			Tag: segHeader{kind: segTxn, reqID: reqID, seg: i, total: total,
 				txnSeq: txnSeq, traceCtx: uint64(ctx)},
 		}
 		if err := px.engUp.Submit(p, px.dev.CPU, t); err != nil {
 			px.tr.Finish(dmaSp)
 			px.dev.Buffers.Release()
+			px.noteUnstage(n)
 			failedFrom = i
 			break
 		}
@@ -568,11 +596,13 @@ func (px *Proxy) shipViaDMA(p *sim.Proc, reqID, txnSeq uint64, payload *wire.Buf
 				st.t.Done.Wait(sp)
 				px.tr.Finish(st.span)
 				px.dev.Buffers.Release()
+				px.noteUnstage(n)
 			})
 		} else {
 			t.Done.Wait(p)
 			px.tr.Finish(dmaSp)
 			px.dev.Buffers.Release()
+			px.noteUnstage(n)
 		}
 	}
 	// Collect completions and account DMA time.

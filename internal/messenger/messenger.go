@@ -73,6 +73,9 @@ type Config struct {
 	// reconnect behaviour).
 	ReconnectBackoff    sim.Duration
 	ReconnectBackoffMax sim.Duration
+	// Stream enables flow-controlled chunked transfer of large write
+	// payloads (see stream.go). Off by default.
+	Stream StreamConfig
 }
 
 // DefaultConfig returns the cost model used by the experiments (calibration
@@ -150,6 +153,7 @@ func (c Config) withDefaults() Config {
 	if c.ReconnectBackoffMax == 0 {
 		c.ReconnectBackoffMax = d.ReconnectBackoffMax
 	}
+	c.Stream = c.Stream.withDefaults()
 	return c
 }
 
@@ -164,6 +168,13 @@ type Stats struct {
 	// frame is redelivered exactly once per successful reset).
 	SessionResets int64
 	Redeliveries  int64
+	// Streaming counters: streams opened by this endpoint (sender side),
+	// streams arriving at it, chunks moved each way, and aborts issued.
+	StreamsSent      int64
+	StreamsRecv      int64
+	StreamChunksSent int64
+	StreamChunksRecv int64
+	StreamAborts     int64
 }
 
 // Dispatcher receives decoded messages on a msgr-worker thread; it must not
@@ -220,6 +231,13 @@ type Messenger struct {
 
 	stats Stats
 	tr    *trace.Tracer
+
+	// Streaming state (all lazily allocated; nil until the first stream).
+	nextStreamID uint64
+	outStreams   map[uint64]*OutStream
+	inAsm        map[string]*cephmsg.Assembler
+	inStreams    map[inKey]*InStream
+	streamSink   StreamSink
 }
 
 type worker struct {
@@ -328,6 +346,12 @@ func (m *Messenger) SetTracer(tr *trace.Tracer) { m.tr = tr }
 // workloads modelled here). Unknown destinations panic: entity wiring is
 // static in this simulation, so that is a configuration bug.
 func (m *Messenger) Send(dst string, msg cephmsg.Message) {
+	if m.cfg.Stream.Enable {
+		if inner, data, ok := streamSplit(msg, m.cfg.Stream.ChunkBytes); ok {
+			m.streamSend(dst, inner, data)
+			return
+		}
+	}
 	c := m.connTo(dst)
 	f := m.makeFrame(msg)
 	if m.tr.Enabled() {
@@ -476,10 +500,15 @@ func (m *Messenger) workerLoop(p *sim.Proc, w *worker) {
 				}
 				msg = decoded
 			}
-			if m.dispatch == nil {
-				panic(fmt.Sprintf("messenger %s: message from %s with no dispatcher", m.name, it.peer))
+			// Stream frames are transport-level and consumed here; only
+			// application messages (including reassembled stream payloads
+			// dispatched from handleStream) need a dispatcher.
+			if !m.handleStream(p, it.peer, msg) {
+				if m.dispatch == nil {
+					panic(fmt.Sprintf("messenger %s: message from %s with no dispatcher", m.name, it.peer))
+				}
+				m.dispatch(p, it.peer, msg)
 			}
-			m.dispatch(p, it.peer, msg)
 			if f.span != 0 {
 				m.tr.AddBytes(f.span, f.bytes)
 				m.tr.Finish(f.span)

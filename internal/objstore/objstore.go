@@ -90,6 +90,13 @@ type Transaction struct {
 	// of the transaction's encoded form and survives the proxy→host DMA
 	// hop out-of-band via the segment tag.
 	TraceCtx uint64
+	// StreamReuse marks a transaction that is one chunk of an in-flight
+	// stream: its staging regions and descriptors are re-established
+	// against the same pre-registered host region as the previous chunk,
+	// so the DMA engine may charge the amortized per-segment setup
+	// (§3.3's "reusing pre-established memory regions") instead of a full
+	// CommChannel negotiation per chunk. Not part of the encoded form.
+	StreamReuse bool
 }
 
 // Touch ensures obj exists in coll.

@@ -180,6 +180,9 @@ type Stats struct {
 	// BalancedReads counts balance-flagged reads this OSD served as a
 	// non-primary acting-set member.
 	BalancedReads int64
+	// StreamWrites counts client writes ingested via the streaming data
+	// plane (chunk-pipelined) rather than as one reassembled MOSDOp.
+	StreamWrites int64
 }
 
 // OSD is one object storage daemon instance.
@@ -306,6 +309,7 @@ func New(env *sim.Env, cpu *sim.CPU, id int32, msgr *messenger.Messenger,
 	}
 	o.ready = sim.NewEvent(env)
 	msgr.SetDispatcher(o.dispatch)
+	msgr.SetStreamSink(o)
 	o.opqs = make([]*sim.Queue[opItem], o.cfg.OpShards)
 	for i := range o.opqs {
 		o.opqs[i] = sim.NewQueue[opItem](env)
@@ -566,6 +570,11 @@ func (o *OSD) awaitReplicas(cp *sim.Proc, pend *pendingRep, tids []uint64) bool 
 				// The map already dropped this replica but the abandon path
 				// raced with us; finish the wait degraded.
 				o.completeRep(tid)
+				continue
+			}
+			if w.msg == nil {
+				// Streamed rep-op: the chunk stream cannot be replayed
+				// verbatim, so timeout rounds only bound the wait.
 				continue
 			}
 			o.msgr.Send(Name(w.target), w.msg)
@@ -1120,6 +1129,11 @@ func (o *OSD) statsReply(tid uint64) *cephmsg.MStatsReply {
 	if s.BalancedReads > 0 {
 		r.Keys = append(r.Keys, "balanced_reads")
 		r.Values = append(r.Values, s.BalancedReads)
+	}
+	// Streamed writes likewise appear only once one has been ingested.
+	if s.StreamWrites > 0 {
+		r.Keys = append(r.Keys, "stream_writes")
+		r.Values = append(r.Values, s.StreamWrites)
 	}
 	return r
 }

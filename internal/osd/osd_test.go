@@ -49,10 +49,16 @@ func newTestClusterWith(t *testing.T, hosts int, replicas int, wireEncode bool, 
 // (0 keeps the gate off, the legacy shape every other test uses).
 func newTestClusterFull(t *testing.T, hosts, replicas, minSize int, wireEncode bool, ocfg Config) *testCluster {
 	t.Helper()
+	return newTestClusterMsgr(t, hosts, replicas, minSize, messenger.Config{WireEncode: wireEncode}, ocfg)
+}
+
+// newTestClusterMsgr exposes the full messenger config — the streaming
+// tests need the chunk-pipelined transport with a small chunk size.
+func newTestClusterMsgr(t *testing.T, hosts, replicas, minSize int, mcfg messenger.Config, ocfg Config) *testCluster {
+	t.Helper()
 	env := sim.NewEnv(7)
 	fabric := sim.NewFabric(env, "eth100g", 5*sim.Microsecond)
 	reg := messenger.NewRegistry()
-	mcfg := messenger.Config{WireEncode: wireEncode}
 
 	crushMap := crush.BuildUniform(hosts, 1, 1.0)
 	baseMap := osdmap.New(crushMap, 64, replicas)

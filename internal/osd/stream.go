@@ -1,0 +1,281 @@
+// Streaming write ingest: the OSD registers as the messenger's StreamSink
+// so large writes arrive chunk by chunk instead of as one reassembled
+// message. A dedicated ingest process per stream commits each chunk to the
+// object store and forwards it down the replica fan-out as it arrives —
+// replication and BlueStore ingest start on the first chunk, not after the
+// whole object has landed — and flow-control credits are returned only
+// when a chunk's local commit is durable, so in-flight data at this hop is
+// bounded by the sender's credit window.
+//
+// Ingest runs on dedicated processes rather than tp_osd_tp workers on
+// purpose: a worker blocked on a replica's credit window while that
+// replica's own workers wait on credits from us would deadlock the pool;
+// per-stream processes keep the worker pool free for regular ops.
+
+package osd
+
+import (
+	"fmt"
+
+	"doceph/internal/cephmsg"
+	"doceph/internal/messenger"
+	"doceph/internal/objstore"
+	"doceph/internal/sim"
+	"doceph/internal/trace"
+	"doceph/internal/wire"
+)
+
+// OpenStream implements messenger.StreamSink: accept incoming write
+// streams (client ops on the primary, rep-ops on replicas) for incremental
+// ingest. Anything else falls back to messenger-side reassembly. Runs on a
+// msgr-worker thread, so it only spawns and returns.
+func (o *OSD) OpenStream(src string, in *messenger.InStream) bool {
+	if o.failed {
+		return false // reassembly path dispatches into the dead-socket drop
+	}
+	open := in.Open()
+	switch m := open.Inner.(type) {
+	case *cephmsg.MOSDOp:
+		if m.Op != cephmsg.OpWrite {
+			return false
+		}
+		name := fmt.Sprintf("stream-ingest:%s:%d", o.name, open.StreamID)
+		o.env.Spawn(name, func(p *sim.Proc) {
+			p.SetThread(sim.NewThread(name, ThreadCat))
+			o.ingestClientStream(p, src, m, in)
+		})
+		return true
+	case *cephmsg.MRepOp:
+		if m.Op != cephmsg.OpWrite {
+			return false
+		}
+		name := fmt.Sprintf("rep-stream-ingest:%s:%d", o.name, open.StreamID)
+		o.env.Spawn(name, func(p *sim.Proc) {
+			p.SetThread(sim.NewThread(name, ThreadCat))
+			o.ingestRepStream(p, src, m, in)
+		})
+		return true
+	}
+	return false
+}
+
+// drainStream consumes and discards the rest of a stream, crediting every
+// chunk so the sender finishes promptly (used when the op is rejected
+// before ingest starts).
+func (o *OSD) drainStream(p *sim.Proc, in *messenger.InStream) {
+	for {
+		_, done, aborted := in.Next(p)
+		if done || aborted {
+			return
+		}
+		in.Credit(1)
+	}
+}
+
+// ingestChunk commits one arriving chunk: a per-chunk transaction against
+// the backing store under the PG lock, with a stream.stage span open until
+// the commit is durable, at which point the chunk's flow-control credit
+// goes back upstream. Returns the store result for the end-of-stream
+// barrier.
+func (o *OSD) ingestChunk(p *sim.Proc, in *messenger.InStream, sp trace.SpanID,
+	pg uint32, object string, off uint64, chunk *wire.Bufferlist,
+	completer string) *objstore.Result {
+	n := int64(chunk.Length())
+	var csp trace.SpanID
+	if sp != 0 {
+		csp = o.tr.Start(sp, 0, trace.StageStreamStage, object)
+		o.tr.AddBytes(csp, n)
+	}
+	lock := o.pgLock(pg)
+	lock.Acquire(p, 1)
+	txn := (&objstore.Transaction{}).Write(pgColl(pg), object, off, chunk)
+	// Chunks of one stream reuse the pre-registered staging regions, so
+	// the DPU's DMA engine amortizes descriptor setup across them.
+	txn.StreamReuse = true
+	o.ensureColl(pg, txn)
+	if csp != 0 {
+		txn.TraceCtx = uint64(csp)
+	}
+	res := o.store.QueueTransaction(p, txn)
+	lock.Release(1)
+	o.env.Spawn(completer, func(cp *sim.Proc) {
+		cp.SetThread(o.thFin)
+		res.Done.Wait(cp)
+		o.tr.Finish(csp)
+		in.Credit(1)
+	})
+	return res
+}
+
+// ingestClientStream is the primary's per-stream ingest: admission checks,
+// chunk-granular local commit + replica fan-out, and the single client
+// reply once everything is durable.
+func (o *OSD) ingestClientStream(p *sim.Proc, src string, m *cephmsg.MOSDOp,
+	in *messenger.InStream) {
+	o.ready.Wait(p)
+	open := in.Open()
+	var sp trace.SpanID
+	if o.tr.Enabled() && m.TraceCtx != 0 {
+		sp = o.tr.Start(trace.SpanID(m.TraceCtx), 0, trace.StageOSDOp, m.Object)
+	}
+	o.tr.AddCPU(sp, o.cpu.Name(), o.cpu.ExecSelf(p, o.cfg.OpPrepCycles))
+	pg := o.curMap.PGForObject(m.Object)
+	acting := o.curMap.ActingSet(pg)
+	reject := cephmsg.ResOK
+	if len(acting) == 0 || acting[0] != o.id {
+		o.stats.WrongPrimary++
+		reject = cephmsg.ResNotPrimary
+	} else if ms := o.curMap.MinSize; ms > 0 && len(acting) < ms {
+		o.stats.NoQuorumRejects++
+		reject = cephmsg.ResNoQuorum
+	}
+	if reject != cephmsg.ResOK {
+		o.drainStream(p, in)
+		o.msgr.Send(src, &cephmsg.MOSDOpReply{
+			Tid: m.Tid, Object: m.Object, Op: m.Op, Result: reject,
+			TraceCtx: m.TraceCtx,
+		})
+		o.tr.Finish(sp)
+		return
+	}
+	if ms := o.curMap.MinSize; ms > 0 && len(acting) < o.curMap.Replicas {
+		o.stats.DegradedWrites++
+		o.degraded[pg]++
+	}
+	o.pgOps[pg]++
+	o.stats.StreamWrites++
+
+	// Open one forwarding stream per secondary before the first chunk, so
+	// replica ingest overlaps the client transfer. The pending entries
+	// carry no resendable message (msg nil): a stream cannot be replayed
+	// verbatim, so the watchdog's timeout rounds alone bound the wait.
+	var repSp trace.SpanID
+	if sp != 0 {
+		repSp = o.tr.Start(sp, 0, trace.StageReplication, m.Object)
+	}
+	pend := &pendingRep{needed: len(acting) - 1, ev: sim.NewEvent(o.env)}
+	if pend.needed <= 0 {
+		pend.ev.Fire()
+	}
+	reps := make([]*messenger.OutStream, 0, len(acting)-1)
+	tids := make([]uint64, 0, len(acting)-1)
+	for _, sec := range acting[1:] {
+		o.tr.AddCPU(repSp, o.cpu.Name(), o.cpu.ExecSelf(p, o.cfg.RepPrepCycles))
+		o.nextTid++
+		tid := o.nextTid
+		rm := &cephmsg.MRepOp{
+			Tid: tid, Epoch: o.curMap.Epoch, PGID: pg, Object: m.Object,
+			Op: cephmsg.OpWrite, Offset: m.Offset, TraceCtx: uint64(repSp),
+		}
+		o.pending[tid] = &repWait{target: sec, pend: pend}
+		reps = append(reps, o.msgr.OpenStream(Name(sec), rm, open.Total))
+		tids = append(tids, tid)
+	}
+
+	var results []*objstore.Result
+	off := m.Offset
+	var total int64
+	aborted := false
+	for {
+		chunk, done, ab := in.Next(p)
+		if done {
+			break
+		}
+		if ab {
+			aborted = true
+			break
+		}
+		results = append(results, o.ingestChunk(p, in, sp, pg, m.Object, off,
+			chunk, o.completerName))
+		// Forward before accepting the next chunk; a saturated replica
+		// window blocks here, propagating its backpressure to the client.
+		for _, r := range reps {
+			r.Write(p, chunk)
+		}
+		n := int64(chunk.Length())
+		off += uint64(n)
+		total += n
+	}
+	if aborted {
+		for _, r := range reps {
+			r.Abort(p)
+		}
+		for _, tid := range tids {
+			o.completeRep(tid)
+		}
+		o.msgr.Send(src, &cephmsg.MOSDOpReply{
+			Tid: m.Tid, Object: m.Object, Op: m.Op, Result: cephmsg.ResError,
+			TraceCtx: m.TraceCtx,
+		})
+		o.tr.Finish(repSp)
+		o.tr.Finish(sp)
+		return
+	}
+	for _, r := range reps {
+		r.Close(p)
+	}
+	anyErr := false
+	for _, res := range results {
+		res.Done.Wait(p)
+		if res.Err != nil {
+			anyErr = true
+		}
+	}
+	repOK := o.awaitReplicas(p, pend, tids)
+	o.tr.Finish(repSp)
+	o.tr.AddCPU(sp, o.cpu.Name(), o.cpu.ExecSelf(p, o.cfg.FinishCycles))
+	result := cephmsg.ResOK
+	if anyErr || !repOK {
+		result = cephmsg.ResError
+	}
+	o.stats.ClientWrites++
+	o.stats.BytesWritten += total
+	o.msgr.Send(src, &cephmsg.MOSDOpReply{
+		Tid: m.Tid, Object: m.Object, Op: m.Op, Result: result,
+		Version: uint64(p.Now()), TraceCtx: m.TraceCtx,
+	})
+	o.tr.Finish(sp)
+}
+
+// ingestRepStream is the replica's per-stream ingest: chunk-granular
+// commit, one ack once the whole stream is durable.
+func (o *OSD) ingestRepStream(p *sim.Proc, src string, m *cephmsg.MRepOp,
+	in *messenger.InStream) {
+	o.ready.Wait(p)
+	var sp trace.SpanID
+	if o.tr.Enabled() && m.TraceCtx != 0 {
+		sp = o.tr.Start(trace.SpanID(m.TraceCtx), 0, trace.StageRepOp, m.Object)
+	}
+	o.tr.AddCPU(sp, o.cpu.Name(), o.cpu.ExecSelf(p, o.cfg.OpPrepCycles))
+	var results []*objstore.Result
+	off := m.Offset
+	var total int64
+	aborted := false
+	for {
+		chunk, done, ab := in.Next(p)
+		if done {
+			break
+		}
+		if ab {
+			aborted = true
+			break
+		}
+		results = append(results, o.ingestChunk(p, in, sp, m.PGID, m.Object, off,
+			chunk, o.repCompleterName))
+		n := int64(chunk.Length())
+		off += uint64(n)
+		total += n
+	}
+	for _, res := range results {
+		res.Done.Wait(p)
+	}
+	o.stats.RepOpsServed++
+	o.stats.BytesWritten += total
+	o.tr.AddCPU(sp, o.cpu.Name(), o.cpu.ExecSelf(p, o.cfg.FinishCycles))
+	if !aborted {
+		// The primary aborts its wait on its own timeout if we never ack.
+		o.msgr.Send(src, &cephmsg.MRepOpReply{Tid: m.Tid, PGID: m.PGID,
+			TraceCtx: m.TraceCtx})
+	}
+	o.tr.Finish(sp)
+}

@@ -62,6 +62,13 @@ type Scenario struct {
 	Workload     string `json:"workload,omitempty"`
 	BalanceReads bool   `json:"balance_reads,omitempty"`
 
+	// Stream turns on the flow-controlled chunk-pipelined data plane: large
+	// writes travel as credit-windowed chunk frames and the OSDs ingest them
+	// incrementally instead of reassembling one monolithic op. Keeps the
+	// streaming path (pump procs, per-chunk transactions, credit-on-commit)
+	// on the perf radar.
+	Stream bool `json:"stream,omitempty"`
+
 	// Degraded runs the scenario through the self-healing write path:
 	// osd.1 is administratively down when the workload starts (min_size=1
 	// accepts the degraded writes) and rejoins halfway through the
@@ -90,6 +97,8 @@ func DefaultSweep() []Scenario {
 			Op: "read"},
 		{Name: "doceph-mix70-4K", Mode: cluster.DoCeph, ObjectBytes: 4 << 10, Threads: 16, DurationSec: 3, WarmupSec: 1, Seed: 42,
 			Op: "mixed", ReadPercent: 70},
+		{Name: "doceph-stream-16M", Mode: cluster.DoCeph, ObjectBytes: 16 << 20, Threads: 4, DurationSec: 3, WarmupSec: 1, Seed: 42,
+			Stream: true},
 		scaleOut32("doceph-scaleout-32osd", 1, 2),
 		scaleOut32("doceph-scaleout-32osd", 8, 2),
 		scaleOut128("doceph-scaleout-128osd", 1, 1),
@@ -187,6 +196,8 @@ func SmokeSweep() []Scenario {
 			Op: "read"},
 		{Name: "doceph-mix70-4K", Mode: cluster.DoCeph, ObjectBytes: 4 << 10, Threads: 8, DurationSec: 2, WarmupSec: 1, Seed: 42,
 			Op: "mixed", ReadPercent: 70},
+		{Name: "doceph-stream-16M", Mode: cluster.DoCeph, ObjectBytes: 16 << 20, Threads: 4, DurationSec: 2, WarmupSec: 1, Seed: 42,
+			Stream: true},
 		scaleOut32("doceph-scaleout-32osd", 1, 1),
 		scaleOut32("doceph-scaleout-32osd", 4, 1),
 		scaleOut128("doceph-scaleout-128osd", 1, 1),
@@ -251,8 +262,11 @@ func (sc Scenario) Validate() error {
 	if sc.ScaleOutPods == 0 && (sc.OSDsPerPod > 0 || sc.SimWorkers > 0) {
 		return fmt.Errorf("perf: scenario %q: osds_per_pod/sim_workers need scaleout_pods > 0", sc.Name)
 	}
-	if sc.ScaleOutPods > 0 && (sc.DMAQueues > 0 || sc.OpShards > 0 || sc.MsgrLanes > 0 || sc.Batch || sc.Degraded) {
-		return fmt.Errorf("perf: scenario %q: scale-out racks run the default transport; drop the transport/degraded knobs", sc.Name)
+	if sc.ScaleOutPods > 0 && (sc.DMAQueues > 0 || sc.OpShards > 0 || sc.MsgrLanes > 0 || sc.Batch || sc.Degraded || sc.Stream) {
+		return fmt.Errorf("perf: scenario %q: scale-out racks run the default transport; drop the transport/degraded/stream knobs", sc.Name)
+	}
+	if sc.Stream && sc.ObjectBytes <= 2<<20 {
+		return fmt.Errorf("perf: scenario %q: streaming needs objects above one chunk (2MB), got %d bytes", sc.Name, sc.ObjectBytes)
 	}
 	switch sc.Op {
 	case "", "write", "read", "mixed":
@@ -297,6 +311,7 @@ func (sc Scenario) clusterConfig() cluster.Config {
 	cfg.Bridge.Batch.Enable = sc.Batch
 	cfg.OSD.OpShards = sc.OpShards
 	cfg.Messenger.Lanes = sc.MsgrLanes
+	cfg.Messenger.Stream.Enable = sc.Stream
 	if sc.Degraded {
 		// Same shape the selfheal experiment defaults to: accept writes at
 		// one replica, backfill two PGs at a time under a 64 MB/s bucket,
@@ -387,6 +402,18 @@ func runScenario(sc Scenario) (Measurement, error) {
 			return Measurement{}, fmt.Errorf(
 				"perf: scenario %q: degraded path did not engage (degraded_writes=%d pgs_backfilled=%d)",
 				sc.Name, degraded, backfilled)
+		}
+	}
+	if sc.Stream {
+		// Same guard for the streaming row: a regression that fell back to
+		// store-and-forward would benchmark the monolithic path here.
+		var streamed int64
+		for _, n := range cl.Nodes {
+			streamed += n.OSD.Stats().StreamWrites
+		}
+		if streamed == 0 {
+			return Measurement{}, fmt.Errorf(
+				"perf: scenario %q: streaming path did not engage (stream_writes=0)", sc.Name)
 		}
 	}
 	m := Measurement{

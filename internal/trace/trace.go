@@ -205,6 +205,9 @@ var stageRank = map[string]int{
 	// reads last in the per-stage table.
 	StageRecovery:     16,
 	StageRecoveryPush: 17,
+	// Streaming stages appended after (existing table order unchanged).
+	StageStreamWindow: 18,
+	StageStreamStage:  19,
 }
 
 // rankOf resolves a stage's path rank, mapping per-queue DMA stages onto
@@ -251,6 +254,12 @@ const (
 	// attributed as queue wait on the backfill span.
 	StageRecovery     = "recovery.backfill"
 	StageRecoveryPush = "recovery.push"
+	// StageStreamWindow is a streamed chunk's wait for a flow-control
+	// credit before entering the messenger (sender-side backpressure);
+	// StageStreamStage is the per-chunk ingest at the receiving OSD (txn
+	// build + queueing into the object store).
+	StageStreamWindow = "stream.window"
+	StageStreamStage  = "stream.stage"
 )
 
 // Per-queue DMA stage names ("dma.q<N>", "batch.dma.q<N>"), used instead

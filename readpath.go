@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"doceph/internal/radosbench"
 	"doceph/internal/rbd"
 	"doceph/internal/report"
 	"doceph/internal/sim"
@@ -51,6 +52,7 @@ func RunReadPathAblation(opts ExpOptions) ([]ReadPathResult, error) {
 		qd      int
 		balance bool
 		cache   bool
+		pop     radosbench.Popularity
 	}
 	var variants []variant
 	for _, mode := range []Mode{Baseline, DoCeph} {
@@ -72,6 +74,20 @@ func RunReadPathAblation(opts ExpOptions) ([]ReadPathResult, error) {
 		// Queue-depth arms: the closed loop widened to 4 slots per worker.
 		variants = append(variants,
 			variant{name: prefix + " 100R/0W qd=4", mode: mode, readPct: 100, qd: 4})
+		// Popularity arms (the scale-out PR's skew models on the single
+		// cluster): pure reads under Zipf and hotspot skew, with replica-read
+		// balancing as the mitigation and (DoCeph) the read cache — a hot set
+		// is exactly what DPU-side DDR can absorb.
+		zipf := radosbench.Popularity{Kind: radosbench.PopZipf}
+		hot := radosbench.Popularity{Kind: radosbench.PopHotspot}
+		variants = append(variants,
+			variant{name: prefix + " 100R/0W zipf", mode: mode, readPct: 100, pop: zipf},
+			variant{name: prefix + " 100R/0W zipf+balance", mode: mode, readPct: 100, pop: zipf, balance: true},
+			variant{name: prefix + " 100R/0W hotspot", mode: mode, readPct: 100, pop: hot})
+		if mode == DoCeph {
+			variants = append(variants,
+				variant{name: prefix + " 100R/0W zipf+cache", mode: mode, readPct: 100, pop: zipf, cache: true})
+		}
 	}
 
 	out := make([]ReadPathResult, len(variants))
@@ -91,6 +107,7 @@ func RunReadPathAblation(opts ExpOptions) ([]ReadPathResult, error) {
 			Duration: opts.Duration, Warmup: opts.Warmup,
 			QueueDepth: v.qd,
 			Op:         ReadWorkload,
+			Popularity: v.pop,
 		}
 		if v.readPct < 100 {
 			op.Op = MixedWorkload
@@ -150,7 +167,7 @@ func ReadPathTable(rows []ReadPathResult) *report.Table {
 			report.Pct(r.HostUtil),
 			fmt.Sprint(r.BalancedReads), hit)
 	}
-	t.AddNote("64KB objects; balance = read-from-secondary hashing, cache = DPU-side object read cache (both default off)")
+	t.AddNote("64KB objects; balance = read-from-secondary hashing, cache = DPU-side object read cache (both default off); zipf/hotspot = skewed read popularity over the prepopulated set (uniform otherwise)")
 	return t
 }
 
